@@ -1,0 +1,78 @@
+//! Criterion benches: cost of one *simulated time unit* — LTS-Newmark at the
+//! coarse `Δt` vs classic Newmark at `Δt/p_max` (the paper's performance
+//! metric is wall-clock per simulated second).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lts_core::{LtsNewmark, LtsSetup, Newmark};
+use lts_mesh::{BenchmarkMesh, MeshKind};
+use lts_sem::gll::cfl_dt_scale;
+use lts_sem::AcousticOperator;
+use std::hint::black_box;
+
+fn bench_per_simulated_time(c: &mut Criterion) {
+    let b = BenchmarkMesh::build(MeshKind::Trench, 2_000);
+    let order = 4;
+    let op = AcousticOperator::new(&b.mesh, order);
+    let setup = LtsSetup::new(&op, &b.levels.elem_level);
+    let n = op.dofmap.n_nodes();
+    let dt = b.levels.dt_global * cfl_dt_scale(order, 3);
+    let p_max = 1usize << (setup.n_levels - 1);
+    let u0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.002).sin()).collect();
+
+    let mut g = c.benchmark_group("per_global_dt");
+    g.sample_size(10);
+    g.bench_function("lts_newmark", |bch| {
+        let mut u = u0.clone();
+        let mut v = vec![0.0; n];
+        let mut lts = LtsNewmark::new(&op, &setup, dt);
+        bch.iter(|| {
+            lts.step(black_box(&mut u), &mut v, 0.0, &[]);
+        })
+    });
+    g.bench_function("newmark_at_dt_over_pmax", |bch| {
+        let mut u = u0.clone();
+        let mut v = vec![0.0; n];
+        let mut nm = Newmark::new(&op, dt / p_max as f64);
+        bch.iter(|| {
+            for _ in 0..p_max {
+                nm.step(black_box(&mut u), &mut v, 0.0, &[]);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_chain_step(c: &mut Criterion) {
+    // pure time-stepping overhead without the SEM kernel cost
+    use lts_core::Chain1d;
+    let mut vel = vec![1.0; 4096];
+    for v in vel.iter_mut().skip(3500) {
+        *v = 4.0;
+    }
+    let chain = Chain1d::with_velocities(vel, 1.0);
+    let (lv, dt) = chain.assign_levels(0.5, 3);
+    let setup = LtsSetup::new(&chain, &lv);
+    let n = 4097;
+    let u0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+    let mut g = c.benchmark_group("chain1d_step");
+    g.bench_function("lts", |bch| {
+        let mut u = u0.clone();
+        let mut v = vec![0.0; n];
+        let mut lts = LtsNewmark::new(&chain, &setup, dt);
+        bch.iter(|| lts.step(black_box(&mut u), &mut v, 0.0, &[]))
+    });
+    g.bench_function("newmark_fine", |bch| {
+        let mut u = u0.clone();
+        let mut v = vec![0.0; n];
+        let mut nm = Newmark::new(&chain, dt / 4.0);
+        bch.iter(|| {
+            for _ in 0..4 {
+                nm.step(black_box(&mut u), &mut v, 0.0, &[]);
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_per_simulated_time, bench_chain_step);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Fig. 1 — the load-imbalance stall: a 1-D mesh with a fine region, two
+//! ranks. A standard (work-balanced but level-oblivious) partition gives
+//! processor A three times the fine elements of processor B, so B stalls at
+//! every fine sub-step; a per-level (SCOTCH-P-style) split removes the stall.
+//!
+//! Runs the *real* threaded message-passing runtime with amplified
+//! per-element work and prints measured busy/stall bars.
+
+use lts_bench::Args;
+use lts_core::{Chain1d, LtsSetup};
+use lts_runtime::{run_distributed, DistributedConfig};
+use lts_runtime::stats::ascii_timeline;
+
+fn main() {
+    let args = Args::parse();
+    let steps: usize = args.get("steps", 60);
+    let amplify: u32 = args.get("amplify", 1_500_000);
+
+    // Fig. 1 geometry: a fine region Ω_f (4 elements, p = 2) next to a
+    // coarse region Ω_c (4 elements, p = 1), embedded in a longer chain.
+    let mut vel = vec![1.0; 16];
+    for v in vel.iter_mut().take(12).skip(4) {
+        *v = 2.0; // 8 fine elements in the middle
+    }
+    let c = Chain1d::with_velocities(vel, 1.0);
+    let (lv, dt) = c.assign_levels(0.5, 2);
+    let setup = LtsSetup::new(&c, &lv);
+    let fine: Vec<usize> = (0..16).filter(|&e| lv[e] == 1).collect();
+    println!("chain: 16 elements, fine (p=2) elements at {fine:?}, Δt = {dt}");
+
+    let u0: Vec<f64> = (0..17)
+        .map(|i| (-((i as f64 - 8.0) / 2.0f64).powi(2)).exp())
+        .collect();
+    let v0 = vec![0.0; 17];
+
+    // (a) standard partition: geometric split — rank 0 gets 6 of 8 fine
+    // elements (the paper's 3:1 fine imbalance)
+    let naive: Vec<u32> = (0..16).map(|e| u32::from(e >= 10)).collect();
+    // (b) per-level balanced split: each rank gets half of each level
+    let balanced: Vec<u32> = (0..16)
+        .map(|e| {
+            let lvl = lv[e as usize];
+            let peers: Vec<usize> = (0..16).filter(|&x| lv[x] == lvl).collect();
+            let pos = peers.iter().position(|&x| x == e as usize).unwrap();
+            u32::from(pos >= peers.len() / 2)
+        })
+        .collect();
+
+    let cfg = DistributedConfig { n_ranks: 2, record_timeline: true, work_amplify: amplify, overlap: false };
+    for (name, part) in [("standard partition (level-oblivious)", &naive), ("p-level balanced partition", &balanced)] {
+        let fine_per_rank: Vec<usize> = (0..2)
+            .map(|r| (0..16).filter(|&e| part[e] == r && lv[e] == 1).count())
+            .collect();
+        let (_, _, stats) = run_distributed(&c, &setup, part, dt, &u0, &v0, steps, &cfg);
+        println!("\n== {name} (fine elements per rank: {fine_per_rank:?}) ==");
+        print!("{}", ascii_timeline(&stats, 48));
+        let worst = stats.iter().map(|s| s.wait_fraction()).fold(0.0f64, f64::max);
+        println!("worst stall fraction: {:.0}%", 100.0 * worst);
+    }
+    println!("\npaper's Fig. 1: the level-oblivious split stalls one processor at every ∆τ sub-step;");
+    println!("balancing each p-level separately removes the stall — the motivation for SCOTCH-P.");
+    println!("(on single-core hosts both ranks additionally show a symmetric time-sharing wait;");
+    println!(" the signature of the Fig. 1 pathology is the *asymmetry* between the ranks)");
+}

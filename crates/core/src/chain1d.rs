@@ -1,0 +1,242 @@
+//! A 1-D wave chain: linear (P1) finite elements for `ρ ü = ∂x(μ ∂x u)`.
+//!
+//! This is the setting of the paper's Fig. 1 (a 1-D mesh with a fine and a
+//! coarse region split across two processors). It implements the
+//! [`Operator`]/[`DofTopology`] traits with exactly the structure of the SEM
+//! operator — diagonal mass, element-local stiffness, shared nodes between
+//! neighbouring elements — so every LTS code path is exercised by cheap,
+//! exactly checkable problems.
+
+use crate::operator::{DofTopology, Operator};
+
+/// `n` interval elements, `n+1` DOFs; element `e` couples DOFs `e`, `e+1`.
+#[derive(Debug, Clone)]
+pub struct Chain1d {
+    /// Element lengths.
+    pub h: Vec<f64>,
+    /// Element stiffness coefficient `μ_e = ρ_e c_e²`.
+    pub mu: Vec<f64>,
+    /// Element density.
+    pub rho: Vec<f64>,
+    /// Lumped diagonal mass per DOF (in the external numbering).
+    mass: Vec<f64>,
+    /// Optional DOF renumbering `new = perm[natural]` (p-level grouping).
+    perm: Option<Vec<u32>>,
+}
+
+impl Chain1d {
+    pub fn new(h: Vec<f64>, velocity: Vec<f64>, rho: Vec<f64>) -> Self {
+        let n = h.len();
+        assert!(n >= 1 && velocity.len() == n && rho.len() == n);
+        assert!(h.iter().all(|&x| x > 0.0));
+        let mu: Vec<f64> = (0..n).map(|e| rho[e] * velocity[e] * velocity[e]).collect();
+        let mut mass = vec![0.0; n + 1];
+        for e in 0..n {
+            let m = 0.5 * rho[e] * h[e];
+            mass[e] += m;
+            mass[e + 1] += m;
+        }
+        Chain1d { h, mu, rho, mass, perm: None }
+    }
+
+    /// Uniform chain: unit spacing, constant velocity and density.
+    pub fn uniform(n: usize, velocity: f64, rho: f64) -> Self {
+        Self::new(vec![1.0; n], vec![velocity; n], vec![rho; n])
+    }
+
+    /// Chain with per-element velocities on a unit grid.
+    pub fn with_velocities(velocity: Vec<f64>, rho: f64) -> Self {
+        let n = velocity.len();
+        Self::new(vec![1.0; n], velocity, vec![rho; n])
+    }
+
+    pub fn n_elems(&self) -> usize {
+        self.h.len()
+    }
+
+    /// Renumber the DOFs with `new = perm[natural]` (see
+    /// [`crate::setup::LtsSetup::grouping_permutation`]); all vectors the
+    /// operator touches are in the new numbering afterwards.
+    pub fn set_permutation(&mut self, perm: &[u32]) {
+        assert_eq!(perm.len(), self.h.len() + 1);
+        let mut mass = vec![0.0; self.mass.len()];
+        // self.mass is currently in the *natural* numbering only when no
+        // permutation was set before
+        assert!(self.perm.is_none(), "permutation already set");
+        for (old, &new) in perm.iter().enumerate() {
+            mass[new as usize] = self.mass[old];
+        }
+        self.mass = mass;
+        self.perm = Some(perm.to_vec());
+    }
+
+    #[inline]
+    fn gid(&self, natural: usize) -> usize {
+        match &self.perm {
+            Some(p) => p[natural] as usize,
+            None => natural,
+        }
+    }
+
+    /// Stable step bound for element `e` (`h_e / c_e`).
+    pub fn elem_cfl_ratio(&self, e: usize) -> f64 {
+        self.h[e] / (self.mu[e] / self.rho[e]).sqrt()
+    }
+
+    /// Assign power-of-two levels from the CFL ratios, smoothing so
+    /// neighbouring elements differ by at most one level. Returns
+    /// `(elem_level, dt_global)` for the given CFL constant.
+    pub fn assign_levels(&self, cfl: f64, max_levels: usize) -> (Vec<u8>, f64) {
+        let n = self.n_elems();
+        let ratios: Vec<f64> = (0..n).map(|e| self.elem_cfl_ratio(e)).collect();
+        let rmax = ratios.iter().cloned().fold(f64::MIN, f64::max);
+        let dt = cfl * rmax;
+        let mut level: Vec<u8> = ratios
+            .iter()
+            .map(|&r| {
+                let need = dt / (cfl * r);
+                let k = if need <= 1.0 { 0 } else { need.log2().ceil() as usize };
+                k.min(max_levels - 1) as u8
+            })
+            .collect();
+        // smooth (raise coarse neighbours)
+        loop {
+            let mut changed = false;
+            for e in 0..n {
+                for nb in [e.wrapping_sub(1), e + 1] {
+                    if nb < n && level[nb] + 1 < level[e] {
+                        level[nb] = level[e] - 1;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        (level, dt)
+    }
+}
+
+impl DofTopology for Chain1d {
+    fn n_dofs(&self) -> usize {
+        self.h.len() + 1
+    }
+
+    fn n_elems(&self) -> usize {
+        self.h.len()
+    }
+
+    fn elem_dofs(&self, e: u32, out: &mut Vec<u32>) {
+        out.clear();
+        out.push(self.gid(e as usize) as u32);
+        out.push(self.gid(e as usize + 1) as u32);
+    }
+}
+
+impl Operator for Chain1d {
+    fn ndof(&self) -> usize {
+        self.h.len() + 1
+    }
+
+    fn apply(&self, u: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(u.len(), self.h.len() + 1);
+        out.fill(0.0);
+        for e in 0..self.n_elems() {
+            let (l, r) = (self.gid(e), self.gid(e + 1));
+            let k = self.mu[e] / self.h[e];
+            let d = k * (u[l] - u[r]);
+            out[l] += d;
+            out[r] -= d;
+        }
+        for (o, m) in out.iter_mut().zip(&self.mass) {
+            *o /= m;
+        }
+    }
+
+    fn apply_masked(
+        &self,
+        u: &[f64],
+        out: &mut [f64],
+        elems: &[u32],
+        dof_level: &[u8],
+        level: u8,
+    ) {
+        for &e in elems {
+            let e = e as usize;
+            let (l, r) = (self.gid(e), self.gid(e + 1));
+            let ul = if dof_level[l] == level { u[l] } else { 0.0 };
+            let ur = if dof_level[r] == level { u[r] } else { 0.0 };
+            let k = self.mu[e] / self.h[e];
+            let d = k * (ul - ur);
+            out[l] += d / self.mass[l];
+            out[r] -= d / self.mass[r];
+        }
+    }
+
+    fn mass(&self) -> &[f64] {
+        &self.mass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mass_is_row_sum_of_elements() {
+        let c = Chain1d::uniform(4, 1.0, 2.0);
+        assert_eq!(c.mass(), &[1.0, 2.0, 2.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn apply_is_discrete_laplacian() {
+        // uniform chain: A u = −(c²/h²)·tridiag(1, −2, 1) scaled by lumped mass
+        let c = Chain1d::uniform(4, 1.0, 1.0);
+        let u = vec![0.0, 1.0, 0.0, 0.0, 0.0];
+        let mut out = vec![0.0; 5];
+        c.apply(&u, &mut out);
+        // K row for dof 1: 2·u1 − u0 − u2 = 2; M_1 = 1 → 2
+        assert!((out[1] - 2.0).abs() < 1e-14);
+        // boundary dof 0 has half mass (0.5): (u0 − u1)/M_0 = −1/0.5 = −2
+        assert!((out[0] + 2.0).abs() < 1e-14);
+        assert!((out[2] + 1.0).abs() < 1e-14);
+        assert_eq!(out[3], 0.0);
+    }
+
+    #[test]
+    fn masked_sum_equals_full_apply() {
+        // Σ_k A P_k u = A u when element lists cover each level's support
+        let c = Chain1d::with_velocities(vec![1.0, 1.0, 2.0, 2.0], 1.0);
+        let (lv, _) = c.assign_levels(0.5, 4);
+        let setup = crate::setup::LtsSetup::new(&c, &lv);
+        let u: Vec<f64> = (0..5).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut full = vec![0.0; 5];
+        c.apply(&u, &mut full);
+        let mut sum = vec![0.0; 5];
+        for k in 0..setup.n_levels {
+            c.apply_masked(&u, &mut sum, &setup.elems[k], &setup.dof_level, k as u8);
+        }
+        for i in 0..5 {
+            assert!((full[i] - sum[i]).abs() < 1e-13, "dof {i}: {} vs {}", full[i], sum[i]);
+        }
+    }
+
+    #[test]
+    fn levels_follow_velocity() {
+        let c = Chain1d::with_velocities(vec![1.0, 1.0, 1.0, 4.0, 4.0], 1.0);
+        let (lv, dt) = c.assign_levels(0.5, 8);
+        assert_eq!(lv, vec![0, 0, 1, 2, 2]); // smoothing inserts the 1
+        assert!((dt - 0.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn a_is_positive_semidefinite_in_m_inner_product() {
+        let c = Chain1d::with_velocities(vec![1.0, 2.0, 3.0], 1.5);
+        let u: Vec<f64> = vec![0.3, -0.2, 0.9, 0.1];
+        let mut au = vec![0.0; 4];
+        c.apply(&u, &mut au);
+        let quad: f64 = (0..4).map(|i| u[i] * c.mass()[i] * au[i]).sum();
+        assert!(quad >= -1e-13, "uᵀKu = {quad}");
+    }
+}

@@ -1,0 +1,37 @@
+//! LTS-Newmark time stepping (Sec. II of the paper).
+//!
+//! The crate is generic over a spatial discretization through the
+//! [`Operator`]/[`DofTopology`] traits (`A = M⁻¹K` applied matrix-free,
+//! element-locally). It provides:
+//!
+//! * [`newmark`] — the classic explicit Newmark / leap-frog scheme (Eq. 5–6),
+//!   the non-LTS reference that must step at `Δt / p_max`;
+//! * [`setup`] — the per-level DOF sets of the LTS scheme: `P_k` selections,
+//!   halo ("gray node") sets, masked element lists;
+//! * [`lts`] — the production multi-level LTS-Newmark stepper (Algorithm 1
+//!   generalised recursively), performing only the masked work a
+//!   high-performance implementation does;
+//! * [`reference`](crate::reference) — a literal, full-vector transcription of the scheme used
+//!   to validate the masked implementation to round-off;
+//! * [`chain1d`] — a 1-D wave chain discretization (the setting of Fig. 1)
+//!   implementing the traits, used by tests, examples and benches;
+//! * [`energy`] — the conserved discrete energy of the leap-frog scheme.
+
+pub mod chain1d;
+pub mod energy;
+pub mod lts;
+pub mod newmark;
+pub mod operator;
+pub mod reference;
+pub mod setup;
+pub mod simulation;
+pub mod spectral;
+pub mod two_level;
+
+pub use chain1d::Chain1d;
+pub use lts::{LtsNewmark, LtsStats};
+pub use newmark::Newmark;
+pub use operator::{DofTopology, Operator, Source};
+pub use setup::LtsSetup;
+pub use simulation::{Integrator, RunReport, Simulation, StepView};
+pub use two_level::TwoLevelLts;

@@ -1,0 +1,84 @@
+//! The discretization traits LTS-Newmark is generic over.
+//!
+//! A discretization exposes `A = M⁻¹K` (so `ü = −A u + M⁻¹F`), applied
+//! matrix-free by looping over elements. For LTS it must additionally apply
+//! the *masked* product `A · P_k u` — the contribution of level-`k` DOFs
+//! only — restricted to a caller-provided element list (Sec. II-C: the
+//! work-saving core of a continuous-Galerkin LTS implementation).
+
+/// Element → DOF connectivity of a discretization, used to build the
+/// per-level DOF sets of [`crate::setup::LtsSetup`].
+pub trait DofTopology {
+    fn n_dofs(&self) -> usize;
+    fn n_elems(&self) -> usize;
+    /// Append the global DOF ids of element `e` to `out` (cleared first).
+    fn elem_dofs(&self, e: u32, out: &mut Vec<u32>);
+}
+
+/// The spatial operator `A = M⁻¹ K`.
+pub trait Operator {
+    fn ndof(&self) -> usize;
+
+    /// `out = A u` over the whole mesh.
+    fn apply(&self, u: &[f64], out: &mut [f64]);
+
+    /// `out += A (P u)` where `P` selects DOFs with `dof_level[i] == level`,
+    /// assembled from the elements in `elems` only. The caller guarantees
+    /// `elems` contains every element touching a level-`level` DOF, so the
+    /// product is exact.
+    fn apply_masked(
+        &self,
+        u: &[f64],
+        out: &mut [f64],
+        elems: &[u32],
+        dof_level: &[u8],
+        level: u8,
+    );
+
+    /// Diagonal mass matrix (used for energy accounting).
+    fn mass(&self) -> &[f64];
+}
+
+/// A point source: external force `F(t) = amplitude(t)` at one DOF, entering
+/// the momentum update as `M⁻¹F`.
+pub struct Source {
+    pub dof: u32,
+    pub amplitude: Box<dyn Fn(f64) -> f64 + Sync>,
+}
+
+impl Source {
+    pub fn new(dof: u32, amplitude: impl Fn(f64) -> f64 + Sync + 'static) -> Self {
+        Source { dof, amplitude: Box::new(amplitude) }
+    }
+
+    /// A Ricker wavelet (second derivative of a Gaussian), the standard
+    /// seismic source time function: peak frequency `f0`, delay `t0`.
+    pub fn ricker(dof: u32, f0: f64, t0: f64, scale: f64) -> Self {
+        Source::new(dof, move |t| {
+            let a = std::f64::consts::PI * f0 * (t - t0);
+            let a2 = a * a;
+            scale * (1.0 - 2.0 * a2) * (-a2).exp()
+        })
+    }
+}
+
+impl std::fmt::Debug for Source {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Source").field("dof", &self.dof).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ricker_peaks_at_delay() {
+        let s = Source::ricker(0, 10.0, 0.1, 2.0);
+        let at_peak = (s.amplitude)(0.1);
+        assert!((at_peak - 2.0).abs() < 1e-12);
+        // symmetric and decaying
+        assert!(((s.amplitude)(0.05) - (s.amplitude)(0.15)).abs() < 1e-12);
+        assert!((s.amplitude)(1.0).abs() < 1e-8);
+    }
+}

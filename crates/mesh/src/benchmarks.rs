@@ -1,0 +1,307 @@
+//! The paper's benchmark meshes (Fig. 4 / Fig. 5), scalable to any size.
+//!
+//! | mesh       | paper size | levels | theoretical speed-up |
+//! |------------|-----------:|-------:|---------------------:|
+//! | trench     |      2.5 M |      4 |                 6.7× |
+//! | trench-big |       26 M |      6 |                21.7× |
+//! | embedding  |      1.2 M |      4 |                 7.9× |
+//! | crust      |      2.9 M |      2 |                 1.9× |
+//!
+//! The paper's meshes obtain small elements geometrically (squeezed hexes on
+//! topography). Here refinement regions are painted as *fast inclusions*
+//! (velocity `2^k`), which forces the identical `h/c` CFL ratios and thus the
+//! identical p-level layout on a uniform grid — the property every partition
+//! and performance experiment depends on. Region sizes are calibrated so the
+//! Eq. 9 speed-ups land on the paper's values.
+
+use crate::grading::{graded_planes, uniform_planes, Band};
+use crate::hex::HexMesh;
+use crate::levels::{Levels, DEFAULT_CFL};
+
+/// Which benchmark mesh of Fig. 4 / Fig. 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeshKind {
+    /// Long strip of refinement at the surface (two internal topographies
+    /// meeting), 4 levels, ≈ 6.7× model speed-up.
+    Trench,
+    /// The 26M-element trench with one extra refinement layer, 6 levels,
+    /// ≈ 21.7× model speed-up.
+    TrenchBig,
+    /// A small embedded fast feature, 4 levels, ≈ 7.9× model speed-up.
+    Embedding,
+    /// Topography-limited crustal model: a large fraction of small surface
+    /// elements, 2 levels, ≈ 1.9× model speed-up.
+    Crust,
+}
+
+impl MeshKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            MeshKind::Trench => "trench",
+            MeshKind::TrenchBig => "trench-big",
+            MeshKind::Embedding => "embedding",
+            MeshKind::Crust => "crust",
+        }
+    }
+
+    /// Paper's theoretical speed-up for the full-size mesh (Fig. 5).
+    pub fn paper_speedup(self) -> f64 {
+        match self {
+            MeshKind::Trench => 6.7,
+            MeshKind::TrenchBig => 21.7,
+            MeshKind::Embedding => 7.9,
+            MeshKind::Crust => 1.9,
+        }
+    }
+
+    /// Paper's element count (Fig. 5).
+    pub fn paper_elements(self) -> usize {
+        match self {
+            MeshKind::Trench => 2_500_000,
+            MeshKind::TrenchBig => 26_000_000,
+            MeshKind::Embedding => 1_200_000,
+            MeshKind::Crust => 2_900_000,
+        }
+    }
+}
+
+/// A benchmark mesh with its LTS level assignment.
+#[derive(Debug, Clone)]
+pub struct BenchmarkMesh {
+    pub kind: MeshKind,
+    pub mesh: HexMesh,
+    pub levels: Levels,
+}
+
+impl BenchmarkMesh {
+    /// Build `kind` with approximately `target_elems` elements.
+    pub fn build(kind: MeshKind, target_elems: usize) -> Self {
+        assert!(target_elems >= 64, "benchmark meshes need a minimal size");
+        let mesh = match kind {
+            MeshKind::Trench => trench_mesh(target_elems, false),
+            MeshKind::TrenchBig => trench_mesh(target_elems, true),
+            MeshKind::Embedding => embedding_mesh(target_elems),
+            MeshKind::Crust => crust_mesh(target_elems),
+        };
+        let max_levels = match kind {
+            MeshKind::Trench | MeshKind::Embedding => 4,
+            MeshKind::TrenchBig => 6,
+            MeshKind::Crust => 2,
+        };
+        let levels = Levels::assign(&mesh, DEFAULT_CFL, max_levels);
+        BenchmarkMesh { kind, mesh, levels }
+    }
+
+    /// Achieved Eq. 9 model speed-up.
+    pub fn speedup(&self) -> f64 {
+        self.levels.speedup_model().speedup()
+    }
+
+    /// The *geometric* crust: the surface elements are physically squeezed
+    /// (graded coordinate planes) — the paper's actual refinement mechanism
+    /// ("topography … large number of small elements on the surface").
+    /// Material is uniform; the small `h_e` alone drives the two levels.
+    ///
+    /// (The trench's *strip* refinement needs a local y∧z squeeze that
+    /// tensor-product grading cannot express without slab artifacts — the
+    /// fast-inclusion builders cover that pattern; see `DESIGN.md`.)
+    pub fn crust_geometric(target_elems: usize) -> Self {
+        let depth = 38.0;
+        let m = ((target_elems as f64 / (depth + 3.0)).sqrt().round() as usize).max(8);
+        // squeeze the top ~1.5 base cells by 2× → ~3 half-height surface
+        // layers: fine fraction ≈ 3/41 ⇒ Eq. 9 speed-up ≈ 1.86 (paper: 1.9)
+        let band_z = Band { start: depth - 1.5, end: depth, squeeze: 2.0 };
+        let xs = uniform_planes(m as f64, m);
+        let ys = uniform_planes(m as f64, m);
+        let zs = graded_planes(depth, 1.0, &[band_z]);
+        let mesh = HexMesh::graded(xs, ys, zs, 1.0, 1.0);
+        let levels = Levels::assign(&mesh, DEFAULT_CFL, 2);
+        BenchmarkMesh { kind: MeshKind::Crust, mesh, levels }
+    }
+}
+
+/// Paint a nested strip along the full x-extent: cross-section half-width
+/// `w` (in j) around the centre and depth `d` (in k) below the surface,
+/// with velocity `2^level`.
+fn paint_strip(mesh: &mut HexMesh, w: usize, d: usize, level: u8) {
+    let jc = mesh.ny / 2;
+    let j0 = jc.saturating_sub(w);
+    let j1 = (jc + w).min(mesh.ny);
+    let k0 = mesh.nz.saturating_sub(d);
+    mesh.paint_box((0, mesh.nx), (j0, j1), (k0, mesh.nz), (1u64 << level) as f64, 1.0);
+}
+
+/// Trench: a 4:1:1 box with nested refinement strips at the surface running
+/// the full length of x. Cross-section area fractions are calibrated for the
+/// Eq. 9 targets (6.7× with 4 levels; 21.7× with 6 for `big`).
+fn trench_mesh(target_elems: usize, big: bool) -> HexMesh {
+    // nx = 4n, ny = nz = n → E = 4 n³
+    let n = ((target_elems as f64 / 4.0).cbrt().round() as usize).max(4);
+    let mut mesh = HexMesh::uniform(4 * n, n, n, 1.0, 1.0);
+    let nf = n as f64;
+    if big {
+        // cumulative strip cross-section fractions per level 1..=5
+        // (f5=.004, f4=.007, f3=.012, f2=.03, f1=.07 → speed-up ≈ 21.7)
+        let cum = [0.123f64, 0.053, 0.023, 0.011, 0.004];
+        for (idx, c) in cum.iter().enumerate() {
+            let level = (idx + 1) as u8;
+            let s = (c.sqrt() * nf).round().max(1.0) as usize;
+            // strip is 2w wide and d deep: use w = s/2 (≥1) and d = s
+            paint_strip(&mut mesh, (s / 2).max(1), s.max(1), level);
+        }
+    } else {
+        // cumulative fractions: f3=.008, f2=.022, f1=.06 → speed-up ≈ 6.8
+        let cum = [0.090f64, 0.030, 0.008];
+        for (idx, c) in cum.iter().enumerate() {
+            let level = (idx + 1) as u8;
+            let s = (c.sqrt() * nf).round().max(1.0) as usize;
+            paint_strip(&mut mesh, (s / 2).max(1), s.max(1), level);
+        }
+    }
+    mesh
+}
+
+/// Embedding: a cube with a small fast block in the middle, wrapped in two
+/// transition shells. Volume fractions calibrated for ≈ 7.9×.
+fn embedding_mesh(target_elems: usize) -> HexMesh {
+    let n = (target_elems as f64).cbrt().round().max(6.0) as usize;
+    let mut mesh = HexMesh::uniform(n, n, n, 1.0, 1.0);
+    let nf = n as f64;
+    // cumulative volume fractions per level 1..=3
+    let cum = [0.0049f64, 0.0023, 0.0008];
+    let c0 = n / 2;
+    for (idx, c) in cum.iter().enumerate() {
+        let level = (idx + 1) as u8;
+        let b = (c.cbrt() * nf / 2.0).round().max(1.0) as usize; // half-width
+        let lo = c0.saturating_sub(b);
+        let hi = (c0 + b).min(n);
+        mesh.paint_box((lo, hi), (lo, hi), (lo, hi), (1u64 << level) as f64, 1.0);
+    }
+    mesh
+}
+
+/// Crust: a wide shallow slab whose top layer(s) are fine, with a gently
+/// undulating "topography" thickness (1–3 layers, mean 2). The fine fraction
+/// ≈ 5.3 % yields the paper's 1.9× two-level ceiling.
+fn crust_mesh(target_elems: usize) -> HexMesh {
+    // nx = ny = m, nz = 38 (so that mean thickness 2 / 38 ≈ 5.3 %)
+    let nz = 38usize;
+    let m = ((target_elems as f64 / nz as f64).sqrt().round() as usize).max(8);
+    let mut mesh = HexMesh::uniform(m, m, nz, 1.0, 1.0);
+    for j in 0..m {
+        for i in 0..m {
+            let phase = (i as f64 * 0.37).sin() * (j as f64 * 0.23).cos();
+            let t = if phase > 0.33 {
+                3
+            } else if phase < -0.33 {
+                1
+            } else {
+                2
+            };
+            mesh.paint_box((i, i + 1), (j, j + 1), (nz - t, nz), 2.0, 1.0);
+        }
+    }
+    mesh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trench_speedup_near_paper() {
+        let b = BenchmarkMesh::build(MeshKind::Trench, 40_000);
+        assert_eq!(b.levels.n_levels, 4, "hist {:?}", b.levels.histogram());
+        let s = b.speedup();
+        assert!((5.0..8.5).contains(&s), "trench speed-up {s}");
+    }
+
+    #[test]
+    fn embedding_speedup_near_paper() {
+        let b = BenchmarkMesh::build(MeshKind::Embedding, 125_000);
+        assert_eq!(b.levels.n_levels, 4);
+        let s = b.speedup();
+        assert!((6.0..9.8).contains(&s), "embedding speed-up {s}");
+    }
+
+    #[test]
+    fn crust_speedup_near_paper() {
+        let b = BenchmarkMesh::build(MeshKind::Crust, 60_000);
+        assert_eq!(b.levels.n_levels, 2);
+        let s = b.speedup();
+        assert!((1.6..2.0).contains(&s), "crust speed-up {s}");
+    }
+
+    #[test]
+    fn trench_big_has_six_levels() {
+        let b = BenchmarkMesh::build(MeshKind::TrenchBig, 500_000);
+        assert_eq!(b.levels.n_levels, 6, "hist {:?}", b.levels.histogram());
+        let s = b.speedup();
+        assert!((14.0..26.0).contains(&s), "trench-big speed-up {s}");
+    }
+
+    #[test]
+    fn element_counts_close_to_target() {
+        for kind in [MeshKind::Trench, MeshKind::Embedding, MeshKind::Crust] {
+            let b = BenchmarkMesh::build(kind, 50_000);
+            let e = b.mesh.n_elems() as f64;
+            assert!(
+                (0.5..2.0).contains(&(e / 50_000.0)),
+                "{}: {} elems for target 50k",
+                kind.name(),
+                e
+            );
+        }
+    }
+
+    #[test]
+    fn geometric_crust_levels_from_squeezing() {
+        let b = BenchmarkMesh::crust_geometric(20_000);
+        assert_eq!(b.levels.n_levels, 2, "hist {:?}", b.levels.histogram());
+        // fine elements form a thin surface sheet; speed-up near the paper's
+        let hist = b.levels.histogram();
+        assert!(hist[1] * 5 < b.mesh.n_elems(), "hist {hist:?}");
+        let s = b.speedup();
+        assert!((1.6..2.0).contains(&s), "speed-up {s}");
+        // material is uniform: levels are purely geometric
+        assert!(b.mesh.velocity.iter().all(|&c| c == 1.0));
+        // the squeezed layers are ~2× thinner than the base spacing
+        let hmin = (0..b.mesh.n_elems() as u32)
+            .map(|e| b.mesh.elem_char_size(e))
+            .fold(f64::MAX, f64::min);
+        assert!(hmin < 0.75, "hmin {hmin}");
+        // fine elements are all at the top
+        for e in 0..b.mesh.n_elems() as u32 {
+            if b.levels.elem_level[e as usize] == 1 {
+                let (_, _, z) = b.mesh.elem_center(e);
+                assert!(z > 30.0, "fine element at depth z = {z}");
+            }
+        }
+    }
+
+    #[test]
+    fn levels_conform_after_build() {
+        let b = BenchmarkMesh::build(MeshKind::Trench, 20_000);
+        for e in 0..b.mesh.n_elems() as u32 {
+            for nb in b.mesh.face_neighbors(e) {
+                let d = (b.levels.elem_level[e as usize] as i32
+                    - b.levels.elem_level[nb as usize] as i32)
+                    .abs();
+                assert!(d <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn fine_levels_are_minorities() {
+        for kind in [MeshKind::Trench, MeshKind::Embedding] {
+            let b = BenchmarkMesh::build(kind, 60_000);
+            let hist = b.levels.histogram();
+            assert!(hist[0] > b.mesh.n_elems() / 2, "{}: {:?}", kind.name(), hist);
+            for w in hist.windows(2).skip(1) {
+                // finer levels no larger than ~3× the next coarser
+                assert!(w[1] <= w[0].max(1) * 3 + 8, "{}: {:?}", kind.name(), hist);
+            }
+        }
+    }
+}

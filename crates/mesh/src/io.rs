@@ -1,0 +1,183 @@
+//! Plain-text mesh, level and partition files, so meshes can be generated
+//! once and partitioned/simulated in separate invocations (the
+//! SPECFEM3D-style decompose → solve workflow).
+//!
+//! Format (line-oriented, `#` comments allowed):
+//!
+//! ```text
+//! wave-lts-mesh v1
+//! dims <nx> <ny> <nz>
+//! xs <nx+1 floats>
+//! ys <...>
+//! zs <...>
+//! velocity <ne floats>
+//! density <ne floats>
+//! ```
+//!
+//! Partition files are one part id per element line; level files one level
+//! per element line.
+
+use crate::hex::HexMesh;
+use crate::levels::Levels;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Write a mesh.
+pub fn write_mesh<W: Write>(w: W, mesh: &HexMesh) -> std::io::Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "wave-lts-mesh v1")?;
+    writeln!(w, "dims {} {} {}", mesh.nx, mesh.ny, mesh.nz)?;
+    let floats = |w: &mut BufWriter<W>, name: &str, v: &[f64]| -> std::io::Result<()> {
+        write!(w, "{name}")?;
+        for x in v {
+            write!(w, " {x:.17e}")?;
+        }
+        writeln!(w)
+    };
+    floats(&mut w, "xs", &mesh.xs)?;
+    floats(&mut w, "ys", &mesh.ys)?;
+    floats(&mut w, "zs", &mesh.zs)?;
+    floats(&mut w, "velocity", &mesh.velocity)?;
+    floats(&mut w, "density", &mesh.density)?;
+    w.flush()
+}
+
+fn parse_floats(line: &str, name: &str) -> std::io::Result<Vec<f64>> {
+    let rest = line
+        .strip_prefix(name)
+        .ok_or_else(|| bad(format!("expected '{name} …', got {line:.40?}")))?;
+    rest.split_whitespace()
+        .map(|t| t.parse::<f64>().map_err(|e| bad(format!("bad float {t:?}: {e}"))))
+        .collect()
+}
+
+fn bad(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+/// Read a mesh written by [`write_mesh`].
+pub fn read_mesh<R: Read>(r: R) -> std::io::Result<HexMesh> {
+    let reader = BufReader::new(r);
+    let mut lines = reader
+        .lines()
+        .filter(|l| l.as_ref().map_or(true, |s| !s.trim().is_empty() && !s.starts_with('#')));
+    let mut next = || -> std::io::Result<String> {
+        lines.next().ok_or_else(|| bad("unexpected end of mesh file".into()))?
+    };
+    let magic = next()?;
+    if magic.trim() != "wave-lts-mesh v1" {
+        return Err(bad(format!("bad magic {magic:?}")));
+    }
+    let dims_line = next()?;
+    let dims: Vec<usize> = dims_line
+        .strip_prefix("dims")
+        .ok_or_else(|| bad("expected dims".into()))?
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|e| bad(format!("bad dim: {e}"))))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(bad("dims needs 3 entries".into()));
+    }
+    let (nx, ny, nz) = (dims[0], dims[1], dims[2]);
+    let xs = parse_floats(&next()?, "xs")?;
+    let ys = parse_floats(&next()?, "ys")?;
+    let zs = parse_floats(&next()?, "zs")?;
+    let velocity = parse_floats(&next()?, "velocity")?;
+    let density = parse_floats(&next()?, "density")?;
+    if xs.len() != nx + 1 || ys.len() != ny + 1 || zs.len() != nz + 1 {
+        return Err(bad("coordinate plane counts do not match dims".into()));
+    }
+    let ne = nx * ny * nz;
+    if velocity.len() != ne || density.len() != ne {
+        return Err(bad("material array length mismatch".into()));
+    }
+    let mut mesh = HexMesh::graded(xs, ys, zs, 1.0, 1.0);
+    mesh.velocity = velocity;
+    mesh.density = density;
+    if mesh.velocity.iter().any(|&c| c <= 0.0) || mesh.density.iter().any(|&d| d <= 0.0) {
+        return Err(bad("non-positive material".into()));
+    }
+    Ok(mesh)
+}
+
+/// Write an element partition (or level map), one value per line.
+pub fn write_ids<W: Write>(w: W, ids: &[u32]) -> std::io::Result<()> {
+    let mut w = BufWriter::new(w);
+    for id in ids {
+        writeln!(w, "{id}")?;
+    }
+    w.flush()
+}
+
+/// Read a partition/level file.
+pub fn read_ids<R: Read>(r: R) -> std::io::Result<Vec<u32>> {
+    let reader = BufReader::new(r);
+    let mut out = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        out.push(t.parse().map_err(|e| bad(format!("bad id {t:?}: {e}")))?);
+    }
+    Ok(out)
+}
+
+/// Write levels (the per-element map plus the global step in a header).
+pub fn write_levels<W: Write>(w: W, levels: &Levels) -> std::io::Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "# wave-lts levels, dt_global = {:.17e}", levels.dt_global)?;
+    writeln!(w, "# n_levels = {}", levels.n_levels)?;
+    for &l in &levels.elem_level {
+        writeln!(w, "{l}")?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::{BenchmarkMesh, MeshKind};
+
+    #[test]
+    fn mesh_roundtrip_exact() {
+        let b = BenchmarkMesh::build(MeshKind::Trench, 500);
+        let mut buf = Vec::new();
+        write_mesh(&mut buf, &b.mesh).unwrap();
+        let m2 = read_mesh(&buf[..]).unwrap();
+        assert_eq!(m2.nx, b.mesh.nx);
+        assert_eq!(m2.xs, b.mesh.xs);
+        assert_eq!(m2.velocity, b.mesh.velocity);
+        assert_eq!(m2.density, b.mesh.density);
+    }
+
+    #[test]
+    fn graded_mesh_roundtrip_exact() {
+        let b = BenchmarkMesh::crust_geometric(800);
+        let mut buf = Vec::new();
+        write_mesh(&mut buf, &b.mesh).unwrap();
+        let m2 = read_mesh(&buf[..]).unwrap();
+        assert_eq!(m2.zs, b.mesh.zs); // bit-exact floats via %.17e
+    }
+
+    #[test]
+    fn ids_roundtrip() {
+        let ids = vec![0u32, 5, 2, 2, 7];
+        let mut buf = Vec::new();
+        write_ids(&mut buf, &ids).unwrap();
+        assert_eq!(read_ids(&buf[..]).unwrap(), ids);
+    }
+
+    #[test]
+    fn rejects_corrupt_files() {
+        assert!(read_mesh(&b"nonsense"[..]).is_err());
+        assert!(read_mesh(&b"wave-lts-mesh v1\ndims 2 2\n"[..]).is_err());
+        assert!(read_ids(&b"12\nnope\n"[..]).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let ids = read_ids(&b"# header\n\n1\n2\n# mid\n3\n"[..]).unwrap();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Heterogeneous per-element costs (Sec. III-A1): "Existing graph
+//! partitioning tools can balance work between partitions by weighting the
+//! graph vertices, which can be used to balance cheaper acoustic domains
+//! with more expensive elastic ones."
+//!
+//! An element's work per sub-step is `cost_e` (≈ 1 for acoustic, ≈ 3–4 for
+//! elastic: three coupled components); its work per LTS cycle is
+//! `cost_e · p_e`. These builders fold the cost into the balance constraints
+//! of every strategy.
+
+use crate::graph::Graph;
+use crate::hgraph::HGraph;
+use crate::hmultilevel::{hpartition_kway, HPartitionConfig};
+use crate::kway::{kway_refine_graph, kway_refine_hgraph};
+use crate::multilevel::{partition_kway, PartitionConfig};
+use crate::strategy::Strategy;
+use lts_mesh::{DualGraph, HexMesh, Levels, NodalHypergraph};
+
+/// Relative per-sub-step cost of an elastic vs an acoustic element: three
+/// displacement components with 9 gradient + 6 stress contractions vs one
+/// component with 3 — the factor SPECFEM-style codes observe is ≈ 3.5.
+pub const ELASTIC_COST: u32 = 4;
+pub const ACOUSTIC_COST: u32 = 1;
+
+/// Per-element costs for a mesh with an elastic sub-region.
+pub fn elastic_region_costs(mesh: &HexMesh, is_elastic: impl Fn(u32) -> bool) -> Vec<u32> {
+    (0..mesh.n_elems() as u32)
+        .map(|e| if is_elastic(e) { ELASTIC_COST } else { ACOUSTIC_COST })
+        .collect()
+}
+
+/// Partition with per-element costs folded into every balance constraint.
+pub fn partition_mesh_costed(
+    mesh: &HexMesh,
+    levels: &Levels,
+    costs: &[u32],
+    k: usize,
+    strategy: Strategy,
+    seed: u64,
+) -> Vec<u32> {
+    assert_eq!(costs.len(), mesh.n_elems());
+    assert!(costs.iter().all(|&c| c >= 1));
+    match strategy {
+        Strategy::ScotchBaseline => {
+            let dual = DualGraph::build_weighted(mesh, levels);
+            let vwgt = (0..mesh.n_elems() as u32)
+                .map(|e| costs[e as usize] * levels.p_of(e) as u32)
+                .collect();
+            let g = Graph { xadj: dual.xadj, adj: dual.adj, ewgt: dual.ewgt, ncon: 1, vwgt };
+            let cfg = PartitionConfig {
+                eps: 0.03,
+                seed,
+                active_rebalance: true,
+                n_inits: 4,
+                adjust_eps: true,
+            };
+            let mut part = partition_kway(&g, k, &cfg);
+            kway_refine_graph(&g, &mut part, k, 0.03, 3, seed);
+            part
+        }
+        Strategy::MetisMc => {
+            let dual = DualGraph::build_weighted(mesh, levels);
+            let ncon = levels.n_levels;
+            let mut vwgt = vec![0u32; mesh.n_elems() * ncon];
+            for e in 0..mesh.n_elems() {
+                vwgt[e * ncon + levels.elem_level[e] as usize] = costs[e];
+            }
+            let g = Graph { xadj: dual.xadj, adj: dual.adj, ewgt: dual.ewgt, ncon, vwgt };
+            let cfg = PartitionConfig {
+                eps: 0.05,
+                seed,
+                active_rebalance: false,
+                n_inits: 4,
+                adjust_eps: false,
+            };
+            let mut part = partition_kway(&g, k, &cfg);
+            kway_refine_graph(&g, &mut part, k, 0.05 * k.ilog2().max(1) as f64, 3, seed);
+            part
+        }
+        Strategy::Patoh { final_imbal } => {
+            let nh = NodalHypergraph::build(mesh, Some(levels));
+            let ncon = levels.n_levels;
+            let mut vwgt = vec![0u32; mesh.n_elems() * ncon];
+            for e in 0..mesh.n_elems() {
+                vwgt[e * ncon + levels.elem_level[e] as usize] = costs[e];
+            }
+            let nets =
+                (0..nh.n_nets() as u32).map(|n| (nh.pins_of(n).to_vec(), nh.netcost[n as usize]));
+            let h = HGraph::from_nets(mesh.n_elems(), nets, ncon, vwgt);
+            let cfg = HPartitionConfig { final_imbal, seed, n_inits: 4 };
+            let mut part = hpartition_kway(&h, k, &cfg);
+            kway_refine_hgraph(&h, &mut part, k, final_imbal, 3, seed);
+            part
+        }
+        Strategy::ScotchP => {
+            // per-level subgraphs with cost vertex weights, then the usual
+            // greedy coupling — reuse the graph engine per level
+            crate::scotch_p::partition_scotch_p_costed(mesh, levels, costs, k, seed)
+        }
+    }
+}
+
+/// Eq. 21 with per-element costs: load = `Σ cost_e · p_e` per part.
+pub fn costed_imbalance(levels: &Levels, costs: &[u32], part: &[u32], k: usize) -> f64 {
+    let mut load = vec![0u64; k];
+    for (e, &p) in part.iter().enumerate() {
+        load[p as usize] += costs[e] as u64 * levels.p_of(e as u32);
+    }
+    let max = *load.iter().max().unwrap_or(&0);
+    let min = *load.iter().min().unwrap_or(&0);
+    if max == 0 {
+        0.0
+    } else {
+        (max - min) as f64 / max as f64 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lts_mesh::{BenchmarkMesh, MeshKind};
+
+    /// Trench with the left half elastic.
+    fn mixed_mesh() -> (BenchmarkMesh, Vec<u32>) {
+        let b = BenchmarkMesh::build(MeshKind::Trench, 4_000);
+        let half = b.mesh.nx / 2;
+        let costs = elastic_region_costs(&b.mesh, |e| b.mesh.elem_ijk(e).0 < half);
+        (b, costs)
+    }
+
+    #[test]
+    fn costed_partitions_balance_costed_load() {
+        let (b, costs) = mixed_mesh();
+        let k = 8;
+        for s in [
+            Strategy::ScotchBaseline,
+            Strategy::Patoh { final_imbal: 0.05 },
+            Strategy::ScotchP,
+        ] {
+            let part = partition_mesh_costed(&b.mesh, &b.levels, &costs, k, s, 1);
+            let imb = costed_imbalance(&b.levels, &costs, &part, k);
+            assert!(imb < 25.0, "{}: costed imbalance {imb}%", s.name());
+        }
+    }
+
+    #[test]
+    fn uncosted_partition_is_worse_under_costed_metric() {
+        let (b, costs) = mixed_mesh();
+        let k = 8;
+        let plain = crate::strategy::partition_mesh(&b.mesh, &b.levels, k, Strategy::ScotchBaseline, 1);
+        let costed =
+            partition_mesh_costed(&b.mesh, &b.levels, &costs, k, Strategy::ScotchBaseline, 1);
+        let imb_plain = costed_imbalance(&b.levels, &costs, &plain, k);
+        let imb_costed = costed_imbalance(&b.levels, &costs, &costed, k);
+        assert!(
+            imb_costed < imb_plain,
+            "costed {imb_costed}% should beat uncosted {imb_plain}%"
+        );
+        // the uncosted partition really is lopsided on the mixed mesh
+        assert!(imb_plain > 20.0, "uncosted imbalance only {imb_plain}%");
+    }
+
+    #[test]
+    fn unit_costs_reduce_to_plain_metric() {
+        let b = BenchmarkMesh::build(MeshKind::Embedding, 2_000);
+        let costs = vec![1u32; b.mesh.n_elems()];
+        let part = crate::strategy::partition_mesh(&b.mesh, &b.levels, 4, Strategy::ScotchP, 1);
+        let rep = crate::metrics::load_imbalance(&b.levels, &part, 4);
+        let imb = costed_imbalance(&b.levels, &costs, &part, 4);
+        assert!((imb - rep.total_pct).abs() < 1e-9);
+    }
+}

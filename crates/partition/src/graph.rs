@@ -1,0 +1,206 @@
+//! CSR graphs with multi-constraint vertex weights.
+//!
+//! The multi-constraint formulation follows Sec. III-A: each vertex carries a
+//! weight *vector* `w[v, i]`, `i = 1..P`, and a K-way partition must satisfy
+//! the balance criterion (Eq. 19) for every `i` simultaneously. For LTS the
+//! constraints are the p-levels: a level-`k` element has weight 1 in slot `k`
+//! and 0 elsewhere, so per-slot balance is per-sub-step balance.
+
+use lts_mesh::{DualGraph, HexMesh, Levels};
+
+/// An undirected graph in CSR form with `ncon` weights per vertex and
+/// weighted edges.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    pub xadj: Vec<u32>,
+    pub adj: Vec<u32>,
+    /// Edge weights aligned with `adj`.
+    pub ewgt: Vec<u32>,
+    /// Number of balance constraints.
+    pub ncon: usize,
+    /// Vertex weights, `ncon` consecutive entries per vertex.
+    pub vwgt: Vec<u32>,
+}
+
+impl Graph {
+    pub fn n_vertices(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[self.xadj[v as usize] as usize..self.xadj[v as usize + 1] as usize]
+    }
+
+    #[inline]
+    pub fn edge_weights(&self, v: u32) -> &[u32] {
+        &self.ewgt[self.xadj[v as usize] as usize..self.xadj[v as usize + 1] as usize]
+    }
+
+    #[inline]
+    pub fn weight_of(&self, v: u32) -> &[u32] {
+        &self.vwgt[v as usize * self.ncon..(v as usize + 1) * self.ncon]
+    }
+
+    /// Column sums of the vertex weight matrix: total weight per constraint.
+    pub fn total_weights(&self) -> Vec<u64> {
+        let mut tot = vec![0u64; self.ncon];
+        for v in 0..self.n_vertices() {
+            for c in 0..self.ncon {
+                tot[c] += self.vwgt[v * self.ncon + c] as u64;
+            }
+        }
+        tot
+    }
+
+    /// Single-constraint graph for the SCOTCH baseline: vertex weight is the
+    /// element's work per LTS cycle (`p_e`), edges weighted `max(p_u, p_v)`.
+    pub fn scotch_baseline(mesh: &HexMesh, levels: &Levels) -> Self {
+        let dual = DualGraph::build_weighted(mesh, levels);
+        let vwgt = (0..mesh.n_elems() as u32).map(|e| levels.p_of(e) as u32).collect();
+        Graph { xadj: dual.xadj, adj: dual.adj, ewgt: dual.ewgt, ncon: 1, vwgt }
+    }
+
+    /// Multi-constraint graph for the MeTiS strategy: one unit-weight slot
+    /// per level (Sec. III-A1), `max(p_u, p_v)` edge weights.
+    pub fn multi_constraint(mesh: &HexMesh, levels: &Levels) -> Self {
+        let dual = DualGraph::build_weighted(mesh, levels);
+        let ncon = levels.n_levels;
+        let mut vwgt = vec![0u32; mesh.n_elems() * ncon];
+        for e in 0..mesh.n_elems() {
+            vwgt[e * ncon + levels.elem_level[e] as usize] = 1;
+        }
+        Graph { xadj: dual.xadj, adj: dual.adj, ewgt: dual.ewgt, ncon, vwgt }
+    }
+
+    /// Unweighted single-constraint graph over a vertex subset (used by
+    /// SCOTCH-P to partition one p-level at a time). Returns the subgraph and
+    /// the mapping from subgraph vertex to original vertex.
+    pub fn induced_subgraph(&self, keep: &[u32]) -> (Graph, Vec<u32>) {
+        let mut global_to_local = vec![u32::MAX; self.n_vertices()];
+        for (local, &g) in keep.iter().enumerate() {
+            global_to_local[g as usize] = local as u32;
+        }
+        let mut xadj = Vec::with_capacity(keep.len() + 1);
+        let mut adj = Vec::new();
+        let mut ewgt = Vec::new();
+        let mut vwgt = Vec::with_capacity(keep.len() * self.ncon);
+        xadj.push(0u32);
+        for &g in keep {
+            for (idx, &u) in self.neighbors(g).iter().enumerate() {
+                let lu = global_to_local[u as usize];
+                if lu != u32::MAX {
+                    adj.push(lu);
+                    ewgt.push(self.edge_weights(g)[idx]);
+                }
+            }
+            xadj.push(adj.len() as u32);
+            vwgt.extend_from_slice(self.weight_of(g));
+        }
+        (Graph { xadj, adj, ewgt, ncon: self.ncon, vwgt }, keep.to_vec())
+    }
+
+    /// Weighted edge cut of a partition.
+    pub fn cut(&self, part: &[u32]) -> u64 {
+        let mut cut = 0u64;
+        for v in 0..self.n_vertices() as u32 {
+            for (idx, &u) in self.neighbors(v).iter().enumerate() {
+                if u > v && part[u as usize] != part[v as usize] {
+                    cut += self.edge_weights(v)[idx] as u64;
+                }
+            }
+        }
+        cut
+    }
+
+    /// Part weights: `k × ncon` matrix (row-major).
+    pub fn part_weights(&self, part: &[u32], k: usize) -> Vec<u64> {
+        let mut w = vec![0u64; k * self.ncon];
+        for v in 0..self.n_vertices() {
+            let p = part[v] as usize;
+            for c in 0..self.ncon {
+                w[p * self.ncon + c] += self.vwgt[v * self.ncon + c] as u64;
+            }
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut xadj = vec![0u32];
+        let mut adj = Vec::new();
+        for v in 0..n as u32 {
+            if v > 0 {
+                adj.push(v - 1);
+            }
+            if (v as usize) + 1 < n {
+                adj.push(v + 1);
+            }
+            xadj.push(adj.len() as u32);
+        }
+        let ewgt = vec![1; adj.len()];
+        Graph { xadj, adj, ewgt, ncon: 1, vwgt: vec![1; n] }
+    }
+
+    #[test]
+    fn cut_of_path_split() {
+        let g = path_graph(6);
+        let part = vec![0, 0, 0, 1, 1, 1];
+        assert_eq!(g.cut(&part), 1);
+        let part2 = vec![0, 1, 0, 1, 0, 1];
+        assert_eq!(g.cut(&part2), 5);
+    }
+
+    #[test]
+    fn scotch_baseline_weights_are_p() {
+        let mut m = HexMesh::uniform(4, 1, 1, 1.0, 1.0);
+        m.paint_box((3, 4), (0, 1), (0, 1), 2.0, 1.0);
+        let lv = Levels::assign(&m, 0.5, 4);
+        let g = Graph::scotch_baseline(&m, &lv);
+        assert_eq!(g.ncon, 1);
+        assert_eq!(g.weight_of(0), &[1]);
+        assert_eq!(g.weight_of(3), &[2]);
+    }
+
+    #[test]
+    fn multi_constraint_one_hot() {
+        let mut m = HexMesh::uniform(4, 1, 1, 1.0, 1.0);
+        m.paint_box((3, 4), (0, 1), (0, 1), 2.0, 1.0);
+        let lv = Levels::assign(&m, 0.5, 4);
+        let g = Graph::multi_constraint(&m, &lv);
+        assert_eq!(g.ncon, 2);
+        assert_eq!(g.weight_of(0), &[1, 0]);
+        assert_eq!(g.weight_of(3), &[0, 1]);
+        let tot = g.total_weights();
+        assert_eq!(tot.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn induced_subgraph_of_path() {
+        let g = path_graph(6);
+        // keep vertices 1,2,3: path of 3 with 2 edges
+        let (sub, map) = g.induced_subgraph(&[1, 2, 3]);
+        assert_eq!(sub.n_vertices(), 3);
+        assert_eq!(sub.adj.len(), 4); // 2 undirected edges
+        assert_eq!(map, vec![1, 2, 3]);
+        assert_eq!(sub.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn part_weights_sum_to_totals() {
+        let m = HexMesh::uniform(3, 3, 1, 1.0, 1.0);
+        let lv = Levels::assign(&m, 0.5, 4);
+        let g = Graph::multi_constraint(&m, &lv);
+        let part: Vec<u32> = (0..9).map(|v| (v % 3) as u32).collect();
+        let pw = g.part_weights(&part, 3);
+        let tot = g.total_weights();
+        for c in 0..g.ncon {
+            let s: u64 = (0..3).map(|p| pw[p * g.ncon + c]).sum();
+            assert_eq!(s, tot[c]);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Multilevel graph and hypergraph partitioning for LTS load balancing.
+//!
+//! This crate implements, from scratch, the four partitioning strategies
+//! compared in Sec. III-B of the paper:
+//!
+//! * [`Strategy::ScotchBaseline`] — single-constraint graph partitioning with
+//!   vertex weight `p_e` (work per LTS cycle). Balanced per cycle, unbalanced
+//!   per level — the baseline that Fig. 1 shows stalling.
+//! * [`Strategy::ScotchP`] — each p-level partitioned separately into K parts,
+//!   then one part per level greedily mapped onto each processor
+//!   (the paper's best performer).
+//! * [`Strategy::MetisMc`] — multi-constraint graph partitioning: one balance
+//!   constraint per level, `max(p_u, p_v)` edge weights.
+//! * [`Strategy::Patoh`] — multi-constraint **hypergraph** partitioning whose
+//!   connectivity-1 cut (Eq. 20) equals the exact MPI volume per LTS cycle,
+//!   with the `final_imbal` balance/cut trade-off knob.
+//!
+//! The engines are classical multilevel partitioners: heavy-edge (resp.
+//! heavy-connectivity) matching coarsening, greedy growing initial
+//! bisections, Fiduccia–Mattheyses boundary refinement with per-constraint
+//! balance, and recursive bisection for K parts.
+
+pub mod assignment;
+pub mod costed;
+pub mod graph;
+pub mod hgraph;
+pub mod hmultilevel;
+pub mod kway;
+pub mod metrics;
+pub mod multilevel;
+pub mod refine;
+pub mod restricted;
+pub mod scotch_p;
+pub mod strategy;
+
+pub use graph::Graph;
+pub use hgraph::HGraph;
+pub use metrics::{edge_cut, load_imbalance, mpi_volume, ImbalanceReport};
+pub use strategy::{partition_mesh, Strategy};

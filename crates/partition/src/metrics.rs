@@ -1,0 +1,132 @@
+//! Partition quality metrics of Sec. IV-B: the load imbalance of Eq. 21
+//! (total and per p-level), the weighted dual-graph edge cut, and the exact
+//! MPI communication volume per LTS cycle (hypergraph connectivity-1 cut).
+
+use lts_mesh::{DualGraph, HexMesh, Levels, NodalHypergraph};
+
+/// Load-imbalance report (Eq. 21): `(max − min) / max × 100` where the load
+/// of a part is the sum of its elements' `p`-weights.
+#[derive(Debug, Clone)]
+pub struct ImbalanceReport {
+    /// Total work-load imbalance, in percent.
+    pub total_pct: f64,
+    /// Per-level imbalance (element counts per level), in percent.
+    pub per_level_pct: Vec<f64>,
+    /// Total p-weighted load per part.
+    pub part_load: Vec<u64>,
+    /// Element counts per (level, part), row-major by level.
+    pub level_counts: Vec<Vec<u64>>,
+}
+
+/// Compute Eq. 21 for a K-way element partition.
+pub fn load_imbalance(levels: &Levels, part: &[u32], k: usize) -> ImbalanceReport {
+    assert_eq!(part.len(), levels.elem_level.len());
+    let nl = levels.n_levels;
+    let mut part_load = vec![0u64; k];
+    let mut level_counts = vec![vec![0u64; k]; nl];
+    for (e, &p) in part.iter().enumerate() {
+        assert!((p as usize) < k, "part id {p} out of range");
+        let lvl = levels.elem_level[e] as usize;
+        part_load[p as usize] += 1u64 << lvl;
+        level_counts[lvl][p as usize] += 1;
+    }
+    let pct = |vals: &[u64]| -> f64 {
+        let max = *vals.iter().max().unwrap_or(&0);
+        let min = *vals.iter().min().unwrap_or(&0);
+        if max == 0 {
+            0.0
+        } else {
+            (max - min) as f64 / max as f64 * 100.0
+        }
+    };
+    let total_pct = pct(&part_load);
+    let per_level_pct = level_counts.iter().map(|lc| pct(lc)).collect();
+    ImbalanceReport { total_pct, per_level_pct, part_load, level_counts }
+}
+
+/// Weighted dual-graph edge cut (the "graph cut" column of Fig. 8).
+pub fn edge_cut(mesh: &HexMesh, levels: &Levels, part: &[u32]) -> u64 {
+    let dual = DualGraph::build_weighted(mesh, levels);
+    let mut cut = 0u64;
+    for v in 0..dual.n_vertices() as u32 {
+        let start = dual.xadj[v as usize] as usize;
+        for (off, &u) in dual.neighbors(v).iter().enumerate() {
+            if u > v && part[u as usize] != part[v as usize] {
+                cut += dual.ewgt[start + off] as u64;
+            }
+        }
+    }
+    cut
+}
+
+/// Total MPI communication volume per LTS cycle (the "MPI volume" column of
+/// Fig. 8): the connectivity-1 cut of the nodal hypergraph with
+/// `Σ p` net costs — exact by Sec. III-A2.
+pub fn mpi_volume(mesh: &HexMesh, levels: &Levels, part: &[u32]) -> u64 {
+    NodalHypergraph::build(mesh, Some(levels)).cut_size(part)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lts_mesh::HexMesh;
+
+    fn two_level_row() -> (HexMesh, Levels) {
+        let mut m = HexMesh::uniform(8, 1, 1, 1.0, 1.0);
+        m.paint_box((6, 8), (0, 1), (0, 1), 2.0, 1.0);
+        let lv = Levels::assign(&m, 0.5, 4);
+        (m, lv)
+    }
+
+    #[test]
+    fn perfect_balance_is_zero() {
+        let (_, lv) = two_level_row();
+        // parts: {0,1,2,6},{3,4,5,7}: each has 3 coarse + 1 fine
+        let part = vec![0, 0, 0, 1, 1, 1, 0, 1];
+        let rep = load_imbalance(&lv, &part, 2);
+        assert_eq!(rep.total_pct, 0.0);
+        assert!(rep.per_level_pct.iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn fig1_style_imbalance() {
+        let (_, lv) = two_level_row();
+        // naive split: left part all coarse, right part coarse+all fine
+        let part = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let rep = load_imbalance(&lv, &part, 2);
+        // loads: part0 = 4, part1 = 2 + 2·2 = 6 → (6−4)/6 ≈ 33 %
+        assert!((rep.total_pct - 100.0 * 2.0 / 6.0).abs() < 1e-9);
+        // fine level entirely on part 1 → 100 % imbalance at that level
+        assert_eq!(rep.per_level_pct[1], 100.0);
+    }
+
+    #[test]
+    fn edge_cut_counts_weighted_faces() {
+        let (m, lv) = two_level_row();
+        // cut between elements 5 (level ≥... ) and 6
+        let part = vec![0, 0, 0, 0, 0, 0, 1, 1];
+        let cut = edge_cut(&m, &lv, &part);
+        // edge (5,6): weight max(p5, p6) = 2 (element 5 was raised by
+        // smoothing to level 1? check: smoothing raises neighbours of level-1
+        // to ≥ 0 — here levels are 0 and 1 only, so no raise; p6 = 2)
+        assert_eq!(cut, lv.p_of(5).max(lv.p_of(6)));
+    }
+
+    #[test]
+    fn mpi_volume_matches_manual_count() {
+        let (m, lv) = two_level_row();
+        let part = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        // interface between elements 3|4 (both level 0 after paint at 6..8):
+        // 4 shared corner nodes, each with cost p3 + p4
+        let expect: u64 = 4 * (lv.p_of(3) + lv.p_of(4));
+        assert_eq!(mpi_volume(&m, &lv, &part), expect);
+    }
+
+    #[test]
+    fn volume_zero_when_unsplit() {
+        let (m, lv) = two_level_row();
+        let part = vec![0u32; 8];
+        assert_eq!(mpi_volume(&m, &lv, &part), 0);
+        assert_eq!(edge_cut(&m, &lv, &part), 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Coarse-restricted partitioning — the Gödel et al. two-level strategy the
+//! paper discusses and *rejects* (Sec. III): the partitioner may only cut
+//! across coarse (p = 1) elements, so MPI synchronization happens once per
+//! `Δt` and never inside sub-steps. Each connected cluster of refined
+//! elements is contracted into one indivisible super-vertex before
+//! partitioning.
+//!
+//! The paper's objection, reproducible with
+//! `cargo run -p lts-bench --bin ablation_coarse_restricted`: the refined
+//! clusters put a floor on the smallest achievable partition, so the load
+//! imbalance explodes once `K` approaches (total work)/(largest cluster
+//! work) — "an artificially high lower limit on the number of elements per
+//! partition".
+
+use crate::graph::Graph;
+use crate::multilevel::{partition_kway, PartitionConfig};
+use lts_mesh::{DualGraph, HexMesh, Levels};
+
+/// Partition with cuts restricted to coarse elements. Returns the element →
+/// part map.
+pub fn partition_coarse_restricted(
+    mesh: &HexMesh,
+    levels: &Levels,
+    k: usize,
+    seed: u64,
+) -> Vec<u32> {
+    let ne = mesh.n_elems();
+    assert!(k >= 1 && k <= ne);
+    let dual = DualGraph::build_weighted(mesh, levels);
+
+    // connected components of fine (level ≥ 1) elements
+    let mut cmap = vec![u32::MAX; ne];
+    let mut next = 0u32;
+    for e in 0..ne as u32 {
+        if levels.elem_level[e as usize] == 0 || cmap[e as usize] != u32::MAX {
+            continue;
+        }
+        // BFS one fine cluster
+        let cluster = next;
+        next += 1;
+        let mut queue = vec![e];
+        cmap[e as usize] = cluster;
+        while let Some(v) = queue.pop() {
+            let start = dual.xadj[v as usize] as usize;
+            let end = dual.xadj[v as usize + 1] as usize;
+            for &nb in &dual.adj[start..end] {
+                if levels.elem_level[nb as usize] >= 1 && cmap[nb as usize] == u32::MAX {
+                    cmap[nb as usize] = cluster;
+                    queue.push(nb);
+                }
+            }
+        }
+    }
+    // coarse elements become their own vertices
+    for e in 0..ne as u32 {
+        if cmap[e as usize] == u32::MAX {
+            cmap[e as usize] = next;
+            next += 1;
+        }
+    }
+    let nc = next as usize;
+
+    // contracted graph: vertex weight = Σ p over constituents
+    let mut vwgt = vec![0u32; nc];
+    for e in 0..ne {
+        vwgt[cmap[e] as usize] += levels.p_of(e as u32) as u32;
+    }
+    let mut xadj = vec![0u32];
+    let mut adj: Vec<u32> = Vec::new();
+    let mut ewgt: Vec<u32> = Vec::new();
+    // accumulate with a stamp array
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); nc];
+    for e in 0..ne as u32 {
+        members[cmap[e as usize] as usize].push(e);
+    }
+    let mut stamp = vec![u32::MAX; nc];
+    let mut slot = vec![0u32; nc];
+    for cv in 0..nc as u32 {
+        for &v in &members[cv as usize] {
+            let start = dual.xadj[v as usize] as usize;
+            let end = dual.xadj[v as usize + 1] as usize;
+            for (off, &u) in dual.adj[start..end].iter().enumerate() {
+                let cu = cmap[u as usize];
+                if cu == cv {
+                    continue;
+                }
+                let w = dual.ewgt[start + off];
+                if stamp[cu as usize] == cv {
+                    ewgt[slot[cu as usize] as usize] += w;
+                } else {
+                    stamp[cu as usize] = cv;
+                    slot[cu as usize] = adj.len() as u32;
+                    adj.push(cu);
+                    ewgt.push(w);
+                }
+            }
+        }
+        xadj.push(adj.len() as u32);
+    }
+    let g = Graph { xadj, adj, ewgt, ncon: 1, vwgt };
+    let cfg = PartitionConfig {
+        eps: 0.05,
+        seed,
+        active_rebalance: true,
+        n_inits: 4,
+        adjust_eps: true,
+    };
+    let k_eff = k.min(g.n_vertices());
+    let cpart = partition_kway(&g, k_eff, &cfg);
+    (0..ne).map(|e| cpart[cmap[e] as usize]).collect()
+}
+
+/// The smallest number of elements any partition can reach under the
+/// restriction: the work of the largest fine cluster bounds `max load` from
+/// below, hence bounds achievable K (the paper's scalability objection).
+pub fn largest_cluster_work(mesh: &HexMesh, levels: &Levels) -> u64 {
+    let dual = DualGraph::build_weighted(mesh, levels);
+    let ne = mesh.n_elems();
+    let mut seen = vec![false; ne];
+    let mut largest = 0u64;
+    for e in 0..ne as u32 {
+        if levels.elem_level[e as usize] == 0 || seen[e as usize] {
+            continue;
+        }
+        let mut work = 0u64;
+        let mut queue = vec![e];
+        seen[e as usize] = true;
+        while let Some(v) = queue.pop() {
+            work += levels.p_of(v);
+            let start = dual.xadj[v as usize] as usize;
+            let end = dual.xadj[v as usize + 1] as usize;
+            for &nb in &dual.adj[start..end] {
+                if levels.elem_level[nb as usize] >= 1 && !seen[nb as usize] {
+                    seen[nb as usize] = true;
+                    queue.push(nb);
+                }
+            }
+        }
+        largest = largest.max(work);
+    }
+    largest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::load_imbalance;
+    use lts_mesh::{BenchmarkMesh, MeshKind};
+
+    #[test]
+    fn fine_clusters_are_never_cut() {
+        let b = BenchmarkMesh::build(MeshKind::Embedding, 4_000);
+        let part = partition_coarse_restricted(&b.mesh, &b.levels, 8, 1);
+        // any dual edge between two fine elements must be internal
+        for e in 0..b.mesh.n_elems() as u32 {
+            if b.levels.elem_level[e as usize] == 0 {
+                continue;
+            }
+            for nb in b.mesh.face_neighbors(e) {
+                if b.levels.elem_level[nb as usize] >= 1 {
+                    assert_eq!(part[e as usize], part[nb as usize], "fine cut {e}–{nb}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn valid_partition_at_small_k() {
+        let b = BenchmarkMesh::build(MeshKind::Trench, 4_000);
+        let k = 4;
+        let part = partition_coarse_restricted(&b.mesh, &b.levels, k, 1);
+        let mut counts = vec![0usize; k];
+        for &p in &part {
+            assert!((p as usize) < k);
+            counts[p as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+    }
+
+    #[test]
+    fn imbalance_explodes_at_high_k() {
+        // the paper's scalability objection: once K exceeds
+        // total_work / largest_cluster_work, balance is unachievable
+        let b = BenchmarkMesh::build(MeshKind::Trench, 4_000);
+        let total: u64 = (0..b.mesh.n_elems() as u32).map(|e| b.levels.p_of(e)).sum();
+        let cluster = largest_cluster_work(&b.mesh, &b.levels);
+        let k_limit = (total / cluster.max(1)) as usize;
+        let k_over = (2 * k_limit).max(8).min(b.mesh.n_elems() / 4);
+        let part = partition_coarse_restricted(&b.mesh, &b.levels, k_over, 1);
+        let rep = load_imbalance(&b.levels, &part, k_over);
+        assert!(
+            rep.total_pct > 40.0,
+            "expected imbalance beyond K ≈ {k_limit}; got {:.0}% at K = {k_over}",
+            rep.total_pct
+        );
+    }
+
+    #[test]
+    fn cluster_work_positive_when_fine_exists() {
+        let b = BenchmarkMesh::build(MeshKind::Crust, 3_000);
+        assert!(largest_cluster_work(&b.mesh, &b.levels) > 0);
+        let u = BenchmarkMesh::build(MeshKind::Trench, 1_000);
+        assert!(largest_cluster_work(&u.mesh, &u.levels) > 0);
+    }
+}

@@ -1,0 +1,349 @@
+//! The bulk-synchronous cluster model.
+//!
+//! For a K-way element partition the model extracts, per rank and per level,
+//! (a) the masked-product element counts (work), (b) the interface corner
+//! nodes by node level (communication volume), and (c) the neighbour count
+//! (message latency). One LTS cycle then costs
+//!
+//! ```text
+//! T_cycle = Σ_l 2^l · max_r [ launch + ops_l(r)·t_elem(r) + α·peers_l(r) + β·vol_l(r) ]
+//! ```
+//!
+//! and the non-LTS reference costs `p_max · max_r[...]` with every element
+//! stepped at the finest rate. Performance is reported as simulated seconds
+//! per wall second (`Δt / T_cycle`), normalised by the caller.
+
+use lts_mesh::{HexMesh, Levels};
+
+/// First-order machine model of one rank (a CPU node or a GPU).
+#[derive(Debug, Clone, Copy)]
+pub struct MachineModel {
+    /// Seconds per element per sub-step (out-of-cache).
+    pub t_elem: f64,
+    /// Seconds per masked-product invocation (kernel setup + launch).
+    pub kernel_launch: f64,
+    /// Seconds per message (latency).
+    pub alpha: f64,
+    /// Seconds per interface corner-node value exchanged.
+    pub beta: f64,
+    /// Speed multiplier once the rank's working set fits in cache (< 1);
+    /// 1.0 disables the effect.
+    pub cache_factor: f64,
+    /// Working-set size, in elements, at which half the cache benefit is
+    /// realised.
+    pub cache_elems: f64,
+    /// Overlap communication with interior computation (the SPECFEM3D
+    /// asynchronous pattern): per level,
+    /// `T = launch + boundary·t + max(interior·t, α·peers + β·vol)`.
+    pub overlap: bool,
+}
+
+impl MachineModel {
+    /// One 8-core CPU node of the paper's cluster (the 8 MPI ranks per node
+    /// are absorbed into the per-node element throughput). Calibrated so the
+    /// shapes of Figs. 9–11 are reproduced: visible cache super-linearity
+    /// between 16 and 128 nodes on ~2.5M-element meshes.
+    pub fn cpu_node() -> Self {
+        MachineModel {
+            t_elem: 2.0e-6,
+            kernel_launch: 4.0e-6,
+            alpha: 3.0e-6,
+            beta: 2.0e-8,
+            cache_factor: 0.60,
+            cache_elems: 22_000.0,
+            overlap: false,
+        }
+    }
+
+    /// Enable communication/computation overlap.
+    pub fn with_overlap(self) -> Self {
+        MachineModel { overlap: true, ..self }
+    }
+
+    /// One K20X GPU: ~7× the node throughput, but tens of microseconds of
+    /// kernel setup/launch per masked product and no cache super-linearity.
+    pub fn gpu_node() -> Self {
+        MachineModel {
+            t_elem: 2.0e-6 / 7.2,
+            kernel_launch: 45.0e-6,
+            alpha: 5.0e-6,
+            beta: 2.0e-8,
+            cache_factor: 1.0,
+            cache_elems: 1.0,
+            overlap: false,
+        }
+    }
+
+    /// Rescale the fixed overheads (launch, latency, bandwidth, cache size)
+    /// for a mesh `mesh_elems` large when the paper ran `paper_elems`: the
+    /// per-node work shrinks with the mesh, so shrinking the overheads by the
+    /// same factor preserves the work/overhead ratio at every node count —
+    /// letting laptop-scale meshes reproduce the paper-scale curves.
+    pub fn scaled(self, mesh_elems: usize, paper_elems: usize) -> Self {
+        let s = mesh_elems as f64 / paper_elems as f64;
+        MachineModel {
+            kernel_launch: self.kernel_launch * s,
+            alpha: self.alpha * s,
+            beta: self.beta * s,
+            cache_elems: (self.cache_elems * s).max(1.0),
+            ..self
+        }
+    }
+
+    /// Effective per-element time for a rank holding `elems` elements.
+    pub fn t_elem_eff(&self, elems: f64) -> f64 {
+        if self.cache_factor >= 1.0 {
+            return self.t_elem;
+        }
+        // logistic blend between cached and uncached throughput
+        let x = (elems / self.cache_elems).ln();
+        let s = 1.0 / (1.0 + (-1.6 * x).exp()); // 0 → cached, 1 → uncached
+        self.t_elem * (self.cache_factor + (1.0 - self.cache_factor) * s)
+    }
+}
+
+/// Per-rank, per-level shape of a partition: everything the model needs.
+#[derive(Debug, Clone)]
+pub struct PartitionShape {
+    pub k: usize,
+    pub n_levels: usize,
+    /// `ops[r][l]`: elements of rank `r` in the level-`l` masked product
+    /// (level-`l` elements plus coarser neighbours of the level boundary).
+    pub ops: Vec<Vec<u64>>,
+    /// `boundary_ops[r][l]`: the subset of `ops[r][l]` touching another
+    /// rank (must be computed before sends when overlapping).
+    pub boundary_ops: Vec<Vec<u64>>,
+    /// `vol[r][l]`: interface corner nodes of rank `r` whose node level is
+    /// `l` (each exchanged `2^l` times per cycle).
+    pub vol: Vec<Vec<u64>>,
+    /// `peers[r][l]`: distinct neighbour ranks at that level.
+    pub peers: Vec<Vec<u64>>,
+    /// Total elements per rank.
+    pub elems: Vec<u64>,
+}
+
+impl PartitionShape {
+    pub fn new(mesh: &HexMesh, levels: &Levels, partition: &[u32], k: usize) -> Self {
+        assert_eq!(partition.len(), mesh.n_elems());
+        let nl = levels.n_levels;
+        // corner-node levels: max adjacent element level
+        let nn = mesh.n_corner_nodes();
+        let mut node_level = vec![0u8; nn];
+        let mut node_ranks: Vec<Vec<u32>> = vec![Vec::new(); nn];
+        for e in 0..mesh.n_elems() as u32 {
+            let le = levels.elem_level[e as usize];
+            let r = partition[e as usize];
+            for n in mesh.elem_corners(e) {
+                let ni = n as usize;
+                if node_level[ni] < le {
+                    node_level[ni] = le;
+                }
+                if !node_ranks[ni].contains(&r) {
+                    node_ranks[ni].push(r);
+                }
+            }
+        }
+        let mut ops = vec![vec![0u64; nl]; k];
+        let mut boundary_ops = vec![vec![0u64; nl]; k];
+        let mut elems = vec![0u64; k];
+        for e in 0..mesh.n_elems() as u32 {
+            let r = partition[e as usize] as usize;
+            elems[r] += 1;
+            // levels of this element's corner nodes → membership in elems[l]
+            let mut present = [false; 16];
+            let mut boundary = false;
+            for n in mesh.elem_corners(e) {
+                present[node_level[n as usize] as usize] = true;
+                if node_ranks[n as usize].len() >= 2 {
+                    boundary = true;
+                }
+            }
+            for (l, &p) in present.iter().enumerate().take(nl) {
+                if p {
+                    ops[r][l] += 1;
+                    if boundary {
+                        boundary_ops[r][l] += 1;
+                    }
+                }
+            }
+        }
+        let mut vol = vec![vec![0u64; nl]; k];
+        let mut peer_sets: Vec<Vec<std::collections::BTreeSet<u32>>> =
+            vec![vec![std::collections::BTreeSet::new(); nl]; k];
+        for n in 0..nn {
+            let ranks = &node_ranks[n];
+            if ranks.len() < 2 {
+                continue;
+            }
+            let l = node_level[n] as usize;
+            for &r in ranks {
+                vol[r as usize][l] += (ranks.len() - 1) as u64;
+                for &p in ranks {
+                    if p != r {
+                        peer_sets[r as usize][l].insert(p);
+                    }
+                }
+            }
+        }
+        let peers = peer_sets
+            .into_iter()
+            .map(|per_level| per_level.into_iter().map(|s| s.len() as u64).collect())
+            .collect();
+        PartitionShape { k, n_levels: nl, ops, boundary_ops, vol, peers, elems }
+    }
+}
+
+/// Cycle cost breakdown.
+#[derive(Debug, Clone)]
+pub struct CycleBreakdown {
+    /// `max_r T_l(r)` per level.
+    pub level_max: Vec<f64>,
+    /// Total seconds per global `Δt` (LTS).
+    pub lts_cycle: f64,
+    /// Total seconds per global `Δt` for the non-LTS scheme (`p_max` fine
+    /// steps of the full mesh).
+    pub global_cycle: f64,
+}
+
+/// Evaluate the model for one partition shape.
+pub fn simulate(shape: &PartitionShape, m: &MachineModel) -> CycleBreakdown {
+    let nl = shape.n_levels;
+    let mut level_max = vec![0.0f64; nl];
+    for l in 0..nl {
+        let mut worst = 0.0f64;
+        for r in 0..shape.k {
+            let t_el = m.t_elem_eff(shape.elems[r] as f64);
+            let comm = m.alpha * shape.peers[r][l] as f64 + m.beta * shape.vol[r][l] as f64;
+            let t = if m.overlap {
+                let boundary = shape.boundary_ops[r][l] as f64 * t_el;
+                let interior = (shape.ops[r][l] - shape.boundary_ops[r][l]) as f64 * t_el;
+                m.kernel_launch + boundary + interior.max(comm)
+            } else {
+                m.kernel_launch + shape.ops[r][l] as f64 * t_el + comm
+            };
+            worst = worst.max(t);
+        }
+        level_max[l] = worst;
+    }
+    let lts_cycle: f64 = level_max
+        .iter()
+        .enumerate()
+        .map(|(l, &t)| (1u64 << l) as f64 * t)
+        .sum();
+
+    // non-LTS: p_max fine steps; every rank steps all its elements and
+    // exchanges all its interface nodes each fine step
+    let p_max = 1u64 << (nl - 1);
+    let mut worst = 0.0f64;
+    for r in 0..shape.k {
+        let t_el = m.t_elem_eff(shape.elems[r] as f64);
+        let all_vol: u64 = shape.vol[r].iter().sum();
+        let all_peers = shape.peers[r].iter().copied().max().unwrap_or(0);
+        let comm = m.alpha * all_peers as f64 + m.beta * all_vol as f64;
+        let t = if m.overlap {
+            let boundary: u64 = shape.boundary_ops[r].iter().max().copied().unwrap_or(0);
+            let b = boundary as f64 * t_el;
+            let interior = (shape.elems[r] as f64 - boundary as f64).max(0.0) * t_el;
+            m.kernel_launch + b + interior.max(comm)
+        } else {
+            m.kernel_launch + shape.elems[r] as f64 * t_el + comm
+        };
+        worst = worst.max(t);
+    }
+    let global_cycle = p_max as f64 * worst;
+    CycleBreakdown { level_max, lts_cycle, global_cycle }
+}
+
+/// Performance in simulated-seconds per wall-second for a step `dt`.
+pub fn performance(dt: f64, cycle_seconds: f64) -> f64 {
+    dt / cycle_seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lts_mesh::{BenchmarkMesh, MeshKind};
+    use lts_partition::{partition_mesh, Strategy};
+
+    fn trench_shape(k: usize, strategy: Strategy) -> (BenchmarkMesh, PartitionShape) {
+        let b = BenchmarkMesh::build(MeshKind::Trench, 6_000);
+        let part = partition_mesh(&b.mesh, &b.levels, k, strategy, 1);
+        let shape = PartitionShape::new(&b.mesh, &b.levels, &part, k);
+        (b, shape)
+    }
+
+    #[test]
+    fn ops_cover_all_elements_at_level0() {
+        let (b, shape) = trench_shape(4, Strategy::ScotchP);
+        // level-0 ops should count most elements exactly once across ranks
+        let total0: u64 = shape.ops.iter().map(|o| o[0]).sum();
+        let hist = b.levels.histogram();
+        assert!(total0 >= hist[0] as u64);
+        let total_elems: u64 = shape.elems.iter().sum();
+        assert_eq!(total_elems, b.mesh.n_elems() as u64);
+    }
+
+    #[test]
+    fn lts_cycle_beats_global_cycle() {
+        let (_, shape) = trench_shape(8, Strategy::ScotchP);
+        let m = MachineModel::cpu_node();
+        let r = simulate(&shape, &m);
+        assert!(
+            r.lts_cycle < r.global_cycle,
+            "LTS {} vs global {}",
+            r.lts_cycle,
+            r.global_cycle
+        );
+    }
+
+    #[test]
+    fn level_balanced_partition_beats_baseline() {
+        let (_, sp) = trench_shape(8, Strategy::ScotchP);
+        let (_, base) = trench_shape(8, Strategy::ScotchBaseline);
+        let m = MachineModel::cpu_node();
+        let t_sp = simulate(&sp, &m).lts_cycle;
+        let t_base = simulate(&base, &m).lts_cycle;
+        assert!(
+            t_sp < t_base,
+            "SCOTCH-P {t_sp} should beat level-oblivious baseline {t_base}"
+        );
+    }
+
+    #[test]
+    fn gpu_suffers_at_high_rank_counts() {
+        // with tiny per-rank fine levels, GPU launch overhead dominates and
+        // LTS efficiency falls — the Fig. 9 (bottom) falloff
+        let b = BenchmarkMesh::build(MeshKind::Trench, 6_000);
+        let gpu = MachineModel::gpu_node();
+        let mut eff = Vec::new();
+        for k in [2usize, 16] {
+            let part = partition_mesh(&b.mesh, &b.levels, k, Strategy::ScotchP, 1);
+            let shape = PartitionShape::new(&b.mesh, &b.levels, &part, k);
+            let r = simulate(&shape, &gpu);
+            // per-rank efficiency: speedup vs k × single-rank-share
+            let t1 = r.global_cycle; // same-machine non-LTS
+            eff.push((t1 / r.lts_cycle) / 1.0);
+            let _ = t1;
+        }
+        // LTS speedup factor shrinks as k grows (launch-bound fine levels)
+        assert!(eff[1] < eff[0] * 1.02, "{eff:?}");
+    }
+
+    #[test]
+    fn cache_effect_speeds_small_partitions() {
+        let m = MachineModel::cpu_node();
+        assert!(m.t_elem_eff(1_000.0) < m.t_elem_eff(1_000_000.0));
+        assert!(m.t_elem_eff(1_000.0) >= m.t_elem * m.cache_factor * 0.99);
+        let g = MachineModel::gpu_node();
+        assert_eq!(g.t_elem_eff(10.0), g.t_elem);
+    }
+
+    #[test]
+    fn volumes_symmetric_across_ranks() {
+        let (_, shape) = trench_shape(2, Strategy::ScotchBaseline);
+        // with two ranks every interface node contributes 1 to each side
+        for l in 0..shape.n_levels {
+            assert_eq!(shape.vol[0][l], shape.vol[1][l], "level {l}");
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Cluster performance modelling for partitioned LTS runs.
+//!
+//! The paper's scaling experiments (Figs. 9–13) ran on Piz Daint (8-core
+//! Sandy Bridge nodes + K20X GPUs, Cray Aries network). This crate replaces
+//! the machine with a first-order bulk-synchronous model that captures
+//! exactly the effects those figures exhibit:
+//!
+//! * per-**level** synchronization: an LTS cycle pays
+//!   `Σ_l 2^l · max_r(T_l(r))` — per-level *imbalance* is what stalls ranks
+//!   (Fig. 1), not per-cycle imbalance;
+//! * kernel-launch overhead per masked product — the GPU strong-scaling
+//!   falloff when fine levels shrink (Fig. 9, bottom);
+//! * a working-set cache effect — the super-linear CPU scaling of the
+//!   reference code (Figs. 9–11), cross-validated by the trace-driven cache
+//!   simulator in [`cache`] (Fig. 12).
+
+pub mod cache;
+pub mod cluster;
+
+pub use cache::{CacheSim, CacheStats, TraceConfig};
+pub use cluster::{CycleBreakdown, MachineModel, PartitionShape};

@@ -1,0 +1,709 @@
+//! The distributed LTS-Newmark stepper: one thread per rank, assembly
+//! exchanges after every masked product, redundant (consistent) updates of
+//! interface DOFs.
+//!
+//! Mirrors [`lts_core::LtsNewmark`]'s recursion exactly; the integration
+//! tests assert agreement with the serial stepper to round-off.
+
+use crate::exchange::{build_plans, RankPlan};
+use crate::stats::{RankStats, TimelineEvent};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use lts_core::{DofTopology, LtsSetup, Operator, Source};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Runtime configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DistributedConfig {
+    pub n_ranks: usize,
+    /// Record a fine-grained per-exchange timeline (Fig. 1).
+    pub record_timeline: bool,
+    /// Artificial extra work per element-operation (spin iterations) — makes
+    /// load imbalance visible on problems too small to measure otherwise.
+    pub work_amplify: u32,
+    /// Overlap communication with computation (the SPECFEM3D pattern the
+    /// paper uses): compute boundary-element contributions, post the sends,
+    /// compute interior elements while messages fly, then assemble.
+    pub overlap: bool,
+}
+
+impl DistributedConfig {
+    pub fn new(n_ranks: usize) -> Self {
+        DistributedConfig { n_ranks, record_timeline: false, work_amplify: 0, overlap: false }
+    }
+}
+
+type Msg = (usize, Vec<f64>);
+
+struct RankCtx<'a, O: Operator> {
+    rank: usize,
+    op: &'a O,
+    n_levels: usize,
+    dof_level: &'a [u8],
+    plan: &'a RankPlan,
+    sources: &'a [Source],
+    /// per leaf level: (index into `sources`, DOF in this rank's numbering)
+    my_sources: Vec<Vec<(usize, u32)>>,
+    dt: f64,
+    u: Vec<f64>,
+    v: Vec<f64>,
+    uts: Vec<Vec<f64>>,
+    vts: Vec<Vec<f64>>,
+    fs: Vec<Vec<f64>>,
+    tx: Vec<Sender<Msg>>,
+    rx: Receiver<Msg>,
+    inbox: Vec<VecDeque<Vec<f64>>>,
+    stats: RankStats,
+    cfg: DistributedConfig,
+    step_idx: u32,
+    busy_since: Instant,
+}
+
+impl<'a, O: Operator> RankCtx<'a, O> {
+    fn amplify(&self, n_elems: usize) {
+        if self.cfg.work_amplify > 0 {
+            let iters = self.cfg.work_amplify as u64 * n_elems as u64;
+            let mut x = 0u64;
+            for i in 0..iters {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(x);
+        }
+    }
+
+    /// Apply the masked product over this rank's elements, amplify work,
+    /// then assemble totals on shared DOFs.
+    ///
+    /// With `cfg.overlap` the SPECFEM3D asynchronous pattern is used:
+    /// boundary-element contributions are computed first (interface partials
+    /// are then complete, since interior elements by definition touch no
+    /// shared DOF), the sends are posted, interior elements are computed
+    /// while the messages are in flight, and only then are peers awaited.
+    fn force_level(&mut self, l: usize, state_is_u: bool) {
+        // zero my entries
+        for &i in &self.plan.my_zero[l] {
+            self.fs[l][i as usize] = 0.0;
+        }
+        if self.cfg.overlap && !self.plan.peers[l].is_empty() {
+            {
+                let state = if state_is_u { &self.u } else { &self.uts[l] };
+                self.op.apply_masked(
+                    state,
+                    &mut self.fs[l],
+                    &self.plan.my_boundary_elems[l],
+                    self.dof_level,
+                    l as u8,
+                );
+            }
+            self.amplify(self.plan.my_boundary_elems[l].len());
+            self.send_partials(l);
+            {
+                let state = if state_is_u { &self.u } else { &self.uts[l] };
+                self.op.apply_masked(
+                    state,
+                    &mut self.fs[l],
+                    &self.plan.my_interior_elems[l],
+                    self.dof_level,
+                    l as u8,
+                );
+            }
+            self.amplify(self.plan.my_interior_elems[l].len());
+            self.stats.elem_ops += self.plan.my_elems[l].len() as u64;
+            self.recv_and_assemble(l);
+        } else {
+            {
+                let state = if state_is_u { &self.u } else { &self.uts[l] };
+                self.op.apply_masked(
+                    state,
+                    &mut self.fs[l],
+                    &self.plan.my_elems[l],
+                    self.dof_level,
+                    l as u8,
+                );
+            }
+            self.stats.elem_ops += self.plan.my_elems[l].len() as u64;
+            self.amplify(self.plan.my_elems[l].len());
+            if !self.plan.peers[l].is_empty() {
+                self.send_partials(l);
+                self.recv_and_assemble(l);
+            }
+        }
+    }
+
+    fn send_partials(&mut self, l: usize) {
+        for (pi, &peer) in self.plan.peers[l].iter().enumerate() {
+            let payload: Vec<f64> = self.plan.pair_dofs[l][pi]
+                .iter()
+                .map(|&d| self.fs[l][d as usize])
+                .collect();
+            self.tx[peer].send((self.rank, payload)).expect("peer hung up");
+        }
+    }
+
+    fn recv_and_assemble(&mut self, l: usize) {
+        let busy_s = self.busy_since.elapsed().as_secs_f64();
+        self.stats.busy_s += busy_s;
+        // receive one message per peer (FIFO per sender ⇒ correct pairing)
+        let wait_start = Instant::now();
+        let mut pending: Vec<Option<Vec<f64>>> = vec![None; self.plan.peers[l].len()];
+        let mut missing = self.plan.peers[l].len();
+        for (pi, &peer) in self.plan.peers[l].iter().enumerate() {
+            if let Some(m) = self.inbox[peer].pop_front() {
+                pending[pi] = Some(m);
+                missing -= 1;
+            }
+        }
+        while missing > 0 {
+            let (from, payload) = self.rx.recv().expect("channel closed");
+            if let Some(pi) = self.plan.peers[l].iter().position(|&p| p == from) {
+                if pending[pi].is_none() {
+                    pending[pi] = Some(payload);
+                    missing -= 1;
+                    continue;
+                }
+            }
+            self.inbox[from].push_back(payload);
+        }
+        let wait_s = wait_start.elapsed().as_secs_f64();
+        self.stats.wait_s += wait_s;
+        self.stats.n_exchanges += 1;
+        if self.cfg.record_timeline {
+            self.stats.timeline.push(TimelineEvent {
+                level: l as u8,
+                step: self.step_idx,
+                busy_s,
+                wait_s,
+            });
+        }
+        // assemble in ascending-rank order for bitwise consistency
+        let mut cursors = vec![0usize; pending.len()];
+        for (d, ranks) in &self.plan.shared[l] {
+            let mut total = 0.0;
+            for &r in ranks {
+                if r as usize == self.rank {
+                    total += self.fs[l][*d as usize];
+                } else {
+                    let pi = self.plan.peers[l].iter().position(|&p| p == r as usize).unwrap();
+                    total += pending[pi].as_ref().unwrap()[cursors[pi]];
+                    cursors[pi] += 1;
+                }
+            }
+            self.fs[l][*d as usize] = total;
+        }
+        self.busy_since = Instant::now();
+    }
+
+    /// Inject `Δ·F(t)/M` for this rank's sources at `level` into `target`
+    /// (`vts[level]` or the global `v`).
+    fn inject(&self, level: usize, target: &mut [f64], dt: f64, t: f64, half: f64) {
+        for &(si, dof) in &self.my_sources[level] {
+            let src = &self.sources[si];
+            let d = dof as usize;
+            target[d] += half * dt * (src.amplitude)(t) / self.op.mass()[d];
+        }
+    }
+
+    fn aux_advance(&mut self, l: usize, t0: f64) {
+        let levels = self.n_levels;
+        let dt_l = self.dt / (1u64 << l) as f64;
+        let innermost = l == levels - 1;
+        for m in 0..2usize {
+            let tm = t0 + m as f64 * dt_l;
+            self.force_level(l, false);
+            if innermost {
+                for ai in 0..self.plan.my_active[l].len() {
+                    let i = self.plan.my_active[l][ai] as usize;
+                    let mut f = 0.0;
+                    for fj in self.fs[..=l].iter() {
+                        f += fj[i];
+                    }
+                    if m == 0 {
+                        self.vts[l][i] = -0.5 * dt_l * f;
+                    } else {
+                        self.vts[l][i] -= dt_l * f;
+                    }
+                }
+                {
+                    let (vts_lo, vts_hi) = self.vts.split_at_mut(l);
+                    let _ = vts_lo;
+                    let mut tmp = std::mem::take(&mut vts_hi[0]);
+                    self.inject(l, &mut tmp, dt_l, tm, if m == 0 { 0.5 } else { 1.0 });
+                    self.vts[l] = tmp;
+                }
+                for ai in 0..self.plan.my_active[l].len() {
+                    let i = self.plan.my_active[l][ai] as usize;
+                    self.uts[l][i] += dt_l * self.vts[l][i];
+                }
+            } else {
+                {
+                    let (cur, rest) = self.uts.split_at_mut(l + 1);
+                    let src = &cur[l];
+                    let dst = &mut rest[0];
+                    for &i in &self.plan.my_active[l + 1] {
+                        dst[i as usize] = src[i as usize];
+                    }
+                }
+                self.aux_advance(l + 1, tm);
+                for ai in 0..self.plan.my_leaf[l].len() {
+                    let i = self.plan.my_leaf[l][ai] as usize;
+                    let mut f = 0.0;
+                    for fj in self.fs[..=l].iter() {
+                        f += fj[i];
+                    }
+                    if m == 0 {
+                        self.vts[l][i] = -0.5 * dt_l * f;
+                    } else {
+                        self.vts[l][i] -= dt_l * f;
+                    }
+                }
+                {
+                    let mut tmp = std::mem::take(&mut self.vts[l]);
+                    self.inject(l, &mut tmp, dt_l, tm, if m == 0 { 0.5 } else { 1.0 });
+                    self.vts[l] = tmp;
+                }
+                for ai in 0..self.plan.my_active[l + 1].len() {
+                    let i = self.plan.my_active[l + 1][ai] as usize;
+                    let d = (self.uts[l + 1][i] - self.uts[l][i]) / dt_l;
+                    if m == 0 {
+                        self.vts[l][i] = d;
+                    } else {
+                        self.vts[l][i] += 2.0 * d;
+                    }
+                }
+                for ai in 0..self.plan.my_active[l].len() {
+                    let i = self.plan.my_active[l][ai] as usize;
+                    self.uts[l][i] += dt_l * self.vts[l][i];
+                }
+            }
+        }
+    }
+
+    fn step(&mut self, t: f64) {
+        let levels = self.n_levels;
+        let dt = self.dt;
+        self.force_level(0, true);
+        if levels == 1 {
+            for &i in &self.plan.my_dofs {
+                let i = i as usize;
+                self.v[i] -= dt * self.fs[0][i];
+            }
+            let mut tmp = std::mem::take(&mut self.v);
+            self.inject(0, &mut tmp, dt, t, 1.0);
+            self.v = tmp;
+            for &i in &self.plan.my_dofs {
+                let i = i as usize;
+                self.u[i] += dt * self.v[i];
+            }
+        } else {
+            for &i in &self.plan.my_active[1] {
+                self.uts[1][i as usize] = self.u[i as usize];
+            }
+            self.aux_advance(1, t);
+            for &i in &self.plan.my_active[1] {
+                let i = i as usize;
+                self.v[i] += 2.0 * (self.uts[1][i] - self.u[i]) / dt;
+            }
+            for &i in &self.plan.my_leaf[0] {
+                let i = i as usize;
+                self.v[i] -= dt * self.fs[0][i];
+            }
+            let mut tmp = std::mem::take(&mut self.v);
+            self.inject(0, &mut tmp, dt, t, 1.0);
+            self.v = tmp;
+            for &i in &self.plan.my_dofs {
+                let i = i as usize;
+                self.u[i] += dt * self.v[i];
+            }
+        }
+        self.step_idx += 1;
+    }
+}
+
+/// Run `n_steps` of distributed LTS-Newmark over `partition`. Returns the
+/// assembled global `(u, v)` and per-rank statistics.
+pub fn run_distributed<O: Operator + DofTopology + Sync>(
+    op: &O,
+    setup: &LtsSetup,
+    partition: &[u32],
+    dt: f64,
+    u0: &[f64],
+    v0: &[f64],
+    n_steps: usize,
+    cfg: &DistributedConfig,
+) -> (Vec<f64>, Vec<f64>, Vec<RankStats>) {
+    run_distributed_with_sources(op, setup, partition, dt, u0, v0, n_steps, cfg, &[])
+}
+
+/// [`run_distributed`] with external point sources; every rank owning a
+/// source's DOF injects it identically, so interface DOFs stay consistent.
+#[allow(clippy::too_many_arguments)]
+pub fn run_distributed_with_sources<O: Operator + DofTopology + Sync>(
+    op: &O,
+    setup: &LtsSetup,
+    partition: &[u32],
+    dt: f64,
+    u0: &[f64],
+    v0: &[f64],
+    n_steps: usize,
+    cfg: &DistributedConfig,
+    sources: &[Source],
+) -> (Vec<f64>, Vec<f64>, Vec<RankStats>) {
+    let n_ranks = cfg.n_ranks;
+    let plans = build_plans(op, setup, partition, n_ranks);
+    let ndof = Operator::ndof(op);
+    assert_eq!(u0.len(), ndof);
+
+    let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(n_ranks);
+    let mut receivers: Vec<Receiver<Msg>> = Vec::with_capacity(n_ranks);
+    for _ in 0..n_ranks {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
+    let results: Vec<(usize, Vec<f64>, Vec<f64>, RankStats)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (rank, rx) in receivers.into_iter().enumerate() {
+            let tx = senders.clone();
+            let plan = &plans[rank];
+            let cfg = *cfg;
+            handles.push(scope.spawn(move || {
+                let levels = setup.n_levels;
+                let mut my_sources: Vec<Vec<(usize, u32)>> = vec![Vec::new(); levels];
+                for (si, src) in sources.iter().enumerate() {
+                    let d = src.dof;
+                    if plan.my_dofs.binary_search(&d).is_ok() {
+                        my_sources[setup.leaf_level[d as usize] as usize].push((si, d));
+                    }
+                }
+                let mut ctx = RankCtx {
+                    rank,
+                    op,
+                    n_levels: levels,
+                    dof_level: &setup.dof_level,
+                    plan,
+                    sources,
+                    my_sources,
+                    dt,
+                    u: u0.to_vec(),
+                    v: v0.to_vec(),
+                    uts: vec![vec![0.0; ndof]; levels],
+                    vts: vec![vec![0.0; ndof]; levels],
+                    fs: vec![vec![0.0; ndof]; levels],
+                    tx,
+                    rx,
+                    inbox: vec![VecDeque::new(); n_ranks],
+                    stats: RankStats { rank, ..Default::default() },
+                    cfg,
+                    step_idx: 0,
+                    busy_since: Instant::now(),
+                };
+                for step in 0..n_steps {
+                    ctx.step(step as f64 * dt);
+                }
+                ctx.stats.busy_s += ctx.busy_since.elapsed().as_secs_f64();
+                (rank, ctx.u, ctx.v, ctx.stats)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    });
+    drop(senders);
+
+    // assemble global state from DOF owners (lowest owning rank)
+    let mut owner = vec![u32::MAX; ndof];
+    for (rank, plan) in plans.iter().enumerate() {
+        for &d in &plan.my_dofs {
+            owner[d as usize] = owner[d as usize].min(rank as u32);
+        }
+    }
+    let mut u = vec![0.0; ndof];
+    let mut v = vec![0.0; ndof];
+    let mut stats: Vec<RankStats> = Vec::with_capacity(n_ranks);
+    let mut by_rank: Vec<Option<(Vec<f64>, Vec<f64>, RankStats)>> =
+        (0..n_ranks).map(|_| None).collect();
+    for (rank, ur, vr, st) in results {
+        by_rank[rank] = Some((ur, vr, st));
+    }
+    for (rank, slot) in by_rank.into_iter().enumerate() {
+        let (ur, vr, st) = slot.expect("missing rank result");
+        for d in 0..ndof {
+            if owner[d] == rank as u32 {
+                u[d] = ur[d];
+                v[d] = vr[d];
+            }
+        }
+        stats.push(st);
+    }
+    (u, v, stats)
+}
+
+/// One rank's complete owned world for the distributed-memory runner
+/// (see [`crate::local`]): a private operator, plan and state in rank-local
+/// numbering.
+pub struct LocalRank<O: Operator> {
+    pub op: O,
+    pub n_levels: usize,
+    pub dof_level: Vec<u8>,
+    pub leaf_level: Vec<u8>,
+    pub plan: RankPlan,
+    pub u: Vec<f64>,
+    pub v: Vec<f64>,
+    /// Per leaf level: (source index, rank-local DOF).
+    pub my_sources: Vec<Vec<(usize, u32)>>,
+    /// Global DOF id of each local DOF (for final assembly).
+    pub global_of_local: Vec<u32>,
+}
+
+/// Spawn one thread per pre-built [`LocalRank`] world and run `n_steps`.
+/// Returns each rank's final `(u, v, global_of_local)` plus statistics.
+pub fn run_rank_contexts<O: Operator + Send>(
+    ranks: Vec<LocalRank<O>>,
+    dt: f64,
+    n_steps: usize,
+    cfg: &DistributedConfig,
+    sources: &[Source],
+) -> (Vec<(Vec<f64>, Vec<f64>, Vec<u32>)>, Vec<RankStats>) {
+    let n_ranks = ranks.len();
+    let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(n_ranks);
+    let mut receivers: Vec<Receiver<Msg>> = Vec::with_capacity(n_ranks);
+    for _ in 0..n_ranks {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let outcome: Vec<(usize, Vec<f64>, Vec<f64>, Vec<u32>, RankStats)> =
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for ((rank, world), rx) in ranks.into_iter().enumerate().zip(receivers) {
+                let tx = senders.clone();
+                let cfg = *cfg;
+                handles.push(scope.spawn(move || {
+                    let LocalRank {
+                        op,
+                        n_levels,
+                        dof_level,
+                        leaf_level: _,
+                        plan,
+                        u,
+                        v,
+                        my_sources,
+                        global_of_local,
+                    } = world;
+                    let ndof = u.len();
+                    let mut ctx = RankCtx {
+                        rank,
+                        op: &op,
+                        n_levels,
+                        dof_level: &dof_level,
+                        plan: &plan,
+                        sources,
+                        my_sources,
+                        dt,
+                        u,
+                        v,
+                        uts: vec![vec![0.0; ndof]; n_levels],
+                        vts: vec![vec![0.0; ndof]; n_levels],
+                        fs: vec![vec![0.0; ndof]; n_levels],
+                        tx,
+                        rx,
+                        inbox: vec![VecDeque::new(); n_ranks],
+                        stats: RankStats { rank, ..Default::default() },
+                        cfg,
+                        step_idx: 0,
+                        busy_since: Instant::now(),
+                    };
+                    for step in 0..n_steps {
+                        ctx.step(step as f64 * dt);
+                    }
+                    ctx.stats.busy_s += ctx.busy_since.elapsed().as_secs_f64();
+                    (rank, ctx.u, ctx.v, global_of_local, ctx.stats)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        });
+    drop(senders);
+    let mut results: Vec<Option<(Vec<f64>, Vec<f64>, Vec<u32>)>> =
+        (0..n_ranks).map(|_| None).collect();
+    let mut stats: Vec<Option<RankStats>> = (0..n_ranks).map(|_| None).collect();
+    for (rank, u, v, map, st) in outcome {
+        results[rank] = Some((u, v, map));
+        stats[rank] = Some(st);
+    }
+    (
+        results.into_iter().map(|r| r.expect("missing rank")).collect(),
+        stats.into_iter().map(|s| s.expect("missing rank")).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lts_core::{Chain1d, LtsNewmark, LtsSetup};
+
+    fn serial(c: &Chain1d, setup: &LtsSetup, dt: f64, u0: &[f64], steps: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut u = u0.to_vec();
+        let mut v = vec![0.0; u0.len()];
+        let mut lts = LtsNewmark::new(c, setup, dt);
+        lts.run(&mut u, &mut v, 0.0, steps, &[]);
+        (u, v)
+    }
+
+    fn gaussian(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (-((i as f64 - n as f64 / 2.5) / 2.0).powi(2)).exp()).collect()
+    }
+
+    #[test]
+    fn two_ranks_match_serial_single_level() {
+        let c = Chain1d::uniform(16, 1.0, 1.0);
+        let setup = LtsSetup::new(&c, &vec![0u8; 16]);
+        let u0 = gaussian(17);
+        let (us, vs) = serial(&c, &setup, 0.5, &u0, 30);
+        let part: Vec<u32> = (0..16).map(|e| u32::from(e >= 8)).collect();
+        let cfg = DistributedConfig::new(2);
+        let (ud, vd, stats) =
+            run_distributed(&c, &setup, &part, 0.5, &u0, &vec![0.0; 17], 30, &cfg);
+        for i in 0..17 {
+            assert_eq!(us[i], ud[i], "u[{i}]");
+            assert_eq!(vs[i], vd[i], "v[{i}]");
+        }
+        assert_eq!(stats.len(), 2);
+        assert!(stats[0].n_exchanges > 0);
+    }
+
+    #[test]
+    fn four_ranks_match_serial_three_levels() {
+        let mut vel = vec![1.0; 24];
+        for (i, vx) in vel.iter_mut().enumerate() {
+            if i >= 20 {
+                *vx = 4.0;
+            } else if i >= 17 {
+                *vx = 2.0;
+            }
+        }
+        let c = Chain1d::with_velocities(vel, 1.0);
+        let (lv, dt) = c.assign_levels(0.5, 3);
+        let setup = LtsSetup::new(&c, &lv);
+        assert_eq!(setup.n_levels, 3);
+        let u0 = gaussian(25);
+        let (us, _) = serial(&c, &setup, dt, &u0, 20);
+        let part: Vec<u32> = (0..24).map(|e| (e / 6) as u32).collect();
+        let cfg = DistributedConfig::new(4);
+        let (ud, _, _) = run_distributed(&c, &setup, &part, dt, &u0, &vec![0.0; 25], 20, &cfg);
+        for i in 0..25 {
+            assert!(
+                (us[i] - ud[i]).abs() < 1e-13,
+                "u[{i}]: serial {} vs distributed {}",
+                us[i],
+                ud[i]
+            );
+        }
+    }
+
+    #[test]
+    fn scrambled_partition_still_exact() {
+        let mut vel = vec![1.0; 12];
+        for v in vel.iter_mut().skip(8) {
+            *v = 2.0;
+        }
+        let c = Chain1d::with_velocities(vel, 1.0);
+        let (lv, dt) = c.assign_levels(0.5, 2);
+        let setup = LtsSetup::new(&c, &lv);
+        let u0 = gaussian(13);
+        let (us, _) = serial(&c, &setup, dt, &u0, 15);
+        // interleaved ownership → many interfaces
+        let part: Vec<u32> = (0..12).map(|e| (e % 3) as u32).collect();
+        let cfg = DistributedConfig::new(3);
+        let (ud, _, _) = run_distributed(&c, &setup, &part, dt, &u0, &vec![0.0; 13], 15, &cfg);
+        for i in 0..13 {
+            assert!((us[i] - ud[i]).abs() < 1e-13, "u[{i}]");
+        }
+    }
+
+    #[test]
+    fn single_rank_matches_serial() {
+        let c = Chain1d::uniform(8, 1.0, 1.0);
+        let setup = LtsSetup::new(&c, &vec![0u8; 8]);
+        let u0 = gaussian(9);
+        let (us, _) = serial(&c, &setup, 0.5, &u0, 10);
+        let cfg = DistributedConfig::new(1);
+        let (ud, _, stats) =
+            run_distributed(&c, &setup, &vec![0; 8], 0.5, &u0, &vec![0.0; 9], 10, &cfg);
+        assert_eq!(us, ud);
+        assert_eq!(stats[0].n_exchanges, 0);
+    }
+
+    #[test]
+    fn overlap_matches_blocking_to_roundoff() {
+        let mut vel = vec![1.0; 24];
+        for (i, vx) in vel.iter_mut().enumerate() {
+            if i >= 20 {
+                *vx = 4.0;
+            } else if i >= 17 {
+                *vx = 2.0;
+            }
+        }
+        let c = Chain1d::with_velocities(vel, 1.0);
+        let (lv, dt) = c.assign_levels(0.5, 3);
+        let setup = LtsSetup::new(&c, &lv);
+        let u0 = gaussian(25);
+        let part: Vec<u32> = (0..24).map(|e| (e / 8) as u32).collect();
+        let blocking = DistributedConfig::new(3);
+        let overlapped = DistributedConfig { overlap: true, ..blocking };
+        let (ub, _, _) = run_distributed(&c, &setup, &part, dt, &u0, &vec![0.0; 25], 20, &blocking);
+        let (uo, _, _) = run_distributed(&c, &setup, &part, dt, &u0, &vec![0.0; 25], 20, &overlapped);
+        // interface partials are order-identical; interior-element summation
+        // order differs only on private DOFs → tiny round-off differences
+        for i in 0..25 {
+            assert!(
+                (ub[i] - uo[i]).abs() < 1e-12,
+                "dof {i}: blocking {} vs overlapped {}",
+                ub[i],
+                uo[i]
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_covers_all_elements() {
+        let c = Chain1d::uniform(12, 1.0, 1.0);
+        let setup = LtsSetup::new(&c, &vec![0u8; 12]);
+        let part: Vec<u32> = (0..12).map(|e| u32::from(e >= 6)).collect();
+        let plans = crate::exchange::build_plans(&c, &setup, &part, 2);
+        for p in &plans {
+            for l in 0..setup.n_levels {
+                let mut all = p.my_boundary_elems[l].clone();
+                all.extend_from_slice(&p.my_interior_elems[l]);
+                all.sort_unstable();
+                let mut expect = p.my_elems[l].clone();
+                expect.sort_unstable();
+                assert_eq!(all, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn imbalanced_partition_shows_stall() {
+        // Fig. 1 scenario: all fine elements on one rank; with amplified
+        // work, the coarse-only rank must wait.
+        let mut vel = vec![1.0; 16];
+        for v in vel.iter_mut().skip(12) {
+            *v = 2.0;
+        }
+        let c = Chain1d::with_velocities(vel, 1.0);
+        let (lv, dt) = c.assign_levels(0.5, 2);
+        let setup = LtsSetup::new(&c, &lv);
+        let part: Vec<u32> = (0..16).map(|e| u32::from(e >= 8)).collect(); // rank 1 has all fine
+        let cfg = DistributedConfig { n_ranks: 2, record_timeline: true, work_amplify: 20_000, overlap: false };
+        let u0 = gaussian(17);
+        let (_, _, stats) =
+            run_distributed(&c, &setup, &part, dt, &u0, &vec![0.0; 17], 50, &cfg);
+        // rank 0 (coarse only) waits more than rank 1
+        assert!(
+            stats[0].wait_s > stats[1].wait_s,
+            "rank0 wait {} vs rank1 wait {}",
+            stats[0].wait_s,
+            stats[1].wait_s
+        );
+        assert!(!stats[0].timeline.is_empty());
+    }
+}

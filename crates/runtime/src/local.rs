@@ -1,0 +1,465 @@
+//! Distributed-*memory* execution: each rank builds a compact local
+//! sub-operator over its own elements ([`lts_sem::UnstructuredAcoustic`]),
+//! so per-rank state scales with the partition size instead of the mesh —
+//! the actual memory model of an MPI code like SPECFEM3D.
+//!
+//! The stepping and exchange logic is the shared [`crate::distributed`]
+//! rank context; only the index spaces change (everything is translated to
+//! rank-local DOF/element numbering up front). Verified bitwise against the
+//! serial stepper.
+
+use crate::distributed::{run_rank_contexts, DistributedConfig, LocalRank};
+use crate::exchange::build_plans;
+use crate::exchange::RankPlan;
+use crate::stats::RankStats;
+use lts_core::{LtsSetup, Operator, Source};
+use lts_mesh::{HexMesh, Levels};
+use lts_sem::{AcousticOperator, ElasticOperator, UnstructuredAcoustic, UnstructuredElastic};
+
+/// Run partitioned LTS with per-rank local memory on the acoustic SEM.
+///
+/// Builds the global setup and mass once (as a real code would during its
+/// mesher/decomposer phase), then hands each rank only its own slice of the
+/// world. Returns the assembled global `(u, v)` and per-rank statistics.
+#[allow(clippy::too_many_arguments)]
+pub fn run_distributed_local_acoustic(
+    mesh: &HexMesh,
+    levels: &Levels,
+    order: usize,
+    partition: &[u32],
+    dt: f64,
+    u0: &[f64],
+    v0: &[f64],
+    n_steps: usize,
+    cfg: &DistributedConfig,
+    sources: &[Source],
+) -> (Vec<f64>, Vec<f64>, Vec<RankStats>) {
+    let n_ranks = cfg.n_ranks;
+    // global discretization (mass + level sets), as the decomposer computes
+    let global_op = AcousticOperator::new(mesh, order);
+    let setup = LtsSetup::new(&global_op, &levels.elem_level);
+    let ndof = Operator::ndof(&global_op);
+    assert_eq!(u0.len(), ndof);
+    let plans = build_plans(&global_op, &setup, partition, n_ranks);
+    let global_mass = global_op.mass().to_vec();
+
+    // per-rank local worlds
+    let mut ranks: Vec<LocalRank<UnstructuredAcoustic>> = Vec::with_capacity(n_ranks);
+    for (rank, plan) in plans.iter().enumerate() {
+        let my_elems_global: Vec<u32> = (0..mesh.n_elems() as u32)
+            .filter(|&e| partition[e as usize] == rank as u32)
+            .collect();
+        let (local_op, global_of_local) = UnstructuredAcoustic::from_subset(
+            mesh,
+            order,
+            &my_elems_global,
+            Some(&|g| global_mass[g as usize]),
+        );
+        // index translations
+        let local_dof = |g: u32| -> u32 {
+            global_of_local
+                .binary_search(&g)
+                .expect("dof not owned by rank") as u32
+        };
+        let local_elem: std::collections::HashMap<u32, u32> = my_elems_global
+            .iter()
+            .enumerate()
+            .map(|(l, &g)| (g, l as u32))
+            .collect();
+        let nl = setup.n_levels;
+        let map_dofs = |lists: &Vec<Vec<u32>>| -> Vec<Vec<u32>> {
+            lists.iter().map(|l| l.iter().map(|&d| local_dof(d)).collect()).collect()
+        };
+        let localized = RankPlan {
+            my_elems: (0..nl)
+                .map(|l| plan.my_elems[l].iter().map(|e| local_elem[e]).collect())
+                .collect(),
+            my_boundary_elems: (0..nl)
+                .map(|l| plan.my_boundary_elems[l].iter().map(|e| local_elem[e]).collect())
+                .collect(),
+            my_interior_elems: (0..nl)
+                .map(|l| plan.my_interior_elems[l].iter().map(|e| local_elem[e]).collect())
+                .collect(),
+            my_zero: map_dofs(&plan.my_zero),
+            my_active: map_dofs(&plan.my_active),
+            my_leaf: map_dofs(&plan.my_leaf),
+            my_dofs: (0..global_of_local.len() as u32).collect(),
+            peers: plan.peers.clone(),
+            pair_dofs: plan
+                .pair_dofs
+                .iter()
+                .map(|per_peer| {
+                    per_peer
+                        .iter()
+                        .map(|l| l.iter().map(|&d| local_dof(d)).collect())
+                        .collect()
+                })
+                .collect(),
+            shared: plan
+                .shared
+                .iter()
+                .map(|l| l.iter().map(|(d, r)| (local_dof(*d), r.clone())).collect())
+                .collect(),
+        };
+        // local level metadata
+        let dof_level: Vec<u8> = global_of_local
+            .iter()
+            .map(|&g| setup.dof_level[g as usize])
+            .collect();
+        let leaf_level: Vec<u8> = global_of_local
+            .iter()
+            .map(|&g| setup.leaf_level[g as usize])
+            .collect();
+        let u_local: Vec<f64> = global_of_local.iter().map(|&g| u0[g as usize]).collect();
+        let v_local: Vec<f64> = global_of_local.iter().map(|&g| v0[g as usize]).collect();
+        let my_sources: Vec<Vec<(usize, u32)>> = {
+            let mut per_level = vec![Vec::new(); nl];
+            for (si, src) in sources.iter().enumerate() {
+                if let Ok(l) = global_of_local.binary_search(&src.dof) {
+                    per_level[setup.leaf_level[src.dof as usize] as usize].push((si, l as u32));
+                }
+            }
+            per_level
+        };
+        ranks.push(LocalRank {
+            op: local_op,
+            n_levels: nl,
+            dof_level,
+            leaf_level,
+            plan: localized,
+            u: u_local,
+            v: v_local,
+            my_sources,
+            global_of_local,
+        });
+    }
+
+    let (results, stats) = run_rank_contexts(ranks, dt, n_steps, cfg, sources);
+
+    // assemble: lowest owning rank provides each dof
+    let mut owner = vec![u32::MAX; ndof];
+    for (rank, plan) in plans.iter().enumerate() {
+        for &d in &plan.my_dofs {
+            owner[d as usize] = owner[d as usize].min(rank as u32);
+        }
+    }
+    let mut u = vec![0.0; ndof];
+    let mut v = vec![0.0; ndof];
+    for (rank, (u_local, v_local, global_of_local)) in results.into_iter().enumerate() {
+        for (l, &g) in global_of_local.iter().enumerate() {
+            if owner[g as usize] == rank as u32 {
+                u[g as usize] = u_local[l];
+                v[g as usize] = v_local[l];
+            }
+        }
+    }
+    (u, v, stats)
+}
+
+
+/// [`run_distributed_local_acoustic`] for the elastic operator: local node
+/// numbering with three interleaved components per node.
+#[allow(clippy::too_many_arguments)]
+pub fn run_distributed_local_elastic(
+    mesh: &HexMesh,
+    levels: &Levels,
+    order: usize,
+    partition: &[u32],
+    dt: f64,
+    u0: &[f64],
+    v0: &[f64],
+    n_steps: usize,
+    cfg: &DistributedConfig,
+    sources: &[Source],
+) -> (Vec<f64>, Vec<f64>, Vec<RankStats>) {
+    let n_ranks = cfg.n_ranks;
+    let global_op = ElasticOperator::poisson(mesh, order);
+    let setup = LtsSetup::new(&global_op, &levels.elem_level);
+    let ndof = Operator::ndof(&global_op);
+    assert_eq!(u0.len(), ndof);
+    let plans = build_plans(&global_op, &setup, partition, n_ranks);
+    let global_mass = global_op.mass().to_vec();
+
+    let mut ranks: Vec<LocalRank<UnstructuredElastic>> = Vec::with_capacity(n_ranks);
+    for (rank, plan) in plans.iter().enumerate() {
+        let my_elems_global: Vec<u32> = (0..mesh.n_elems() as u32)
+            .filter(|&e| partition[e as usize] == rank as u32)
+            .collect();
+        let (local_op, node_of_local) = UnstructuredElastic::from_subset(
+            mesh,
+            order,
+            &my_elems_global,
+            Some(&|g| global_mass[3 * g as usize]),
+        );
+        // dof translation: global dof = 3·node + comp
+        let local_dof = |g: u32| -> u32 {
+            let node = g / 3;
+            let comp = g % 3;
+            3 * node_of_local.binary_search(&node).expect("node not owned") as u32 + comp
+        };
+        let local_elem: std::collections::HashMap<u32, u32> = my_elems_global
+            .iter()
+            .enumerate()
+            .map(|(l, &g)| (g, l as u32))
+            .collect();
+        let nl = setup.n_levels;
+        let map_dofs = |lists: &Vec<Vec<u32>>| -> Vec<Vec<u32>> {
+            lists.iter().map(|l| l.iter().map(|&d| local_dof(d)).collect()).collect()
+        };
+        let n_local_dofs = 3 * node_of_local.len();
+        let localized = RankPlan {
+            my_elems: (0..nl)
+                .map(|l| plan.my_elems[l].iter().map(|e| local_elem[e]).collect())
+                .collect(),
+            my_boundary_elems: (0..nl)
+                .map(|l| plan.my_boundary_elems[l].iter().map(|e| local_elem[e]).collect())
+                .collect(),
+            my_interior_elems: (0..nl)
+                .map(|l| plan.my_interior_elems[l].iter().map(|e| local_elem[e]).collect())
+                .collect(),
+            my_zero: map_dofs(&plan.my_zero),
+            my_active: map_dofs(&plan.my_active),
+            my_leaf: map_dofs(&plan.my_leaf),
+            my_dofs: (0..n_local_dofs as u32).collect(),
+            peers: plan.peers.clone(),
+            pair_dofs: plan
+                .pair_dofs
+                .iter()
+                .map(|per_peer| {
+                    per_peer
+                        .iter()
+                        .map(|l| l.iter().map(|&d| local_dof(d)).collect())
+                        .collect()
+                })
+                .collect(),
+            shared: plan
+                .shared
+                .iter()
+                .map(|l| l.iter().map(|(d, r)| (local_dof(*d), r.clone())).collect())
+                .collect(),
+        };
+        let global_dof_of_local: Vec<u32> = (0..n_local_dofs as u32)
+            .map(|ld| 3 * node_of_local[(ld / 3) as usize] + ld % 3)
+            .collect();
+        let dof_level: Vec<u8> = global_dof_of_local
+            .iter()
+            .map(|&g| setup.dof_level[g as usize])
+            .collect();
+        let leaf_level: Vec<u8> = global_dof_of_local
+            .iter()
+            .map(|&g| setup.leaf_level[g as usize])
+            .collect();
+        let u_local: Vec<f64> = global_dof_of_local.iter().map(|&g| u0[g as usize]).collect();
+        let v_local: Vec<f64> = global_dof_of_local.iter().map(|&g| v0[g as usize]).collect();
+        let my_sources: Vec<Vec<(usize, u32)>> = {
+            let mut per_level = vec![Vec::new(); nl];
+            for (si, src) in sources.iter().enumerate() {
+                let node = src.dof / 3;
+                if let Ok(ln) = node_of_local.binary_search(&node) {
+                    let ld = 3 * ln as u32 + src.dof % 3;
+                    per_level[setup.leaf_level[src.dof as usize] as usize].push((si, ld));
+                }
+            }
+            per_level
+        };
+        ranks.push(LocalRank {
+            op: local_op,
+            n_levels: nl,
+            dof_level,
+            leaf_level,
+            plan: localized,
+            u: u_local,
+            v: v_local,
+            my_sources,
+            global_of_local: global_dof_of_local,
+        });
+    }
+
+    let (results, stats) = run_rank_contexts(ranks, dt, n_steps, cfg, sources);
+
+    let mut owner = vec![u32::MAX; ndof];
+    for (rank, plan) in plans.iter().enumerate() {
+        for &d in &plan.my_dofs {
+            owner[d as usize] = owner[d as usize].min(rank as u32);
+        }
+    }
+    let mut u = vec![0.0; ndof];
+    let mut v = vec![0.0; ndof];
+    for (rank, (u_local, v_local, global_of_local)) in results.into_iter().enumerate() {
+        for (l, &g) in global_of_local.iter().enumerate() {
+            if owner[g as usize] == rank as u32 {
+                u[g as usize] = u_local[l];
+                v[g as usize] = v_local[l];
+            }
+        }
+    }
+    (u, v, stats)
+}
+
+#[cfg(test)]
+
+mod tests {
+    use super::*;
+    use lts_core::LtsNewmark;
+    use lts_mesh::BenchmarkMesh;
+    use lts_mesh::MeshKind;
+    use lts_partition::{partition_mesh, Strategy};
+    use lts_sem::gll::cfl_dt_scale;
+
+    fn serial(
+        mesh: &HexMesh,
+        levels: &Levels,
+        order: usize,
+        dt: f64,
+        u0: &[f64],
+        steps: usize,
+        sources: &[Source],
+    ) -> Vec<f64> {
+        let op = AcousticOperator::new(mesh, order);
+        let setup = LtsSetup::new(&op, &levels.elem_level);
+        let mut u = u0.to_vec();
+        let mut v = vec![0.0; u0.len()];
+        let mut lts = LtsNewmark::new(&op, &setup, dt);
+        lts.run(&mut u, &mut v, 0.0, steps, sources);
+        u
+    }
+
+    #[test]
+    fn local_memory_matches_serial() {
+        let b = BenchmarkMesh::build(MeshKind::Trench, 600);
+        let order = 2;
+        let dt = b.levels.dt_global * cfl_dt_scale(order, 3);
+        let op = AcousticOperator::new(&b.mesh, order);
+        let ndof = Operator::ndof(&op);
+        let u0: Vec<f64> = (0..ndof).map(|i| ((i as f64) * 0.07).sin()).collect();
+        let reference = serial(&b.mesh, &b.levels, order, dt, &u0, 4, &[]);
+
+        let n_ranks = 3;
+        let part = partition_mesh(&b.mesh, &b.levels, n_ranks, Strategy::ScotchP, 1);
+        let cfg = DistributedConfig::new(n_ranks);
+        let (u, _, stats) = run_distributed_local_acoustic(
+            &b.mesh,
+            &b.levels,
+            order,
+            &part,
+            dt,
+            &u0,
+            &vec![0.0; ndof],
+            4,
+            &cfg,
+            &[],
+        );
+        let scale = reference.iter().fold(1.0f64, |m, &x| m.max(x.abs()));
+        for i in 0..ndof {
+            assert!(
+                (u[i] - reference[i]).abs() <= 1e-12 * scale,
+                "dof {i}: {} vs {}",
+                u[i],
+                reference[i]
+            );
+        }
+        assert_eq!(stats.len(), n_ranks);
+    }
+
+    #[test]
+    fn local_memory_with_sources_and_overlap() {
+        let b = BenchmarkMesh::build(MeshKind::Embedding, 500);
+        let order = 2;
+        let dt = b.levels.dt_global * cfl_dt_scale(order, 3);
+        let op = AcousticOperator::new(&b.mesh, order);
+        let setup = LtsSetup::new(&op, &b.levels.elem_level);
+        let ndof = Operator::ndof(&op);
+        let src_dof = setup.leaf[0][setup.leaf[0].len() / 3];
+        let mk = || vec![Source::ricker(src_dof, 0.3, 1.0, 1.0)];
+        let reference = serial(&b.mesh, &b.levels, order, dt, &vec![0.0; ndof], 5, &mk());
+
+        let n_ranks = 4;
+        let part = partition_mesh(&b.mesh, &b.levels, n_ranks, Strategy::ScotchBaseline, 2);
+        let cfg = DistributedConfig { overlap: true, ..DistributedConfig::new(n_ranks) };
+        let srcs = mk();
+        let (u, _, _) = run_distributed_local_acoustic(
+            &b.mesh,
+            &b.levels,
+            order,
+            &part,
+            dt,
+            &vec![0.0; ndof],
+            &vec![0.0; ndof],
+            5,
+            &cfg,
+            &srcs,
+        );
+        let scale = reference.iter().fold(1e-30f64, |m, &x| m.max(x.abs()));
+        for i in 0..ndof {
+            assert!(
+                (u[i] - reference[i]).abs() <= 1e-11 * scale,
+                "dof {i}: {} vs {}",
+                u[i],
+                reference[i]
+            );
+        }
+    }
+
+    #[test]
+    fn local_memory_elastic_matches_serial() {
+        let b = BenchmarkMesh::build(MeshKind::Trench, 400);
+        let order = 2;
+        let dt = b.levels.dt_global * cfl_dt_scale(order, 3);
+        let op = lts_sem::ElasticOperator::poisson(&b.mesh, order);
+        let setup = LtsSetup::new(&op, &b.levels.elem_level);
+        let ndof = Operator::ndof(&op);
+        let u0: Vec<f64> = (0..ndof).map(|i| ((i as f64) * 0.05).sin()).collect();
+        let mut u_ref = u0.clone();
+        let mut v_ref = vec![0.0; ndof];
+        let mut lts = LtsNewmark::new(&op, &setup, dt);
+        lts.run(&mut u_ref, &mut v_ref, 0.0, 3, &[]);
+
+        let n_ranks = 3;
+        let part = partition_mesh(&b.mesh, &b.levels, n_ranks, Strategy::ScotchP, 1);
+        let cfg = DistributedConfig::new(n_ranks);
+        let (u, _, _) = run_distributed_local_elastic(
+            &b.mesh,
+            &b.levels,
+            order,
+            &part,
+            dt,
+            &u0,
+            &vec![0.0; ndof],
+            3,
+            &cfg,
+            &[],
+        );
+        let scale = u_ref.iter().fold(1.0f64, |m, &x| m.max(x.abs()));
+        for i in 0..ndof {
+            assert!(
+                (u[i] - u_ref[i]).abs() <= 1e-12 * scale,
+                "dof {i}: {} vs {}",
+                u[i],
+                u_ref[i]
+            );
+        }
+    }
+
+    #[test]
+    fn rank_memory_is_local() {
+        // the per-rank DOF count must be ≈ ndof/k + surface, far below ndof
+        let b = BenchmarkMesh::build(MeshKind::Crust, 1_500);
+        let order = 2;
+        let op = AcousticOperator::new(&b.mesh, order);
+        let ndof = Operator::ndof(&op);
+        let n_ranks = 8;
+        let part = partition_mesh(&b.mesh, &b.levels, n_ranks, Strategy::ScotchP, 1);
+        for rank in 0..n_ranks as u32 {
+            let mine: Vec<u32> = (0..b.mesh.n_elems() as u32)
+                .filter(|&e| part[e as usize] == rank)
+                .collect();
+            let (local, map) = UnstructuredAcoustic::from_subset(&b.mesh, order, &mine, None);
+            assert!(
+                lts_core::DofTopology::n_dofs(&local) < ndof / 4,
+                "rank {rank}: {} local dofs of {} global",
+                map.len(),
+                ndof
+            );
+        }
+    }
+}

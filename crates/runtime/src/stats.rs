@@ -1,0 +1,92 @@
+//! Per-rank busy/stall accounting and timelines (the measurements behind the
+//! paper's Fig. 1 runtime profile).
+
+/// One recorded exchange point of one rank.
+#[derive(Debug, Clone, Copy)]
+pub struct TimelineEvent {
+    /// LTS level of the force exchange.
+    pub level: u8,
+    /// Global step index.
+    pub step: u32,
+    /// Seconds spent computing since the previous event.
+    pub busy_s: f64,
+    /// Seconds spent blocked waiting for peers at this exchange.
+    pub wait_s: f64,
+}
+
+/// Aggregated statistics of one rank after a run.
+#[derive(Debug, Clone, Default)]
+pub struct RankStats {
+    pub rank: usize,
+    /// Total seconds spent computing.
+    pub busy_s: f64,
+    /// Total seconds spent blocked in exchanges.
+    pub wait_s: f64,
+    /// Element-operations performed (masked products, one per element).
+    pub elem_ops: u64,
+    /// Number of exchange points.
+    pub n_exchanges: u64,
+    /// Optional fine-grained timeline (populated when requested).
+    pub timeline: Vec<TimelineEvent>,
+}
+
+impl RankStats {
+    /// Fraction of wall time spent waiting.
+    pub fn wait_fraction(&self) -> f64 {
+        let total = self.busy_s + self.wait_s;
+        if total > 0.0 {
+            self.wait_s / total
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Render per-rank busy/wait bars as ASCII (the Fig. 1 bottom panel).
+pub fn ascii_timeline(stats: &[RankStats], width: usize) -> String {
+    let max_total = stats
+        .iter()
+        .map(|s| s.busy_s + s.wait_s)
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let mut out = String::new();
+    for s in stats {
+        let busy = ((s.busy_s / max_total) * width as f64).round() as usize;
+        let wait = ((s.wait_s / max_total) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "rank {:>3} |{}{}| busy {:>7.3}ms wait {:>7.3}ms ({:>4.1}% stalled)\n",
+            s.rank,
+            "#".repeat(busy.min(width)),
+            ".".repeat(wait.min(width.saturating_sub(busy))),
+            s.busy_s * 1e3,
+            s.wait_s * 1e3,
+            100.0 * s.wait_fraction(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_fraction_bounds() {
+        let s = RankStats { busy_s: 3.0, wait_s: 1.0, ..Default::default() };
+        assert!((s.wait_fraction() - 0.25).abs() < 1e-12);
+        let z = RankStats::default();
+        assert_eq!(z.wait_fraction(), 0.0);
+    }
+
+    #[test]
+    fn ascii_contains_each_rank() {
+        let stats = vec![
+            RankStats { rank: 0, busy_s: 1.0, wait_s: 0.5, ..Default::default() },
+            RankStats { rank: 1, busy_s: 0.5, wait_s: 1.0, ..Default::default() },
+        ];
+        let s = ascii_timeline(&stats, 40);
+        assert!(s.contains("rank   0"));
+        assert!(s.contains("rank   1"));
+        assert_eq!(s.lines().count(), 2);
+    }
+}

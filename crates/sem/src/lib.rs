@@ -1,0 +1,34 @@
+//! Spectral-element discretization of the acoustic and elastic wave
+//! equations on hexahedral meshes (Sec. I-B of the paper).
+//!
+//! The SEM is a continuous Galerkin method with nodal Lagrange bases at
+//! Gauss–Legendre–Lobatto (GLL) points; GLL quadrature makes the mass matrix
+//! diagonal (Eq. 3–4), which is what lets explicit Newmark — and LTS-Newmark —
+//! run matrix-free. SPECFEM3D's default is order 4 (125 nodes per element),
+//! which is also the default here.
+//!
+//! * [`gll`] — GLL points, weights and the Lagrange derivative matrix;
+//! * [`dofmap`] — global GLL node numbering on structured hex meshes;
+//! * [`acoustic`] — scalar wave operator `A = M⁻¹K` implementing the
+//!   [`lts_core::Operator`]/[`lts_core::DofTopology`] traits;
+//! * [`elastic`] — the 3-component isotropic elastic operator (Eqs. 1–2);
+//! * [`boundary`] — sponge-taper absorbing boundaries.
+
+pub mod acoustic;
+pub mod boundary;
+pub mod dofmap;
+pub mod elastic;
+pub mod gll;
+pub mod kernel;
+pub mod parallel;
+pub mod record;
+pub mod unstructured;
+
+pub use acoustic::AcousticOperator;
+pub use boundary::Sponge;
+pub use dofmap::DofMap;
+pub use elastic::ElasticOperator;
+pub use gll::GllBasis;
+pub use parallel::{apply_parallel, ElementColoring};
+pub use record::SeismogramRecorder;
+pub use unstructured::{UnstructuredAcoustic, UnstructuredElastic};

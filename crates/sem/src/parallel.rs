@@ -1,0 +1,158 @@
+//! Shared-memory parallel operator application via element colouring.
+//!
+//! On a structured hex mesh the 8 parity classes `(i%2, j%2, k%2)` are
+//! independent sets: two elements of the same colour never share a GLL node,
+//! so their stiffness scatters touch disjoint DOFs and can run on Rayon
+//! worker threads without synchronization. Colours are processed one after
+//! another — the result is deterministic (within a colour every DOF receives
+//! contributions from exactly one element).
+//!
+//! This is the per-node parallelism of the paper's platform (8 cores per
+//! node under MPI); combined with `lts-runtime` it gives the familiar
+//! MPI × threads hybrid.
+
+use crate::acoustic::AcousticOperator;
+use crate::dofmap::DofMap;
+use rayon::prelude::*;
+
+/// The 8 parity colour classes of a structured mesh.
+#[derive(Debug, Clone)]
+pub struct ElementColoring {
+    /// `classes[c]` = element ids of colour `c`.
+    pub classes: Vec<Vec<u32>>,
+}
+
+impl ElementColoring {
+    pub fn new(dofmap: &DofMap) -> Self {
+        let mut classes: Vec<Vec<u32>> = vec![Vec::new(); 8];
+        for e in 0..dofmap.n_elems() as u32 {
+            let (i, j, k) = dofmap.elem_ijk(e);
+            classes[(i % 2) + 2 * (j % 2) + 4 * (k % 2)].push(e);
+        }
+        ElementColoring { classes }
+    }
+
+    /// Restrict every class to the given element subset (e.g. one level's
+    /// masked list).
+    pub fn restricted(&self, elems: &[u32], n_elems: usize) -> ElementColoring {
+        let mut member = vec![false; n_elems];
+        for &e in elems {
+            member[e as usize] = true;
+        }
+        ElementColoring {
+            classes: self
+                .classes
+                .iter()
+                .map(|c| c.iter().copied().filter(|&e| member[e as usize]).collect())
+                .collect(),
+        }
+    }
+}
+
+/// A send/sync wrapper for the disjoint-scatter pattern.
+struct SharedOut(*mut f64, usize);
+unsafe impl Sync for SharedOut {}
+
+impl SharedOut {
+    /// SAFETY: callers must guarantee that concurrent invocations touch
+    /// disjoint index sets (here: same-colour elements share no DOFs).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice(&self) -> &mut [f64] {
+        unsafe { std::slice::from_raw_parts_mut(self.0, self.1) }
+    }
+}
+
+/// Parallel `out = A u` for the acoustic operator.
+pub fn apply_parallel(op: &AcousticOperator, coloring: &ElementColoring, u: &[f64], out: &mut [f64]) {
+    out.fill(0.0);
+    let shared = SharedOut(out.as_mut_ptr(), out.len());
+    for class in &coloring.classes {
+        class.par_iter().for_each(|&e| {
+            // SAFETY: elements within one parity class share no GLL nodes,
+            // so these scatters write disjoint entries of `out`.
+            let out = unsafe { shared.slice() };
+            op.apply_masked_one(e, u, out);
+        });
+    }
+}
+
+impl AcousticOperator {
+    /// Apply one element's `M⁻¹K_e` contribution (used by the coloured
+    /// parallel driver).
+    pub fn apply_masked_one(&self, e: u32, u: &[f64], out: &mut [f64]) {
+        let npe = self.dofmap.nodes_per_elem();
+        let mut loc = vec![0.0; npe];
+        let mut tmp = vec![0.0; npe];
+        let mut der = vec![0.0; npe];
+        self.gather_pub(e, u, &mut loc);
+        self.elem_stiffness_scatter_pub(e, &loc, &mut tmp, &mut der, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lts_core::Operator;
+    use lts_mesh::HexMesh;
+
+    #[test]
+    fn coloring_is_conflict_free() {
+        let m = HexMesh::uniform(4, 3, 3, 1.0, 1.0);
+        let op = AcousticOperator::new(&m, 2);
+        let coloring = ElementColoring::new(&op.dofmap);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for class in &coloring.classes {
+            for (i, &e1) in class.iter().enumerate() {
+                for &e2 in class.iter().skip(i + 1) {
+                    op.dofmap.elem_nodes(e1, &mut a);
+                    op.dofmap.elem_nodes(e2, &mut b);
+                    assert!(
+                        a.iter().all(|d| !b.contains(d)),
+                        "same-colour elements {e1} and {e2} share DOFs"
+                    );
+                }
+            }
+        }
+        let total: usize = coloring.classes.iter().map(|c| c.len()).sum();
+        assert_eq!(total, m.n_elems());
+    }
+
+    #[test]
+    fn parallel_apply_matches_serial() {
+        let mut m = HexMesh::uniform(4, 4, 3, 1.0, 1.0);
+        m.paint_box((2, 4), (0, 4), (0, 3), 2.0, 1.3);
+        let op = AcousticOperator::new(&m, 3);
+        let coloring = ElementColoring::new(&op.dofmap);
+        let n = Operator::ndof(&op);
+        let u: Vec<f64> = (0..n).map(|i| ((i * 31 % 29) as f64) / 29.0 - 0.5).collect();
+        let mut serial = vec![0.0; n];
+        op.apply(&u, &mut serial);
+        let mut parallel = vec![0.0; n];
+        apply_parallel(&op, &coloring, &u, &mut parallel);
+        for i in 0..n {
+            assert!(
+                (serial[i] - parallel[i]).abs() < 1e-12 * (1.0 + serial[i].abs()),
+                "dof {i}: {} vs {}",
+                serial[i],
+                parallel[i]
+            );
+        }
+    }
+
+    #[test]
+    fn restricted_coloring_covers_subset() {
+        let m = HexMesh::uniform(3, 3, 3, 1.0, 1.0);
+        let op = AcousticOperator::new(&m, 2);
+        let coloring = ElementColoring::new(&op.dofmap);
+        let subset: Vec<u32> = (0..10).collect();
+        let r = coloring.restricted(&subset, m.n_elems());
+        let total: usize = r.classes.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 10);
+        for class in &r.classes {
+            for e in class {
+                assert!(subset.contains(e));
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the SEM discretization.
+
+use lts_core::{DofTopology, LtsSetup, Operator};
+use lts_mesh::{HexMesh, Levels};
+use lts_sem::{AcousticOperator, ElasticOperator, GllBasis};
+use proptest::prelude::*;
+
+fn mesh_strategy() -> impl Strategy<Value = HexMesh> {
+    (
+        2usize..5,
+        2usize..5,
+        2usize..4,
+        1.0f64..3.0,
+        0.5f64..2.0,
+        0u64..1000,
+    )
+        .prop_map(|(nx, ny, nz, vel, rho, seed)| {
+            let mut m = HexMesh::uniform(nx, ny, nz, vel, rho);
+            // paint a random fast box
+            let i0 = (seed as usize) % nx;
+            let j0 = (seed as usize / 7) % ny;
+            m.paint_box((i0, nx), (j0, ny), (0, nz), vel * 2.0, rho);
+            m
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Total lumped mass equals ∫ρ dV exactly (partition of unity of the
+    /// GLL quadrature), for any mesh and any order.
+    #[test]
+    fn mass_equals_density_integral(m in mesh_strategy(), order in 2usize..5) {
+        let op = AcousticOperator::new(&m, order);
+        let total: f64 = op.mass().iter().sum();
+        let exact: f64 = (0..m.n_elems() as u32)
+            .map(|e| {
+                let (hx, hy, hz) = m.elem_dims(e);
+                m.density[e as usize] * hx * hy * hz
+            })
+            .sum();
+        prop_assert!((total - exact).abs() < 1e-9 * exact, "{total} vs {exact}");
+        prop_assert!(op.mass().iter().all(|&x| x > 0.0));
+    }
+
+    /// Σ_k A P_k u == A u for the level decomposition of any mesh.
+    #[test]
+    fn masked_products_sum_to_full(m in mesh_strategy(), order in 2usize..4) {
+        let lv = Levels::assign(&m, 0.5, 4);
+        let op = AcousticOperator::new(&m, order);
+        let setup = LtsSetup::new(&op, &lv.elem_level);
+        let n = Operator::ndof(&op);
+        let u: Vec<f64> = (0..n).map(|i| ((i * 37 % 23) as f64) / 23.0 - 0.5).collect();
+        let mut full = vec![0.0; n];
+        op.apply(&u, &mut full);
+        let mut sum = vec![0.0; n];
+        for k in 0..setup.n_levels {
+            op.apply_masked(&u, &mut sum, &setup.elems[k], &setup.dof_level, k as u8);
+        }
+        for i in 0..n {
+            prop_assert!((full[i] - sum[i]).abs() < 1e-9 * (1.0 + full[i].abs()), "dof {}", i);
+        }
+    }
+
+    /// K is symmetric in the M-inner product and PSD, acoustic and elastic.
+    #[test]
+    fn operators_symmetric_psd(m in mesh_strategy()) {
+        let order = 2;
+        let ac = AcousticOperator::new(&m, order);
+        let el = ElasticOperator::poisson(&m, order);
+        fn check<O: Operator>(op: &O) -> Result<(), proptest::test_runner::TestCaseError> {
+            let n = op.ndof();
+            let u: Vec<f64> = (0..n).map(|i| ((i * 83 % 17) as f64) / 17.0 - 0.5).collect();
+            let w: Vec<f64> = (0..n).map(|i| ((i * 29 % 13) as f64) / 13.0 - 0.5).collect();
+            let mut au = vec![0.0; n];
+            let mut aw = vec![0.0; n];
+            op.apply(&u, &mut au);
+            op.apply(&w, &mut aw);
+            let lhs: f64 = (0..n).map(|i| op.mass()[i] * au[i] * w[i]).sum();
+            let rhs: f64 = (0..n).map(|i| op.mass()[i] * aw[i] * u[i]).sum();
+            prop_assert!((lhs - rhs).abs() < 1e-8 * lhs.abs().max(1.0));
+            let q: f64 = (0..n).map(|i| op.mass()[i] * au[i] * u[i]).sum();
+            prop_assert!(q > -1e-9);
+            Ok(())
+        }
+        check(&ac)?;
+        check(&el)?;
+    }
+
+    /// Element DOF lists cover all DOFs, with the right cardinality.
+    #[test]
+    fn elem_dofs_cover_everything(m in mesh_strategy(), order in 2usize..5) {
+        let op = AcousticOperator::new(&m, order);
+        let n = DofTopology::n_dofs(&op);
+        let mut seen = vec![false; n];
+        let mut buf = Vec::new();
+        for e in 0..m.n_elems() as u32 {
+            op.elem_dofs(e, &mut buf);
+            prop_assert_eq!(buf.len(), (order + 1).pow(3));
+            for &d in &buf {
+                seen[d as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// GLL quadrature integrates random polynomials of degree ≤ 2n−1 exactly.
+    #[test]
+    fn gll_quadrature_exact(order in 2usize..9, coeffs in prop::collection::vec(-2.0f64..2.0, 1..8)) {
+        let b = GllBasis::new(order);
+        let deg = coeffs.len().min(2 * order - 1);
+        let f: Vec<f64> = b
+            .points
+            .iter()
+            .map(|&x| coeffs.iter().take(deg + 1).enumerate().map(|(k, c)| c * x.powi(k as i32)).sum())
+            .collect();
+        let exact: f64 = coeffs
+            .iter()
+            .take(deg + 1)
+            .enumerate()
+            .map(|(k, c)| if k % 2 == 0 { 2.0 * c / (k as f64 + 1.0) } else { 0.0 })
+            .sum();
+        prop_assert!((b.integrate(&f) - exact).abs() < 1e-10, "order {}", order);
+    }
+}

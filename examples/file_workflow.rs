@@ -1,0 +1,67 @@
+//! The decompose → solve workflow through files, as SPECFEM3D users run it:
+//! export a mesh and its partition to disk, read them back, and simulate —
+//! demonstrating `lts_mesh::io`.
+//!
+//! ```sh
+//! cargo run --release --example file_workflow
+//! ```
+
+use wave_lts::lts::{LtsNewmark, LtsSetup};
+use wave_lts::mesh::io::{read_ids, read_mesh, write_ids, write_levels, write_mesh};
+use wave_lts::mesh::{BenchmarkMesh, Levels, MeshKind};
+use wave_lts::partition::{load_imbalance, partition_mesh, Strategy};
+use wave_lts::sem::gll::cfl_dt_scale;
+use wave_lts::sem::AcousticOperator;
+
+fn main() -> std::io::Result<()> {
+    let dir = std::path::Path::new("target/file_workflow");
+    std::fs::create_dir_all(dir)?;
+    let mesh_path = dir.join("embedding.wlts");
+    let part_path = dir.join("embedding.part");
+    let level_path = dir.join("embedding.levels");
+
+    // --- "decomposer" process: build, partition, write
+    {
+        let b = BenchmarkMesh::build(MeshKind::Embedding, 2_000);
+        let part = partition_mesh(&b.mesh, &b.levels, 4, Strategy::ScotchP, 1);
+        write_mesh(std::fs::File::create(&mesh_path)?, &b.mesh)?;
+        write_ids(std::fs::File::create(&part_path)?, &part)?;
+        write_levels(std::fs::File::create(&level_path)?, &b.levels)?;
+        println!(
+            "decomposer: wrote {} ({} elements), partition and levels",
+            mesh_path.display(),
+            b.mesh.n_elems()
+        );
+    }
+
+    // --- "solver" process: read everything back and run
+    let mesh = read_mesh(std::fs::File::open(&mesh_path)?)?;
+    let part = read_ids(std::fs::File::open(&part_path)?)?;
+    let elem_level: Vec<u8> = read_ids(std::fs::File::open(&level_path)?)?
+        .into_iter()
+        .map(|l| l as u8)
+        .collect();
+    let levels = Levels::from_levels(&mesh, elem_level, 0.5); // dt re-derived below
+    let levels = Levels::assign(&mesh, 0.5, levels.n_levels); // recompute dt from CFL
+    println!(
+        "solver: read {} elements, {} levels, partition over {} ranks",
+        mesh.n_elems(),
+        levels.n_levels,
+        part.iter().max().unwrap() + 1
+    );
+    let rep = load_imbalance(&levels, &part, (*part.iter().max().unwrap() + 1) as usize);
+    println!("         partition imbalance {:.1}%", rep.total_pct);
+
+    let order = 2;
+    let op = AcousticOperator::new(&mesh, order);
+    let setup = LtsSetup::new(&op, &levels.elem_level);
+    let ndof = op.dofmap.n_nodes();
+    let dt = levels.dt_global * cfl_dt_scale(order, 3);
+    let mut u: Vec<f64> = (0..ndof).map(|i| ((i as f64) * 0.02).sin()).collect();
+    let mut v = vec![0.0; ndof];
+    let mut lts = LtsNewmark::new(&op, &setup, dt);
+    lts.run(&mut u, &mut v, 0.0, 10, &[]);
+    let norm: f64 = u.iter().map(|x| x * x).sum::<f64>().sqrt();
+    println!("         10 LTS steps at Δt = {dt:.4}, ‖u‖ = {norm:.4e} — round trip complete");
+    Ok(())
+}

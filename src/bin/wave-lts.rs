@@ -1,0 +1,203 @@
+//! `wave-lts` — command-line front end.
+//!
+//! ```text
+//! wave-lts info      --mesh trench --elements 100000
+//! wave-lts partition --mesh trench --elements 50000 --parts 16 --strategy scotch-p
+//! wave-lts simulate  --mesh crust  --elements 20000 --steps 100 [--order 4] [--elastic true]
+//! ```
+
+use std::collections::HashMap;
+use std::fs::File;
+use wave_lts::lts::{LtsNewmark, LtsSetup, Newmark, Operator};
+use wave_lts::mesh::io as mesh_io;
+use wave_lts::mesh::{BenchmarkMesh, MeshKind};
+use wave_lts::partition::{edge_cut, load_imbalance, mpi_volume, partition_mesh, Strategy};
+use wave_lts::sem::gll::cfl_dt_scale;
+use wave_lts::sem::{AcousticOperator, ElasticOperator};
+
+fn parse_args(argv: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < argv.len() {
+        if let Some(k) = argv[i].strip_prefix("--") {
+            if i + 1 < argv.len() {
+                map.insert(k.to_string(), argv[i + 1].clone());
+                i += 2;
+                continue;
+            }
+        }
+        eprintln!("ignoring argument {:?}", argv[i]);
+        i += 1;
+    }
+    map
+}
+
+fn get<T: std::str::FromStr>(m: &HashMap<String, String>, k: &str, default: T) -> T {
+    m.get(k).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn mesh_kind(name: &str) -> MeshKind {
+    match name {
+        "trench" => MeshKind::Trench,
+        "trench-big" => MeshKind::TrenchBig,
+        "embedding" => MeshKind::Embedding,
+        "crust" => MeshKind::Crust,
+        other => {
+            eprintln!("unknown mesh {other:?}; expected trench|trench-big|embedding|crust");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn strategy(name: &str) -> Strategy {
+    match name {
+        "scotch" => Strategy::ScotchBaseline,
+        "scotch-p" => Strategy::ScotchP,
+        "metis" => Strategy::MetisMc,
+        "patoh" => Strategy::Patoh { final_imbal: 0.05 },
+        "patoh-0.01" => Strategy::Patoh { final_imbal: 0.01 },
+        other => {
+            eprintln!("unknown strategy {other:?}; expected scotch|scotch-p|metis|patoh|patoh-0.01");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn build(m: &HashMap<String, String>) -> BenchmarkMesh {
+    let kind = mesh_kind(&get::<String>(m, "mesh", "trench".into()));
+    let elements: usize = get(m, "elements", 20_000);
+    if get::<String>(m, "geometry", "inclusion".into()) == "graded" {
+        BenchmarkMesh::crust_geometric(elements)
+    } else {
+        BenchmarkMesh::build(kind, elements)
+    }
+}
+
+fn cmd_info(m: &HashMap<String, String>) {
+    let b = build(m);
+    let model = b.levels.speedup_model();
+    println!("mesh          : {}", b.kind.name());
+    println!("elements      : {}", b.mesh.n_elems());
+    println!("grid          : {} x {} x {}", b.mesh.nx, b.mesh.ny, b.mesh.nz);
+    println!("GLL DOF (p=4) : {}", b.mesh.n_gll_nodes(4));
+    println!("LTS levels    : {}", b.levels.n_levels);
+    println!("histogram     : {:?}", b.levels.histogram());
+    println!("global Δt     : {:.4}", b.levels.dt_global);
+    println!("Eq.9 speed-up : {:.2}x (paper at full scale: {:.1}x)", model.speedup(), b.kind.paper_speedup());
+}
+
+fn cmd_partition(m: &HashMap<String, String>) {
+    let b = build(m);
+    let k: usize = get(m, "parts", 8);
+    let seed: u64 = get(m, "seed", 1);
+    let s = strategy(&get::<String>(m, "strategy", "scotch-p".into()));
+    let t0 = std::time::Instant::now();
+    let part = partition_mesh(&b.mesh, &b.levels, k, s, seed);
+    let dt = t0.elapsed();
+    if let Some(out) = m.get("out") {
+        mesh_io::write_ids(File::create(out).expect("create partition file"), &part)
+            .expect("write partition");
+        println!("partition written  : {out}");
+    }
+    let rep = load_imbalance(&b.levels, &part, k);
+    println!("strategy        : {}", s.name());
+    println!("parts           : {k} (in {dt:.1?})");
+    println!("total imbalance : {:.1}%", rep.total_pct);
+    println!(
+        "per-level       : {:?}",
+        rep.per_level_pct.iter().map(|p| format!("{p:.0}%")).collect::<Vec<_>>()
+    );
+    println!("edge cut        : {}", edge_cut(&b.mesh, &b.levels, &part));
+    println!("MPI volume/∆t   : {}", mpi_volume(&b.mesh, &b.levels, &part));
+}
+
+fn cmd_simulate(m: &HashMap<String, String>) {
+    let b = build(m);
+    let order: usize = get(m, "order", 4);
+    let steps: usize = get(m, "steps", 20);
+    let elastic: bool = get(m, "elastic", false);
+    let compare: bool = get(m, "compare", false);
+    let dt = b.levels.dt_global * cfl_dt_scale(order, 3);
+    println!(
+        "simulating {} global steps of Δt = {:.4} on {} ({} elements, order {order}, {})",
+        steps,
+        dt,
+        b.kind.name(),
+        b.mesh.n_elems(),
+        if elastic { "elastic" } else { "acoustic" }
+    );
+    if elastic {
+        let op = ElasticOperator::poisson(&b.mesh, order);
+        run_sim(&op, &b, dt, steps, compare);
+    } else {
+        let op = AcousticOperator::new(&b.mesh, order);
+        run_sim(&op, &b, dt, steps, compare);
+    }
+}
+
+fn run_sim<O: Operator + wave_lts::lts::DofTopology>(
+    op: &O,
+    b: &BenchmarkMesh,
+    dt: f64,
+    steps: usize,
+    compare: bool,
+) {
+    let setup = LtsSetup::new(op, &b.levels.elem_level);
+    let ndof = Operator::ndof(op);
+    println!("DOF: {ndof}, LTS levels: {}", setup.n_levels);
+    let u0: Vec<f64> = (0..ndof).map(|i| ((i as f64) * 0.003).sin()).collect();
+    let mut u = u0.clone();
+    let mut v = vec![0.0; ndof];
+    let mut lts = LtsNewmark::new(op, &setup, dt);
+    let t0 = std::time::Instant::now();
+    lts.run(&mut u, &mut v, 0.0, steps, &[]);
+    let t_lts = t0.elapsed();
+    let norm: f64 = u.iter().map(|x| x * x).sum::<f64>().sqrt();
+    println!("LTS      : {t_lts:.2?} ({:.1?}/step), ‖u‖ = {norm:.6e}", t_lts / steps as u32);
+    println!("masked element-ops: {} ({} per ∆t)", lts.stats.elem_ops, lts.stats.elem_ops / steps as u64);
+    if compare {
+        let p_max = 1usize << (setup.n_levels - 1);
+        let mut u = u0;
+        let mut v = vec![0.0; ndof];
+        let mut nm = Newmark::new(op, dt / p_max as f64);
+        let t0 = std::time::Instant::now();
+        nm.run(&mut u, &mut v, 0.0, steps * p_max, &[]);
+        let t_ref = t0.elapsed();
+        println!(
+            "non-LTS  : {t_ref:.2?} → measured speed-up {:.2}x (model {:.2}x)",
+            t_ref.as_secs_f64() / t_lts.as_secs_f64(),
+            b.levels.speedup_model().speedup()
+        );
+    }
+}
+
+fn cmd_export(m: &HashMap<String, String>) {
+    let b = build(m);
+    let out: String = get(m, "out", "mesh.wlts".into());
+    mesh_io::write_mesh(File::create(&out).expect("create mesh file"), &b.mesh)
+        .expect("write mesh");
+    let lvl_out = format!("{out}.levels");
+    mesh_io::write_levels(File::create(&lvl_out).expect("create level file"), &b.levels)
+        .expect("write levels");
+    println!("mesh written   : {out}");
+    println!("levels written : {lvl_out}");
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        eprintln!("usage: wave-lts <info|partition|simulate|export> [--key value ...]");
+        std::process::exit(2);
+    };
+    let args = parse_args(&argv[1..]);
+    match cmd.as_str() {
+        "info" => cmd_info(&args),
+        "partition" => cmd_partition(&args),
+        "simulate" => cmd_simulate(&args),
+        "export" => cmd_export(&args),
+        other => {
+            eprintln!("unknown command {other:?}; expected info|partition|simulate|export");
+            std::process::exit(2);
+        }
+    }
+}

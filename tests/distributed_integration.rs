@@ -1,0 +1,147 @@
+//! The threaded message-passing runtime must agree with the serial stepper
+//! on the real 3-D SEM, across partitioning strategies.
+
+use wave_lts::lts::{LtsNewmark, LtsSetup};
+use wave_lts::mesh::{BenchmarkMesh, MeshKind};
+use wave_lts::partition::{partition_mesh, Strategy};
+use wave_lts::runtime::{run_distributed, DistributedConfig};
+use wave_lts::sem::gll::cfl_dt_scale;
+use wave_lts::sem::AcousticOperator;
+
+fn serial_run(
+    op: &AcousticOperator,
+    setup: &LtsSetup,
+    dt: f64,
+    u0: &[f64],
+    steps: usize,
+) -> Vec<f64> {
+    let mut u = u0.to_vec();
+    let mut v = vec![0.0; u0.len()];
+    let mut lts = LtsNewmark::new(op, setup, dt);
+    lts.run(&mut u, &mut v, 0.0, steps, &[]);
+    u
+}
+
+#[test]
+fn distributed_sem_matches_serial_all_strategies() {
+    let b = BenchmarkMesh::build(MeshKind::Trench, 600);
+    let order = 2;
+    let op = AcousticOperator::new(&b.mesh, order);
+    let setup = LtsSetup::new(&op, &b.levels.elem_level);
+    let ndof = op.dofmap.n_nodes();
+    let dt = b.levels.dt_global * cfl_dt_scale(order, 3);
+    let u0: Vec<f64> = (0..ndof).map(|i| ((i as f64) * 0.07).sin()).collect();
+    let reference = serial_run(&op, &setup, dt, &u0, 4);
+
+    for strategy in [Strategy::ScotchBaseline, Strategy::ScotchP, Strategy::MetisMc] {
+        let n_ranks = 3;
+        let part = partition_mesh(&b.mesh, &b.levels, n_ranks, strategy, 1);
+        let cfg = DistributedConfig::new(n_ranks);
+        let (u, _, stats) =
+            run_distributed(&op, &setup, &part, dt, &u0, &vec![0.0; ndof], 4, &cfg);
+        let scale = reference.iter().fold(1.0f64, |m, &x| m.max(x.abs()));
+        for i in 0..ndof {
+            assert!(
+                (u[i] - reference[i]).abs() < 1e-12 * scale,
+                "{}: dof {i}: {} vs {}",
+                strategy.name(),
+                u[i],
+                reference[i]
+            );
+        }
+        assert!(stats.iter().all(|s| s.elem_ops > 0));
+    }
+}
+
+#[test]
+fn distributed_scales_to_many_ranks() {
+    let b = BenchmarkMesh::build(MeshKind::Embedding, 600);
+    let order = 2;
+    let op = AcousticOperator::new(&b.mesh, order);
+    let setup = LtsSetup::new(&op, &b.levels.elem_level);
+    let ndof = op.dofmap.n_nodes();
+    let dt = b.levels.dt_global * cfl_dt_scale(order, 3);
+    let u0: Vec<f64> = (0..ndof).map(|i| ((i as f64) * 0.03).cos()).collect();
+    let reference = serial_run(&op, &setup, dt, &u0, 3);
+
+    for n_ranks in [2usize, 6, 8] {
+        let part = partition_mesh(&b.mesh, &b.levels, n_ranks, Strategy::ScotchP, 1);
+        let cfg = DistributedConfig::new(n_ranks);
+        let (u, _, _) = run_distributed(&op, &setup, &part, dt, &u0, &vec![0.0; ndof], 3, &cfg);
+        let scale = reference.iter().fold(1.0f64, |m, &x| m.max(x.abs()));
+        let max_dev = (0..ndof)
+            .map(|i| (u[i] - reference[i]).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_dev < 1e-12 * scale, "{n_ranks} ranks: deviation {max_dev}");
+    }
+}
+
+#[test]
+fn distributed_with_sources_matches_serial() {
+    use wave_lts::lts::Source;
+    use wave_lts::runtime::distributed::run_distributed_with_sources;
+    let b = BenchmarkMesh::build(MeshKind::Trench, 600);
+    let order = 2;
+    let op = AcousticOperator::new(&b.mesh, order);
+    let setup = LtsSetup::new(&op, &b.levels.elem_level);
+    let ndof = op.dofmap.n_nodes();
+    let dt = b.levels.dt_global * cfl_dt_scale(order, 3);
+    // one source in the coarse region (leaf level 0), one at the finest level
+    let coarse_dof = setup.leaf[0][setup.leaf[0].len() / 2];
+    let fine_dof = *setup.leaf.last().unwrap().first().unwrap();
+    let mk = || {
+        vec![
+            Source::ricker(coarse_dof, 0.2, 2.0, 1.0),
+            Source::ricker(fine_dof, 0.2, 2.0, 0.5),
+        ]
+    };
+    let steps = 5;
+    let mut u_ref = vec![0.0; ndof];
+    let mut v_ref = vec![0.0; ndof];
+    let mut lts = LtsNewmark::new(&op, &setup, dt);
+    lts.run(&mut u_ref, &mut v_ref, 0.0, steps, &mk());
+
+    let n_ranks = 3;
+    let part = partition_mesh(&b.mesh, &b.levels, n_ranks, Strategy::ScotchP, 1);
+    let cfg = DistributedConfig::new(n_ranks);
+    let srcs = mk();
+    let (u, _, _) = run_distributed_with_sources(
+        &op,
+        &setup,
+        &part,
+        dt,
+        &vec![0.0; ndof],
+        &vec![0.0; ndof],
+        steps,
+        &cfg,
+        &srcs,
+    );
+    let scale = u_ref.iter().fold(1e-30f64, |m, &x| m.max(x.abs()));
+    for i in 0..ndof {
+        assert!(
+            (u[i] - u_ref[i]).abs() <= 1e-12 * scale,
+            "dof {i}: {} vs {}",
+            u[i],
+            u_ref[i]
+        );
+    }
+}
+
+#[test]
+fn work_accounting_matches_partition() {
+    let b = BenchmarkMesh::build(MeshKind::Trench, 600);
+    let op = AcousticOperator::new(&b.mesh, 2);
+    let setup = LtsSetup::new(&op, &b.levels.elem_level);
+    let ndof = op.dofmap.n_nodes();
+    let dt = b.levels.dt_global * cfl_dt_scale(2, 3);
+    let u0 = vec![0.0; ndof];
+    let n_ranks = 2;
+    let part = partition_mesh(&b.mesh, &b.levels, n_ranks, Strategy::ScotchP, 1);
+    let cfg = DistributedConfig::new(n_ranks);
+    let steps = 2;
+    let (_, _, stats) =
+        run_distributed(&op, &setup, &part, dt, &u0, &vec![0.0; ndof], steps, &cfg);
+    // total distributed element-ops = serial masked ops
+    let total: u64 = stats.iter().map(|s| s.elem_ops).sum();
+    assert_eq!(total, steps as u64 * setup.lts_elem_ops());
+}

@@ -1,0 +1,137 @@
+//! The p-level DOF grouping (Sec. IV-D) is a pure renumbering: runs with and
+//! without it must agree exactly (up to the permutation), and the grouped
+//! index sets must be contiguous.
+
+use wave_lts::lts::{Chain1d, LtsNewmark, LtsSetup};
+use wave_lts::mesh::{BenchmarkMesh, MeshKind};
+use wave_lts::sem::gll::cfl_dt_scale;
+use wave_lts::sem::{AcousticOperator, ElasticOperator};
+
+fn is_contiguous(v: &[u32]) -> bool {
+    v.windows(2).all(|w| w[1] == w[0] + 1)
+}
+
+#[test]
+fn grouped_sets_are_contiguous_runs() {
+    let b = BenchmarkMesh::build(MeshKind::Trench, 1_000);
+    let mut op = AcousticOperator::new(&b.mesh, 3);
+    let setup0 = LtsSetup::new(&op, &b.levels.elem_level);
+    let perm = setup0.grouping_permutation();
+    op.set_permutation(&perm);
+    let setup = LtsSetup::new(&op, &b.levels.elem_level);
+    for l in 0..setup.n_levels {
+        assert!(is_contiguous(&setup.leaf[l]), "leaf[{l}] not contiguous");
+        if l >= 1 {
+            assert!(is_contiguous(&setup.active[l]), "active[{l}] not contiguous");
+        }
+    }
+    // active[l] is a suffix of the DOF range
+    let ndof = op.dofmap.n_nodes() as u32;
+    for l in 1..setup.n_levels {
+        assert_eq!(*setup.active[l].last().unwrap(), ndof - 1);
+    }
+}
+
+#[test]
+fn grouped_acoustic_run_matches_ungrouped() {
+    let b = BenchmarkMesh::build(MeshKind::Trench, 800);
+    let order = 2;
+    let dt = b.levels.dt_global * cfl_dt_scale(order, 3);
+
+    // ungrouped
+    let op0 = AcousticOperator::new(&b.mesh, order);
+    let setup0 = LtsSetup::new(&op0, &b.levels.elem_level);
+    let ndof = op0.dofmap.n_nodes();
+    let u_init: Vec<f64> = (0..ndof).map(|i| ((i as f64) * 0.31).sin()).collect();
+    let mut u0 = u_init.clone();
+    let mut v0 = vec![0.0; ndof];
+    let mut lts0 = LtsNewmark::new(&op0, &setup0, dt);
+    lts0.run(&mut u0, &mut v0, 0.0, 3, &[]);
+
+    // grouped: same initial state, mapped through the permutation
+    let mut op1 = AcousticOperator::new(&b.mesh, order);
+    let perm = setup0.grouping_permutation();
+    op1.set_permutation(&perm);
+    let setup1 = LtsSetup::new(&op1, &b.levels.elem_level);
+    let mut u1 = vec![0.0; ndof];
+    for (old, &new) in perm.iter().enumerate() {
+        u1[new as usize] = u_init[old];
+    }
+    let mut v1 = vec![0.0; ndof];
+    let mut lts1 = LtsNewmark::new(&op1, &setup1, dt);
+    lts1.run(&mut u1, &mut v1, 0.0, 3, &[]);
+
+    // identical arithmetic → bitwise identical results (modulo renumbering)
+    for old in 0..ndof {
+        let new = perm[old] as usize;
+        assert_eq!(u0[old], u1[new], "dof {old}");
+        assert_eq!(v0[old], v1[new], "dof {old}");
+    }
+    // and the same masked work was done
+    assert_eq!(lts0.stats.elem_ops, lts1.stats.elem_ops);
+}
+
+#[test]
+fn grouped_elastic_run_matches_ungrouped() {
+    let b = BenchmarkMesh::build(MeshKind::Embedding, 400);
+    let order = 2;
+    let dt = b.levels.dt_global * cfl_dt_scale(order, 3);
+
+    let op0 = ElasticOperator::poisson(&b.mesh, order);
+    let setup0 = LtsSetup::new(&op0, &b.levels.elem_level);
+    let ndof = 3 * op0.dofmap.n_nodes();
+    let u_init: Vec<f64> = (0..ndof).map(|i| ((i as f64) * 0.17).cos()).collect();
+    let mut u0 = u_init.clone();
+    let mut v0 = vec![0.0; ndof];
+    let mut lts0 = LtsNewmark::new(&op0, &setup0, dt);
+    lts0.run(&mut u0, &mut v0, 0.0, 2, &[]);
+
+    let mut op1 = ElasticOperator::poisson(&b.mesh, order);
+    let perm = setup0.grouping_permutation();
+    op1.set_permutation(&perm);
+    let setup1 = LtsSetup::new(&op1, &b.levels.elem_level);
+    let mut u1 = vec![0.0; ndof];
+    for (old, &new) in perm.iter().enumerate() {
+        u1[new as usize] = u_init[old];
+    }
+    let mut v1 = vec![0.0; ndof];
+    let mut lts1 = LtsNewmark::new(&op1, &setup1, dt);
+    lts1.run(&mut u1, &mut v1, 0.0, 2, &[]);
+
+    for old in 0..ndof {
+        let new = perm[old] as usize;
+        assert_eq!(u0[old], u1[new], "dof {old}");
+    }
+}
+
+#[test]
+fn grouped_chain_matches_ungrouped() {
+    let mut vel = vec![1.0; 20];
+    for v in vel.iter_mut().skip(14) {
+        *v = 4.0;
+    }
+    let c0 = Chain1d::with_velocities(vel.clone(), 1.0);
+    let (lv, dt) = c0.assign_levels(0.5, 3);
+    let setup0 = LtsSetup::new(&c0, &lv);
+    let n = 21;
+    let u_init: Vec<f64> = (0..n).map(|i| (-((i as f64 - 7.0) / 2.0f64).powi(2)).exp()).collect();
+    let mut u0 = u_init.clone();
+    let mut v0 = vec![0.0; n];
+    let mut lts0 = LtsNewmark::new(&c0, &setup0, dt);
+    lts0.run(&mut u0, &mut v0, 0.0, 25, &[]);
+
+    let mut c1 = Chain1d::with_velocities(vel, 1.0);
+    let perm = setup0.grouping_permutation();
+    c1.set_permutation(&perm);
+    let setup1 = LtsSetup::new(&c1, &lv);
+    let mut u1 = vec![0.0; n];
+    for (old, &new) in perm.iter().enumerate() {
+        u1[new as usize] = u_init[old];
+    }
+    let mut v1 = vec![0.0; n];
+    let mut lts1 = LtsNewmark::new(&c1, &setup1, dt);
+    lts1.run(&mut u1, &mut v1, 0.0, 25, &[]);
+    for old in 0..n {
+        assert_eq!(u0[old], u1[perm[old] as usize]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests of the partitioners and their metrics on randomised
+//! meshes and partitions.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wave_lts::mesh::{HexMesh, Levels, NodalHypergraph};
+use wave_lts::partition::{load_imbalance, mpi_volume, partition_mesh, Strategy as PartStrategy};
+
+/// Random small meshes with random fast boxes painted in.
+fn mesh_strategy() -> impl Strategy<Value = (HexMesh, Levels)> {
+    ((3usize..9), (3usize..9), (3usize..7), 0u64..1000).prop_map(|(nx, ny, nz, seed)| {
+        let mut m = HexMesh::uniform(nx, ny, nz, 1.0, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..rng.gen_range(0..3) {
+            let i0 = rng.gen_range(0..nx);
+            let j0 = rng.gen_range(0..ny);
+            let k0 = rng.gen_range(0..nz);
+            let di = rng.gen_range(1..=nx - i0);
+            let dj = rng.gen_range(1..=ny - j0);
+            let dk = rng.gen_range(1..=nz - k0);
+            let v = [2.0, 4.0][rng.gen_range(0..2)];
+            m.paint_box((i0, i0 + di), (j0, j0 + dj), (k0, k0 + dk), v, 1.0);
+        }
+        let lv = Levels::assign(&m, 0.5, 4);
+        (m, lv)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every strategy yields a complete partition with non-empty parts on
+    /// arbitrary level layouts.
+    #[test]
+    fn partitions_always_valid((m, lv) in mesh_strategy(), seed in 0u64..100) {
+        let k = 4.min(m.n_elems());
+        for s in [PartStrategy::ScotchBaseline, PartStrategy::ScotchP,
+                  PartStrategy::MetisMc, PartStrategy::Patoh { final_imbal: 0.05 }] {
+            let part = partition_mesh(&m, &lv, k, s, seed);
+            prop_assert_eq!(part.len(), m.n_elems());
+            let mut counts = vec![0usize; k];
+            for &p in &part {
+                prop_assert!((p as usize) < k);
+                counts[p as usize] += 1;
+            }
+            prop_assert!(counts.iter().all(|&c| c > 0), "{}: {:?}", s.name(), counts);
+        }
+    }
+
+    /// The MPI volume metric equals a brute-force recomputation from the
+    /// definition (Σ_n c[h'_n](λ_n − 1)).
+    #[test]
+    fn mpi_volume_matches_bruteforce((m, lv) in mesh_strategy(), seed in 0u64..100) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let k = 3;
+        let part: Vec<u32> = (0..m.n_elems()).map(|_| rng.gen_range(0..k)).collect();
+        let fast = mpi_volume(&m, &lv, &part);
+        // brute force straight from the definition
+        let mut slow = 0u64;
+        for nid in 0..m.n_corner_nodes() as u32 {
+            let elems = m.node_elems(nid);
+            let mut parts: Vec<u32> = elems.iter().map(|&e| part[e as usize]).collect();
+            parts.sort_unstable();
+            parts.dedup();
+            if parts.len() > 1 {
+                let cost: u64 = elems.iter().map(|&e| lv.p_of(e)).sum();
+                slow += cost * (parts.len() as u64 - 1);
+            }
+        }
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Load imbalance is 0 exactly when all per-part loads are equal, and
+    /// the per-part loads always sum to the total work.
+    #[test]
+    fn imbalance_metric_consistent((m, lv) in mesh_strategy(), seed in 0u64..100) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let k = 2;
+        let part: Vec<u32> = (0..m.n_elems()).map(|_| rng.gen_range(0..k as u32)).collect();
+        let rep = load_imbalance(&lv, &part, k);
+        let total: u64 = rep.part_load.iter().sum();
+        let expect: u64 = (0..m.n_elems() as u32).map(|e| lv.p_of(e)).sum();
+        prop_assert_eq!(total, expect);
+        let max = *rep.part_load.iter().max().unwrap();
+        let min = *rep.part_load.iter().min().unwrap();
+        prop_assert!((rep.total_pct == 0.0) == (max == min));
+        prop_assert!(rep.total_pct >= 0.0 && rep.total_pct <= 100.0);
+    }
+
+    /// Hypergraph cut is monotone under merging parts (coarsening a
+    /// partition can only reduce connectivity).
+    #[test]
+    fn cut_monotone_under_merging((m, lv) in mesh_strategy(), seed in 0u64..100) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let part4: Vec<u32> = (0..m.n_elems()).map(|_| rng.gen_range(0..4)).collect();
+        let part2: Vec<u32> = part4.iter().map(|&p| p / 2).collect();
+        let h = NodalHypergraph::build(&m, Some(&lv));
+        prop_assert!(h.cut_size(&part2) <= h.cut_size(&part4));
+    }
+
+    /// Levels from CFL assignment always admit a stable Δt/2^k per element
+    /// and conform across faces.
+    #[test]
+    fn levels_always_valid((m, lv) in mesh_strategy()) {
+        for e in 0..m.n_elems() as u32 {
+            let dt_e = lv.dt_global / lv.p_of(e) as f64;
+            prop_assert!(dt_e <= 0.5 * m.elem_cfl_ratio(e) + 1e-12);
+            for nb in m.face_neighbors(e) {
+                let d = (lv.elem_level[e as usize] as i32 - lv.elem_level[nb as usize] as i32).abs();
+                prop_assert!(d <= 1);
+            }
+        }
+    }
+}

@@ -77,5 +77,10 @@ fn bench_elastic_apply(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_acoustic_apply, bench_masked_vs_full, bench_elastic_apply);
+criterion_group!(
+    benches,
+    bench_acoustic_apply,
+    bench_masked_vs_full,
+    bench_elastic_apply
+);
 criterion_main!(benches);

@@ -51,6 +51,8 @@ fn main() {
     }
     println!("Ablation — coarse-restricted partitioning (ref. [7]) vs SCOTCH-P");
     t.print();
-    println!("\nthe restricted scheme needs zero sub-step communication but stops scaling once the");
+    println!(
+        "\nthe restricted scheme needs zero sub-step communication but stops scaling once the"
+    );
     println!("refined clusters dominate — the paper's reason for the p-level balanced approach.");
 }

@@ -39,7 +39,9 @@ fn main() {
     }
     println!("Ablation — level-count cap vs LTS efficiency (Eq. 9)");
     t.print();
-    println!("\nwith a 2-level cap the whole refinement hierarchy is forced onto one fine rate and");
+    println!(
+        "\nwith a 2-level cap the whole refinement hierarchy is forced onto one fine rate and"
+    );
     println!("the global Δt shrinks with it; each extra level recovers a factor until the");
     println!("hierarchy is fully resolved — the paper's motivation for the recursive scheme.");
 }

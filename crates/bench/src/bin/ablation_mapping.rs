@@ -31,7 +31,10 @@ fn main() {
         );
         // per-level balance identical by construction (same per-level parts,
         // mappings only permute them); totals may differ slightly
-        let (rg, ra) = (load_imbalance(&b.levels, &g, k), load_imbalance(&b.levels, &a, k));
+        let (rg, ra) = (
+            load_imbalance(&b.levels, &g, k),
+            load_imbalance(&b.levels, &a, k),
+        );
         for (lg, la) in rg.per_level_pct.iter().zip(&ra.per_level_pct) {
             assert!((lg - la).abs() < 1e-9, "per-level balance changed");
         }
@@ -44,9 +47,13 @@ fn main() {
             format!("{:+.1}%", 100.0 * (va as f64 / vg as f64 - 1.0)),
         ]);
     }
-    println!("Ablation — SCOTCH-P coupling: greedy (paper) vs auction matching (paper's future work)");
+    println!(
+        "Ablation — SCOTCH-P coupling: greedy (paper) vs auction matching (paper's future work)"
+    );
     t.print();
-    println!("\nthe matching maximises per-level affinity exactly; the volume gain is typically a few");
+    println!(
+        "\nthe matching maximises per-level affinity exactly; the volume gain is typically a few"
+    );
     println!("percent — consistent with the paper's remark that the simple greedy already 'works");
     println!("extremely well' on these meshes.");
 }

@@ -23,7 +23,10 @@ fn main() {
     scaling::print(&f1, "Ablation — blocking communication (SCOTCH-P, trench)");
     println!();
     let f2 = scaling::run(&b, &nodes, &strategies, &overlapped, seed);
-    scaling::print(&f2, "Ablation — overlapped communication (compute interior while messages fly)");
+    scaling::print(
+        &f2,
+        "Ablation — overlapped communication (compute interior while messages fly)",
+    );
 
     println!("\nrelative gain from overlapping at each node count:");
     for (i, &n) in f1.nodes.iter().enumerate() {

@@ -64,8 +64,14 @@ fn main() {
 
     let mut t = Table::new(&["quantity", "value"]);
     t.row(vec!["Eq. 9 model speed-up".into(), format!("{ideal:.2}x")]);
-    t.row(vec!["masked-work op-count speed-up".into(), format!("{op_ratio:.2}x")]);
-    t.row(vec!["measured wall-clock speed-up".into(), format!("{measured:.2}x")]);
+    t.row(vec![
+        "masked-work op-count speed-up".into(),
+        format!("{op_ratio:.2}x"),
+    ]);
+    t.row(vec![
+        "measured wall-clock speed-up".into(),
+        format!("{measured:.2}x"),
+    ]);
     t.row(vec![
         "single-core LTS efficiency".into(),
         format!("{:.0}%", 100.0 * measured / ideal),

@@ -8,13 +8,15 @@
 
 use lts_bench::Args;
 use lts_core::{Chain1d, LtsSetup};
+use lts_obs::Json;
+use lts_runtime::stats::{ascii_timeline, profile_json};
 use lts_runtime::{run_distributed, DistributedConfig};
-use lts_runtime::stats::ascii_timeline;
 
 fn main() {
     let args = Args::parse();
     let steps: usize = args.get("steps", 60);
     let amplify: u32 = args.get("amplify", 1_500_000);
+    let profile_path: String = args.get("profile", "fig01_profile.json".to_string());
 
     // Fig. 1 geometry: a fine region Ω_f (4 elements, p = 2) next to a
     // coarse region Ω_c (4 elements, p = 1), embedded in a longer chain.
@@ -46,18 +48,56 @@ fn main() {
         })
         .collect();
 
-    let cfg = DistributedConfig { n_ranks: 2, record_timeline: true, work_amplify: amplify, overlap: false };
-    for (name, part) in [("standard partition (level-oblivious)", &naive), ("p-level balanced partition", &balanced)] {
+    let cfg = DistributedConfig {
+        n_ranks: 2,
+        record_timeline: true,
+        work_amplify: amplify,
+        overlap: false,
+    };
+    let mut runs: Vec<Json> = Vec::new();
+    for (name, part) in [
+        ("standard partition (level-oblivious)", &naive),
+        ("p-level balanced partition", &balanced),
+    ] {
         let fine_per_rank: Vec<usize> = (0..2)
             .map(|r| (0..16).filter(|&e| part[e] == r && lv[e] == 1).count())
             .collect();
         let (_, _, stats) = run_distributed(&c, &setup, part, dt, &u0, &v0, steps, &cfg);
         println!("\n== {name} (fine elements per rank: {fine_per_rank:?}) ==");
         print!("{}", ascii_timeline(&stats, 48));
-        let worst = stats.iter().map(|s| s.wait_fraction()).fold(0.0f64, f64::max);
+        let worst = stats
+            .iter()
+            .map(|s| s.wait_fraction())
+            .fold(0.0f64, f64::max);
         println!("worst stall fraction: {:.0}%", 100.0 * worst);
+        runs.push(Json::Obj(vec![
+            ("partition".to_string(), Json::str(name)),
+            (
+                "fine_per_rank".to_string(),
+                Json::Arr(
+                    fine_per_rank
+                        .iter()
+                        .map(|&n| Json::UInt(n as u64))
+                        .collect(),
+                ),
+            ),
+            ("profile".to_string(), profile_json(&stats)),
+        ]));
     }
-    println!("\npaper's Fig. 1: the level-oblivious split stalls one processor at every ∆τ sub-step;");
+    let doc = Json::Obj(vec![
+        ("figure".to_string(), Json::str("fig01_timeline")),
+        ("steps".to_string(), Json::UInt(steps as u64)),
+        ("runs".to_string(), Json::Arr(runs)),
+    ]);
+    match std::fs::write(&profile_path, doc.render_pretty()) {
+        Ok(()) => {
+            println!("\nwrote per-rank per-level busy/wait/exchange profile to {profile_path}")
+        }
+        Err(e) => eprintln!("\ncould not write {profile_path}: {e}"),
+    }
+    println!(
+        "\npaper's Fig. 1: the level-oblivious split stalls one processor at every ∆τ sub-step;"
+    );
     println!("balancing each p-level separately removes the stall — the motivation for SCOTCH-P.");
     println!("(on single-core hosts both ranks additionally show a symmetric time-sharing wait;");
     println!(" the signature of the Fig. 1 pathology is the *asymmetry* between the ranks)");

@@ -21,7 +21,13 @@ fn main() {
     println!("Fig. 2 — per-cut communication cost (order-2 elements, right half p = 2):");
     for col in 1..4 {
         let cost = m.vertical_cut_cost(col, order, &p);
-        let side = if col <= 1 { "p=1 region" } else if col == 2 { "p=1 | p=2 interface (gray halo)" } else { "p=2 region" };
+        let side = if col <= 1 {
+            "p=1 region"
+        } else if col == 2 {
+            "p=1 | p=2 interface (gray halo)"
+        } else {
+            "p=2 region"
+        };
         println!(
             "  cut between columns {} and {}: cost = {}  ({} shared nodes × {} steps/∆t)  [{}]",
             col - 1,
@@ -44,8 +50,16 @@ fn main() {
     let h = NodalHypergraph::build_quad(&q, None);
     let four_way = vec![0u32, 1, 2, 3];
     println!("Fig. 3 — dual graph vs hypergraph on the 2×2 quad mesh:");
-    println!("  dual graph: {} vertices, {} edges (the 4-cycle)", q.n_elems(), dual_edges);
-    println!("  hypergraph: {} vertices, {} nets (one per mesh node)", q.n_elems(), h.n_nets());
+    println!(
+        "  dual graph: {} vertices, {} edges (the 4-cycle)",
+        q.n_elems(),
+        dual_edges
+    );
+    println!(
+        "  hypergraph: {} vertices, {} nets (one per mesh node)",
+        q.n_elems(),
+        h.n_nets()
+    );
     let center = q.node_id(1, 1);
     println!(
         "  central node's net connects {} elements; all-4-way split: dual counts {} cut edges, hypergraph cut = {} (λ−1 on every net)",

@@ -13,7 +13,11 @@ fn slice_y(b: &BenchmarkMesh) -> String {
         for i in 0..b.mesh.nx.min(100) {
             let e = b.mesh.elem_id(i, j, k) as usize;
             let l = b.levels.elem_level[e];
-            s.push(if l == 0 { '.' } else { char::from_digit(l as u32, 10).unwrap() });
+            s.push(if l == 0 {
+                '.'
+            } else {
+                char::from_digit(l as u32, 10).unwrap()
+            });
         }
         s.push('\n');
     }
@@ -28,7 +32,11 @@ fn slice_x(b: &BenchmarkMesh) -> String {
         for j in 0..b.mesh.ny.min(100) {
             let e = b.mesh.elem_id(i, j, k) as usize;
             let l = b.levels.elem_level[e];
-            s.push(if l == 0 { '.' } else { char::from_digit(l as u32, 10).unwrap() });
+            s.push(if l == 0 {
+                '.'
+            } else {
+                char::from_digit(l as u32, 10).unwrap()
+            });
         }
         s.push('\n');
     }
@@ -40,7 +48,10 @@ fn main() {
     let elements: usize = args.get("elements", 30_000);
     for kind in [MeshKind::Trench, MeshKind::Embedding, MeshKind::Crust] {
         let b = build_mesh(kind, elements);
-        println!("\n=== {} === (digits = p-level, '.' = coarsest)", kind.name());
+        println!(
+            "\n=== {} === (digits = p-level, '.' = coarsest)",
+            kind.name()
+        );
         println!("cross-section (y–z) at mid-x:");
         print!("{}", slice_x(&b));
         if kind == MeshKind::Trench {

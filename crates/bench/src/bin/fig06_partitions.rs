@@ -28,7 +28,9 @@ fn write_partition_ppm(b: &lts_mesh::BenchmarkMesh, part: &[u32], name: &str) {
         return;
     }
     let fname = dir.join(format!("{}.ppm", name.replace([' ', '.'], "_")));
-    let Ok(mut f) = std::fs::File::create(&fname) else { return };
+    let Ok(mut f) = std::fs::File::create(&fname) else {
+        return;
+    };
     let (w, h) = (b.mesh.nx, b.mesh.ny);
     let kz = b.mesh.nz - 1;
     let _ = writeln!(f, "P6\n{w} {h}\n255");
@@ -81,7 +83,10 @@ fn main() {
         println!(
             "total imbalance {:.0}%, per-level {:?}",
             rep.total_pct,
-            rep.per_level_pct.iter().map(|p| format!("{p:.0}%")).collect::<Vec<_>>()
+            rep.per_level_pct
+                .iter()
+                .map(|p| format!("{p:.0}%"))
+                .collect::<Vec<_>>()
         );
         // surface view (top layer, part id per element)
         println!("surface view (top z-layer, one char per element = part id):");
@@ -96,5 +101,7 @@ fn main() {
         }
         write_partition_ppm(&b, &part, &s.name());
     }
-    println!("\npaper: SCOTCH (incorrectly) balances only the cycle total; the rest balance every level");
+    println!(
+        "\npaper: SCOTCH (incorrectly) balances only the cycle total; the rest balance every level"
+    );
 }

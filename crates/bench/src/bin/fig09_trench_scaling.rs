@@ -26,11 +26,29 @@ fn main() {
         Strategy::Patoh { final_imbal: 0.05 },
     ];
 
-    let cpu = scaling::run(&b, &nodes, &strategies, &MachineModel::cpu_node().scaled(b.mesh.n_elems(), paper), seed);
-    scaling::print(&cpu, "Fig. 9 (top) — CPU performance, trench mesh (normalized to non-LTS CPU at first point)");
+    let cpu = scaling::run(
+        &b,
+        &nodes,
+        &strategies,
+        &MachineModel::cpu_node().scaled(b.mesh.n_elems(), paper),
+        seed,
+    );
+    scaling::print(
+        &cpu,
+        "Fig. 9 (top) — CPU performance, trench mesh (normalized to non-LTS CPU at first point)",
+    );
 
     println!();
-    let gpu = scaling::run(&b, &nodes, &strategies, &MachineModel::gpu_node().scaled(b.mesh.n_elems(), paper), seed);
-    scaling::print(&gpu, "Fig. 9 (bottom) — GPU performance, trench mesh (same normalization)");
+    let gpu = scaling::run(
+        &b,
+        &nodes,
+        &strategies,
+        &MachineModel::gpu_node().scaled(b.mesh.n_elems(), paper),
+        seed,
+    );
+    scaling::print(
+        &gpu,
+        "Fig. 9 (bottom) — GPU performance, trench mesh (same normalization)",
+    );
     println!("\npaper: CPU LTS 97% of ideal; GPU non-LTS 6.9x reference at 94%; GPU LTS (SCOTCH-P) falls to 45%");
 }

@@ -22,7 +22,13 @@ fn main() {
         Strategy::Patoh { final_imbal: 0.01 },
         Strategy::Patoh { final_imbal: 0.05 },
     ];
-    let cpu = scaling::run(&b, &nodes, &strategies, &MachineModel::cpu_node().scaled(b.mesh.n_elems(), paper), seed);
+    let cpu = scaling::run(
+        &b,
+        &nodes,
+        &strategies,
+        &MachineModel::cpu_node().scaled(b.mesh.n_elems(), paper),
+        seed,
+    );
     scaling::print(&cpu, "Fig. 10 — CPU performance, embedding mesh");
     println!("\npaper: SCOTCH-P 93% of LTS ideal; non-LTS CPU 123% (super-linear, cache)");
 }

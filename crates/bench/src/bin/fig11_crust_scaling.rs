@@ -20,7 +20,13 @@ fn main() {
         Strategy::Patoh { final_imbal: 0.01 },
         Strategy::Patoh { final_imbal: 0.05 },
     ];
-    let cpu = scaling::run(&b, &nodes, &strategies, &MachineModel::cpu_node().scaled(b.mesh.n_elems(), paper), seed);
+    let cpu = scaling::run(
+        &b,
+        &nodes,
+        &strategies,
+        &MachineModel::cpu_node().scaled(b.mesh.n_elems(), paper),
+        seed,
+    );
     scaling::print(&cpu, "Fig. 11 — CPU performance, crust mesh (1.9x ceiling)");
     println!("\npaper: SCOTCH-P / PaToH 0.01 at 96% scaling efficiency; non-LTS 101%");
 }

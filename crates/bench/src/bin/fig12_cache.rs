@@ -50,8 +50,12 @@ fn main() {
     println!("Fig. 12 — D1+D2 cache utilisation (trace-driven simulation, rank 0, one cycle)");
     t.print();
     println!("\npaper (craypat, hits metric): non-LTS grows 22→60 from 16→128 nodes; LTS higher still (→115)");
-    println!("shape to check: utilisation grows as partitions shrink; in the plotted 16–128-node range");
+    println!(
+        "shape to check: utilisation grows as partitions shrink; in the plotted 16–128-node range"
+    );
     println!("LTS sits above non-LTS (the revisited fine levels stay resident). Far deeper in the");
-    println!("strong-scaling regime (≥ 256 nodes here) the non-LTS working set itself drops into D2");
+    println!(
+        "strong-scaling regime (≥ 256 nodes here) the non-LTS working set itself drops into D2"
+    );
     println!("and its whole-sweep reuse overtakes — outside the paper's plotted range.");
 }

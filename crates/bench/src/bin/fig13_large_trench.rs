@@ -19,7 +19,16 @@ fn main() {
     let b = build_mesh(MeshKind::TrenchBig, elements);
     let paper = MeshKind::TrenchBig.paper_elements();
     let strategies = [Strategy::ScotchP];
-    let cpu = scaling::run(&b, &nodes, &strategies, &MachineModel::cpu_node().scaled(b.mesh.n_elems(), paper), seed);
-    scaling::print(&cpu, "Fig. 13 — CPU performance, large trench mesh, SCOTCH-P");
+    let cpu = scaling::run(
+        &b,
+        &nodes,
+        &strategies,
+        &MachineModel::cpu_node().scaled(b.mesh.n_elems(), paper),
+        seed,
+    );
+    scaling::print(
+        &cpu,
+        "Fig. 13 — CPU performance, large trench mesh, SCOTCH-P",
+    );
     println!("\npaper: SCOTCH-P holds ~100% of ideal to 512 nodes, 67% at 1024; non-LTS 93%");
 }

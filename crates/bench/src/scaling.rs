@@ -66,7 +66,10 @@ pub fn run(
             let r = simulate(&shape, machine);
             values.push(baseline_cycle / r.lts_cycle);
         }
-        curves.push(Curve { label: s.name(), values });
+        curves.push(Curve {
+            label: s.name(),
+            values,
+        });
     }
     // non-LTS curve on the same machine
     let mut values = Vec::with_capacity(nodes.len());
@@ -76,8 +79,15 @@ pub fn run(
         let r = simulate(&shape, machine);
         values.push(baseline_cycle / r.global_cycle);
     }
-    curves.push(Curve { label: "non-LTS".into(), values });
-    ScalingFigure { nodes: nodes.to_vec(), curves, baseline_cycle }
+    curves.push(Curve {
+        label: "non-LTS".into(),
+        values,
+    });
+    ScalingFigure {
+        nodes: nodes.to_vec(),
+        curves,
+        baseline_cycle,
+    }
 }
 
 /// Print the figure as a table plus scaling efficiencies.
@@ -102,7 +112,11 @@ pub fn print(fig: &ScalingFigure, title: &str) {
     }
     // scaling efficiency: value at last node count vs linear scaling of the
     // first point (and vs LTS-ideal for LTS curves)
-    println!("\nscaling efficiencies ({} → {} nodes):", fig.nodes[0], *fig.nodes.last().unwrap());
+    println!(
+        "\nscaling efficiencies ({} → {} nodes):",
+        fig.nodes[0],
+        *fig.nodes.last().unwrap()
+    );
     let factor = *fig.nodes.last().unwrap() as f64 / fig.nodes[0] as f64;
     let ideal_last = fig.curves[0].values.last().unwrap();
     for c in &fig.curves {

@@ -36,7 +36,13 @@ impl Chain1d {
             mass[e] += m;
             mass[e + 1] += m;
         }
-        Chain1d { h, mu, rho, mass, perm: None }
+        Chain1d {
+            h,
+            mu,
+            rho,
+            mass,
+            perm: None,
+        }
     }
 
     /// Uniform chain: unit spacing, constant velocity and density.
@@ -95,7 +101,11 @@ impl Chain1d {
             .iter()
             .map(|&r| {
                 let need = dt / (cfl * r);
-                let k = if need <= 1.0 { 0 } else { need.log2().ceil() as usize };
+                let k = if need <= 1.0 {
+                    0
+                } else {
+                    need.log2().ceil() as usize
+                };
                 k.min(max_levels - 1) as u8
             })
             .collect();
@@ -154,14 +164,7 @@ impl Operator for Chain1d {
         }
     }
 
-    fn apply_masked(
-        &self,
-        u: &[f64],
-        out: &mut [f64],
-        elems: &[u32],
-        dof_level: &[u8],
-        level: u8,
-    ) {
+    fn apply_masked(&self, u: &[f64], out: &mut [f64], elems: &[u32], dof_level: &[u8], level: u8) {
         for &e in elems {
             let e = e as usize;
             let (l, r) = (self.gid(e), self.gid(e + 1));
@@ -218,7 +221,12 @@ mod tests {
             c.apply_masked(&u, &mut sum, &setup.elems[k], &setup.dof_level, k as u8);
         }
         for i in 0..5 {
-            assert!((full[i] - sum[i]).abs() < 1e-13, "dof {i}: {} vs {}", full[i], sum[i]);
+            assert!(
+                (full[i] - sum[i]).abs() < 1e-13,
+                "dof {i}: {} vs {}",
+                full[i],
+                sum[i]
+            );
         }
     }
 

@@ -125,7 +125,14 @@ impl<'a, O: Operator> LtsNewmark<'a, O> {
     }
 
     /// Run `n` global steps starting at `t0`; returns the end time.
-    pub fn run(&mut self, u: &mut [f64], v: &mut [f64], t0: f64, n: usize, sources: &[Source]) -> f64 {
+    pub fn run(
+        &mut self,
+        u: &mut [f64],
+        v: &mut [f64],
+        t0: f64,
+        n: usize,
+        sources: &[Source],
+    ) -> f64 {
         let mut t = t0;
         for _ in 0..n {
             self.step(u, v, t, sources);
@@ -204,7 +211,16 @@ fn aux_advance<O: Operator>(
                     vts[l][i] -= dt_l * f;
                 }
             }
-            inject_sources(op, sources, &s.leaf_level, l as u8, &mut vts[l], dt_l, tm, if m == 0 { 0.5 } else { 1.0 });
+            inject_sources(
+                op,
+                sources,
+                &s.leaf_level,
+                l as u8,
+                &mut vts[l],
+                dt_l,
+                tm,
+                if m == 0 { 0.5 } else { 1.0 },
+            );
             for &i in &s.active[l] {
                 let i = i as usize;
                 uts[l][i] += dt_l * vts[l][i];
@@ -234,7 +250,16 @@ fn aux_advance<O: Operator>(
                     vts[l][i] -= dt_l * f;
                 }
             }
-            inject_sources(op, sources, &s.leaf_level, l as u8, &mut vts[l], dt_l, tm, if m == 0 { 0.5 } else { 1.0 });
+            inject_sources(
+                op,
+                sources,
+                &s.leaf_level,
+                l as u8,
+                &mut vts[l],
+                dt_l,
+                tm,
+                if m == 0 { 0.5 } else { 1.0 },
+            );
             // active(l+1): velocity recovery from the child's displacement
             for &i in &s.active[l + 1] {
                 let i = i as usize;
@@ -264,7 +289,7 @@ mod tests {
     #[test]
     fn single_level_equals_newmark() {
         let c = Chain1d::uniform(12, 1.0, 1.0);
-        let setup = LtsSetup::new(&c, &vec![0u8; 12]);
+        let setup = LtsSetup::new(&c, &[0u8; 12]);
         let dt = 0.5;
         let mut u1: Vec<f64> = (0..13).map(|i| (i as f64 * 0.5).sin()).collect();
         let mut v1 = vec![0.0; 13];
@@ -385,7 +410,10 @@ mod tests {
         let mut nm = Newmark::new(&c, dt);
         nm.run(&mut u2, &mut v2, 0.0, 400, &[]);
         let norm2: f64 = u2.iter().map(|x| x * x).sum::<f64>().sqrt();
-        assert!(!(norm2 < 1e3), "global Newmark should be unstable, norm {norm2}");
+        assert!(
+            norm2.is_nan() || norm2 >= 1e3,
+            "global Newmark should be unstable, norm {norm2}"
+        );
     }
 
     /// LTS converges to the fine-step Newmark solution as both are refined
@@ -417,7 +445,9 @@ mod tests {
         let mut nm = Newmark::new(&c, dt / fine as f64);
         nm.run(&mut u_ref, &mut v_ref, 0.0, steps * fine, &[]);
 
-        let err: f64 = (0..n).map(|i| (u_lts[i] - u_ref[i]).abs()).fold(0.0, f64::max);
+        let err: f64 = (0..n)
+            .map(|i| (u_lts[i] - u_ref[i]).abs())
+            .fold(0.0, f64::max);
         // both are O(Δt²) discretizations of the same semi-discrete system;
         // at CFL 0.25 they agree to a few percent (the convergence-order
         // integration test quantifies the rate)

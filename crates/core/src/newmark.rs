@@ -24,7 +24,12 @@ impl<'a, O: Operator> Newmark<'a, O> {
     pub fn new(op: &'a O, dt: f64) -> Self {
         assert!(dt > 0.0);
         let n = op.ndof();
-        Newmark { op, dt, accel: vec![0.0; n], n_steps: 0 }
+        Newmark {
+            op,
+            dt,
+            accel: vec![0.0; n],
+            n_steps: 0,
+        }
     }
 
     /// Convert a nodal velocity at `t = 0` into the staggered `v^{-1/2}`
@@ -58,7 +63,14 @@ impl<'a, O: Operator> Newmark<'a, O> {
     }
 
     /// Run `n` steps starting at time `t0`; returns the end time.
-    pub fn run(&mut self, u: &mut [f64], v: &mut [f64], t0: f64, n: usize, sources: &[Source]) -> f64 {
+    pub fn run(
+        &mut self,
+        u: &mut [f64],
+        v: &mut [f64],
+        t0: f64,
+        n: usize,
+        sources: &[Source],
+    ) -> f64 {
         let mut t = t0;
         for _ in 0..n {
             self.step(u, v, t, sources);
@@ -114,7 +126,9 @@ mod tests {
         let n = 16;
         let c = Chain1d::uniform(n, 1.0, 1.0);
         // lumped P1 chain stability limit is dt = h/c = 1.0
-        let mut u: Vec<f64> = (0..=n).map(|i| ((i * 37) % 11) as f64 / 11.0 - 0.5).collect();
+        let mut u: Vec<f64> = (0..=n)
+            .map(|i| ((i * 37) % 11) as f64 / 11.0 - 0.5)
+            .collect();
         let mut v = vec![0.0; n + 1];
         let mut nm = Newmark::new(&c, 1.4);
         nm.run(&mut u, &mut v, 0.0, 200, &[]);
@@ -126,7 +140,9 @@ mod tests {
     fn stable_within_cfl() {
         let n = 16;
         let c = Chain1d::uniform(n, 1.0, 1.0);
-        let mut u: Vec<f64> = (0..=n).map(|i| ((i * 37) % 11) as f64 / 11.0 - 0.5).collect();
+        let mut u: Vec<f64> = (0..=n)
+            .map(|i| ((i * 37) % 11) as f64 / 11.0 - 0.5)
+            .collect();
         u[0] = 0.0;
         u[n] = 0.0;
         let mut v = vec![0.0; n + 1];

@@ -26,14 +26,7 @@ pub trait Operator {
     /// assembled from the elements in `elems` only. The caller guarantees
     /// `elems` contains every element touching a level-`level` DOF, so the
     /// product is exact.
-    fn apply_masked(
-        &self,
-        u: &[f64],
-        out: &mut [f64],
-        elems: &[u32],
-        dof_level: &[u8],
-        level: u8,
-    );
+    fn apply_masked(&self, u: &[f64], out: &mut [f64], elems: &[u32], dof_level: &[u8], level: u8);
 
     /// Diagonal mass matrix (used for energy accounting).
     fn mass(&self) -> &[f64];
@@ -48,7 +41,10 @@ pub struct Source {
 
 impl Source {
     pub fn new(dof: u32, amplitude: impl Fn(f64) -> f64 + Sync + 'static) -> Self {
-        Source { dof, amplitude: Box::new(amplitude) }
+        Source {
+            dof,
+            amplitude: Box::new(amplitude),
+        }
     }
 
     /// A Ricker wavelet (second derivative of a Gaussian), the standard

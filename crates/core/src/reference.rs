@@ -28,7 +28,13 @@ impl<'a, O: Operator> ReferenceLts<'a, O> {
         let masked: Vec<f64> = u
             .iter()
             .enumerate()
-            .map(|(i, &x)| if self.setup.dof_level[i] == level { x } else { 0.0 })
+            .map(|(i, &x)| {
+                if self.setup.dof_level[i] == level {
+                    x
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mut out = vec![0.0; u.len()];
         self.op.apply(&masked, &mut out);
@@ -72,7 +78,14 @@ impl<'a, O: Operator> ReferenceLts<'a, O> {
 
     /// Integrate the level-`l` auxiliary system over `Δt_{l−1}` starting from
     /// `u0` with zero auxiliary velocity; returns the full end state.
-    fn aux(&self, l: usize, u0: Vec<f64>, frozen: &[Vec<f64>], t0: f64, sources: &[Source]) -> Vec<f64> {
+    fn aux(
+        &self,
+        l: usize,
+        u0: Vec<f64>,
+        frozen: &[Vec<f64>],
+        t0: f64,
+        sources: &[Source],
+    ) -> Vec<f64> {
         let n = u0.len();
         let levels = self.setup.n_levels;
         let dt_l = self.dt / (1u64 << l) as f64;
@@ -93,7 +106,14 @@ impl<'a, O: Operator> ReferenceLts<'a, O> {
                         vt[i] -= dt_l * f;
                     }
                 }
-                self.sources_at(sources, l as u8, &mut vt, dt_l, tm, if m == 0 { 0.5 } else { 1.0 });
+                self.sources_at(
+                    sources,
+                    l as u8,
+                    &mut vt,
+                    dt_l,
+                    tm,
+                    if m == 0 { 0.5 } else { 1.0 },
+                );
             } else {
                 let mut frozen2 = frozen.to_vec();
                 frozen2.push(fl);
@@ -106,7 +126,14 @@ impl<'a, O: Operator> ReferenceLts<'a, O> {
                         vt[i] += 2.0 * d;
                     }
                 }
-                self.sources_at(sources, l as u8, &mut vt, dt_l, tm, if m == 0 { 0.5 } else { 1.0 });
+                self.sources_at(
+                    sources,
+                    l as u8,
+                    &mut vt,
+                    dt_l,
+                    tm,
+                    if m == 0 { 0.5 } else { 1.0 },
+                );
             }
             for i in 0..n {
                 ut[i] += dt_l * vt[i];
@@ -128,7 +155,9 @@ mod tests {
         let (lv, dt) = c.assign_levels(0.4, max_levels);
         let setup = LtsSetup::new(&c, &lv);
         let n = c.h.len() + 1;
-        let mut u1: Vec<f64> = (0..n).map(|i| (-((i as f64 - 4.0) / 2.0).powi(2)).exp()).collect();
+        let mut u1: Vec<f64> = (0..n)
+            .map(|i| (-((i as f64 - 4.0) / 2.0).powi(2)).exp())
+            .collect();
         let mut v1 = vec![0.0; n];
         let mut u2 = u1.clone();
         let mut v2 = v1.clone();
@@ -148,7 +177,10 @@ mod tests {
                 u2[i],
                 setup.n_levels
             );
-            assert!((v1[i] - v2[i]).abs() < 1e-10 * scale.max(v2[i].abs()), "v[{i}]");
+            assert!(
+                (v1[i] - v2[i]).abs() < 1e-10 * scale.max(v2[i].abs()),
+                "v[{i}]"
+            );
         }
     }
 
@@ -218,7 +250,12 @@ mod tests {
             rf.step(&mut u2, &mut v2, t, &mk());
         }
         for i in 0..n {
-            assert!((u1[i] - u2[i]).abs() < 1e-11, "u[{i}]: {} vs {}", u1[i], u2[i]);
+            assert!(
+                (u1[i] - u2[i]).abs() < 1e-11,
+                "u[{i}]: {} vs {}",
+                u1[i],
+                u2[i]
+            );
         }
     }
 }

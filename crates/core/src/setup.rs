@@ -104,8 +104,8 @@ impl LtsSetup {
             }
         }
         for (d, &m) in mark.iter().enumerate() {
-            for k in 1..=m as usize {
-                active[k].push(d as u32);
+            for lvl in active.iter_mut().take(m as usize + 1).skip(1) {
+                lvl.push(d as u32);
             }
         }
 

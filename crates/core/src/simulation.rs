@@ -50,7 +50,13 @@ pub struct RunReport {
 
 impl<'a, O: Operator> Simulation<'a, O> {
     pub fn new(op: &'a O, setup: &'a LtsSetup, integrator: Integrator) -> Self {
-        Simulation { op, setup, integrator, sources: Vec::new(), post_step: None }
+        Simulation {
+            op,
+            setup,
+            integrator,
+            sources: Vec::new(),
+            post_step: None,
+        }
     }
 
     pub fn with_sources(mut self, sources: Vec<Source>) -> Self {
@@ -86,7 +92,12 @@ impl<'a, O: Operator> Simulation<'a, O> {
                 if let Some(post) = self.post_step.as_mut() {
                     post(v);
                 }
-                observe(StepView { step: s, t: (s + 1) as f64 * dt, u, v });
+                observe(StepView {
+                    step: s,
+                    t: (s + 1) as f64 * dt,
+                    u,
+                    v,
+                });
             }
             elem_ops = stepper.stats.elem_ops;
         } else {
@@ -96,7 +107,12 @@ impl<'a, O: Operator> Simulation<'a, O> {
                 if let Some(post) = self.post_step.as_mut() {
                     post(v);
                 }
-                observe(StepView { step: s, t: (s + 1) as f64 * dt, u, v });
+                observe(StepView {
+                    step: s,
+                    t: (s + 1) as f64 * dt,
+                    u,
+                    v,
+                });
             }
         }
         RunReport {
@@ -148,26 +164,30 @@ mod tests {
     fn post_step_damps_velocity() {
         let (c, lv, dt) = three_level_chain();
         let setup = LtsSetup::new(&c, &lv);
-        let mut u: Vec<f64> = (0..21).map(|i| (-((i as f64 - 7.0) / 2.0f64).powi(2)).exp()).collect();
+        let mut u: Vec<f64> = (0..21)
+            .map(|i| (-((i as f64 - 7.0) / 2.0f64).powi(2)).exp())
+            .collect();
         let mut v = vec![0.0; 21];
         // taper restricted to coarsest-level DOFs: damping sub-stepped DOFs
         // breaks the LTS recovery's time-reversibility and *injects* energy
         // (see `lts_sem::boundary::Sponge::restrict_to_coarse`)
         let leaf = setup.leaf_level.clone();
-        let mut sim = Simulation::new(&c, &setup, Integrator::Lts { dt })
-            .with_post_step(move |v: &mut [f64]| {
+        let mut sim = Simulation::new(&c, &setup, Integrator::Lts { dt }).with_post_step(
+            move |v: &mut [f64]| {
                 for (x, &l) in v.iter_mut().zip(&leaf) {
                     if l == 0 {
                         *x *= 0.97;
                     }
                 }
-            });
+            },
+        );
         sim.run(&mut u, &mut v, 300, |_| {});
         let damped_energy: f64 = u.iter().chain(v.iter()).map(|x| x * x).sum();
 
         // undamped reference keeps its energy
-        let mut u2: Vec<f64> =
-            (0..21).map(|i| (-((i as f64 - 7.0) / 2.0f64).powi(2)).exp()).collect();
+        let mut u2: Vec<f64> = (0..21)
+            .map(|i| (-((i as f64 - 7.0) / 2.0f64).powi(2)).exp())
+            .collect();
         let mut v2 = vec![0.0; 21];
         Simulation::new(&c, &setup, Integrator::Lts { dt }).run(&mut u2, &mut v2, 300, |_| {});
         let free_energy: f64 = u2.iter().chain(v2.iter()).map(|x| x * x).sum();
@@ -183,7 +203,9 @@ mod tests {
     fn newmark_and_lts_agree_through_driver() {
         let (c, lv, dt) = three_level_chain();
         let setup = LtsSetup::new(&c, &lv);
-        let u0: Vec<f64> = (0..21).map(|i| (-((i as f64 - 7.0) / 2.0f64).powi(2)).exp()).collect();
+        let u0: Vec<f64> = (0..21)
+            .map(|i| (-((i as f64 - 7.0) / 2.0f64).powi(2)).exp())
+            .collect();
 
         let mut u1 = u0.clone();
         let mut v1 = vec![0.0; 21];
@@ -192,8 +214,14 @@ mod tests {
         let p_max = 4;
         let mut u2 = u0;
         let mut v2 = vec![0.0; 21];
-        Simulation::new(&c, &setup, Integrator::Newmark { dt: dt / p_max as f64 })
-            .run(&mut u2, &mut v2, 16 * p_max, |_| {});
+        Simulation::new(
+            &c,
+            &setup,
+            Integrator::Newmark {
+                dt: dt / p_max as f64,
+            },
+        )
+        .run(&mut u2, &mut v2, 16 * p_max, |_| {});
 
         let err: f64 = (0..21).map(|i| (u1[i] - u2[i]).abs()).fold(0.0, f64::max);
         assert!(err < 0.05, "driver LTS vs Newmark deviation {err}");

@@ -93,10 +93,7 @@ mod tests {
     fn cfl_heuristic_is_conservative() {
         // the mesh-level bound 0.5·h/c must sit inside the true region
         let c = Chain1d::with_velocities(vec![1.0, 2.0, 1.0, 3.0, 1.5], 1.0);
-        let heuristic = 0.5
-            * (0..5)
-                .map(|e| c.elem_cfl_ratio(e))
-                .fold(f64::MAX, f64::min);
+        let heuristic = 0.5 * (0..5).map(|e| c.elem_cfl_ratio(e)).fold(f64::MAX, f64::min);
         let exact = exact_stable_dt(&c, 400);
         assert!(heuristic < exact, "heuristic {heuristic} vs exact {exact}");
     }
@@ -123,7 +120,10 @@ mod tests {
         let exact = exact_stable_dt(&c, 400); // ≈ 0.25 (fine-limited)
         assert!(exact < 0.3);
         let (lv, dt) = c.assign_levels(0.5, 3);
-        assert!(dt > exact, "LTS coarse step {dt} exceeds the global bound {exact}");
+        assert!(
+            dt > exact,
+            "LTS coarse step {dt} exceeds the global bound {exact}"
+        );
         let setup = LtsSetup::new(&c, &lv);
         let mut u: Vec<f64> = (0..21).map(|i| (i as f64 * 0.3).sin()).collect();
         let mut v = vec![0.0; 21];

@@ -32,7 +32,10 @@ pub struct TwoLevelLts<'a, O: Operator> {
 
 impl<'a, O: Operator> TwoLevelLts<'a, O> {
     pub fn new(op: &'a O, setup: &'a LtsSetup, dt: f64, p: usize) -> Self {
-        assert!(setup.n_levels <= 2, "two-level scheme needs a 2-level setup");
+        assert!(
+            setup.n_levels <= 2,
+            "two-level scheme needs a 2-level setup"
+        );
         assert!(p >= 1);
         let n = op.ndof();
         TwoLevelLts {
@@ -92,7 +95,14 @@ impl<'a, O: Operator> TwoLevelLts<'a, O> {
             }
             {
                 let mut vt = std::mem::take(&mut self.vt);
-                self.inject(sources, 1, &mut vt, dtau, tm, if m == 0 { 0.5 } else { 1.0 });
+                self.inject(
+                    sources,
+                    1,
+                    &mut vt,
+                    dtau,
+                    tm,
+                    if m == 0 { 0.5 } else { 1.0 },
+                );
                 self.vt = vt;
             }
             for &i in &s.active[1] {
@@ -125,7 +135,14 @@ impl<'a, O: Operator> TwoLevelLts<'a, O> {
     }
 
     /// Run `n` global steps starting at `t0`.
-    pub fn run(&mut self, u: &mut [f64], v: &mut [f64], t0: f64, n: usize, sources: &[Source]) -> f64 {
+    pub fn run(
+        &mut self,
+        u: &mut [f64],
+        v: &mut [f64],
+        t0: f64,
+        n: usize,
+        sources: &[Source],
+    ) -> f64 {
         let mut t = t0;
         for _ in 0..n {
             self.step(u, v, t, sources);
@@ -159,7 +176,9 @@ mod tests {
         let setup = LtsSetup::new(&c, &lv);
         let dt = 0.4;
         let n = 15;
-        let u0: Vec<f64> = (0..n).map(|i| (-((i as f64 - 5.0) / 2.0f64).powi(2)).exp()).collect();
+        let u0: Vec<f64> = (0..n)
+            .map(|i| (-((i as f64 - 5.0) / 2.0f64).powi(2)).exp())
+            .collect();
         let mut u1 = u0.clone();
         let mut v1 = vec![0.0; n];
         let mut u2 = u0;
@@ -205,8 +224,14 @@ mod tests {
         };
         let with_p2 = norm_after(2);
         let with_p3 = norm_after(3);
-        assert!(with_p3.is_finite() && with_p3 < 100.0, "p=3 should be stable: {with_p3}");
-        assert!(!(with_p2 < 1e3), "p=2 should be unstable at ratio 3: {with_p2}");
+        assert!(
+            with_p3.is_finite() && with_p3 < 100.0,
+            "p=3 should be stable: {with_p3}"
+        );
+        assert!(
+            with_p2.is_nan() || with_p2 >= 1e3,
+            "p=2 should be unstable at ratio 3: {with_p2}"
+        );
     }
 
     #[test]
@@ -238,7 +263,9 @@ mod tests {
         let (c, lv) = two_level_chain(3.0, 12, 8);
         let setup = LtsSetup::new(&c, &lv);
         let n = 13;
-        let u0: Vec<f64> = (0..n).map(|i| (-((i as f64 - 4.0) / 1.5f64).powi(2)).exp()).collect();
+        let u0: Vec<f64> = (0..n)
+            .map(|i| (-((i as f64 - 4.0) / 1.5f64).powi(2)).exp())
+            .collect();
         // resolved reference
         let mut u_ref = u0.clone();
         let mut v_ref = vec![0.0; n];

@@ -110,13 +110,21 @@ impl BenchmarkMesh {
         let m = ((target_elems as f64 / (depth + 3.0)).sqrt().round() as usize).max(8);
         // squeeze the top ~1.5 base cells by 2× → ~3 half-height surface
         // layers: fine fraction ≈ 3/41 ⇒ Eq. 9 speed-up ≈ 1.86 (paper: 1.9)
-        let band_z = Band { start: depth - 1.5, end: depth, squeeze: 2.0 };
+        let band_z = Band {
+            start: depth - 1.5,
+            end: depth,
+            squeeze: 2.0,
+        };
         let xs = uniform_planes(m as f64, m);
         let ys = uniform_planes(m as f64, m);
         let zs = graded_planes(depth, 1.0, &[band_z]);
         let mesh = HexMesh::graded(xs, ys, zs, 1.0, 1.0);
         let levels = Levels::assign(&mesh, DEFAULT_CFL, 2);
-        BenchmarkMesh { kind: MeshKind::Crust, mesh, levels }
+        BenchmarkMesh {
+            kind: MeshKind::Crust,
+            mesh,
+            levels,
+        }
     }
 }
 
@@ -128,7 +136,13 @@ fn paint_strip(mesh: &mut HexMesh, w: usize, d: usize, level: u8) {
     let j0 = jc.saturating_sub(w);
     let j1 = (jc + w).min(mesh.ny);
     let k0 = mesh.nz.saturating_sub(d);
-    mesh.paint_box((0, mesh.nx), (j0, j1), (k0, mesh.nz), (1u64 << level) as f64, 1.0);
+    mesh.paint_box(
+        (0, mesh.nx),
+        (j0, j1),
+        (k0, mesh.nz),
+        (1u64 << level) as f64,
+        1.0,
+    );
 }
 
 /// Trench: a 4:1:1 box with nested refinement strips at the surface running
@@ -297,7 +311,12 @@ mod tests {
         for kind in [MeshKind::Trench, MeshKind::Embedding] {
             let b = BenchmarkMesh::build(kind, 60_000);
             let hist = b.levels.histogram();
-            assert!(hist[0] > b.mesh.n_elems() / 2, "{}: {:?}", kind.name(), hist);
+            assert!(
+                hist[0] > b.mesh.n_elems() / 2,
+                "{}: {:?}",
+                kind.name(),
+                hist
+            );
             for w in hist.windows(2).skip(1) {
                 // finer levels no larger than ~3× the next coarser
                 assert!(w[1] <= w[0].max(1) * 3 + 8, "{}: {:?}", kind.name(), hist);

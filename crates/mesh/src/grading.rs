@@ -75,7 +75,10 @@ pub fn graded_planes(length: f64, base_h: f64, bands: &[Band]) -> Vec<f64> {
         }
         *planes.last_mut().unwrap() = length;
     }
-    assert!(planes.windows(2).all(|w| w[1] > w[0]), "grading produced non-monotone planes");
+    assert!(
+        planes.windows(2).all(|w| w[1] > w[0]),
+        "grading produced non-monotone planes"
+    );
     planes
 }
 
@@ -108,7 +111,11 @@ mod tests {
 
     #[test]
     fn band_refines_spacing() {
-        let band = Band { start: 4.0, end: 6.0, squeeze: 8.0 };
+        let band = Band {
+            start: 4.0,
+            end: 6.0,
+            squeeze: 8.0,
+        };
         let p = graded_planes(10.0, 1.0, &[band]);
         assert_eq!(*p.last().unwrap(), 10.0);
         // inside the band, spacing should be ≈ 1/8
@@ -125,7 +132,11 @@ mod tests {
 
     #[test]
     fn ratio_between_cells_bounded() {
-        let band = Band { start: 3.0, end: 3.5, squeeze: 16.0 };
+        let band = Band {
+            start: 3.0,
+            end: 3.5,
+            squeeze: 16.0,
+        };
         let p = graded_planes(12.0, 1.0, &[band]);
         for w in p.windows(3) {
             let h0 = w[1] - w[0];
@@ -138,8 +149,16 @@ mod tests {
     #[test]
     fn monotone_with_multiple_bands() {
         let bands = [
-            Band { start: 1.0, end: 2.0, squeeze: 4.0 },
-            Band { start: 7.0, end: 7.5, squeeze: 8.0 },
+            Band {
+                start: 1.0,
+                end: 2.0,
+                squeeze: 4.0,
+            },
+            Band {
+                start: 7.0,
+                end: 7.5,
+                squeeze: 8.0,
+            },
         ];
         let p = graded_planes(10.0, 1.0, &bands);
         assert!(p.windows(2).all(|w| w[1] > w[0]));

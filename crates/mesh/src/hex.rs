@@ -46,7 +46,10 @@ impl HexMesh {
 
     /// Mesh from explicit coordinate planes with constant material.
     pub fn graded(xs: Vec<f64>, ys: Vec<f64>, zs: Vec<f64>, velocity: f64, density: f64) -> Self {
-        assert!(xs.len() >= 2 && ys.len() >= 2 && zs.len() >= 2, "need at least one cell per axis");
+        assert!(
+            xs.len() >= 2 && ys.len() >= 2 && zs.len() >= 2,
+            "need at least one cell per axis"
+        );
         for planes in [&xs, &ys, &zs] {
             assert!(
                 planes.windows(2).all(|w| w[1] > w[0]),
@@ -56,7 +59,16 @@ impl HexMesh {
         assert!(velocity > 0.0 && density > 0.0);
         let (nx, ny, nz) = (xs.len() - 1, ys.len() - 1, zs.len() - 1);
         let ne = nx * ny * nz;
-        HexMesh { nx, ny, nz, xs, ys, zs, velocity: vec![velocity; ne], density: vec![density; ne] }
+        HexMesh {
+            nx,
+            ny,
+            nz,
+            xs,
+            ys,
+            zs,
+            velocity: vec![velocity; ne],
+            density: vec![density; ne],
+        }
     }
 
     #[inline]
@@ -350,6 +362,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "strictly increasing")]
     fn rejects_nonmonotone_planes() {
-        HexMesh::graded(vec![0.0, 1.0, 0.5], vec![0.0, 1.0], vec![0.0, 1.0], 1.0, 1.0);
+        HexMesh::graded(
+            vec![0.0, 1.0, 0.5],
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+            1.0,
+            1.0,
+        );
     }
 }

@@ -51,7 +51,12 @@ impl NodalHypergraph {
             netcost.push(cost);
             xpins.push(pins.len() as u32);
         }
-        NodalHypergraph { xpins, pins, netcost, n_vertices: mesh.n_elems() }
+        NodalHypergraph {
+            xpins,
+            pins,
+            netcost,
+            n_vertices: mesh.n_elems(),
+        }
     }
 
     /// Build from a 2-D quad mesh (for the Fig. 2/3 demonstrations).
@@ -71,7 +76,12 @@ impl NodalHypergraph {
             netcost.push(cost);
             xpins.push(pins.len() as u32);
         }
-        NodalHypergraph { xpins, pins, netcost, n_vertices: mesh.n_elems() }
+        NodalHypergraph {
+            xpins,
+            pins,
+            netcost,
+            n_vertices: mesh.n_elems(),
+        }
     }
 
     /// Connectivity-1 cut size (Eq. 20) of a vertex partition: the exact MPI

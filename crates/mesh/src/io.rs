@@ -46,7 +46,10 @@ fn parse_floats(line: &str, name: &str) -> std::io::Result<Vec<f64>> {
         .strip_prefix(name)
         .ok_or_else(|| bad(format!("expected '{name} …', got {line:.40?}")))?;
     rest.split_whitespace()
-        .map(|t| t.parse::<f64>().map_err(|e| bad(format!("bad float {t:?}: {e}"))))
+        .map(|t| {
+            t.parse::<f64>()
+                .map_err(|e| bad(format!("bad float {t:?}: {e}")))
+        })
         .collect()
 }
 
@@ -57,11 +60,14 @@ fn bad(msg: String) -> std::io::Error {
 /// Read a mesh written by [`write_mesh`].
 pub fn read_mesh<R: Read>(r: R) -> std::io::Result<HexMesh> {
     let reader = BufReader::new(r);
-    let mut lines = reader
-        .lines()
-        .filter(|l| l.as_ref().map_or(true, |s| !s.trim().is_empty() && !s.starts_with('#')));
+    let mut lines = reader.lines().filter(|l| {
+        l.as_ref()
+            .map_or(true, |s| !s.trim().is_empty() && !s.starts_with('#'))
+    });
     let mut next = || -> std::io::Result<String> {
-        lines.next().ok_or_else(|| bad("unexpected end of mesh file".into()))?
+        lines
+            .next()
+            .ok_or_else(|| bad("unexpected end of mesh file".into()))?
     };
     let magic = next()?;
     if magic.trim() != "wave-lts-mesh v1" {
@@ -126,7 +132,11 @@ pub fn read_ids<R: Read>(r: R) -> std::io::Result<Vec<u32>> {
 /// Write levels (the per-element map plus the global step in a header).
 pub fn write_levels<W: Write>(w: W, levels: &Levels) -> std::io::Result<()> {
     let mut w = BufWriter::new(w);
-    writeln!(w, "# wave-lts levels, dt_global = {:.17e}", levels.dt_global)?;
+    writeln!(
+        w,
+        "# wave-lts levels, dt_global = {:.17e}",
+        levels.dt_global
+    )?;
     writeln!(w, "# n_levels = {}", levels.n_levels)?;
     for &l in &levels.elem_level {
         writeln!(w, "{l}")?;

@@ -33,7 +33,7 @@ impl Levels {
     /// finest level and the global step is *reduced* so that the finest level
     /// remains stable — mirroring how production codes cap level counts.
     pub fn assign(mesh: &HexMesh, cfl: f64, max_levels: usize) -> Self {
-        assert!(max_levels >= 1 && max_levels <= 16);
+        assert!((1..=16).contains(&max_levels));
         let ne = mesh.n_elems();
         assert!(ne > 0);
         let ratios: Vec<f64> = (0..ne as u32).map(|e| mesh.elem_cfl_ratio(e)).collect();
@@ -54,7 +54,11 @@ impl Levels {
         for (e, &r) in ratios.iter().enumerate() {
             // smallest k with Δt/2^k ≤ cfl·r
             let need = dt_global / (cfl * r);
-            let k = if need <= 1.0 { 0 } else { need.log2().ceil() as usize };
+            let k = if need <= 1.0 {
+                0
+            } else {
+                need.log2().ceil() as usize
+            };
             let k = k.min(depth - 1) as u8;
             elem_level[e] = k;
             max_seen = max_seen.max(k);
@@ -73,7 +77,11 @@ impl Levels {
     pub fn from_levels(mesh: &HexMesh, elem_level: Vec<u8>, dt_global: f64) -> Self {
         assert_eq!(elem_level.len(), mesh.n_elems());
         let n_levels = elem_level.iter().copied().max().unwrap_or(0) as usize + 1;
-        let mut lv = Levels { elem_level, n_levels, dt_global };
+        let mut lv = Levels {
+            elem_level,
+            n_levels,
+            dt_global,
+        };
         lv.smooth(mesh);
         lv
     }
@@ -222,7 +230,8 @@ mod tests {
         let lv = Levels::assign(&m, 0.5, 8);
         for e in 0..m.n_elems() as u32 {
             for nb in m.face_neighbors(e) {
-                let d = (lv.elem_level[e as usize] as i32 - lv.elem_level[nb as usize] as i32).abs();
+                let d =
+                    (lv.elem_level[e as usize] as i32 - lv.elem_level[nb as usize] as i32).abs();
                 assert!(d <= 1, "level jump {d} between {e} and {nb}");
             }
         }

@@ -44,7 +44,13 @@ pub struct MediumConfig {
 
 impl Default for MediumConfig {
     fn default() -> Self {
-        MediumConfig { c_min: 1.0, c_max: 3.0, n_modes: 24, max_wavenumber: 3.0, seed: 1 }
+        MediumConfig {
+            c_min: 1.0,
+            c_max: 3.0,
+            n_modes: 24,
+            max_wavenumber: 3.0,
+            seed: 1,
+        }
     }
 }
 
@@ -103,7 +109,11 @@ mod tests {
 
     #[test]
     fn velocities_within_bounds() {
-        let cfg = MediumConfig { c_min: 1.5, c_max: 4.0, ..Default::default() };
+        let cfg = MediumConfig {
+            c_min: 1.5,
+            c_max: 4.0,
+            ..Default::default()
+        };
         let m = random_media_cube(2_000, &cfg);
         for &c in &m.velocity {
             assert!((1.5..=4.0).contains(&c), "c = {c}");
@@ -128,7 +138,10 @@ mod tests {
     #[test]
     fn field_is_smooth() {
         // neighbouring elements should differ by far less than the range
-        let cfg = MediumConfig { max_wavenumber: 2.0, ..Default::default() };
+        let cfg = MediumConfig {
+            max_wavenumber: 2.0,
+            ..Default::default()
+        };
         let m = random_media_cube(8_000, &cfg);
         let mut max_jump = 0.0f64;
         for e in 0..m.n_elems() as u32 {
@@ -141,7 +154,11 @@ mod tests {
 
     #[test]
     fn induces_multiple_lts_levels() {
-        let cfg = MediumConfig { c_min: 1.0, c_max: 4.5, ..Default::default() };
+        let cfg = MediumConfig {
+            c_min: 1.0,
+            c_max: 4.5,
+            ..Default::default()
+        };
         let m = random_media_cube(4_000, &cfg);
         let lv = Levels::assign(&m, 0.5, 4);
         assert!(lv.n_levels >= 3, "levels {}", lv.n_levels);
@@ -149,7 +166,8 @@ mod tests {
         // smooth media → conforming levels come out naturally
         for e in 0..m.n_elems() as u32 {
             for nb in m.face_neighbors(e) {
-                let d = (lv.elem_level[e as usize] as i32 - lv.elem_level[nb as usize] as i32).abs();
+                let d =
+                    (lv.elem_level[e as usize] as i32 - lv.elem_level[nb as usize] as i32).abs();
                 assert!(d <= 1);
             }
         }

@@ -1,0 +1,345 @@
+//! Hand-rolled JSON and CSV exporters.
+//!
+//! The build environment has no serde, so this module carries a tiny JSON
+//! document model ([`Json`]) with a spec-compliant renderer, plus converters
+//! from a [`MetricsRegistry`] to JSON and CSV. Output is deterministic: the
+//! registry's `BTreeMap` ordering fixes metric order, the trace is in
+//! completion order.
+
+use std::fmt::Write as _;
+
+use crate::registry::{Histogram, Metric, MetricsRegistry};
+
+/// Minimal JSON document model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Render to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Render with two-space indentation (stable across runs).
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Num(f) => write_f64(out, *f),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// JSON has no NaN/Infinity; map them to null.
+fn write_f64(out: &mut String, f: f64) {
+    if f.is_finite() {
+        // `{:?}` for finite f64 is round-trippable and valid JSON.
+        let _ = write!(out, "{f:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn level_json(level: Option<u8>) -> Json {
+    match level {
+        Some(l) => Json::UInt(l as u64),
+        None => Json::Null,
+    }
+}
+
+fn histogram_json(h: &Histogram) -> Json {
+    let mut fields = vec![
+        ("count".to_string(), Json::UInt(h.count)),
+        ("sum".to_string(), Json::Num(h.sum)),
+        ("mean".to_string(), Json::Num(h.mean())),
+    ];
+    if h.count > 0 {
+        fields.push(("min".to_string(), Json::Num(h.min)));
+        fields.push(("max".to_string(), Json::Num(h.max)));
+    }
+    Json::Obj(fields)
+}
+
+/// Convert a registry into a JSON object with `counters`, `gauges`,
+/// `histograms` and `trace` arrays. Each entry carries its full key.
+pub fn registry_to_json(reg: &MetricsRegistry) -> Json {
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut histograms = Vec::new();
+    for (key, metric) in reg.iter() {
+        let mut fields = vec![("name".to_string(), Json::str(key.name))];
+        fields.push(("level".to_string(), level_json(key.level)));
+        if let Some(label) = &key.label {
+            fields.push(("label".to_string(), Json::str(label.clone())));
+        }
+        match metric {
+            Metric::Counter(c) => {
+                fields.push(("value".to_string(), Json::UInt(*c)));
+                counters.push(Json::Obj(fields));
+            }
+            Metric::Gauge(g) => {
+                fields.push(("value".to_string(), Json::Num(*g)));
+                gauges.push(Json::Obj(fields));
+            }
+            Metric::Histogram(h) => {
+                fields.push(("value".to_string(), histogram_json(h)));
+                histograms.push(Json::Obj(fields));
+            }
+        }
+    }
+    let trace = reg
+        .trace()
+        .iter()
+        .map(|ev| {
+            Json::Obj(vec![
+                ("seq".to_string(), Json::UInt(ev.seq)),
+                ("name".to_string(), Json::str(ev.name)),
+                ("level".to_string(), level_json(ev.level)),
+                ("start_s".to_string(), Json::Num(ev.start_s)),
+                ("dur_s".to_string(), Json::Num(ev.dur_s)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("counters".to_string(), Json::Arr(counters)),
+        ("gauges".to_string(), Json::Arr(gauges)),
+        ("histograms".to_string(), Json::Arr(histograms)),
+        ("trace".to_string(), Json::Arr(trace)),
+    ])
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Flatten a registry to CSV, one metric per row:
+/// `kind,name,level,label,value,count,sum,min,max`. Counters and gauges fill
+/// `value`; histograms fill `count,sum,min,max` and leave `value` empty.
+pub fn registry_to_csv(reg: &MetricsRegistry) -> String {
+    let mut out = String::from("kind,name,level,label,value,count,sum,min,max\n");
+    for (key, metric) in reg.iter() {
+        let level = key.level.map(|l| l.to_string()).unwrap_or_default();
+        let label = key.label.as_deref().unwrap_or("");
+        let (kind, value, count, sum, min, max) = match metric {
+            Metric::Counter(c) => (
+                "counter",
+                c.to_string(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ),
+            Metric::Gauge(g) => (
+                "gauge",
+                format!("{g:?}"),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ),
+            Metric::Histogram(h) => (
+                "histogram",
+                String::new(),
+                h.count.to_string(),
+                format!("{:?}", h.sum),
+                if h.count > 0 {
+                    format!("{:?}", h.min)
+                } else {
+                    String::new()
+                },
+                if h.count > 0 {
+                    format!("{:?}", h.max)
+                } else {
+                    String::new()
+                },
+            ),
+        };
+        let _ = writeln!(
+            out,
+            "{kind},{},{level},{},{value},{count},{sum},{min},{max}",
+            csv_field(key.name),
+            csv_field(label),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_scalars_and_escaping() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Int(-3).render(), "-3");
+        assert_eq!(Json::UInt(7).render(), "7");
+        assert_eq!(Json::Num(1.5).render(), "1.5");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::str("a\"b\\c\nd").render(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn render_nested() {
+        let doc = Json::Obj(vec![
+            (
+                "xs".to_string(),
+                Json::Arr(vec![Json::UInt(1), Json::UInt(2)]),
+            ),
+            ("name".to_string(), Json::str("lvl")),
+        ]);
+        assert_eq!(doc.render(), r#"{"xs":[1,2],"name":"lvl"}"#);
+        let pretty = doc.render_pretty();
+        assert!(pretty.contains("\"xs\": [\n"));
+        assert!(pretty.ends_with("}\n"));
+    }
+
+    #[test]
+    fn registry_json_roundtrip_structure() {
+        let mut r = MetricsRegistry::with_trace();
+        r.inc_level("elem_ops", 0, 12);
+        r.set_gauge("imbalance_pct", 6.25);
+        {
+            let _s = r.start_span("busy", Some(1));
+        }
+        let json = registry_to_json(&r).render();
+        assert!(json.contains(r#""counters":[{"name":"elem_ops","level":0,"value":12}]"#));
+        assert!(json.contains(r#""name":"imbalance_pct","level":null,"value":6.25"#));
+        assert!(json.contains(r#""name":"busy","level":1"#));
+        assert!(json.contains(r#""trace":[{"seq":0,"name":"busy","level":1"#));
+    }
+
+    #[test]
+    fn registry_csv_has_rows() {
+        let mut r = MetricsRegistry::new();
+        r.inc_level("msgs", 2, 5);
+        r.observe("busy", Some(2), 0.25);
+        let csv = registry_to_csv(&r);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "kind,name,level,label,value,count,sum,min,max");
+        assert!(lines.iter().any(|l| l.starts_with("counter,msgs,2,,5,")));
+        assert!(lines
+            .iter()
+            .any(|l| l.starts_with("histogram,busy,2,,,1,0.25,0.25,0.25")));
+    }
+
+    #[test]
+    fn csv_quoting() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("q\"q"), "\"q\"\"q\"");
+    }
+}

@@ -1,0 +1,30 @@
+//! # lts-obs — structured observability for the LTS stack
+//!
+//! The paper's two core diagnostics are the per-rank busy/stall timeline of
+//! Fig. 1 and the per-level imbalance of Eq. 21; both require *accounting*,
+//! not printf. This crate provides the accounting layer every other crate
+//! records into:
+//!
+//! * [`MetricsRegistry`] — typed counters, gauges and histogram timers keyed
+//!   by `(name, LTS level, label)`. Counters of element operations, exchange
+//!   messages and DOF volumes are **exact integers independent of timing**,
+//!   which makes them usable as test oracles (see `tests/obs_integration.rs`
+//!   and `tests/proptest_obs.rs` at the workspace root).
+//! * [`span!`] — scoped timing of a phase, recorded as a histogram
+//!   observation and (when tracing is enabled) a [`TraceEvent`] in a
+//!   structured trace.
+//! * [`export`] — hand-rolled JSON and CSV serialization (the environment
+//!   has no serde), so bench binaries emit machine-readable profiles.
+//!
+//! The registry is deliberately *single-owner* (`&mut self` everywhere): the
+//! runtime gives each rank its own registry on its own thread and merges
+//! after the join, so the hot path pays one branch and one integer add per
+//! record — no atomics, no locks.
+
+pub mod export;
+pub mod registry;
+pub mod span;
+
+pub use export::{registry_to_csv, registry_to_json, Json};
+pub use registry::{Histogram, Key, Metric, MetricsRegistry};
+pub use span::{Span, TraceEvent};

@@ -1,0 +1,148 @@
+//! Scoped phase timing.
+//!
+//! A [`Span`] is an RAII guard: created via
+//! [`MetricsRegistry::start_span`](crate::MetricsRegistry::start_span) or the
+//! [`span!`] macro, it measures wall time until drop, records the duration
+//! into the histogram keyed by `(name, level)`, and — when tracing is enabled
+//! on the registry — appends a [`TraceEvent`] to the structured trace.
+
+use std::time::Instant;
+
+use crate::registry::MetricsRegistry;
+
+/// One completed span in the structured trace, with timestamps relative to
+/// the registry's epoch (its creation instant).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Phase name (e.g. `"force"`, `"exchange_wait"`, `"coarsen"`).
+    pub name: &'static str,
+    /// LTS level the phase ran at, if level-scoped.
+    pub level: Option<u8>,
+    /// Seconds since registry epoch when the span started.
+    pub start_s: f64,
+    /// Span duration in seconds.
+    pub dur_s: f64,
+    /// Monotonic sequence number (order of completion within the registry).
+    pub seq: u64,
+}
+
+/// RAII timing guard. Records on drop; use [`Span::cancel`] to discard.
+#[must_use = "a Span records its duration when dropped; binding it to `_` drops immediately"]
+pub struct Span<'a> {
+    reg: &'a mut MetricsRegistry,
+    name: &'static str,
+    level: Option<u8>,
+    start: Instant,
+    start_s: f64,
+    cancelled: bool,
+}
+
+impl<'a> Span<'a> {
+    pub(crate) fn new(reg: &'a mut MetricsRegistry, name: &'static str, level: Option<u8>) -> Self {
+        let start_s = reg.elapsed_s();
+        Span {
+            reg,
+            name,
+            level,
+            start: Instant::now(),
+            start_s,
+            cancelled: false,
+        }
+    }
+
+    /// Seconds elapsed since this span started.
+    pub fn elapsed_s(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Discard the span: nothing is recorded on drop.
+    pub fn cancel(mut self) {
+        self.cancelled = true;
+    }
+
+    /// Access the underlying registry while the span is open (e.g. to bump
+    /// counters for work done inside the phase).
+    pub fn registry(&mut self) -> &mut MetricsRegistry {
+        self.reg
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if self.cancelled {
+            return;
+        }
+        let dur_s = self.start.elapsed().as_secs_f64();
+        self.reg.observe(self.name, self.level, dur_s);
+        if self.reg.trace_enabled() {
+            let ev = TraceEvent {
+                name: self.name,
+                level: self.level,
+                start_s: self.start_s,
+                dur_s,
+                seq: 0, // assigned by push_trace
+            };
+            self.reg.push_trace(ev);
+        }
+    }
+}
+
+/// Time a phase against a registry: `span!(reg, level, "phase")` or
+/// `span!(reg, "phase")` for level-less phases. Expands to a bound [`Span`]
+/// guard, so the phase ends when the binding's scope ends (or on an explicit
+/// `drop`).
+#[macro_export]
+macro_rules! span {
+    ($reg:expr, $level:expr, $name:expr) => {
+        $crate::MetricsRegistry::start_span($reg, $name, ::core::option::Option::Some($level))
+    };
+    ($reg:expr, $name:expr) => {
+        $crate::MetricsRegistry::start_span($reg, $name, ::core::option::Option::None)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_histogram_and_trace() {
+        let mut reg = MetricsRegistry::with_trace();
+        {
+            let _s = reg.start_span("phase_a", Some(2));
+        }
+        {
+            let _s = span!(&mut reg, 2u8, "phase_a");
+        }
+        {
+            let _s = span!(&mut reg, "no_level");
+        }
+        let h = reg.histogram("phase_a", Some(2)).expect("histogram exists");
+        assert_eq!(h.count, 2);
+        assert!(reg.histogram("no_level", None).is_some());
+        let trace = reg.trace();
+        assert_eq!(trace.len(), 3);
+        // seq strictly increasing, start times non-decreasing.
+        assert!(trace.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(trace.windows(2).all(|w| w[0].start_s <= w[1].start_s));
+    }
+
+    #[test]
+    fn cancel_discards() {
+        let mut reg = MetricsRegistry::with_trace();
+        let s = reg.start_span("phase_b", None);
+        s.cancel();
+        assert!(reg.histogram("phase_b", None).is_none());
+        assert!(reg.trace().is_empty());
+    }
+
+    #[test]
+    fn trace_disabled_still_observes() {
+        let mut reg = MetricsRegistry::new();
+        {
+            let _s = reg.start_span("phase_c", Some(0));
+        }
+        assert_eq!(reg.histogram("phase_c", Some(0)).unwrap().count, 1);
+        assert!(reg.trace().is_empty());
+    }
+}

@@ -81,7 +81,7 @@ pub fn greedy_assignment(benefit: &[i64], n: usize) -> Vec<u32> {
             entries.push((benefit[p * n + q], p as u32, q as u32));
         }
     }
-    entries.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+    entries.sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
     let mut assign = vec![u32::MAX; n];
     let mut used = vec![false; n];
     let mut done = 0;
@@ -153,9 +153,7 @@ mod tests {
             let benefit: Vec<i64> = (0..n * n).map(|_| rng.gen_range(0..1000)).collect();
             let a = auction_assignment(&benefit, n);
             let g = greedy_assignment(&benefit, n);
-            assert!(
-                assignment_benefit(&benefit, n, &a) >= assignment_benefit(&benefit, n, &g)
-            );
+            assert!(assignment_benefit(&benefit, n, &a) >= assignment_benefit(&benefit, n, &g));
         }
     }
 

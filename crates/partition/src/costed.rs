@@ -25,7 +25,13 @@ pub const ACOUSTIC_COST: u32 = 1;
 /// Per-element costs for a mesh with an elastic sub-region.
 pub fn elastic_region_costs(mesh: &HexMesh, is_elastic: impl Fn(u32) -> bool) -> Vec<u32> {
     (0..mesh.n_elems() as u32)
-        .map(|e| if is_elastic(e) { ELASTIC_COST } else { ACOUSTIC_COST })
+        .map(|e| {
+            if is_elastic(e) {
+                ELASTIC_COST
+            } else {
+                ACOUSTIC_COST
+            }
+        })
         .collect()
 }
 
@@ -46,7 +52,13 @@ pub fn partition_mesh_costed(
             let vwgt = (0..mesh.n_elems() as u32)
                 .map(|e| costs[e as usize] * levels.p_of(e) as u32)
                 .collect();
-            let g = Graph { xadj: dual.xadj, adj: dual.adj, ewgt: dual.ewgt, ncon: 1, vwgt };
+            let g = Graph {
+                xadj: dual.xadj,
+                adj: dual.adj,
+                ewgt: dual.ewgt,
+                ncon: 1,
+                vwgt,
+            };
             let cfg = PartitionConfig {
                 eps: 0.03,
                 seed,
@@ -65,7 +77,13 @@ pub fn partition_mesh_costed(
             for e in 0..mesh.n_elems() {
                 vwgt[e * ncon + levels.elem_level[e] as usize] = costs[e];
             }
-            let g = Graph { xadj: dual.xadj, adj: dual.adj, ewgt: dual.ewgt, ncon, vwgt };
+            let g = Graph {
+                xadj: dual.xadj,
+                adj: dual.adj,
+                ewgt: dual.ewgt,
+                ncon,
+                vwgt,
+            };
             let cfg = PartitionConfig {
                 eps: 0.05,
                 seed,
@@ -87,7 +105,11 @@ pub fn partition_mesh_costed(
             let nets =
                 (0..nh.n_nets() as u32).map(|n| (nh.pins_of(n).to_vec(), nh.netcost[n as usize]));
             let h = HGraph::from_nets(mesh.n_elems(), nets, ncon, vwgt);
-            let cfg = HPartitionConfig { final_imbal, seed, n_inits: 4 };
+            let cfg = HPartitionConfig {
+                final_imbal,
+                seed,
+                n_inits: 4,
+            };
             let mut part = hpartition_kway(&h, k, &cfg);
             kway_refine_hgraph(&h, &mut part, k, final_imbal, 3, seed);
             part
@@ -147,7 +169,8 @@ mod tests {
     fn uncosted_partition_is_worse_under_costed_metric() {
         let (b, costs) = mixed_mesh();
         let k = 8;
-        let plain = crate::strategy::partition_mesh(&b.mesh, &b.levels, k, Strategy::ScotchBaseline, 1);
+        let plain =
+            crate::strategy::partition_mesh(&b.mesh, &b.levels, k, Strategy::ScotchBaseline, 1);
         let costed =
             partition_mesh_costed(&b.mesh, &b.levels, &costs, k, Strategy::ScotchBaseline, 1);
         let imb_plain = costed_imbalance(&b.levels, &costs, &plain, k);

@@ -57,8 +57,16 @@ impl Graph {
     /// element's work per LTS cycle (`p_e`), edges weighted `max(p_u, p_v)`.
     pub fn scotch_baseline(mesh: &HexMesh, levels: &Levels) -> Self {
         let dual = DualGraph::build_weighted(mesh, levels);
-        let vwgt = (0..mesh.n_elems() as u32).map(|e| levels.p_of(e) as u32).collect();
-        Graph { xadj: dual.xadj, adj: dual.adj, ewgt: dual.ewgt, ncon: 1, vwgt }
+        let vwgt = (0..mesh.n_elems() as u32)
+            .map(|e| levels.p_of(e) as u32)
+            .collect();
+        Graph {
+            xadj: dual.xadj,
+            adj: dual.adj,
+            ewgt: dual.ewgt,
+            ncon: 1,
+            vwgt,
+        }
     }
 
     /// Multi-constraint graph for the MeTiS strategy: one unit-weight slot
@@ -70,7 +78,13 @@ impl Graph {
         for e in 0..mesh.n_elems() {
             vwgt[e * ncon + levels.elem_level[e] as usize] = 1;
         }
-        Graph { xadj: dual.xadj, adj: dual.adj, ewgt: dual.ewgt, ncon, vwgt }
+        Graph {
+            xadj: dual.xadj,
+            adj: dual.adj,
+            ewgt: dual.ewgt,
+            ncon,
+            vwgt,
+        }
     }
 
     /// Unweighted single-constraint graph over a vertex subset (used by
@@ -97,7 +111,16 @@ impl Graph {
             xadj.push(adj.len() as u32);
             vwgt.extend_from_slice(self.weight_of(g));
         }
-        (Graph { xadj, adj, ewgt, ncon: self.ncon, vwgt }, keep.to_vec())
+        (
+            Graph {
+                xadj,
+                adj,
+                ewgt,
+                ncon: self.ncon,
+                vwgt,
+            },
+            keep.to_vec(),
+        )
     }
 
     /// Weighted edge cut of a partition.
@@ -143,7 +166,13 @@ mod tests {
             xadj.push(adj.len() as u32);
         }
         let ewgt = vec![1; adj.len()];
-        Graph { xadj, adj, ewgt, ncon: 1, vwgt: vec![1; n] }
+        Graph {
+            xadj,
+            adj,
+            ewgt,
+            ncon: 1,
+            vwgt: vec![1; n],
+        }
     }
 
     #[test]

@@ -95,7 +95,15 @@ impl HGraph {
             netcost.push(cost);
         }
         let (xnets, vnets) = invert_pins(n_vertices, &xpins, &pins);
-        HGraph { xpins, pins, xnets, vnets, netcost, ncon, vwgt }
+        HGraph {
+            xpins,
+            pins,
+            xnets,
+            vnets,
+            netcost,
+            ncon,
+            vwgt,
+        }
     }
 
     /// The paper's LTS hypergraph: one net per mesh corner node with cost
@@ -107,8 +115,8 @@ impl HGraph {
         for e in 0..mesh.n_elems() {
             vwgt[e * ncon + levels.elem_level[e] as usize] = 1;
         }
-        let nets = (0..nh.n_nets() as u32)
-            .map(|n| (nh.pins_of(n).to_vec(), nh.netcost[n as usize]));
+        let nets =
+            (0..nh.n_nets() as u32).map(|n| (nh.pins_of(n).to_vec(), nh.netcost[n as usize]));
         Self::from_nets(mesh.n_elems(), nets, ncon, vwgt)
     }
 
@@ -275,7 +283,7 @@ mod tests {
         );
         assert_eq!(h.n_nets(), 2);
         assert_eq!(h.netcost[0], 5); // merged {0,1}
-        // cut semantics unchanged: splitting 0|1 costs the summed 5
+                                     // cut semantics unchanged: splitting 0|1 costs the summed 5
         assert_eq!(h.cut(&[0, 1, 1]), 5);
     }
 }

@@ -6,6 +6,9 @@
 //! recursive bisection with net splitting for K parts.
 
 use crate::hgraph::HGraph;
+use crate::multilevel::names as vnames;
+use crate::refine::{record_fm_pass, FmPassOutcome};
+use lts_obs::MetricsRegistry;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
@@ -23,7 +26,11 @@ pub struct HPartitionConfig {
 
 impl Default for HPartitionConfig {
     fn default() -> Self {
-        HPartitionConfig { final_imbal: 0.05, seed: 1, n_inits: 4 }
+        HPartitionConfig {
+            final_imbal: 0.05,
+            seed: 1,
+            n_inits: 4,
+        }
     }
 }
 
@@ -32,12 +39,33 @@ const MIN_SHRINK: f64 = 0.92;
 
 /// Partition into `k` parts; `part[v] ∈ 0..k`.
 pub fn hpartition_kway(h: &HGraph, k: usize, cfg: &HPartitionConfig) -> Vec<u32> {
+    hpartition_kway_observed(h, k, cfg, &mut MetricsRegistry::new())
+}
+
+/// [`hpartition_kway`], recording V-cycle phase timers and FM counters into
+/// `reg` (metric level = V-cycle coarsening depth).
+pub fn hpartition_kway_observed(
+    h: &HGraph,
+    k: usize,
+    cfg: &HPartitionConfig,
+    reg: &mut MetricsRegistry,
+) -> Vec<u32> {
     assert!(k >= 1 && k <= h.n_vertices());
     // split the K-way tolerance across ~log2(k) nested bisections
     let depth_levels = (k as f64).log2().ceil().max(1.0);
     let eps_b = (1.0 + cfg.final_imbal).powf(1.0 / depth_levels) - 1.0;
     let mut part = vec![0u32; h.n_vertices()];
-    recurse(h, k, 0, eps_b, cfg, 0, &mut part, &(0..h.n_vertices() as u32).collect::<Vec<_>>());
+    recurse(
+        h,
+        k,
+        0,
+        eps_b,
+        cfg,
+        0,
+        &mut part,
+        &(0..h.n_vertices() as u32).collect::<Vec<_>>(),
+        reg,
+    );
     part
 }
 
@@ -51,6 +79,7 @@ fn recurse(
     depth: u64,
     out: &mut [u32],
     global_ids: &[u32],
+    reg: &mut MetricsRegistry,
 ) {
     if k == 1 {
         for &v in global_ids {
@@ -60,7 +89,8 @@ fn recurse(
     }
     let k_left = k / 2;
     let f_left = k_left as f64 / k as f64;
-    let side = bisect_multilevel(h, f_left, eps, cfg, depth);
+    reg.inc(vnames::BISECTIONS, 1);
+    let side = bisect_multilevel(h, f_left, eps, cfg, depth, 0, reg);
     let mut left = Vec::new();
     let mut right = Vec::new();
     for (v, &s) in side.iter().enumerate() {
@@ -80,8 +110,18 @@ fn recurse(
     let hr = h.induced(&right);
     let gl: Vec<u32> = left.iter().map(|&l| global_ids[l as usize]).collect();
     let gr: Vec<u32> = right.iter().map(|&l| global_ids[l as usize]).collect();
-    recurse(&hl, k_left, first, eps, cfg, 2 * depth + 1, out, &gl);
-    recurse(&hr, k - k_left, first + k_left as u32, eps, cfg, 2 * depth + 2, out, &gr);
+    recurse(&hl, k_left, first, eps, cfg, 2 * depth + 1, out, &gl, reg);
+    recurse(
+        &hr,
+        k - k_left,
+        first + k_left as u32,
+        eps,
+        cfg,
+        2 * depth + 2,
+        out,
+        &gr,
+        reg,
+    );
 }
 
 fn limits(tot: &[u64], f_left: f64, eps: f64) -> Vec<[u64; 2]> {
@@ -116,26 +156,53 @@ fn violation(sw: &[[u64; 2]], lim: &[[u64; 2]]) -> f64 {
     worst
 }
 
-fn bisect_multilevel(h: &HGraph, f_left: f64, eps: f64, cfg: &HPartitionConfig, depth: u64) -> Vec<u8> {
+#[allow(clippy::too_many_arguments)]
+fn bisect_multilevel(
+    h: &HGraph,
+    f_left: f64,
+    eps: f64,
+    cfg: &HPartitionConfig,
+    depth: u64,
+    vdepth: u8,
+    reg: &mut MetricsRegistry,
+) -> Vec<u8> {
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_mul(0xD1B54A32D192ED03) ^ depth);
     if h.n_vertices() <= COARSEST_N {
-        return initial_bisection(h, f_left, eps, cfg, &mut rng);
+        let mut span = reg.start_span(vnames::VCYCLE_INITIAL, Some(vdepth));
+        return initial_bisection(h, f_left, eps, cfg, &mut rng, span.registry());
     }
+    let coarsen = reg.start_span(vnames::VCYCLE_COARSEN, Some(vdepth));
     let (match_of, n_coarse) = heavy_connectivity_matching(h, &mut rng);
     if n_coarse as f64 > MIN_SHRINK * h.n_vertices() as f64 {
-        return initial_bisection(h, f_left, eps, cfg, &mut rng);
+        coarsen.cancel();
+        reg.inc(vnames::COARSEN_STALLS, 1);
+        let mut span = reg.start_span(vnames::VCYCLE_INITIAL, Some(vdepth));
+        return initial_bisection(h, f_left, eps, cfg, &mut rng, span.registry());
     }
     let (coarse, cmap) = contract(h, &match_of, n_coarse);
-    let cside = bisect_multilevel(&coarse, f_left, eps, cfg, depth.wrapping_add(0x2545F491));
+    drop(coarsen);
+    let cside = bisect_multilevel(
+        &coarse,
+        f_left,
+        eps,
+        cfg,
+        depth.wrapping_add(0x2545F491),
+        vdepth.saturating_add(1),
+        reg,
+    );
     let mut side = vec![0u8; h.n_vertices()];
     for v in 0..h.n_vertices() {
         side[v] = cside[cmap[v] as usize];
     }
+    let mut refine = reg.start_span(vnames::VCYCLE_REFINE, Some(vdepth));
+    let reg = refine.registry();
     let lim = limits(&h.total_weights(), f_left, eps);
     let mut sw = side_weights(h, &side);
     rebalance(h, &mut side, &mut sw, &lim);
     for _ in 0..4 {
-        if fm_pass(h, &mut side, &mut sw, &lim) == 0 {
+        let out = fm_pass(h, &mut side, &mut sw, &lim);
+        record_fm_pass(reg, Some(vdepth), out);
+        if out.gain == 0 {
             break;
         }
     }
@@ -149,6 +216,7 @@ fn initial_bisection(
     eps: f64,
     cfg: &HPartitionConfig,
     rng: &mut ChaCha8Rng,
+    reg: &mut MetricsRegistry,
 ) -> Vec<u8> {
     let tot = h.total_weights();
     let lim = limits(&tot, f_left, eps);
@@ -158,7 +226,9 @@ fn initial_bisection(
         let mut sw = side_weights(h, &side);
         rebalance(h, &mut side, &mut sw, &lim);
         for _ in 0..8 {
-            if fm_pass(h, &mut side, &mut sw, &lim) == 0 {
+            let out = fm_pass(h, &mut side, &mut sw, &lim);
+            record_fm_pass(reg, None, out);
+            if out.gain == 0 {
                 break;
             }
         }
@@ -166,7 +236,10 @@ fn initial_bisection(
         let viol = violation(&sw, &lim);
         let part: Vec<u32> = side.iter().map(|&s| s as u32).collect();
         let cut = h.cut(&part);
-        if best.as_ref().map_or(true, |(bv, bc, _)| (viol, cut) < (*bv, *bc)) {
+        if best
+            .as_ref()
+            .is_none_or(|(bv, bc, _)| (viol, cut) < (*bv, *bc))
+        {
             best = Some((viol, cut, side));
         }
     }
@@ -177,7 +250,10 @@ fn initial_bisection(
 fn grow_initial(h: &HGraph, f_left: f64, eps: f64, rng: &mut ChaCha8Rng) -> Vec<u8> {
     let n = h.n_vertices();
     let tot = h.total_weights();
-    let goals: Vec<u64> = tot.iter().map(|&t| (f_left * t as f64).round() as u64).collect();
+    let goals: Vec<u64> = tot
+        .iter()
+        .map(|&t| (f_left * t as f64).round() as u64)
+        .collect();
     let mut side = vec![1u8; n];
     let mut w0 = vec![0u64; h.ncon];
     let seed = rng.gen_range(0..n) as u32;
@@ -280,7 +356,13 @@ fn net_sides(h: &HGraph, side: &[u8]) -> Vec<[u32; 2]> {
     ns
 }
 
-fn apply_move(h: &HGraph, v: usize, side: &mut [u8], sw: &mut [[u64; 2]], net_side: &mut [[u32; 2]]) {
+fn apply_move(
+    h: &HGraph,
+    v: usize,
+    side: &mut [u8],
+    sw: &mut [[u64; 2]],
+    net_side: &mut [[u32; 2]],
+) {
     let from = side[v] as usize;
     let to = 1 - from;
     for c in 0..h.ncon {
@@ -305,7 +387,7 @@ fn move_feasible(h: &HGraph, v: usize, to: usize, sw: &[[u64; 2]], lim: &[[u64; 
     true
 }
 
-fn fm_pass(h: &HGraph, side: &mut [u8], sw: &mut Vec<[u64; 2]>, lim: &[[u64; 2]]) -> u64 {
+fn fm_pass(h: &HGraph, side: &mut [u8], sw: &mut [[u64; 2]], lim: &[[u64; 2]]) -> FmPassOutcome {
     let n = h.n_vertices();
     let mut net_side = net_sides(h, side);
     let mut gain = vec![0i64; n];
@@ -364,12 +446,16 @@ fn fm_pass(h: &HGraph, side: &mut [u8], sw: &mut Vec<[u64; 2]>, lim: &[[u64; 2]]
     for &v in seq[best_len..].iter().rev() {
         apply_move(h, v as usize, side, sw, &mut net_side);
     }
-    (-best_delta) as u64
+    FmPassOutcome {
+        gain: (-best_delta) as u64,
+        moves: seq.len() as u64,
+        rolled_back: (seq.len() - best_len) as u64,
+    }
 }
 
 /// Move vertices out of overloaded (constraint, side) pairs, preferring
 /// least cut damage, until the `final_imbal` limits hold or no move helps.
-fn rebalance(h: &HGraph, side: &mut [u8], sw: &mut Vec<[u64; 2]>, lim: &[[u64; 2]]) {
+fn rebalance(h: &HGraph, side: &mut [u8], sw: &mut [[u64; 2]], lim: &[[u64; 2]]) {
     let mut net_side = net_sides(h, side);
     for _ in 0..4 * h.n_vertices() {
         let mut worst: Option<(usize, usize)> = None;
@@ -393,7 +479,7 @@ fn rebalance(h: &HGraph, side: &mut [u8], sw: &mut Vec<[u64; 2]>, lim: &[[u64; 2
                 continue;
             }
             let gv = gain_of(h, v, side, &net_side);
-            if best.map_or(true, |(bg, _)| gv > bg) {
+            if best.is_none_or(|(bg, _)| gv > bg) {
                 best = Some((gv, v));
             }
         }
@@ -444,10 +530,9 @@ fn heavy_connectivity_matching(h: &HGraph, rng: &mut ChaCha8Rng) -> (Vec<u32>, u
             let s = score[u as usize];
             score[u as usize] = 0;
             let ui = u as usize;
-            let fits = (0..h.ncon).all(|c| {
-                h.vwgt[vi * h.ncon + c] as u64 + h.vwgt[ui * h.ncon + c] as u64 <= cap[c]
-            });
-            if fits && best.map_or(true, |(bs, _)| s > bs) {
+            let fits = (0..h.ncon)
+                .all(|c| h.vwgt[vi * h.ncon + c] as u64 + h.vwgt[ui * h.ncon + c] as u64 <= cap[c]);
+            if fits && best.is_none_or(|(bs, _)| s > bs) {
                 best = Some((s, u));
             }
         }
@@ -520,7 +605,10 @@ mod tests {
     fn kway_respects_final_imbal() {
         let h = mesh_hgraph(8, 8, 4);
         for imbal in [0.05, 0.01] {
-            let cfg = HPartitionConfig { final_imbal: imbal, ..Default::default() };
+            let cfg = HPartitionConfig {
+                final_imbal: imbal,
+                ..Default::default()
+            };
             let part = hpartition_kway(&h, 4, &cfg);
             let pw = h.part_weights(&part, 4);
             let tot = h.total_weights()[0] as f64;

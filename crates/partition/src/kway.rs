@@ -72,7 +72,7 @@ pub fn kway_refine_graph(
                     let w = g.vwgt[vi * g.ncon + c] as u64;
                     w == 0 || pw[q as usize * g.ncon + c] + w <= lim[c]
                 });
-                if fits && best.map_or(true, |(bg, _)| gain > bg) {
+                if fits && best.is_none_or(|(bg, _)| gain > bg) {
                     best = Some((gain, q));
                 }
             }
@@ -168,7 +168,7 @@ pub fn kway_refine_hgraph(
                     let w = h.vwgt[vi * h.ncon + c] as u64;
                     w == 0 || pw[q as usize * h.ncon + c] + w <= lim[c]
                 });
-                if fits && best.map_or(true, |(bg, _)| gain > bg) {
+                if fits && best.is_none_or(|(bg, _)| gain > bg) {
                     best = Some((gain, q));
                 }
             }
@@ -236,7 +236,9 @@ mod tests {
     #[test]
     fn graph_refinement_never_increases_cut() {
         let g = grid_graph();
-        let mut part: Vec<u32> = (0..g.n_vertices() as u32).map(|v| u32::from(v >= 32)).collect();
+        let mut part: Vec<u32> = (0..g.n_vertices() as u32)
+            .map(|v| u32::from(v >= 32))
+            .collect();
         let before = g.cut(&part);
         kway_refine_graph(&g, &mut part, 2, 0.05, 4, 7);
         assert!(g.cut(&part) <= before);
@@ -269,7 +271,7 @@ mod tests {
         let mut part: Vec<u32> = vec![0; g.n_vertices()];
         part[0] = 1; // almost everything on part 0
         kway_refine_graph(&g, &mut part, 2, 0.05, 4, 3);
-        assert!(part.iter().any(|&p| p == 1), "part 1 emptied");
+        assert!(part.contains(&1), "part 1 emptied");
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //! bisections, Fiduccia–Mattheyses boundary refinement with per-constraint
 //! balance, and recursive bisection for K parts.
 
+// Indexed `for i in 0..n` loops over parallel arrays are the house idiom in
+// these numerical kernels: the index couples several same-length arrays and
+// mirrors the subscripts in the paper's equations, which zip chains obscure.
+#![allow(clippy::needless_range_loop)]
 pub mod assignment;
 pub mod costed;
 pub mod graph;
@@ -35,5 +39,7 @@ pub mod strategy;
 
 pub use graph::Graph;
 pub use hgraph::HGraph;
-pub use metrics::{edge_cut, load_imbalance, mpi_volume, ImbalanceReport};
-pub use strategy::{partition_mesh, Strategy};
+pub use metrics::{
+    edge_cut, exchange_oracle, load_imbalance, mpi_volume, ExchangeOracle, ImbalanceReport,
+};
+pub use strategy::{partition_mesh, partition_mesh_observed, Strategy};

@@ -7,10 +7,27 @@
 //! multi-constraint strategy.
 
 use crate::graph::Graph;
-use crate::refine::{grow_initial, refine_bisection, side_weights, violation, BisectTarget};
+use crate::refine::{
+    grow_initial, refine_bisection_observed, side_weights, violation, BisectTarget,
+};
+use lts_obs::MetricsRegistry;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+/// Metric names of the multilevel V-cycle (level = coarsening depth).
+pub mod names {
+    /// Histogram: time coarsening one V-cycle level (matching + contraction).
+    pub const VCYCLE_COARSEN: &str = "vcycle.coarsen";
+    /// Histogram: time solving the coarsest-level initial bisection.
+    pub const VCYCLE_INITIAL: &str = "vcycle.initial";
+    /// Histogram: time refining after projection back to one V-cycle level.
+    pub const VCYCLE_REFINE: &str = "vcycle.refine";
+    /// Counter: bisections performed (one per recursive split).
+    pub const BISECTIONS: &str = "vcycle.bisections";
+    /// Counter: coarsening attempts abandoned for shrinking too slowly.
+    pub const COARSEN_STALLS: &str = "vcycle.coarsen_stalls";
+}
 
 /// Tuning knobs of the multilevel engine.
 #[derive(Debug, Clone, Copy)]
@@ -34,7 +51,13 @@ pub struct PartitionConfig {
 
 impl Default for PartitionConfig {
     fn default() -> Self {
-        PartitionConfig { eps: 0.05, seed: 1, active_rebalance: true, n_inits: 4, adjust_eps: true }
+        PartitionConfig {
+            eps: 0.05,
+            seed: 1,
+            active_rebalance: true,
+            n_inits: 4,
+            adjust_eps: true,
+        }
     }
 }
 
@@ -43,6 +66,17 @@ const MIN_SHRINK: f64 = 0.92;
 
 /// Partition `g` into `k` parts. Returns `part[v] ∈ 0..k`.
 pub fn partition_kway(g: &Graph, k: usize, cfg: &PartitionConfig) -> Vec<u32> {
+    partition_kway_observed(g, k, cfg, &mut MetricsRegistry::new())
+}
+
+/// [`partition_kway`], recording V-cycle phase timers and FM counters into
+/// `reg` (metric level = V-cycle coarsening depth).
+pub fn partition_kway_observed(
+    g: &Graph,
+    k: usize,
+    cfg: &PartitionConfig,
+    reg: &mut MetricsRegistry,
+) -> Vec<u32> {
     assert!(k >= 1);
     assert!(
         k <= g.n_vertices(),
@@ -60,10 +94,11 @@ pub fn partition_kway(g: &Graph, k: usize, cfg: &PartitionConfig) -> Vec<u32> {
         cfg.eps
     };
     let cfg_b = PartitionConfig { eps: eps_b, ..*cfg };
-    recurse(g, &ids, k, 0, &cfg_b, 0, &mut part);
+    recurse(g, &ids, k, 0, &cfg_b, 0, &mut part, reg);
     part
 }
 
+#[allow(clippy::too_many_arguments)]
 fn recurse(
     g: &Graph,
     global_ids: &[u32],
@@ -72,6 +107,7 @@ fn recurse(
     cfg: &PartitionConfig,
     depth: u64,
     out: &mut [u32],
+    reg: &mut MetricsRegistry,
 ) {
     if k == 1 {
         for &v in global_ids {
@@ -80,8 +116,12 @@ fn recurse(
         return;
     }
     let k_left = k / 2;
-    let target = BisectTarget { f_left: k_left as f64 / k as f64, eps: cfg.eps };
-    let side = bisect_multilevel(g, &target, cfg, depth);
+    let target = BisectTarget {
+        f_left: k_left as f64 / k as f64,
+        eps: cfg.eps,
+    };
+    reg.inc(names::BISECTIONS, 1);
+    let side = bisect_inner(g, &target, cfg, depth, 0, reg);
     let mut left = Vec::new();
     let mut right = Vec::new();
     for (v, &s) in side.iter().enumerate() {
@@ -102,8 +142,26 @@ fn recurse(
     let (g_right, map_right) = g.induced_subgraph(&right);
     let gl_ids: Vec<u32> = map_left.iter().map(|&l| global_ids[l as usize]).collect();
     let gr_ids: Vec<u32> = map_right.iter().map(|&l| global_ids[l as usize]).collect();
-    recurse(&g_left, &gl_ids, k_left, first_part, cfg, 2 * depth + 1, out);
-    recurse(&g_right, &gr_ids, k - k_left, first_part + k_left as u32, cfg, 2 * depth + 2, out);
+    recurse(
+        &g_left,
+        &gl_ids,
+        k_left,
+        first_part,
+        cfg,
+        2 * depth + 1,
+        out,
+        reg,
+    );
+    recurse(
+        &g_right,
+        &gr_ids,
+        k - k_left,
+        first_part + k_left as u32,
+        cfg,
+        2 * depth + 2,
+        out,
+        reg,
+    );
 }
 
 /// Multilevel bisection of `g`.
@@ -113,23 +171,56 @@ pub fn bisect_multilevel(
     cfg: &PartitionConfig,
     depth: u64,
 ) -> Vec<u8> {
+    bisect_inner(g, target, cfg, depth, 0, &mut MetricsRegistry::new())
+}
+
+fn bisect_inner(
+    g: &Graph,
+    target: &BisectTarget,
+    cfg: &PartitionConfig,
+    depth: u64,
+    vdepth: u8,
+    reg: &mut MetricsRegistry,
+) -> Vec<u8> {
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_mul(0x9E3779B97F4A7C15) ^ depth);
     if g.n_vertices() <= COARSEST_N {
-        return initial_bisection(g, target, cfg, &mut rng);
+        let mut span = reg.start_span(names::VCYCLE_INITIAL, Some(vdepth));
+        return initial_bisection(g, target, cfg, &mut rng, span.registry());
     }
+    let coarsen = reg.start_span(names::VCYCLE_COARSEN, Some(vdepth));
     let (matched, n_coarse) = heavy_edge_matching(g, &mut rng);
     if n_coarse as f64 > MIN_SHRINK * g.n_vertices() as f64 {
         // coarsening stalled — solve directly
-        return initial_bisection(g, target, cfg, &mut rng);
+        coarsen.cancel();
+        reg.inc(names::COARSEN_STALLS, 1);
+        let mut span = reg.start_span(names::VCYCLE_INITIAL, Some(vdepth));
+        return initial_bisection(g, target, cfg, &mut rng, span.registry());
     }
     let (coarse, cmap) = contract(g, &matched, n_coarse);
-    let coarse_side = bisect_multilevel(&coarse, target, cfg, depth.wrapping_add(0x5bd1e995));
+    drop(coarsen);
+    let coarse_side = bisect_inner(
+        &coarse,
+        target,
+        cfg,
+        depth.wrapping_add(0x5bd1e995),
+        vdepth.saturating_add(1),
+        reg,
+    );
     // project and refine
     let mut side = vec![0u8; g.n_vertices()];
     for v in 0..g.n_vertices() {
         side[v] = coarse_side[cmap[v] as usize];
     }
-    refine_bisection(g, &mut side, target, 4, cfg.active_rebalance);
+    let mut refine = reg.start_span(names::VCYCLE_REFINE, Some(vdepth));
+    refine_bisection_observed(
+        g,
+        &mut side,
+        target,
+        4,
+        cfg.active_rebalance,
+        Some(vdepth),
+        refine.registry(),
+    );
     side
 }
 
@@ -138,13 +229,14 @@ fn initial_bisection(
     target: &BisectTarget,
     cfg: &PartitionConfig,
     rng: &mut ChaCha8Rng,
+    reg: &mut MetricsRegistry,
 ) -> Vec<u8> {
     let tot = g.total_weights();
     let limits = target.limits(&tot);
     let mut best: Option<(f64, u64, Vec<u8>)> = None;
     for _ in 0..cfg.n_inits.max(1) {
         let mut side = grow_initial(g, target, rng);
-        refine_bisection(g, &mut side, target, 8, true);
+        refine_bisection_observed(g, &mut side, target, 8, true, None, reg);
         let sw = side_weights(g, &side);
         let viol = violation(&sw, &limits);
         let part: Vec<u32> = side.iter().map(|&s| s as u32).collect();
@@ -187,10 +279,9 @@ fn heavy_edge_matching(g: &Graph, rng: &mut ChaCha8Rng) -> (Vec<u32>, usize) {
                 continue;
             }
             let w = g.edge_weights(v)[idx];
-            let fits = (0..g.ncon).all(|c| {
-                g.vwgt[vi * g.ncon + c] as u64 + g.vwgt[ui * g.ncon + c] as u64 <= cap[c]
-            });
-            if fits && best.map_or(true, |(bw, _)| w > bw) {
+            let fits = (0..g.ncon)
+                .all(|c| g.vwgt[vi * g.ncon + c] as u64 + g.vwgt[ui * g.ncon + c] as u64 <= cap[c]);
+            if fits && best.is_none_or(|(bw, _)| w > bw) {
                 best = Some((w, u));
             }
         }
@@ -267,7 +358,16 @@ fn contract(g: &Graph, match_of: &[u32], n_coarse: usize) -> (Graph, Vec<u32>) {
         let _ = start;
         xadj.push(adj.len() as u32);
     }
-    (Graph { xadj, adj, ewgt, ncon: g.ncon, vwgt }, cmap)
+    (
+        Graph {
+            xadj,
+            adj,
+            ewgt,
+            ncon: g.ncon,
+            vwgt,
+        },
+        cmap,
+    )
 }
 
 #[cfg(test)]
@@ -292,7 +392,10 @@ mod tests {
                 assert!((p as usize) < k);
                 counts[p as usize] += 1;
             }
-            assert!(counts.iter().all(|&c| c > 0), "k={k}: empty part {counts:?}");
+            assert!(
+                counts.iter().all(|&c| c > 0),
+                "k={k}: empty part {counts:?}"
+            );
         }
     }
 
@@ -349,7 +452,10 @@ mod tests {
         m.paint_box((4, 8), (4, 8), (0, 2), 2.0, 1.0);
         let lv = Levels::assign(&m, 0.5, 4);
         let g = Graph::multi_constraint(&m, &lv);
-        let cfg = PartitionConfig { eps: 0.15, ..Default::default() };
+        let cfg = PartitionConfig {
+            eps: 0.15,
+            ..Default::default()
+        };
         let k = 4;
         let part = partition_kway(&g, k, &cfg);
         let pw = g.part_weights(&part, k);

@@ -4,10 +4,23 @@
 //! rebalancing pass.
 
 use crate::graph::Graph;
+use lts_obs::MetricsRegistry;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::BinaryHeap;
+
+/// Metric names recorded by the refinement machinery (level = V-cycle depth).
+pub mod names {
+    /// Counter: FM passes executed.
+    pub const FM_PASSES: &str = "fm.passes";
+    /// Counter: total cut improvement kept across FM passes.
+    pub const FM_GAIN: &str = "fm.gain";
+    /// Counter: vertex moves applied during FM passes (before rollback).
+    pub const FM_MOVES: &str = "fm.moves";
+    /// Counter: moves undone when rolling back to the best prefix.
+    pub const FM_ROLLBACK: &str = "fm.rollback";
+}
 
 /// Target of one bisection step: side 0 should receive the fraction
 /// `f_left` of every constraint, within relative tolerance `eps`.
@@ -106,7 +119,10 @@ fn gain_of(g: &Graph, v: u32, side: &[u8]) -> i64 {
 pub fn grow_initial(g: &Graph, target: &BisectTarget, rng: &mut ChaCha8Rng) -> Vec<u8> {
     let n = g.n_vertices();
     let tot = g.total_weights();
-    let goals: Vec<u64> = tot.iter().map(|&t| (target.f_left * t as f64).round() as u64).collect();
+    let goals: Vec<u64> = tot
+        .iter()
+        .map(|&t| (target.f_left * t as f64).round() as u64)
+        .collect();
     let mut side = vec![1u8; n];
     let mut w0 = vec![0u64; g.ncon];
 
@@ -143,8 +159,7 @@ pub fn grow_initial(g: &Graph, target: &BisectTarget, rng: &mut ChaCha8Rng) -> V
                 break;
             }
             let vi = v as usize;
-            let helps = (0..g.ncon)
-                .any(|c| g.vwgt[vi * g.ncon + c] > 0 && w0[c] < goals[c]);
+            let helps = (0..g.ncon).any(|c| g.vwgt[vi * g.ncon + c] > 0 && w0[c] < goals[c]);
             if !helps {
                 continue;
             }
@@ -186,14 +201,42 @@ pub fn grow_initial(g: &Graph, target: &BisectTarget, rng: &mut ChaCha8Rng) -> V
     side
 }
 
+/// Record one FM pass outcome under `vcycle_level` (shared by the graph and
+/// hypergraph engines).
+pub fn record_fm_pass(reg: &mut MetricsRegistry, vcycle_level: Option<u8>, out: FmPassOutcome) {
+    let key = |name| lts_obs::Key {
+        name,
+        level: vcycle_level,
+        label: None,
+    };
+    reg.inc_key(key(names::FM_PASSES), 1);
+    reg.inc_key(key(names::FM_GAIN), out.gain);
+    reg.inc_key(key(names::FM_MOVES), out.moves);
+    reg.inc_key(key(names::FM_ROLLBACK), out.rolled_back);
+}
+
+/// What one FM pass did: the kept cut improvement, the moves it tried, and
+/// how many of those were rolled back past the best prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FmPassOutcome {
+    pub gain: u64,
+    pub moves: u64,
+    pub rolled_back: u64,
+}
+
 /// One FM pass with rollback: vertices move at most once, the best prefix of
 /// the move sequence is kept. Returns the cut improvement (≥ 0).
-pub fn fm_pass(
+pub fn fm_pass(g: &Graph, side: &mut [u8], sw: &mut [[u64; 2]], limits: &[[u64; 2]]) -> u64 {
+    fm_pass_observed(g, side, sw, limits).gain
+}
+
+/// [`fm_pass`], reporting its move accounting for the observability layer.
+pub fn fm_pass_observed(
     g: &Graph,
     side: &mut [u8],
-    sw: &mut Vec<[u64; 2]>,
+    sw: &mut [[u64; 2]],
     limits: &[[u64; 2]],
-) -> u64 {
+) -> FmPassOutcome {
     let n = g.n_vertices();
     let mut gain = vec![0i64; n];
     let mut heap: BinaryHeap<(i64, u32)> = BinaryHeap::new();
@@ -256,14 +299,18 @@ pub fn fm_pass(
     for &v in seq[best_len..].iter().rev() {
         apply_move(g, v as usize, side, sw);
     }
-    (-best_delta) as u64
+    FmPassOutcome {
+        gain: (-best_delta) as u64,
+        moves: seq.len() as u64,
+        rolled_back: (seq.len() - best_len) as u64,
+    }
 }
 
 /// Explicit rebalancing: while a (constraint, side) exceeds its limit, move
 /// the overloaded-side vertex with the least cut damage that reduces the
 /// violation. Used by the hypergraph-style engines and to make infeasible
 /// coarse solutions feasible.
-pub fn rebalance(g: &Graph, side: &mut [u8], sw: &mut Vec<[u64; 2]>, limits: &[[u64; 2]]) {
+pub fn rebalance(g: &Graph, side: &mut [u8], sw: &mut [[u64; 2]], limits: &[[u64; 2]]) {
     for _ in 0..4 * g.n_vertices() {
         // find worst violation
         let mut worst: Option<(usize, usize)> = None;
@@ -288,7 +335,7 @@ pub fn rebalance(g: &Graph, side: &mut [u8], sw: &mut Vec<[u64; 2]>, limits: &[[
                 continue;
             }
             let gv = gain_of(g, v, side);
-            if best.map_or(true, |(bg, _)| gv > bg) {
+            if best.is_none_or(|(bg, _)| gv > bg) {
                 best = Some((gv, v));
             }
         }
@@ -305,6 +352,28 @@ pub fn refine_bisection(
     max_passes: usize,
     active_rebalance: bool,
 ) {
+    refine_bisection_observed(
+        g,
+        side,
+        target,
+        max_passes,
+        active_rebalance,
+        None,
+        &mut MetricsRegistry::new(),
+    );
+}
+
+/// [`refine_bisection`], recording pass/gain/move/rollback counters under
+/// `vcycle_level` into `reg`.
+pub fn refine_bisection_observed(
+    g: &Graph,
+    side: &mut [u8],
+    target: &BisectTarget,
+    max_passes: usize,
+    active_rebalance: bool,
+    vcycle_level: Option<u8>,
+    reg: &mut MetricsRegistry,
+) {
     let tot = g.total_weights();
     let limits = target.limits(&tot);
     let mut sw = side_weights(g, side);
@@ -312,8 +381,9 @@ pub fn refine_bisection(
         rebalance(g, side, &mut sw, &limits);
     }
     for _ in 0..max_passes {
-        let improved = fm_pass(g, side, &mut sw, &limits);
-        if improved == 0 {
+        let out = fm_pass_observed(g, side, &mut sw, &limits);
+        record_fm_pass(reg, vcycle_level, out);
+        if out.gain == 0 {
             break;
         }
     }
@@ -351,7 +421,13 @@ mod tests {
             }
         }
         let ewgt = vec![1; adj.len()];
-        Graph { xadj, adj, ewgt, ncon: 1, vwgt: vec![1; n] }
+        Graph {
+            xadj,
+            adj,
+            ewgt,
+            ncon: 1,
+            vwgt: vec![1; n],
+        }
     }
 
     #[test]

@@ -97,7 +97,13 @@ pub fn partition_coarse_restricted(
         }
         xadj.push(adj.len() as u32);
     }
-    let g = Graph { xadj, adj, ewgt, ncon: 1, vwgt };
+    let g = Graph {
+        xadj,
+        adj,
+        ewgt,
+        ncon: 1,
+        vwgt,
+    };
     let cfg = PartitionConfig {
         eps: 0.05,
         seed,

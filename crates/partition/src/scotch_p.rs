@@ -107,7 +107,12 @@ fn partition_scotch_p_full(
         // affinity[part][proc] = dual edge weight between this level's part
         // and elements already assigned to proc; padded to a square k×k
         // matrix (dummy parts have zero affinity everywhere)
-        let nparts = level_part.iter().map(|&p| p as usize + 1).max().unwrap_or(0).max(1);
+        let nparts = level_part
+            .iter()
+            .map(|&p| p as usize + 1)
+            .max()
+            .unwrap_or(0)
+            .max(1);
         assert!(nparts <= k);
         let mut affinity = vec![0i64; k * k];
         for (i, &e) in members.iter().enumerate() {
@@ -132,11 +137,11 @@ fn partition_scotch_p_full(
     assignment
 }
 
-fn dual_neighbors<'a>(d: &'a DualGraph, v: u32) -> &'a [u32] {
+fn dual_neighbors(d: &DualGraph, v: u32) -> &[u32] {
     &d.adj[d.xadj[v as usize] as usize..d.xadj[v as usize + 1] as usize]
 }
 
-fn dual_weights<'a>(d: &'a DualGraph, v: u32) -> &'a [u32] {
+fn dual_weights(d: &DualGraph, v: u32) -> &[u32] {
     &d.ewgt[d.xadj[v as usize] as usize..d.xadj[v as usize + 1] as usize]
 }
 

@@ -3,11 +3,26 @@
 
 use crate::graph::Graph;
 use crate::hgraph::HGraph;
-use crate::hmultilevel::{hpartition_kway, HPartitionConfig};
+use crate::hmultilevel::{hpartition_kway_observed, HPartitionConfig};
 use crate::kway::{kway_refine_graph, kway_refine_hgraph};
-use crate::multilevel::{partition_kway, PartitionConfig};
+use crate::metrics::load_imbalance;
+use crate::multilevel::{partition_kway_observed, PartitionConfig};
 use crate::scotch_p::partition_scotch_p;
 use lts_mesh::{HexMesh, Levels};
+use lts_obs::MetricsRegistry;
+
+/// Metric names of the strategy dispatch layer.
+pub mod names {
+    /// Histogram: time building the graph/hypergraph model.
+    pub const BUILD_MODEL: &str = "strategy.build_model";
+    /// Histogram: time in the core multilevel engine.
+    pub const PARTITION: &str = "strategy.partition";
+    /// Histogram: time in the direct K-way refinement pass.
+    pub const KWAY_REFINE: &str = "strategy.kway_refine";
+    /// Gauge: Eq. 21 imbalance of the produced partition, percent
+    /// (level-less = total, per level = that level's element-count balance).
+    pub const IMBALANCE_PCT: &str = "imbalance_pct";
+}
 
 /// Which partitioner to run (paper names in quotes).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,9 +69,24 @@ pub fn partition_mesh(
     strategy: Strategy,
     seed: u64,
 ) -> Vec<u32> {
-    match strategy {
+    partition_mesh_observed(mesh, levels, k, strategy, seed, &mut MetricsRegistry::new())
+}
+
+/// [`partition_mesh`], recording phase timers, the engines' V-cycle/FM
+/// metrics, and the resulting Eq. 21 imbalance gauges into `reg`.
+pub fn partition_mesh_observed(
+    mesh: &HexMesh,
+    levels: &Levels,
+    k: usize,
+    strategy: Strategy,
+    seed: u64,
+    reg: &mut MetricsRegistry,
+) -> Vec<u32> {
+    let part = match strategy {
         Strategy::ScotchBaseline => {
+            let build = reg.start_span(names::BUILD_MODEL, None);
             let g = Graph::scotch_baseline(mesh, levels);
+            drop(build);
             let cfg = PartitionConfig {
                 eps: 0.03,
                 seed,
@@ -64,13 +94,24 @@ pub fn partition_mesh(
                 n_inits: 4,
                 adjust_eps: true,
             };
-            let mut part = partition_kway(&g, k, &cfg);
+            let mut span = reg.start_span(names::PARTITION, None);
+            let mut part = partition_kway_observed(&g, k, &cfg, span.registry());
+            drop(span);
+            let refine = reg.start_span(names::KWAY_REFINE, None);
             kway_refine_graph(&g, &mut part, k, 0.03, 3, seed);
+            drop(refine);
             part
         }
-        Strategy::ScotchP => partition_scotch_p(mesh, levels, k, seed),
+        Strategy::ScotchP => {
+            let span = reg.start_span(names::PARTITION, None);
+            let part = partition_scotch_p(mesh, levels, k, seed);
+            drop(span);
+            part
+        }
         Strategy::MetisMc => {
+            let build = reg.start_span(names::BUILD_MODEL, None);
             let g = Graph::multi_constraint(mesh, levels);
+            drop(build);
             // MeTiS only *constrains* balance during refinement (no explicit
             // rebalancing phase) and compounds its tolerance across the
             // recursive bisections — the source of its imbalance in Fig. 7.
@@ -81,20 +122,47 @@ pub fn partition_mesh(
                 n_inits: 4,
                 adjust_eps: false,
             };
-            let mut part = partition_kway(&g, k, &cfg);
+            let mut span = reg.start_span(names::PARTITION, None);
+            let mut part = partition_kway_observed(&g, k, &cfg, span.registry());
+            drop(span);
             // MeTiS does k-way refinement too — under its own (compounded)
             // tolerance, so the imbalance it arrived with persists
-            kway_refine_graph(&g, &mut part, k, 0.05_f64 * k.ilog2().max(1) as f64, 3, seed);
+            let refine = reg.start_span(names::KWAY_REFINE, None);
+            kway_refine_graph(
+                &g,
+                &mut part,
+                k,
+                0.05_f64 * k.ilog2().max(1) as f64,
+                3,
+                seed,
+            );
+            drop(refine);
             part
         }
         Strategy::Patoh { final_imbal } => {
+            let build = reg.start_span(names::BUILD_MODEL, None);
             let h = HGraph::lts_model(mesh, levels);
-            let cfg = HPartitionConfig { final_imbal, seed, n_inits: 4 };
-            let mut part = hpartition_kway(&h, k, &cfg);
+            drop(build);
+            let cfg = HPartitionConfig {
+                final_imbal,
+                seed,
+                n_inits: 4,
+            };
+            let mut span = reg.start_span(names::PARTITION, None);
+            let mut part = hpartition_kway_observed(&h, k, &cfg, span.registry());
+            drop(span);
+            let refine = reg.start_span(names::KWAY_REFINE, None);
             kway_refine_hgraph(&h, &mut part, k, final_imbal, 3, seed);
+            drop(refine);
             part
         }
+    };
+    let rep = load_imbalance(levels, &part, k);
+    reg.set_gauge(names::IMBALANCE_PCT, rep.total_pct);
+    for (l, &pct) in rep.per_level_pct.iter().enumerate() {
+        reg.set_gauge_level(names::IMBALANCE_PCT, l as u8, pct);
     }
+    part
 }
 
 #[cfg(test)]
@@ -143,8 +211,20 @@ mod tests {
     fn patoh_tightens_balance_with_smaller_imbal() {
         let b = BenchmarkMesh::build(MeshKind::Trench, 6_000);
         let k = 8;
-        let p05 = partition_mesh(&b.mesh, &b.levels, k, Strategy::Patoh { final_imbal: 0.05 }, 1);
-        let p01 = partition_mesh(&b.mesh, &b.levels, k, Strategy::Patoh { final_imbal: 0.01 }, 1);
+        let p05 = partition_mesh(
+            &b.mesh,
+            &b.levels,
+            k,
+            Strategy::Patoh { final_imbal: 0.05 },
+            1,
+        );
+        let p01 = partition_mesh(
+            &b.mesh,
+            &b.levels,
+            k,
+            Strategy::Patoh { final_imbal: 0.01 },
+            1,
+        );
         let r05 = load_imbalance(&b.levels, &p05, k);
         let r01 = load_imbalance(&b.levels, &p01, k);
         // tighter knob → no worse total balance (paper Fig. 7), cut may grow

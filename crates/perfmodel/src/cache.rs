@@ -106,7 +106,11 @@ pub struct TraceConfig {
 
 impl Default for TraceConfig {
     fn default() -> Self {
-        TraceConfig { nodes_per_edge: 5, d1_bytes: 32 * 1024, d2_bytes: 256 * 1024 }
+        TraceConfig {
+            nodes_per_edge: 5,
+            d1_bytes: 32 * 1024,
+            d2_bytes: 256 * 1024,
+        }
     }
 }
 
@@ -120,7 +124,10 @@ struct LocalIds {
 
 impl LocalIds {
     fn new() -> Self {
-        LocalIds { map: std::collections::HashMap::new(), next: 0 }
+        LocalIds {
+            map: std::collections::HashMap::new(),
+            next: 0,
+        }
     }
 
     fn get(&mut self, global: u64) -> u64 {
@@ -247,7 +254,9 @@ pub fn simulate_lts_cycle(
             }
         }
     }
-    sweep(0, nl, &by_level, mesh, cfg, &mut ids, stride, &mut d1, &mut d2, &mut stats);
+    sweep(
+        0, nl, &by_level, mesh, cfg, &mut ids, stride, &mut d1, &mut d2, &mut stats,
+    );
     stats
 }
 

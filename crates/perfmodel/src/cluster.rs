@@ -57,7 +57,10 @@ impl MachineModel {
 
     /// Enable communication/computation overlap.
     pub fn with_overlap(self) -> Self {
-        MachineModel { overlap: true, ..self }
+        MachineModel {
+            overlap: true,
+            ..self
+        }
     }
 
     /// One K20X GPU: ~7× the node throughput, but tens of microseconds of
@@ -189,7 +192,15 @@ impl PartitionShape {
             .into_iter()
             .map(|per_level| per_level.into_iter().map(|s| s.len() as u64).collect())
             .collect();
-        PartitionShape { k, n_levels: nl, ops, boundary_ops, vol, peers, elems }
+        PartitionShape {
+            k,
+            n_levels: nl,
+            ops,
+            boundary_ops,
+            vol,
+            peers,
+            elems,
+        }
     }
 }
 
@@ -251,7 +262,11 @@ pub fn simulate(shape: &PartitionShape, m: &MachineModel) -> CycleBreakdown {
         worst = worst.max(t);
     }
     let global_cycle = p_max as f64 * worst;
-    CycleBreakdown { level_max, lts_cycle, global_cycle }
+    CycleBreakdown {
+        level_max,
+        lts_cycle,
+        global_cycle,
+    }
 }
 
 /// Performance in simulated-seconds per wall-second for a step `dt`.

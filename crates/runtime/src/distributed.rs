@@ -6,9 +6,10 @@
 //! tests assert agreement with the serial stepper to round-off.
 
 use crate::exchange::{build_plans, RankPlan};
-use crate::stats::{RankStats, TimelineEvent};
+use crate::stats::{names, RankStats, TimelineEvent};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use lts_core::{DofTopology, LtsSetup, Operator, Source};
+use lts_obs::MetricsRegistry;
 use std::collections::VecDeque;
 use std::time::Instant;
 
@@ -29,11 +30,25 @@ pub struct DistributedConfig {
 
 impl DistributedConfig {
     pub fn new(n_ranks: usize) -> Self {
-        DistributedConfig { n_ranks, record_timeline: false, work_amplify: 0, overlap: false }
+        DistributedConfig {
+            n_ranks,
+            record_timeline: false,
+            work_amplify: 0,
+            overlap: false,
+        }
     }
 }
 
 type Msg = (usize, Vec<f64>);
+
+/// One rank's run result: `(u_local, v_local, global_of_local)`.
+pub type RankResult = (Vec<f64>, Vec<f64>, Vec<u32>);
+
+/// Per-rank thread outcome before reordering: `(rank, u, v, map, stats)`.
+type RankOutcome = (usize, Vec<f64>, Vec<f64>, Vec<u32>, RankStats);
+
+/// A rank's assembled state before the ownership merge: `(u, v, stats)`.
+type RankState = (Vec<f64>, Vec<f64>, RankStats);
 
 struct RankCtx<'a, O: Operator> {
     rank: usize,
@@ -53,7 +68,9 @@ struct RankCtx<'a, O: Operator> {
     tx: Vec<Sender<Msg>>,
     rx: Receiver<Msg>,
     inbox: Vec<VecDeque<Vec<f64>>>,
-    stats: RankStats,
+    /// Per-rank metrics; merged into [`RankStats`] views after the join.
+    reg: MetricsRegistry,
+    timeline: Vec<TimelineEvent>,
     cfg: DistributedConfig,
     step_idx: u32,
     busy_since: Instant,
@@ -108,7 +125,8 @@ impl<'a, O: Operator> RankCtx<'a, O> {
                 );
             }
             self.amplify(self.plan.my_interior_elems[l].len());
-            self.stats.elem_ops += self.plan.my_elems[l].len() as u64;
+            self.reg
+                .inc_level(names::ELEM_OPS, l as u8, self.plan.my_elems[l].len() as u64);
             self.recv_and_assemble(l);
         } else {
             {
@@ -121,7 +139,8 @@ impl<'a, O: Operator> RankCtx<'a, O> {
                     l as u8,
                 );
             }
-            self.stats.elem_ops += self.plan.my_elems[l].len() as u64;
+            self.reg
+                .inc_level(names::ELEM_OPS, l as u8, self.plan.my_elems[l].len() as u64);
             self.amplify(self.plan.my_elems[l].len());
             if !self.plan.peers[l].is_empty() {
                 self.send_partials(l);
@@ -131,18 +150,25 @@ impl<'a, O: Operator> RankCtx<'a, O> {
     }
 
     fn send_partials(&mut self, l: usize) {
+        let mut dofs_sent = 0u64;
         for (pi, &peer) in self.plan.peers[l].iter().enumerate() {
             let payload: Vec<f64> = self.plan.pair_dofs[l][pi]
                 .iter()
                 .map(|&d| self.fs[l][d as usize])
                 .collect();
-            self.tx[peer].send((self.rank, payload)).expect("peer hung up");
+            dofs_sent += payload.len() as u64;
+            self.tx[peer]
+                .send((self.rank, payload))
+                .expect("peer hung up");
         }
+        self.reg
+            .inc_level(names::MSGS_SENT, l as u8, self.plan.peers[l].len() as u64);
+        self.reg.inc_level(names::DOFS_SENT, l as u8, dofs_sent);
     }
 
     fn recv_and_assemble(&mut self, l: usize) {
         let busy_s = self.busy_since.elapsed().as_secs_f64();
-        self.stats.busy_s += busy_s;
+        self.reg.observe(names::BUSY, Some(l as u8), busy_s);
         // receive one message per peer (FIFO per sender ⇒ correct pairing)
         let wait_start = Instant::now();
         let mut pending: Vec<Option<Vec<f64>>> = vec![None; self.plan.peers[l].len()];
@@ -165,10 +191,10 @@ impl<'a, O: Operator> RankCtx<'a, O> {
             self.inbox[from].push_back(payload);
         }
         let wait_s = wait_start.elapsed().as_secs_f64();
-        self.stats.wait_s += wait_s;
-        self.stats.n_exchanges += 1;
+        self.reg.observe(names::WAIT, Some(l as u8), wait_s);
+        self.reg.inc_level(names::EXCHANGES, l as u8, 1);
         if self.cfg.record_timeline {
-            self.stats.timeline.push(TimelineEvent {
+            self.timeline.push(TimelineEvent {
                 level: l as u8,
                 step: self.step_idx,
                 busy_s,
@@ -183,7 +209,10 @@ impl<'a, O: Operator> RankCtx<'a, O> {
                 if r as usize == self.rank {
                     total += self.fs[l][*d as usize];
                 } else {
-                    let pi = self.plan.peers[l].iter().position(|&p| p == r as usize).unwrap();
+                    let pi = self.plan.peers[l]
+                        .iter()
+                        .position(|&p| p == r as usize)
+                        .unwrap();
                     total += pending[pi].as_ref().unwrap()[cursors[pi]];
                     cursors[pi] += 1;
                 }
@@ -321,6 +350,7 @@ impl<'a, O: Operator> RankCtx<'a, O> {
 
 /// Run `n_steps` of distributed LTS-Newmark over `partition`. Returns the
 /// assembled global `(u, v)` and per-rank statistics.
+#[allow(clippy::too_many_arguments)]
 pub fn run_distributed<O: Operator + DofTopology + Sync>(
     op: &O,
     setup: &LtsSetup,
@@ -393,7 +423,8 @@ pub fn run_distributed_with_sources<O: Operator + DofTopology + Sync>(
                     tx,
                     rx,
                     inbox: vec![VecDeque::new(); n_ranks],
-                    stats: RankStats { rank, ..Default::default() },
+                    reg: MetricsRegistry::new(),
+                    timeline: Vec::new(),
                     cfg,
                     step_idx: 0,
                     busy_since: Instant::now(),
@@ -401,11 +432,21 @@ pub fn run_distributed_with_sources<O: Operator + DofTopology + Sync>(
                 for step in 0..n_steps {
                     ctx.step(step as f64 * dt);
                 }
-                ctx.stats.busy_s += ctx.busy_since.elapsed().as_secs_f64();
-                (rank, ctx.u, ctx.v, ctx.stats)
+                // busy tail after the last exchange, recorded level-less
+                ctx.reg
+                    .observe(names::BUSY, None, ctx.busy_since.elapsed().as_secs_f64());
+                (
+                    rank,
+                    ctx.u,
+                    ctx.v,
+                    RankStats::from_registry(rank, ctx.reg, ctx.timeline),
+                )
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
     });
     drop(senders);
 
@@ -419,8 +460,7 @@ pub fn run_distributed_with_sources<O: Operator + DofTopology + Sync>(
     let mut u = vec![0.0; ndof];
     let mut v = vec![0.0; ndof];
     let mut stats: Vec<RankStats> = Vec::with_capacity(n_ranks);
-    let mut by_rank: Vec<Option<(Vec<f64>, Vec<f64>, RankStats)>> =
-        (0..n_ranks).map(|_| None).collect();
+    let mut by_rank: Vec<Option<RankState>> = (0..n_ranks).map(|_| None).collect();
     for (rank, ur, vr, st) in results {
         by_rank[rank] = Some((ur, vr, st));
     }
@@ -462,7 +502,7 @@ pub fn run_rank_contexts<O: Operator + Send>(
     n_steps: usize,
     cfg: &DistributedConfig,
     sources: &[Source],
-) -> (Vec<(Vec<f64>, Vec<f64>, Vec<u32>)>, Vec<RankStats>) {
+) -> (Vec<RankResult>, Vec<RankStats>) {
     let n_ranks = ranks.len();
     let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(n_ranks);
     let mut receivers: Vec<Receiver<Msg>> = Vec::with_capacity(n_ranks);
@@ -471,67 +511,82 @@ pub fn run_rank_contexts<O: Operator + Send>(
         senders.push(tx);
         receivers.push(rx);
     }
-    let outcome: Vec<(usize, Vec<f64>, Vec<f64>, Vec<u32>, RankStats)> =
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for ((rank, world), rx) in ranks.into_iter().enumerate().zip(receivers) {
-                let tx = senders.clone();
-                let cfg = *cfg;
-                handles.push(scope.spawn(move || {
-                    let LocalRank {
-                        op,
-                        n_levels,
-                        dof_level,
-                        leaf_level: _,
-                        plan,
-                        u,
-                        v,
-                        my_sources,
-                        global_of_local,
-                    } = world;
-                    let ndof = u.len();
-                    let mut ctx = RankCtx {
-                        rank,
-                        op: &op,
-                        n_levels,
-                        dof_level: &dof_level,
-                        plan: &plan,
-                        sources,
-                        my_sources,
-                        dt,
-                        u,
-                        v,
-                        uts: vec![vec![0.0; ndof]; n_levels],
-                        vts: vec![vec![0.0; ndof]; n_levels],
-                        fs: vec![vec![0.0; ndof]; n_levels],
-                        tx,
-                        rx,
-                        inbox: vec![VecDeque::new(); n_ranks],
-                        stats: RankStats { rank, ..Default::default() },
-                        cfg,
-                        step_idx: 0,
-                        busy_since: Instant::now(),
-                    };
-                    for step in 0..n_steps {
-                        ctx.step(step as f64 * dt);
-                    }
-                    ctx.stats.busy_s += ctx.busy_since.elapsed().as_secs_f64();
-                    (rank, ctx.u, ctx.v, global_of_local, ctx.stats)
-                }));
-            }
-            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
-        });
+    let outcome: Vec<RankOutcome> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for ((rank, world), rx) in ranks.into_iter().enumerate().zip(receivers) {
+            let tx = senders.clone();
+            let cfg = *cfg;
+            handles.push(scope.spawn(move || {
+                let LocalRank {
+                    op,
+                    n_levels,
+                    dof_level,
+                    leaf_level: _,
+                    plan,
+                    u,
+                    v,
+                    my_sources,
+                    global_of_local,
+                } = world;
+                let ndof = u.len();
+                let mut ctx = RankCtx {
+                    rank,
+                    op: &op,
+                    n_levels,
+                    dof_level: &dof_level,
+                    plan: &plan,
+                    sources,
+                    my_sources,
+                    dt,
+                    u,
+                    v,
+                    uts: vec![vec![0.0; ndof]; n_levels],
+                    vts: vec![vec![0.0; ndof]; n_levels],
+                    fs: vec![vec![0.0; ndof]; n_levels],
+                    tx,
+                    rx,
+                    inbox: vec![VecDeque::new(); n_ranks],
+                    reg: MetricsRegistry::new(),
+                    timeline: Vec::new(),
+                    cfg,
+                    step_idx: 0,
+                    busy_since: Instant::now(),
+                };
+                for step in 0..n_steps {
+                    ctx.step(step as f64 * dt);
+                }
+                ctx.reg
+                    .observe(names::BUSY, None, ctx.busy_since.elapsed().as_secs_f64());
+                (
+                    rank,
+                    ctx.u,
+                    ctx.v,
+                    global_of_local,
+                    RankStats::from_registry(rank, ctx.reg, ctx.timeline),
+                )
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
+    });
     drop(senders);
-    let mut results: Vec<Option<(Vec<f64>, Vec<f64>, Vec<u32>)>> =
-        (0..n_ranks).map(|_| None).collect();
+    let mut results: Vec<Option<RankResult>> = (0..n_ranks).map(|_| None).collect();
     let mut stats: Vec<Option<RankStats>> = (0..n_ranks).map(|_| None).collect();
     for (rank, u, v, map, st) in outcome {
         results[rank] = Some((u, v, map));
         stats[rank] = Some(st);
     }
     (
-        results.into_iter().map(|r| r.expect("missing rank")).collect(),
-        stats.into_iter().map(|s| s.expect("missing rank")).collect(),
+        results
+            .into_iter()
+            .map(|r| r.expect("missing rank"))
+            .collect(),
+        stats
+            .into_iter()
+            .map(|s| s.expect("missing rank"))
+            .collect(),
     )
 }
 
@@ -540,7 +595,13 @@ mod tests {
     use super::*;
     use lts_core::{Chain1d, LtsNewmark, LtsSetup};
 
-    fn serial(c: &Chain1d, setup: &LtsSetup, dt: f64, u0: &[f64], steps: usize) -> (Vec<f64>, Vec<f64>) {
+    fn serial(
+        c: &Chain1d,
+        setup: &LtsSetup,
+        dt: f64,
+        u0: &[f64],
+        steps: usize,
+    ) -> (Vec<f64>, Vec<f64>) {
         let mut u = u0.to_vec();
         let mut v = vec![0.0; u0.len()];
         let mut lts = LtsNewmark::new(c, setup, dt);
@@ -549,19 +610,20 @@ mod tests {
     }
 
     fn gaussian(n: usize) -> Vec<f64> {
-        (0..n).map(|i| (-((i as f64 - n as f64 / 2.5) / 2.0).powi(2)).exp()).collect()
+        (0..n)
+            .map(|i| (-((i as f64 - n as f64 / 2.5) / 2.0).powi(2)).exp())
+            .collect()
     }
 
     #[test]
     fn two_ranks_match_serial_single_level() {
         let c = Chain1d::uniform(16, 1.0, 1.0);
-        let setup = LtsSetup::new(&c, &vec![0u8; 16]);
+        let setup = LtsSetup::new(&c, &[0u8; 16]);
         let u0 = gaussian(17);
         let (us, vs) = serial(&c, &setup, 0.5, &u0, 30);
         let part: Vec<u32> = (0..16).map(|e| u32::from(e >= 8)).collect();
         let cfg = DistributedConfig::new(2);
-        let (ud, vd, stats) =
-            run_distributed(&c, &setup, &part, 0.5, &u0, &vec![0.0; 17], 30, &cfg);
+        let (ud, vd, stats) = run_distributed(&c, &setup, &part, 0.5, &u0, &[0.0; 17], 30, &cfg);
         for i in 0..17 {
             assert_eq!(us[i], ud[i], "u[{i}]");
             assert_eq!(vs[i], vd[i], "v[{i}]");
@@ -588,7 +650,7 @@ mod tests {
         let (us, _) = serial(&c, &setup, dt, &u0, 20);
         let part: Vec<u32> = (0..24).map(|e| (e / 6) as u32).collect();
         let cfg = DistributedConfig::new(4);
-        let (ud, _, _) = run_distributed(&c, &setup, &part, dt, &u0, &vec![0.0; 25], 20, &cfg);
+        let (ud, _, _) = run_distributed(&c, &setup, &part, dt, &u0, &[0.0; 25], 20, &cfg);
         for i in 0..25 {
             assert!(
                 (us[i] - ud[i]).abs() < 1e-13,
@@ -613,7 +675,7 @@ mod tests {
         // interleaved ownership → many interfaces
         let part: Vec<u32> = (0..12).map(|e| (e % 3) as u32).collect();
         let cfg = DistributedConfig::new(3);
-        let (ud, _, _) = run_distributed(&c, &setup, &part, dt, &u0, &vec![0.0; 13], 15, &cfg);
+        let (ud, _, _) = run_distributed(&c, &setup, &part, dt, &u0, &[0.0; 13], 15, &cfg);
         for i in 0..13 {
             assert!((us[i] - ud[i]).abs() < 1e-13, "u[{i}]");
         }
@@ -622,12 +684,11 @@ mod tests {
     #[test]
     fn single_rank_matches_serial() {
         let c = Chain1d::uniform(8, 1.0, 1.0);
-        let setup = LtsSetup::new(&c, &vec![0u8; 8]);
+        let setup = LtsSetup::new(&c, &[0u8; 8]);
         let u0 = gaussian(9);
         let (us, _) = serial(&c, &setup, 0.5, &u0, 10);
         let cfg = DistributedConfig::new(1);
-        let (ud, _, stats) =
-            run_distributed(&c, &setup, &vec![0; 8], 0.5, &u0, &vec![0.0; 9], 10, &cfg);
+        let (ud, _, stats) = run_distributed(&c, &setup, &[0; 8], 0.5, &u0, &[0.0; 9], 10, &cfg);
         assert_eq!(us, ud);
         assert_eq!(stats[0].n_exchanges, 0);
     }
@@ -648,9 +709,12 @@ mod tests {
         let u0 = gaussian(25);
         let part: Vec<u32> = (0..24).map(|e| (e / 8) as u32).collect();
         let blocking = DistributedConfig::new(3);
-        let overlapped = DistributedConfig { overlap: true, ..blocking };
-        let (ub, _, _) = run_distributed(&c, &setup, &part, dt, &u0, &vec![0.0; 25], 20, &blocking);
-        let (uo, _, _) = run_distributed(&c, &setup, &part, dt, &u0, &vec![0.0; 25], 20, &overlapped);
+        let overlapped = DistributedConfig {
+            overlap: true,
+            ..blocking
+        };
+        let (ub, _, _) = run_distributed(&c, &setup, &part, dt, &u0, &[0.0; 25], 20, &blocking);
+        let (uo, _, _) = run_distributed(&c, &setup, &part, dt, &u0, &[0.0; 25], 20, &overlapped);
         // interface partials are order-identical; interior-element summation
         // order differs only on private DOFs → tiny round-off differences
         for i in 0..25 {
@@ -666,7 +730,7 @@ mod tests {
     #[test]
     fn overlap_covers_all_elements() {
         let c = Chain1d::uniform(12, 1.0, 1.0);
-        let setup = LtsSetup::new(&c, &vec![0u8; 12]);
+        let setup = LtsSetup::new(&c, &[0u8; 12]);
         let part: Vec<u32> = (0..12).map(|e| u32::from(e >= 6)).collect();
         let plans = crate::exchange::build_plans(&c, &setup, &part, 2);
         for p in &plans {
@@ -693,10 +757,14 @@ mod tests {
         let (lv, dt) = c.assign_levels(0.5, 2);
         let setup = LtsSetup::new(&c, &lv);
         let part: Vec<u32> = (0..16).map(|e| u32::from(e >= 8)).collect(); // rank 1 has all fine
-        let cfg = DistributedConfig { n_ranks: 2, record_timeline: true, work_amplify: 20_000, overlap: false };
+        let cfg = DistributedConfig {
+            n_ranks: 2,
+            record_timeline: true,
+            work_amplify: 20_000,
+            overlap: false,
+        };
         let u0 = gaussian(17);
-        let (_, _, stats) =
-            run_distributed(&c, &setup, &part, dt, &u0, &vec![0.0; 17], 50, &cfg);
+        let (_, _, stats) = run_distributed(&c, &setup, &part, dt, &u0, &[0.0; 17], 50, &cfg);
         // rank 0 (coarse only) waits more than rank 1
         assert!(
             stats[0].wait_s > stats[1].wait_s,

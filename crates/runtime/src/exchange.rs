@@ -160,7 +160,7 @@ mod tests {
     fn chain_two_ranks_share_one_dof_per_level_interface() {
         // 8 elements, uniform (single level), split 4|4 → dof 4 shared
         let c = Chain1d::uniform(8, 1.0, 1.0);
-        let setup = LtsSetup::new(&c, &vec![0u8; 8]);
+        let setup = LtsSetup::new(&c, &[0u8; 8]);
         let part = vec![0, 0, 0, 0, 1, 1, 1, 1];
         let plans = build_plans(&c, &setup, &part, 2);
         assert_eq!(plans[0].peers[0], vec![1]);
@@ -191,11 +191,11 @@ mod tests {
     #[test]
     fn my_sets_partition_global_sets() {
         let c = Chain1d::uniform(10, 1.0, 1.0);
-        let setup = LtsSetup::new(&c, &vec![0u8; 10]);
+        let setup = LtsSetup::new(&c, &[0u8; 10]);
         let part: Vec<u32> = (0..10).map(|e| (e / 4) as u32).collect(); // 3 ranks
         let plans = build_plans(&c, &setup, &part, 3);
         // every leaf dof is covered by at least one rank; shared dofs by several
-        let mut coverage = vec![0usize; 11];
+        let mut coverage = [0usize; 11];
         for p in &plans {
             for &d in &p.my_leaf[0] {
                 coverage[d as usize] += 1;
@@ -208,8 +208,8 @@ mod tests {
     #[test]
     fn single_rank_has_no_peers() {
         let c = Chain1d::uniform(6, 1.0, 1.0);
-        let setup = LtsSetup::new(&c, &vec![0u8; 6]);
-        let plans = build_plans(&c, &setup, &vec![0; 6], 1);
+        let setup = LtsSetup::new(&c, &[0u8; 6]);
+        let plans = build_plans(&c, &setup, &[0; 6], 1);
         assert!(plans[0].peers[0].is_empty());
         assert_eq!(plans[0].my_elems[0].len(), 6);
         assert_eq!(plans[0].my_dofs.len(), 7);

@@ -19,5 +19,8 @@ pub mod local;
 pub mod stats;
 
 pub use distributed::{run_distributed, DistributedConfig};
-pub use local::{run_distributed_local_acoustic, run_distributed_local_elastic};
-pub use stats::{RankStats, TimelineEvent};
+pub use local::{
+    run_distributed_local_acoustic, run_distributed_local_acoustic_observed,
+    run_distributed_local_elastic, run_distributed_local_elastic_observed,
+};
+pub use stats::{ascii_timeline, profile_json, LevelStats, RankStats, TimelineEvent};

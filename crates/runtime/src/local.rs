@@ -14,6 +14,7 @@ use crate::exchange::RankPlan;
 use crate::stats::RankStats;
 use lts_core::{LtsSetup, Operator, Source};
 use lts_mesh::{HexMesh, Levels};
+use lts_obs::MetricsRegistry;
 use lts_sem::{AcousticOperator, ElasticOperator, UnstructuredAcoustic, UnstructuredElastic};
 
 /// Run partitioned LTS with per-rank local memory on the acoustic SEM.
@@ -34,16 +35,45 @@ pub fn run_distributed_local_acoustic(
     cfg: &DistributedConfig,
     sources: &[Source],
 ) -> (Vec<f64>, Vec<f64>, Vec<RankStats>) {
+    let mut host = MetricsRegistry::new();
+    run_distributed_local_acoustic_observed(
+        mesh, levels, order, partition, dt, u0, v0, n_steps, cfg, sources, &mut host,
+    )
+}
+
+/// [`run_distributed_local_acoustic`] recording the decomposer phases
+/// (`decompose.discretize`, `decompose.build_worlds`, `run.steps`) as spans
+/// in `host`, and folding every rank's registry into it so `host` ends with
+/// the global counter totals.
+#[allow(clippy::too_many_arguments)]
+pub fn run_distributed_local_acoustic_observed(
+    mesh: &HexMesh,
+    levels: &Levels,
+    order: usize,
+    partition: &[u32],
+    dt: f64,
+    u0: &[f64],
+    v0: &[f64],
+    n_steps: usize,
+    cfg: &DistributedConfig,
+    sources: &[Source],
+    host: &mut MetricsRegistry,
+) -> (Vec<f64>, Vec<f64>, Vec<RankStats>) {
     let n_ranks = cfg.n_ranks;
     // global discretization (mass + level sets), as the decomposer computes
+    let discretize = host.start_span("decompose.discretize", None);
     let global_op = AcousticOperator::new(mesh, order);
     let setup = LtsSetup::new(&global_op, &levels.elem_level);
     let ndof = Operator::ndof(&global_op);
     assert_eq!(u0.len(), ndof);
     let plans = build_plans(&global_op, &setup, partition, n_ranks);
     let global_mass = global_op.mass().to_vec();
+    drop(discretize);
+    host.set_gauge("ndof", ndof as f64);
+    host.set_gauge("n_ranks", n_ranks as f64);
 
     // per-rank local worlds
+    let worlds_span = host.start_span("decompose.build_worlds", None);
     let mut ranks: Vec<LocalRank<UnstructuredAcoustic>> = Vec::with_capacity(n_ranks);
     for (rank, plan) in plans.iter().enumerate() {
         let my_elems_global: Vec<u32> = (0..mesh.n_elems() as u32)
@@ -68,17 +98,30 @@ pub fn run_distributed_local_acoustic(
             .collect();
         let nl = setup.n_levels;
         let map_dofs = |lists: &Vec<Vec<u32>>| -> Vec<Vec<u32>> {
-            lists.iter().map(|l| l.iter().map(|&d| local_dof(d)).collect()).collect()
+            lists
+                .iter()
+                .map(|l| l.iter().map(|&d| local_dof(d)).collect())
+                .collect()
         };
         let localized = RankPlan {
             my_elems: (0..nl)
                 .map(|l| plan.my_elems[l].iter().map(|e| local_elem[e]).collect())
                 .collect(),
             my_boundary_elems: (0..nl)
-                .map(|l| plan.my_boundary_elems[l].iter().map(|e| local_elem[e]).collect())
+                .map(|l| {
+                    plan.my_boundary_elems[l]
+                        .iter()
+                        .map(|e| local_elem[e])
+                        .collect()
+                })
                 .collect(),
             my_interior_elems: (0..nl)
-                .map(|l| plan.my_interior_elems[l].iter().map(|e| local_elem[e]).collect())
+                .map(|l| {
+                    plan.my_interior_elems[l]
+                        .iter()
+                        .map(|e| local_elem[e])
+                        .collect()
+                })
                 .collect(),
             my_zero: map_dofs(&plan.my_zero),
             my_active: map_dofs(&plan.my_active),
@@ -133,8 +176,14 @@ pub fn run_distributed_local_acoustic(
             global_of_local,
         });
     }
+    drop(worlds_span);
 
+    let run_span = host.start_span("run.steps", None);
     let (results, stats) = run_rank_contexts(ranks, dt, n_steps, cfg, sources);
+    drop(run_span);
+    for s in &stats {
+        host.merge_from(&s.registry);
+    }
 
     // assemble: lowest owning rank provides each dof
     let mut owner = vec![u32::MAX; ndof];
@@ -156,7 +205,6 @@ pub fn run_distributed_local_acoustic(
     (u, v, stats)
 }
 
-
 /// [`run_distributed_local_acoustic`] for the elastic operator: local node
 /// numbering with three interleaved components per node.
 #[allow(clippy::too_many_arguments)]
@@ -172,14 +220,41 @@ pub fn run_distributed_local_elastic(
     cfg: &DistributedConfig,
     sources: &[Source],
 ) -> (Vec<f64>, Vec<f64>, Vec<RankStats>) {
+    let mut host = MetricsRegistry::new();
+    run_distributed_local_elastic_observed(
+        mesh, levels, order, partition, dt, u0, v0, n_steps, cfg, sources, &mut host,
+    )
+}
+
+/// [`run_distributed_local_elastic`] with decomposer-phase spans and global
+/// counter totals recorded into `host` (see the acoustic observed variant).
+#[allow(clippy::too_many_arguments)]
+pub fn run_distributed_local_elastic_observed(
+    mesh: &HexMesh,
+    levels: &Levels,
+    order: usize,
+    partition: &[u32],
+    dt: f64,
+    u0: &[f64],
+    v0: &[f64],
+    n_steps: usize,
+    cfg: &DistributedConfig,
+    sources: &[Source],
+    host: &mut MetricsRegistry,
+) -> (Vec<f64>, Vec<f64>, Vec<RankStats>) {
     let n_ranks = cfg.n_ranks;
+    let discretize = host.start_span("decompose.discretize", None);
     let global_op = ElasticOperator::poisson(mesh, order);
     let setup = LtsSetup::new(&global_op, &levels.elem_level);
     let ndof = Operator::ndof(&global_op);
     assert_eq!(u0.len(), ndof);
     let plans = build_plans(&global_op, &setup, partition, n_ranks);
     let global_mass = global_op.mass().to_vec();
+    drop(discretize);
+    host.set_gauge("ndof", ndof as f64);
+    host.set_gauge("n_ranks", n_ranks as f64);
 
+    let worlds_span = host.start_span("decompose.build_worlds", None);
     let mut ranks: Vec<LocalRank<UnstructuredElastic>> = Vec::with_capacity(n_ranks);
     for (rank, plan) in plans.iter().enumerate() {
         let my_elems_global: Vec<u32> = (0..mesh.n_elems() as u32)
@@ -204,7 +279,10 @@ pub fn run_distributed_local_elastic(
             .collect();
         let nl = setup.n_levels;
         let map_dofs = |lists: &Vec<Vec<u32>>| -> Vec<Vec<u32>> {
-            lists.iter().map(|l| l.iter().map(|&d| local_dof(d)).collect()).collect()
+            lists
+                .iter()
+                .map(|l| l.iter().map(|&d| local_dof(d)).collect())
+                .collect()
         };
         let n_local_dofs = 3 * node_of_local.len();
         let localized = RankPlan {
@@ -212,10 +290,20 @@ pub fn run_distributed_local_elastic(
                 .map(|l| plan.my_elems[l].iter().map(|e| local_elem[e]).collect())
                 .collect(),
             my_boundary_elems: (0..nl)
-                .map(|l| plan.my_boundary_elems[l].iter().map(|e| local_elem[e]).collect())
+                .map(|l| {
+                    plan.my_boundary_elems[l]
+                        .iter()
+                        .map(|e| local_elem[e])
+                        .collect()
+                })
                 .collect(),
             my_interior_elems: (0..nl)
-                .map(|l| plan.my_interior_elems[l].iter().map(|e| local_elem[e]).collect())
+                .map(|l| {
+                    plan.my_interior_elems[l]
+                        .iter()
+                        .map(|e| local_elem[e])
+                        .collect()
+                })
                 .collect(),
             my_zero: map_dofs(&plan.my_zero),
             my_active: map_dofs(&plan.my_active),
@@ -249,8 +337,14 @@ pub fn run_distributed_local_elastic(
             .iter()
             .map(|&g| setup.leaf_level[g as usize])
             .collect();
-        let u_local: Vec<f64> = global_dof_of_local.iter().map(|&g| u0[g as usize]).collect();
-        let v_local: Vec<f64> = global_dof_of_local.iter().map(|&g| v0[g as usize]).collect();
+        let u_local: Vec<f64> = global_dof_of_local
+            .iter()
+            .map(|&g| u0[g as usize])
+            .collect();
+        let v_local: Vec<f64> = global_dof_of_local
+            .iter()
+            .map(|&g| v0[g as usize])
+            .collect();
         let my_sources: Vec<Vec<(usize, u32)>> = {
             let mut per_level = vec![Vec::new(); nl];
             for (si, src) in sources.iter().enumerate() {
@@ -274,8 +368,14 @@ pub fn run_distributed_local_elastic(
             global_of_local: global_dof_of_local,
         });
     }
+    drop(worlds_span);
 
+    let run_span = host.start_span("run.steps", None);
     let (results, stats) = run_rank_contexts(ranks, dt, n_steps, cfg, sources);
+    drop(run_span);
+    for s in &stats {
+        host.merge_from(&s.registry);
+    }
 
     let mut owner = vec![u32::MAX; ndof];
     for (rank, plan) in plans.iter().enumerate() {
@@ -297,7 +397,6 @@ pub fn run_distributed_local_elastic(
 }
 
 #[cfg(test)]
-
 mod tests {
     use super::*;
     use lts_core::LtsNewmark;
@@ -375,7 +474,10 @@ mod tests {
 
         let n_ranks = 4;
         let part = partition_mesh(&b.mesh, &b.levels, n_ranks, Strategy::ScotchBaseline, 2);
-        let cfg = DistributedConfig { overlap: true, ..DistributedConfig::new(n_ranks) };
+        let cfg = DistributedConfig {
+            overlap: true,
+            ..DistributedConfig::new(n_ranks)
+        };
         let srcs = mk();
         let (u, _, _) = run_distributed_local_acoustic(
             &b.mesh,

@@ -1,5 +1,31 @@
 //! Per-rank busy/stall accounting and timelines (the measurements behind the
 //! paper's Fig. 1 runtime profile).
+//!
+//! The runtime records everything into a per-rank [`MetricsRegistry`]
+//! (crate `lts-obs`); [`RankStats`] is a *view* materialized from that
+//! registry after the run. The deterministic counters (element-operations,
+//! exchange message counts, DOF send volumes) are exact integers independent
+//! of timing, so integration tests can assert them against closed-form
+//! oracles.
+
+use lts_obs::{Json, MetricsRegistry};
+
+/// Metric names the runtime records per rank. Level-scoped keys use
+/// `Some(level)`; the end-of-run busy tail is recorded level-less.
+pub mod names {
+    /// Counter: masked element products, per level.
+    pub const ELEM_OPS: &str = "elem_ops";
+    /// Counter: exchange points awaited, per level.
+    pub const EXCHANGES: &str = "exchanges";
+    /// Counter: partial-force messages posted, per level.
+    pub const MSGS_SENT: &str = "msgs_sent";
+    /// Counter: interface DOF values sent (message payload lengths), per level.
+    pub const DOFS_SENT: &str = "dofs_sent";
+    /// Histogram: compute segments ending at an exchange of this level (s).
+    pub const BUSY: &str = "busy";
+    /// Histogram: blocked time at exchanges of this level (s).
+    pub const WAIT: &str = "wait";
+}
 
 /// One recorded exchange point of one rank.
 #[derive(Debug, Clone, Copy)]
@@ -14,7 +40,27 @@ pub struct TimelineEvent {
     pub wait_s: f64,
 }
 
-/// Aggregated statistics of one rank after a run.
+/// Per-LTS-level slice of one rank's accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LevelStats {
+    pub level: u8,
+    /// Seconds of compute segments that ended at an exchange of this level.
+    pub busy_s: f64,
+    /// Seconds blocked at exchanges of this level.
+    pub wait_s: f64,
+    /// Masked element products at this level.
+    pub elem_ops: u64,
+    /// Exchange points awaited at this level.
+    pub n_exchanges: u64,
+    /// Partial-force messages posted at this level.
+    pub msgs_sent: u64,
+    /// Interface DOF values sent at this level.
+    pub dofs_sent: u64,
+}
+
+/// Aggregated statistics of one rank after a run — a view over the rank's
+/// [`MetricsRegistry`], which rides along in [`RankStats::registry`] for
+/// exporters and per-level queries.
 #[derive(Debug, Clone, Default)]
 pub struct RankStats {
     pub rank: usize,
@@ -26,11 +72,36 @@ pub struct RankStats {
     pub elem_ops: u64,
     /// Number of exchange points.
     pub n_exchanges: u64,
+    /// Partial-force messages posted.
+    pub msgs_sent: u64,
+    /// Interface DOF values sent (sum of message payload lengths).
+    pub dofs_sent: u64,
     /// Optional fine-grained timeline (populated when requested).
     pub timeline: Vec<TimelineEvent>,
+    /// The raw per-rank metrics this view was materialized from.
+    pub registry: MetricsRegistry,
 }
 
 impl RankStats {
+    /// Materialize the aggregate view from a rank's registry.
+    pub fn from_registry(
+        rank: usize,
+        registry: MetricsRegistry,
+        timeline: Vec<TimelineEvent>,
+    ) -> Self {
+        RankStats {
+            rank,
+            busy_s: registry.histogram_sum_total(names::BUSY),
+            wait_s: registry.histogram_sum_total(names::WAIT),
+            elem_ops: registry.counter_total(names::ELEM_OPS),
+            n_exchanges: registry.counter_total(names::EXCHANGES),
+            msgs_sent: registry.counter_total(names::MSGS_SENT),
+            dofs_sent: registry.counter_total(names::DOFS_SENT),
+            timeline,
+            registry,
+        }
+    }
+
     /// Fraction of wall time spent waiting.
     pub fn wait_fraction(&self) -> f64 {
         let total = self.busy_s + self.wait_s;
@@ -40,9 +111,88 @@ impl RankStats {
             0.0
         }
     }
+
+    /// Per-level breakdown, ascending by level. Levels are the union of all
+    /// levels any metric was recorded under.
+    pub fn per_level(&self) -> Vec<LevelStats> {
+        let mut levels: Vec<u8> = self.registry.iter().filter_map(|(k, _)| k.level).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels
+            .into_iter()
+            .map(|l| LevelStats {
+                level: l,
+                busy_s: self
+                    .registry
+                    .histogram(names::BUSY, Some(l))
+                    .map(|h| h.sum)
+                    .unwrap_or(0.0),
+                wait_s: self
+                    .registry
+                    .histogram(names::WAIT, Some(l))
+                    .map(|h| h.sum)
+                    .unwrap_or(0.0),
+                elem_ops: self.registry.counter(names::ELEM_OPS, Some(l)),
+                n_exchanges: self.registry.counter(names::EXCHANGES, Some(l)),
+                msgs_sent: self.registry.counter(names::MSGS_SENT, Some(l)),
+                dofs_sent: self.registry.counter(names::DOFS_SENT, Some(l)),
+            })
+            .collect()
+    }
 }
 
-/// Render per-rank busy/wait bars as ASCII (the Fig. 1 bottom panel).
+/// Build the machine-readable run profile (the Fig. 1 JSON): one entry per
+/// rank with totals and the per-level busy/wait/exchange-volume breakdown.
+pub fn profile_json(stats: &[RankStats]) -> Json {
+    let ranks = stats
+        .iter()
+        .map(|s| {
+            let levels = s
+                .per_level()
+                .into_iter()
+                .map(|l| {
+                    Json::Obj(vec![
+                        ("level".to_string(), Json::UInt(l.level as u64)),
+                        ("busy_s".to_string(), Json::Num(l.busy_s)),
+                        ("wait_s".to_string(), Json::Num(l.wait_s)),
+                        ("elem_ops".to_string(), Json::UInt(l.elem_ops)),
+                        ("n_exchanges".to_string(), Json::UInt(l.n_exchanges)),
+                        ("msgs_sent".to_string(), Json::UInt(l.msgs_sent)),
+                        ("dofs_sent".to_string(), Json::UInt(l.dofs_sent)),
+                    ])
+                })
+                .collect();
+            let timeline = s
+                .timeline
+                .iter()
+                .map(|ev| {
+                    Json::Obj(vec![
+                        ("level".to_string(), Json::UInt(ev.level as u64)),
+                        ("step".to_string(), Json::UInt(ev.step as u64)),
+                        ("busy_s".to_string(), Json::Num(ev.busy_s)),
+                        ("wait_s".to_string(), Json::Num(ev.wait_s)),
+                    ])
+                })
+                .collect();
+            Json::Obj(vec![
+                ("rank".to_string(), Json::UInt(s.rank as u64)),
+                ("busy_s".to_string(), Json::Num(s.busy_s)),
+                ("wait_s".to_string(), Json::Num(s.wait_s)),
+                ("wait_fraction".to_string(), Json::Num(s.wait_fraction())),
+                ("elem_ops".to_string(), Json::UInt(s.elem_ops)),
+                ("n_exchanges".to_string(), Json::UInt(s.n_exchanges)),
+                ("msgs_sent".to_string(), Json::UInt(s.msgs_sent)),
+                ("dofs_sent".to_string(), Json::UInt(s.dofs_sent)),
+                ("levels".to_string(), Json::Arr(levels)),
+                ("timeline".to_string(), Json::Arr(timeline)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![("ranks".to_string(), Json::Arr(ranks))])
+}
+
+/// Render per-rank busy/wait bars as ASCII (the Fig. 1 bottom panel). Each
+/// bar is exactly `width` cells: `#` busy, `.` wait, padded with spaces.
 pub fn ascii_timeline(stats: &[RankStats], width: usize) -> String {
     let max_total = stats
         .iter()
@@ -51,13 +201,16 @@ pub fn ascii_timeline(stats: &[RankStats], width: usize) -> String {
         .max(1e-12);
     let mut out = String::new();
     for s in stats {
-        let busy = ((s.busy_s / max_total) * width as f64).round() as usize;
-        let wait = ((s.wait_s / max_total) * width as f64).round() as usize;
+        // Clamp busy to the box, then wait to what remains: independent
+        // rounding of the two segments can otherwise overflow `width` by one.
+        let busy = (((s.busy_s / max_total) * width as f64).round() as usize).min(width);
+        let wait = (((s.wait_s / max_total) * width as f64).round() as usize).min(width - busy);
         out.push_str(&format!(
-            "rank {:>3} |{}{}| busy {:>7.3}ms wait {:>7.3}ms ({:>4.1}% stalled)\n",
+            "rank {:>3} |{}{}{}| busy {:>7.3}ms wait {:>7.3}ms ({:>4.1}% stalled)\n",
             s.rank,
-            "#".repeat(busy.min(width)),
-            ".".repeat(wait.min(width.saturating_sub(busy))),
+            "#".repeat(busy),
+            ".".repeat(wait),
+            " ".repeat(width - busy - wait),
             s.busy_s * 1e3,
             s.wait_s * 1e3,
             100.0 * s.wait_fraction(),
@@ -70,9 +223,19 @@ pub fn ascii_timeline(stats: &[RankStats], width: usize) -> String {
 mod tests {
     use super::*;
 
+    fn bar_len(line: &str) -> usize {
+        let open = line.find('|').unwrap();
+        let close = line.rfind('|').unwrap();
+        line[open + 1..close].chars().count()
+    }
+
     #[test]
     fn wait_fraction_bounds() {
-        let s = RankStats { busy_s: 3.0, wait_s: 1.0, ..Default::default() };
+        let s = RankStats {
+            busy_s: 3.0,
+            wait_s: 1.0,
+            ..Default::default()
+        };
         assert!((s.wait_fraction() - 0.25).abs() < 1e-12);
         let z = RankStats::default();
         assert_eq!(z.wait_fraction(), 0.0);
@@ -81,12 +244,105 @@ mod tests {
     #[test]
     fn ascii_contains_each_rank() {
         let stats = vec![
-            RankStats { rank: 0, busy_s: 1.0, wait_s: 0.5, ..Default::default() },
-            RankStats { rank: 1, busy_s: 0.5, wait_s: 1.0, ..Default::default() },
+            RankStats {
+                rank: 0,
+                busy_s: 1.0,
+                wait_s: 0.5,
+                ..Default::default()
+            },
+            RankStats {
+                rank: 1,
+                busy_s: 0.5,
+                wait_s: 1.0,
+                ..Default::default()
+            },
         ];
         let s = ascii_timeline(&stats, 40);
         assert!(s.contains("rank   0"));
         assert!(s.contains("rank   1"));
         assert_eq!(s.lines().count(), 2);
+    }
+
+    /// Regression: both segments round up (busy 4.5→5, wait 5.5→6 at
+    /// width 10) — the bar must still be exactly `width` cells.
+    #[test]
+    fn ascii_bar_never_exceeds_width() {
+        let width = 10;
+        let stats = vec![RankStats {
+            rank: 0,
+            busy_s: 0.45,
+            wait_s: 0.55,
+            ..Default::default()
+        }];
+        let line = ascii_timeline(&stats, width);
+        assert_eq!(bar_len(line.lines().next().unwrap()), width);
+
+        // sweep many fractional splits across several ranks
+        let stats: Vec<RankStats> = (0..50)
+            .map(|i| RankStats {
+                rank: i,
+                busy_s: 0.01 + 0.02 * i as f64,
+                wait_s: 1.0 - 0.017 * i as f64,
+                ..Default::default()
+            })
+            .collect();
+        for w in [1usize, 7, 10, 33, 80] {
+            for line in ascii_timeline(&stats, w).lines() {
+                assert_eq!(bar_len(line), w, "width {w}: {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn view_materializes_from_registry() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc_level(names::ELEM_OPS, 0, 8);
+        reg.inc_level(names::ELEM_OPS, 1, 24);
+        reg.inc_level(names::EXCHANGES, 1, 4);
+        reg.inc_level(names::MSGS_SENT, 1, 8);
+        reg.inc_level(names::DOFS_SENT, 1, 40);
+        reg.observe(names::BUSY, Some(1), 0.5);
+        reg.observe(names::BUSY, None, 0.25); // end-of-run tail
+        reg.observe(names::WAIT, Some(1), 0.125);
+        let s = RankStats::from_registry(3, reg, Vec::new());
+        assert_eq!(s.rank, 3);
+        assert_eq!(s.elem_ops, 32);
+        assert_eq!(s.n_exchanges, 4);
+        assert_eq!(s.msgs_sent, 8);
+        assert_eq!(s.dofs_sent, 40);
+        assert!((s.busy_s - 0.75).abs() < 1e-12);
+        assert!((s.wait_s - 0.125).abs() < 1e-12);
+        let per = s.per_level();
+        assert_eq!(per.len(), 2);
+        assert_eq!(per[0].level, 0);
+        assert_eq!(per[0].elem_ops, 8);
+        assert_eq!(per[1].level, 1);
+        assert_eq!(per[1].dofs_sent, 40);
+        assert_eq!(per[1].n_exchanges, 4);
+    }
+
+    #[test]
+    fn profile_json_has_rank_and_level_entries() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc_level(names::ELEM_OPS, 0, 5);
+        reg.inc_level(names::DOFS_SENT, 0, 10);
+        reg.observe(names::BUSY, Some(0), 0.5);
+        reg.observe(names::WAIT, Some(0), 0.25);
+        let s = RankStats::from_registry(
+            0,
+            reg,
+            vec![TimelineEvent {
+                level: 0,
+                step: 2,
+                busy_s: 0.5,
+                wait_s: 0.25,
+            }],
+        );
+        let json = profile_json(&[s]).render();
+        assert!(json.contains(r#""rank":0"#));
+        assert!(json.contains(r#""elem_ops":5"#));
+        assert!(json.contains(r#""dofs_sent":10"#));
+        assert!(json.contains(r#""levels":[{"level":0"#));
+        assert!(json.contains(r#""timeline":[{"level":0,"step":2"#));
     }
 }

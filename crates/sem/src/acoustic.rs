@@ -58,7 +58,16 @@ impl AcousticOperator {
                 }
             }
         }
-        AcousticOperator { dofmap, basis, hx, hy, hz, mu, mass, perm: None }
+        AcousticOperator {
+            dofmap,
+            basis,
+            hx,
+            hy,
+            hz,
+            mu,
+            mass,
+            perm: None,
+        }
     }
 
     /// Renumber the DOFs with `new = perm[natural]` (see
@@ -202,14 +211,7 @@ impl Operator for AcousticOperator {
         }
     }
 
-    fn apply_masked(
-        &self,
-        u: &[f64],
-        out: &mut [f64],
-        elems: &[u32],
-        dof_level: &[u8],
-        level: u8,
-    ) {
+    fn apply_masked(&self, u: &[f64], out: &mut [f64], elems: &[u32], dof_level: &[u8], level: u8) {
         let npe = self.dofmap.nodes_per_elem();
         let mut loc = vec![0.0; npe];
         let mut tmp = vec![0.0; npe];
@@ -303,15 +305,22 @@ mod tests {
         // (M A u)·w = (M A w)·u since K is symmetric
         let (_, op) = small_op(3);
         let n = op.dofmap.n_nodes();
-        let u: Vec<f64> = (0..n).map(|i| ((i * 83 % 17) as f64) / 17.0 - 0.5).collect();
-        let w: Vec<f64> = (0..n).map(|i| ((i * 29 % 13) as f64) / 13.0 - 0.5).collect();
+        let u: Vec<f64> = (0..n)
+            .map(|i| ((i * 83 % 17) as f64) / 17.0 - 0.5)
+            .collect();
+        let w: Vec<f64> = (0..n)
+            .map(|i| ((i * 29 % 13) as f64) / 13.0 - 0.5)
+            .collect();
         let mut au = vec![0.0; n];
         let mut aw = vec![0.0; n];
         op.apply(&u, &mut au);
         op.apply(&w, &mut aw);
         let lhs: f64 = (0..n).map(|i| op.mass[i] * au[i] * w[i]).sum();
         let rhs: f64 = (0..n).map(|i| op.mass[i] * aw[i] * u[i]).sum();
-        assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]
@@ -320,9 +329,14 @@ mod tests {
         let n = op.dofmap.n_nodes();
         for seed in 0..5u64 {
             let u: Vec<f64> = (0..n)
-                .map(|i| (((i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed) >> 33) as f64
-                    / 2.0_f64.powi(31))
-                    - 0.5)
+                .map(|i| {
+                    (((i as u64)
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(seed)
+                        >> 33) as f64
+                        / 2.0_f64.powi(31))
+                        - 0.5
+                })
                 .collect();
             let mut au = vec![0.0; n];
             op.apply(&u, &mut au);

@@ -23,7 +23,14 @@ pub struct AbsorbingFaces {
 impl AbsorbingFaces {
     /// Free surface on top, absorbing everywhere else (the paper's setup).
     pub fn seismic() -> Self {
-        AbsorbingFaces { x_lo: true, x_hi: true, y_lo: true, y_hi: true, z_lo: true, z_hi: false }
+        AbsorbingFaces {
+            x_lo: true,
+            x_hi: true,
+            y_lo: true,
+            y_hi: true,
+            z_lo: true,
+            z_hi: false,
+        }
     }
 }
 
@@ -38,6 +45,7 @@ impl Sponge {
     /// Build a sponge of physical `width` and peak damping rate `gamma`
     /// (per unit time) for a scalar field; `dt` is the step at which the
     /// taper will be applied.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         mesh: &HexMesh,
         dofmap: &DofMap,
@@ -154,7 +162,16 @@ mod tests {
     #[test]
     fn interior_is_untouched() {
         let (m, d, b) = setup();
-        let sp = Sponge::new(&m, &d, &b.points, AbsorbingFaces::seismic(), 1.0, 2.0, 0.1, 1);
+        let sp = Sponge::new(
+            &m,
+            &d,
+            &b.points,
+            AbsorbingFaces::seismic(),
+            1.0,
+            2.0,
+            0.1,
+            1,
+        );
         let center = d.global_node(d.gx / 2, d.gy / 2, d.gz / 2) as usize;
         assert_eq!(sp.factor[center], 1.0);
     }
@@ -162,7 +179,16 @@ mod tests {
     #[test]
     fn free_surface_untouched_boundaries_damped() {
         let (m, d, b) = setup();
-        let sp = Sponge::new(&m, &d, &b.points, AbsorbingFaces::seismic(), 1.0, 2.0, 0.1, 1);
+        let sp = Sponge::new(
+            &m,
+            &d,
+            &b.points,
+            AbsorbingFaces::seismic(),
+            1.0,
+            2.0,
+            0.1,
+            1,
+        );
         // top face (z_hi) is free
         let top = d.global_node(d.gx / 2, d.gy / 2, d.gz - 1) as usize;
         assert_eq!(sp.factor[top], 1.0);
@@ -177,7 +203,16 @@ mod tests {
     #[test]
     fn apply_damps_velocity() {
         let (m, d, b) = setup();
-        let sp = Sponge::new(&m, &d, &b.points, AbsorbingFaces::seismic(), 1.0, 5.0, 0.5, 1);
+        let sp = Sponge::new(
+            &m,
+            &d,
+            &b.points,
+            AbsorbingFaces::seismic(),
+            1.0,
+            5.0,
+            0.5,
+            1,
+        );
         let mut v = vec![1.0; d.n_nodes()];
         sp.apply(&mut v);
         let bottom = d.global_node(0, 0, 0) as usize;
@@ -189,7 +224,16 @@ mod tests {
     #[test]
     fn vector_fields_replicate_factors() {
         let (m, d, b) = setup();
-        let sp = Sponge::new(&m, &d, &b.points, AbsorbingFaces::seismic(), 1.0, 2.0, 0.1, 3);
+        let sp = Sponge::new(
+            &m,
+            &d,
+            &b.points,
+            AbsorbingFaces::seismic(),
+            1.0,
+            2.0,
+            0.1,
+            3,
+        );
         assert_eq!(sp.factor.len(), 3 * d.n_nodes());
         for g in 0..d.n_nodes() {
             assert_eq!(sp.factor[3 * g], sp.factor[3 * g + 1]);

@@ -66,13 +66,21 @@ impl DofMap {
     /// Global node of element `(ei,ej,ek)`'s local GLL node `(a,b,c)`.
     #[inline]
     pub fn elem_node(&self, ei: usize, ej: usize, ek: usize, a: usize, b: usize, c: usize) -> u32 {
-        self.global_node(self.order * ei + a, self.order * ej + b, self.order * ek + c)
+        self.global_node(
+            self.order * ei + a,
+            self.order * ej + b,
+            self.order * ek + c,
+        )
     }
 
     #[inline]
     pub fn elem_ijk(&self, e: u32) -> (usize, usize, usize) {
         let e = e as usize;
-        (e % self.nx, (e / self.nx) % self.ny, e / (self.nx * self.ny))
+        (
+            e % self.nx,
+            (e / self.nx) % self.ny,
+            e / (self.nx * self.ny),
+        )
     }
 
     /// Append all global nodes of element `e` to `out` (cleared first),

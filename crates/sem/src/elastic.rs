@@ -215,8 +215,10 @@ impl ElasticOperator {
     /// `vs_over_vp` sets the shear speed; the default Poisson solid
     /// (λ = μ) has `vs/vp = 1/√3`.
     pub fn new(mesh: &HexMesh, order: usize, vs_over_vp: f64) -> Self {
-        assert!(vs_over_vp > 0.0 && vs_over_vp < std::f64::consts::FRAC_1_SQRT_2,
-            "vs/vp must lie in (0, 1/√2) for positive λ");
+        assert!(
+            vs_over_vp > 0.0 && vs_over_vp < std::f64::consts::FRAC_1_SQRT_2,
+            "vs/vp must lie in (0, 1/√2) for positive λ"
+        );
         let dofmap = DofMap::new(mesh, order);
         let basis = GllBasis::new(order);
         let hx: Vec<f64> = mesh.xs.windows(2).map(|w| w[1] - w[0]).collect();
@@ -252,7 +254,17 @@ impl ElasticOperator {
                 }
             }
         }
-        ElasticOperator { dofmap, basis, hx, hy, hz, lambda, mu, mass, node_perm: None }
+        ElasticOperator {
+            dofmap,
+            basis,
+            hx,
+            hy,
+            hz,
+            lambda,
+            mu,
+            mass,
+            node_perm: None,
+        }
     }
 
     /// Renumber the DOFs with a `grouping_permutation` over the 3n DOFs.
@@ -425,7 +437,11 @@ mod tests {
             }
             out
         };
-        let (px, py, pz) = (planes(o.dofmap.nx), planes(o.dofmap.ny), planes(o.dofmap.nz));
+        let (px, py, pz) = (
+            planes(o.dofmap.nx),
+            planes(o.dofmap.ny),
+            planes(o.dofmap.nz),
+        );
         let mut out = Vec::with_capacity(o.dofmap.n_nodes());
         for iz in 0..o.dofmap.gz {
             for iy in 0..o.dofmap.gy {
@@ -477,15 +493,22 @@ mod tests {
     fn symmetric_and_psd() {
         let o = op();
         let n = o.ndof();
-        let u: Vec<f64> = (0..n).map(|i| ((i * 83 % 17) as f64) / 17.0 - 0.5).collect();
-        let w: Vec<f64> = (0..n).map(|i| ((i * 29 % 13) as f64) / 13.0 - 0.5).collect();
+        let u: Vec<f64> = (0..n)
+            .map(|i| ((i * 83 % 17) as f64) / 17.0 - 0.5)
+            .collect();
+        let w: Vec<f64> = (0..n)
+            .map(|i| ((i * 29 % 13) as f64) / 13.0 - 0.5)
+            .collect();
         let mut au = vec![0.0; n];
         let mut aw = vec![0.0; n];
         o.apply(&u, &mut au);
         o.apply(&w, &mut aw);
         let lhs: f64 = (0..n).map(|i| o.mass[i] * au[i] * w[i]).sum();
         let rhs: f64 = (0..n).map(|i| o.mass[i] * aw[i] * u[i]).sum();
-        assert!((lhs - rhs).abs() < 1e-8 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-8 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
         let q: f64 = (0..n).map(|i| o.mass[i] * au[i] * u[i]).sum();
         assert!(q > -1e-10, "uᵀKu = {q}");
     }

@@ -24,7 +24,11 @@ fn legendre(n: usize, x: f64) -> (f64, f64) {
         n as f64 * (p0 - x * p1) / (1.0 - x * x)
     } else {
         // |x| = 1: P'_n(±1) = ±^{n+1} n(n+1)/2
-        let s = if x > 0.0 { 1.0 } else { (-1.0f64).powi(n as i32 + 1) };
+        let s = if x > 0.0 {
+            1.0
+        } else {
+            (-1.0f64).powi(n as i32 + 1)
+        };
         s * n as f64 * (n as f64 + 1.0) / 2.0
     };
     (p1, dp)
@@ -44,7 +48,10 @@ pub struct GllBasis {
 
 impl GllBasis {
     pub fn new(order: usize) -> Self {
-        assert!((1..=16).contains(&order), "unsupported polynomial order {order}");
+        assert!(
+            (1..=16).contains(&order),
+            "unsupported polynomial order {order}"
+        );
         let n = order;
         let np = n + 1;
         let mut points = vec![0.0; np];
@@ -102,7 +109,12 @@ impl GllBasis {
         d[0] = -(n as f64) * (n as f64 + 1.0) / 4.0;
         d[np * np - 1] = n as f64 * (n as f64 + 1.0) / 4.0;
 
-        GllBasis { order: n, points, weights, d }
+        GllBasis {
+            order: n,
+            points,
+            weights,
+            d,
+        }
     }
 
     #[inline]
@@ -193,11 +205,12 @@ mod tests {
             let b = GllBasis::new(n);
             for k in 0..=(2 * n - 1) {
                 let f: Vec<f64> = b.points.iter().map(|&x| x.powi(k as i32)).collect();
-                let exact = if k % 2 == 1 { 0.0 } else { 2.0 / (k as f64 + 1.0) };
-                assert!(
-                    (b.integrate(&f) - exact).abs() < 1e-12,
-                    "order {n}, ∫x^{k}"
-                );
+                let exact = if k % 2 == 1 {
+                    0.0
+                } else {
+                    2.0 / (k as f64 + 1.0)
+                };
+                assert!((b.integrate(&f) - exact).abs() < 1e-12, "order {n}, ∫x^{k}");
             }
         }
     }
@@ -212,7 +225,11 @@ mod tests {
                 let f: Vec<f64> = b.points.iter().map(|&x| x.powi(k as i32)).collect();
                 b.differentiate(&f, &mut out);
                 for (i, &x) in b.points.iter().enumerate() {
-                    let exact = if k == 0 { 0.0 } else { k as f64 * x.powi(k as i32 - 1) };
+                    let exact = if k == 0 {
+                        0.0
+                    } else {
+                        k as f64 * x.powi(k as i32 - 1)
+                    };
                     assert!(
                         (out[i] - exact).abs() < 1e-10 * (1.0 + exact.abs()),
                         "order {n}, d/dx x^{k} at point {i}: {} vs {exact}",

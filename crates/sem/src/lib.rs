@@ -14,6 +14,10 @@
 //! * [`elastic`] — the 3-component isotropic elastic operator (Eqs. 1–2);
 //! * [`boundary`] — sponge-taper absorbing boundaries.
 
+// Indexed `for i in 0..n` loops over parallel arrays are the house idiom in
+// these numerical kernels: the index couples several same-length arrays and
+// mirrors the subscripts in the paper's equations, which zip chains obscure.
+#![allow(clippy::needless_range_loop)]
 pub mod acoustic;
 pub mod boundary;
 pub mod dofmap;

@@ -63,7 +63,12 @@ impl SharedOut {
 }
 
 /// Parallel `out = A u` for the acoustic operator.
-pub fn apply_parallel(op: &AcousticOperator, coloring: &ElementColoring, u: &[f64], out: &mut [f64]) {
+pub fn apply_parallel(
+    op: &AcousticOperator,
+    coloring: &ElementColoring,
+    u: &[f64],
+    out: &mut [f64],
+) {
     out.fill(0.0);
     let shared = SharedOut(out.as_mut_ptr(), out.len());
     for class in &coloring.classes {
@@ -125,7 +130,9 @@ mod tests {
         let op = AcousticOperator::new(&m, 3);
         let coloring = ElementColoring::new(&op.dofmap);
         let n = Operator::ndof(&op);
-        let u: Vec<f64> = (0..n).map(|i| ((i * 31 % 29) as f64) / 29.0 - 0.5).collect();
+        let u: Vec<f64> = (0..n)
+            .map(|i| ((i * 31 % 29) as f64) / 29.0 - 0.5)
+            .collect();
         let mut serial = vec![0.0; n];
         op.apply(&u, &mut serial);
         let mut parallel = vec![0.0; n];

@@ -26,7 +26,11 @@ pub struct SeismogramRecorder {
 impl SeismogramRecorder {
     pub fn new(receivers: Vec<Receiver>) -> Self {
         let n = receivers.len();
-        SeismogramRecorder { receivers, traces: vec![Vec::new(); n], times: Vec::new() }
+        SeismogramRecorder {
+            receivers,
+            traces: vec![Vec::new(); n],
+            times: Vec::new(),
+        }
     }
 
     /// Receiver at the GLL node nearest to a physical location (scalar
@@ -91,7 +95,13 @@ impl SeismogramRecorder {
 
 /// Extract a horizontal (`z = iz`) slice of a scalar field on the global
 /// GLL grid, as a row-major `gy × gx` matrix.
-pub fn slice_z(dofmap: &DofMap, u: &[f64], iz: usize, dofs_per_node: usize, component: usize) -> Vec<f64> {
+pub fn slice_z(
+    dofmap: &DofMap,
+    u: &[f64],
+    iz: usize,
+    dofs_per_node: usize,
+    component: usize,
+) -> Vec<f64> {
     assert!(iz < dofmap.gz);
     let mut out = Vec::with_capacity(dofmap.gx * dofmap.gy);
     for iy in 0..dofmap.gy {
@@ -105,7 +115,12 @@ pub fn slice_z(dofmap: &DofMap, u: &[f64], iz: usize, dofs_per_node: usize, comp
 
 /// Write a scalar field slice as a binary PGM image (symmetric grayscale
 /// around zero), the cheapest portable wavefield snapshot format.
-pub fn write_pgm<W: Write>(mut w: W, data: &[f64], width: usize, height: usize) -> std::io::Result<()> {
+pub fn write_pgm<W: Write>(
+    mut w: W,
+    data: &[f64],
+    width: usize,
+    height: usize,
+) -> std::io::Result<()> {
     assert_eq!(data.len(), width * height);
     let peak = data.iter().fold(1e-300f64, |m, &x| m.max(x.abs()));
     writeln!(w, "P5\n{width} {height}\n255")?;
@@ -179,6 +194,9 @@ mod tests {
         let mut buf = Vec::new();
         write_pgm(&mut buf, &s, d.gx, d.gy).unwrap();
         assert!(buf.starts_with(b"P5\n"));
-        assert_eq!(buf.len(), format!("P5\n{} {}\n255\n", d.gx, d.gy).len() + d.gx * d.gy);
+        assert_eq!(
+            buf.len(),
+            format!("P5\n{} {}\n255\n", d.gx, d.gy).len() + d.gx * d.gy
+        );
     }
 }

@@ -117,7 +117,14 @@ impl UnstructuredAcoustic {
             }
         }
         (
-            UnstructuredAcoustic { basis, elem_dofs, elem_geom, mass, npe, ndof },
+            UnstructuredAcoustic {
+                basis,
+                elem_dofs,
+                elem_geom,
+                mass,
+                npe,
+                ndof,
+            },
             global_of_local,
         )
     }
@@ -130,7 +137,14 @@ impl UnstructuredAcoustic {
         op
     }
 
-    fn apply_elem(&self, le: usize, loc: &[f64], tmp: &mut [f64], der: &mut [f64], out: &mut [f64]) {
+    fn apply_elem(
+        &self,
+        le: usize,
+        loc: &[f64],
+        tmp: &mut [f64],
+        der: &mut [f64],
+        out: &mut [f64],
+    ) {
         let (hx, hy, hz, mu) = self.elem_geom[le];
         scalar_stiffness(&self.basis, hx, hy, hz, mu, loc, tmp, der);
         let base = le * self.npe;
@@ -182,7 +196,11 @@ impl Operator for UnstructuredAcoustic {
         for &e in elems {
             let base = e as usize * self.npe;
             for (li, &dof) in self.elem_dofs[base..base + self.npe].iter().enumerate() {
-                loc[li] = if dof_level[dof as usize] == level { u[dof as usize] } else { 0.0 };
+                loc[li] = if dof_level[dof as usize] == level {
+                    u[dof as usize]
+                } else {
+                    0.0
+                };
             }
             self.apply_elem(e as usize, &loc, &mut tmp, &mut der, out);
         }
@@ -192,7 +210,6 @@ impl Operator for UnstructuredAcoustic {
         &self.mass
     }
 }
-
 
 /// Gather-list *elastic* operator (three interleaved components per node),
 /// mirroring [`UnstructuredAcoustic`]. Per-element geometry carries
@@ -290,7 +307,14 @@ impl UnstructuredElastic {
             }
         }
         (
-            UnstructuredElastic { basis, elem_nodes, elem_geom, mass, npe, n_nodes },
+            UnstructuredElastic {
+                basis,
+                elem_nodes,
+                elem_geom,
+                mass,
+                npe,
+                n_nodes,
+            },
             global_of_local,
         )
     }
@@ -375,7 +399,6 @@ impl Operator for UnstructuredElastic {
 }
 
 #[cfg(test)]
-
 mod tests {
     use super::*;
     use crate::acoustic::AcousticOperator;
@@ -398,7 +421,9 @@ mod tests {
         for i in 0..n {
             assert_eq!(s.mass()[i], u_op.mass()[i], "mass {i}");
         }
-        let u: Vec<f64> = (0..n).map(|i| ((i * 31 % 23) as f64) / 23.0 - 0.5).collect();
+        let u: Vec<f64> = (0..n)
+            .map(|i| ((i * 31 % 23) as f64) / 23.0 - 0.5)
+            .collect();
         let mut a = vec![0.0; n];
         let mut b = vec![0.0; n];
         s.apply(&u, &mut a);
@@ -420,7 +445,9 @@ mod tests {
         for i in 0..n {
             assert_eq!(s.mass()[i], u_op.mass()[i], "mass {i}");
         }
-        let u: Vec<f64> = (0..n).map(|i| ((i * 17 % 19) as f64) / 19.0 - 0.5).collect();
+        let u: Vec<f64> = (0..n)
+            .map(|i| ((i * 17 % 19) as f64) / 19.0 - 0.5)
+            .collect();
         let mut a = vec![0.0; n];
         let mut b = vec![0.0; n];
         s.apply(&u, &mut a);
@@ -475,7 +502,10 @@ mod tests {
         let dof_level = vec![0u8; n_global];
         s.apply_masked(&u_global, &mut out_global, &elems, &dof_level, 0);
         for (l, &g) in map.iter().enumerate() {
-            assert_eq!(out_local[l], out_global[g as usize], "local {l} / global {g}");
+            assert_eq!(
+                out_local[l], out_global[g as usize],
+                "local {l} / global {g}"
+            );
         }
     }
 }

@@ -29,15 +29,34 @@ fn main() {
     let v0 = vec![0.0; ndof];
     let n_ranks = 4;
     let steps = 10;
-    let cfg = DistributedConfig { n_ranks, record_timeline: false, work_amplify: 0, overlap: false };
+    let cfg = DistributedConfig {
+        n_ranks,
+        record_timeline: false,
+        work_amplify: 0,
+        overlap: false,
+    };
 
     for strategy in [Strategy::ScotchBaseline, Strategy::ScotchP] {
         let part = partition_mesh(&bench.mesh, &bench.levels, n_ranks, strategy, 1);
-        let (u, _, stats) =
-            run_distributed(&op, &setup, &part, bench.levels.dt_global, &u0, &v0, steps, &cfg);
-        println!("== {} on {n_ranks} ranks, {steps} global steps ==", strategy.name());
+        let (u, _, stats) = run_distributed(
+            &op,
+            &setup,
+            &part,
+            bench.levels.dt_global,
+            &u0,
+            &v0,
+            steps,
+            &cfg,
+        );
+        println!(
+            "== {} on {n_ranks} ranks, {steps} global steps ==",
+            strategy.name()
+        );
         print!("{}", ascii_timeline(&stats, 44));
-        let worst = stats.iter().map(|s| s.wait_fraction()).fold(0.0f64, f64::max);
+        let worst = stats
+            .iter()
+            .map(|s| s.wait_fraction())
+            .fold(0.0f64, f64::max);
         println!("worst stall fraction: {:.0}%", 100.0 * worst);
         let norm: f64 = u.iter().map(|x| x * x).sum::<f64>().sqrt();
         println!("‖u‖ after run: {norm:.6} (identical across partitions)\n");

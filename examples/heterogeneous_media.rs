@@ -15,7 +15,13 @@ use wave_lts::sem::gll::cfl_dt_scale;
 use wave_lts::sem::AcousticOperator;
 
 fn main() {
-    let cfg = MediumConfig { c_min: 1.0, c_max: 4.5, n_modes: 30, max_wavenumber: 2.5, seed: 7 };
+    let cfg = MediumConfig {
+        c_min: 1.0,
+        c_max: 4.5,
+        n_modes: 30,
+        max_wavenumber: 2.5,
+        seed: 7,
+    };
     let mesh = random_media_cube(4_000, &cfg);
     let levels = Levels::assign(&mesh, 0.5, 4);
     println!(
@@ -26,7 +32,10 @@ fn main() {
         levels.n_levels,
         levels.histogram()
     );
-    println!("Eq. 9 model speed-up: {:.2}x", levels.speedup_model().speedup());
+    println!(
+        "Eq. 9 model speed-up: {:.2}x",
+        levels.speedup_model().speedup()
+    );
 
     // partition it — smooth media still balance cleanly per level
     let k = 8;
@@ -35,7 +44,10 @@ fn main() {
     println!(
         "SCOTCH-P on {k} ranks: total imbalance {:.1}%, per-level {:?}",
         rep.total_pct,
-        rep.per_level_pct.iter().map(|p| format!("{p:.0}%")).collect::<Vec<_>>()
+        rep.per_level_pct
+            .iter()
+            .map(|p| format!("{p:.0}%"))
+            .collect::<Vec<_>>()
     );
 
     // run it: LTS at the coarse step, verified against the spectral bound

@@ -23,7 +23,8 @@ fn main() {
         b.speedup()
     );
 
-    let machine = MachineModel::cpu_node().scaled(b.mesh.n_elems(), MeshKind::Trench.paper_elements());
+    let machine =
+        MachineModel::cpu_node().scaled(b.mesh.n_elems(), MeshKind::Trench.paper_elements());
     let mut strategies = Strategy::paper_set();
     strategies.insert(0, Strategy::ScotchBaseline);
 
@@ -48,6 +49,8 @@ fn main() {
             1e3 * cycle
         );
     }
-    println!("\nthe level-oblivious SCOTCH baseline balances the *total* but leaves the finest level");
+    println!(
+        "\nthe level-oblivious SCOTCH baseline balances the *total* but leaves the finest level"
+    );
     println!("on few ranks — the modelled cycle time shows the resulting stall (Fig. 1).");
 }

@@ -6,10 +6,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use std::time::Instant;
 use wave_lts::lts::{LtsNewmark, LtsSetup, Newmark};
 use wave_lts::mesh::{BenchmarkMesh, MeshKind};
 use wave_lts::sem::AcousticOperator;
-use std::time::Instant;
 
 fn main() {
     // A small trench mesh: a strip of fast (= CFL-limited) elements at the
@@ -74,10 +74,7 @@ fn main() {
         .zip(&u)
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f64, f64::max);
-    println!(
-        "\nsimulated {} global steps (Δt = {:.3}):",
-        cycles, dt
-    );
+    println!("\nsimulated {} global steps (Δt = {:.3}):", cycles, dt);
     println!("  LTS-Newmark      {:>8.1?}", t_lts);
     println!("  Newmark @ Δt/{p_max}   {:>8.1?}", t_ref);
     println!(

@@ -33,7 +33,9 @@ fn main() {
     let cx = 0.5 * (mesh.xs[0] + mesh.xs[mesh.nx]);
     let cy = 0.5 * (mesh.ys[0] + mesh.ys[mesh.ny]);
     let z_src = mesh.zs[mesh.nz] - 3.0;
-    let src_node = op.dofmap.nearest_node(mesh, cx, cy, z_src, &op.basis.points);
+    let src_node = op
+        .dofmap
+        .nearest_node(mesh, cx, cy, z_src, &op.basis.points);
     let dt = bench.levels.dt_global * wave_lts::sem::gll::cfl_dt_scale(order, 3);
     let f0 = 0.25; // peak frequency, resolved by the mesh
     let t0 = 1.2 / f0;
@@ -105,6 +107,9 @@ fn main() {
     }
     println!("\npeak |u_z| = {peak:.3e}; max LTS-vs-reference deviation = {max_dev:.3e} ({:.1}% of peak)",
         100.0 * max_dev / peak.max(1e-300));
-    assert!(max_dev < 0.1 * peak, "LTS seismogram diverged from the reference");
+    assert!(
+        max_dev < 0.1 * peak,
+        "LTS seismogram diverged from the reference"
+    );
     println!("seismograms agree — LTS delivers the same physics at a fraction of the steps");
 }

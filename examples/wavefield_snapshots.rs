@@ -38,7 +38,9 @@ fn main() -> std::io::Result<()> {
     // Ricker source below the surface center.
     let (cx, cy) = (mesh.xs[mesh.nx] / 2.0, mesh.ys[mesh.ny] / 2.0);
     let z_top = *mesh.zs.last().unwrap();
-    let src = op.dofmap.nearest_node(mesh, cx, cy, z_top - 4.0, &op.basis.points);
+    let src = op
+        .dofmap
+        .nearest_node(mesh, cx, cy, z_top - 4.0, &op.basis.points);
     let f0 = 0.15;
     let sources = vec![Source::ricker(src, f0, 1.2 / f0, 1.0)];
 
@@ -85,7 +87,10 @@ fn main() -> std::io::Result<()> {
     assert!(peaks[0] > 0.0, "no signal arrived at the nearest receiver");
     // direct wave must arrive at the near station first
     let first_arrival = |trace: &[f64], thresh: f64| {
-        trace.iter().position(|&x| x.abs() > thresh).unwrap_or(usize::MAX)
+        trace
+            .iter()
+            .position(|&x| x.abs() > thresh)
+            .unwrap_or(usize::MAX)
     };
     let t0 = first_arrival(&rec.traces[0], 0.05 * peaks[0]);
     let t3 = first_arrival(&rec.traces[3], 0.05 * peaks[0]);

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Repository lint gate: clippy clean under -D warnings, formatting canonical.
+# Run from anywhere; operates on the workspace this script lives in.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "ok"

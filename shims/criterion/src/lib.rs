@@ -1,0 +1,181 @@
+//! Offline stand-in for `criterion` (see `shims/README.md`).
+//!
+//! Provides the group/bench/iter API surface the workspace benches use, with
+//! a simple measurement loop: warm-up, then `sample_size` timed samples of
+//! an adaptively-chosen iteration count, reporting median and spread to
+//! stdout. No statistical regression analysis, plots or saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Re-export position matches upstream (`criterion::black_box`).
+pub use std::hint::black_box;
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    group: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            group: function_name.to_string(),
+            param: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.group, self.param)
+    }
+}
+
+/// Passed to the measured closure; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // warm-up and iteration-count calibration: aim for ≥ 1 ms per sample
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed() / iters as u32);
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<40} (no samples)");
+            return;
+        }
+        let mut s = self.samples.clone();
+        s.sort_unstable();
+        let med = s[s.len() / 2];
+        let lo = s[0];
+        let hi = s[s.len() - 1];
+        println!(
+            "{label:<40} median {:>12?}   range [{:?} .. {:?}]",
+            med, lo, hi
+        );
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, mut f: F) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id));
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, mut f: F) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 10,
+        };
+        f(&mut b);
+        b.report(&format!("{id}"));
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("n", 5), &5u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, tiny_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,135 @@
+//! Offline stand-in for `rand_chacha` (see `shims/README.md`).
+//!
+//! [`ChaCha8Rng`] is a genuine ChaCha stream cipher core with 8 double
+//! rounds, seeded by expanding the `u64` seed through SplitMix64. The stream
+//! differs from upstream `rand_chacha` (which seeds from 32 bytes and uses a
+//! different word serialization), but it is deterministic, portable and of
+//! the same statistical quality — which is what the partitioners' seeded
+//! runs and the tests rely on.
+
+use rand::{RngCore, SeedableRng, SplitMix64};
+
+/// ChaCha with 8 double rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key + counter + nonce words 4..16 of the ChaCha state.
+    state: [u32; 16],
+    /// Current 16-word output block.
+    block: [u32; 16],
+    /// Next word of `block` to emit (16 = exhausted).
+    cursor: usize,
+}
+
+const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut w = self.state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double rounds (column + diagonal)
+            quarter_round(&mut w, 0, 4, 8, 12);
+            quarter_round(&mut w, 1, 5, 9, 13);
+            quarter_round(&mut w, 2, 6, 10, 14);
+            quarter_round(&mut w, 3, 7, 11, 15);
+            quarter_round(&mut w, 0, 5, 10, 15);
+            quarter_round(&mut w, 1, 6, 11, 12);
+            quarter_round(&mut w, 2, 7, 8, 13);
+            quarter_round(&mut w, 3, 4, 9, 14);
+        }
+        for (o, s) in w.iter_mut().zip(self.state.iter()) {
+            *o = o.wrapping_add(*s);
+        }
+        self.block = w;
+        self.cursor = 0;
+        // 64-bit block counter in words 12..14
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+    }
+
+    fn next_word(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.cursor];
+        self.cursor += 1;
+        w
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONST);
+        for i in 0..4 {
+            let w = sm.next_u64();
+            state[4 + 2 * i] = w as u32;
+            state[5 + 2 * i] = (w >> 32) as u32;
+        }
+        // counter = 0, nonce from the seed stream
+        let nonce = sm.next_u64();
+        state[14] = nonce as u32;
+        state[15] = (nonce >> 32) as u32;
+        ChaCha8Rng {
+            state,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(123);
+        let mut b = ChaCha8Rng::seed_from_u64(123);
+        let mut c = ChaCha8Rng::seed_from_u64(124);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut counts = [0usize; 8];
+        for _ in 0..8000 {
+            counts[rng.gen_range(0..8usize)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (700..1300).contains(&c),
+                "bucket count {c} far from uniform"
+            );
+        }
+    }
+}

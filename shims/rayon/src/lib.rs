@@ -1,0 +1,46 @@
+//! Offline stand-in for `rayon` (see `shims/README.md`).
+//!
+//! `par_iter()` returns the ordinary sequential slice iterator — callers
+//! that are correct under rayon's parallel execution (disjoint writes) are
+//! trivially correct sequentially, and every combinator (`for_each`, `map`,
+//! `sum`, …) is already on [`Iterator`]. Shared-memory speedups are lost
+//! until a real work-stealing pool is restored; correctness and determinism
+//! are not.
+
+pub mod prelude {
+    /// Sequential fallback for `rayon::prelude::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v = vec![1u64, 2, 3, 4];
+        let mut out = 0u64;
+        v.par_iter().for_each(|&x| out += x);
+        assert_eq!(out, 10);
+    }
+}

@@ -57,7 +57,9 @@ fn strategy(name: &str) -> Strategy {
         "patoh" => Strategy::Patoh { final_imbal: 0.05 },
         "patoh-0.01" => Strategy::Patoh { final_imbal: 0.01 },
         other => {
-            eprintln!("unknown strategy {other:?}; expected scotch|scotch-p|metis|patoh|patoh-0.01");
+            eprintln!(
+                "unknown strategy {other:?}; expected scotch|scotch-p|metis|patoh|patoh-0.01"
+            );
             std::process::exit(2);
         }
     }
@@ -78,12 +80,19 @@ fn cmd_info(m: &HashMap<String, String>) {
     let model = b.levels.speedup_model();
     println!("mesh          : {}", b.kind.name());
     println!("elements      : {}", b.mesh.n_elems());
-    println!("grid          : {} x {} x {}", b.mesh.nx, b.mesh.ny, b.mesh.nz);
+    println!(
+        "grid          : {} x {} x {}",
+        b.mesh.nx, b.mesh.ny, b.mesh.nz
+    );
     println!("GLL DOF (p=4) : {}", b.mesh.n_gll_nodes(4));
     println!("LTS levels    : {}", b.levels.n_levels);
     println!("histogram     : {:?}", b.levels.histogram());
     println!("global Δt     : {:.4}", b.levels.dt_global);
-    println!("Eq.9 speed-up : {:.2}x (paper at full scale: {:.1}x)", model.speedup(), b.kind.paper_speedup());
+    println!(
+        "Eq.9 speed-up : {:.2}x (paper at full scale: {:.1}x)",
+        model.speedup(),
+        b.kind.paper_speedup()
+    );
 }
 
 fn cmd_partition(m: &HashMap<String, String>) {
@@ -105,10 +114,16 @@ fn cmd_partition(m: &HashMap<String, String>) {
     println!("total imbalance : {:.1}%", rep.total_pct);
     println!(
         "per-level       : {:?}",
-        rep.per_level_pct.iter().map(|p| format!("{p:.0}%")).collect::<Vec<_>>()
+        rep.per_level_pct
+            .iter()
+            .map(|p| format!("{p:.0}%"))
+            .collect::<Vec<_>>()
     );
     println!("edge cut        : {}", edge_cut(&b.mesh, &b.levels, &part));
-    println!("MPI volume/∆t   : {}", mpi_volume(&b.mesh, &b.levels, &part));
+    println!(
+        "MPI volume/∆t   : {}",
+        mpi_volume(&b.mesh, &b.levels, &part)
+    );
 }
 
 fn cmd_simulate(m: &HashMap<String, String>) {
@@ -153,8 +168,15 @@ fn run_sim<O: Operator + wave_lts::lts::DofTopology>(
     lts.run(&mut u, &mut v, 0.0, steps, &[]);
     let t_lts = t0.elapsed();
     let norm: f64 = u.iter().map(|x| x * x).sum::<f64>().sqrt();
-    println!("LTS      : {t_lts:.2?} ({:.1?}/step), ‖u‖ = {norm:.6e}", t_lts / steps as u32);
-    println!("masked element-ops: {} ({} per ∆t)", lts.stats.elem_ops, lts.stats.elem_ops / steps as u64);
+    println!(
+        "LTS      : {t_lts:.2?} ({:.1?}/step), ‖u‖ = {norm:.6e}",
+        t_lts / steps as u32
+    );
+    println!(
+        "masked element-ops: {} ({} per ∆t)",
+        lts.stats.elem_ops,
+        lts.stats.elem_ops / steps as u64
+    );
     if compare {
         let p_max = 1usize << (setup.n_levels - 1);
         let mut u = u0;
@@ -177,8 +199,11 @@ fn cmd_export(m: &HashMap<String, String>) {
     mesh_io::write_mesh(File::create(&out).expect("create mesh file"), &b.mesh)
         .expect("write mesh");
     let lvl_out = format!("{out}.levels");
-    mesh_io::write_levels(File::create(&lvl_out).expect("create level file"), &b.levels)
-        .expect("write levels");
+    mesh_io::write_levels(
+        File::create(&lvl_out).expect("create level file"),
+        &b.levels,
+    )
+    .expect("write levels");
     println!("mesh written   : {out}");
     println!("levels written : {lvl_out}");
 }

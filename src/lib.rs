@@ -15,7 +15,9 @@
 //! * [`runtime`] — threaded message-passing execution of partitioned LTS with
 //!   halo exchange and per-rank stall accounting;
 //! * [`perfmodel`] — the cluster performance model (CPU/GPU) and the cache
-//!   simulator used by the scaling figures.
+//!   simulator used by the scaling figures;
+//! * [`obs`] — the observability layer: typed metrics registry, scoped spans,
+//!   and the JSON/CSV exporters the runtime and partitioners record into.
 //!
 //! ## Quickstart
 //!
@@ -29,6 +31,7 @@
 
 pub use lts_core as lts;
 pub use lts_mesh as mesh;
+pub use lts_obs as obs;
 pub use lts_partition as partition;
 pub use lts_perfmodel as perfmodel;
 pub use lts_runtime as runtime;

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_coarse_restricted-4849cf407da3762e.d: crates/bench/src/bin/ablation_coarse_restricted.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_coarse_restricted-4849cf407da3762e.rmeta: crates/bench/src/bin/ablation_coarse_restricted.rs Cargo.toml
+
+crates/bench/src/bin/ablation_coarse_restricted.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_coarse_restricted-5222933c33ef1d6b.d: crates/bench/src/bin/ablation_coarse_restricted.rs
+
+/root/repo/target/debug/deps/ablation_coarse_restricted-5222933c33ef1d6b: crates/bench/src/bin/ablation_coarse_restricted.rs
+
+crates/bench/src/bin/ablation_coarse_restricted.rs:

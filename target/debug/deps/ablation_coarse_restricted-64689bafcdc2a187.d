@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_coarse_restricted-64689bafcdc2a187.d: crates/bench/src/bin/ablation_coarse_restricted.rs
+
+/root/repo/target/debug/deps/ablation_coarse_restricted-64689bafcdc2a187: crates/bench/src/bin/ablation_coarse_restricted.rs
+
+crates/bench/src/bin/ablation_coarse_restricted.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_coarse_restricted-aa2fcf6ebed6c416.d: crates/bench/src/bin/ablation_coarse_restricted.rs
+
+/root/repo/target/debug/deps/ablation_coarse_restricted-aa2fcf6ebed6c416: crates/bench/src/bin/ablation_coarse_restricted.rs
+
+crates/bench/src/bin/ablation_coarse_restricted.rs:

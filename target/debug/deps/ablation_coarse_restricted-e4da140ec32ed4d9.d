@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_coarse_restricted-e4da140ec32ed4d9.d: crates/bench/src/bin/ablation_coarse_restricted.rs
+
+/root/repo/target/debug/deps/ablation_coarse_restricted-e4da140ec32ed4d9: crates/bench/src/bin/ablation_coarse_restricted.rs
+
+crates/bench/src/bin/ablation_coarse_restricted.rs:

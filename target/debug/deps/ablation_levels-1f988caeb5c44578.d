@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_levels-1f988caeb5c44578.d: crates/bench/src/bin/ablation_levels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_levels-1f988caeb5c44578.rmeta: crates/bench/src/bin/ablation_levels.rs Cargo.toml
+
+crates/bench/src/bin/ablation_levels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_levels-310bd244df2fb6ca.d: crates/bench/src/bin/ablation_levels.rs
+
+/root/repo/target/debug/deps/ablation_levels-310bd244df2fb6ca: crates/bench/src/bin/ablation_levels.rs
+
+crates/bench/src/bin/ablation_levels.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_levels-3f9780ee02e9b33c.d: crates/bench/src/bin/ablation_levels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_levels-3f9780ee02e9b33c.rmeta: crates/bench/src/bin/ablation_levels.rs Cargo.toml
+
+crates/bench/src/bin/ablation_levels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

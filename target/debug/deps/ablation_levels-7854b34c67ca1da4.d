@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_levels-7854b34c67ca1da4.d: crates/bench/src/bin/ablation_levels.rs
+
+/root/repo/target/debug/deps/ablation_levels-7854b34c67ca1da4: crates/bench/src/bin/ablation_levels.rs
+
+crates/bench/src/bin/ablation_levels.rs:

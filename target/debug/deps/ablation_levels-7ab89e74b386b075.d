@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_levels-7ab89e74b386b075.d: crates/bench/src/bin/ablation_levels.rs
+
+/root/repo/target/debug/deps/ablation_levels-7ab89e74b386b075: crates/bench/src/bin/ablation_levels.rs
+
+crates/bench/src/bin/ablation_levels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_levels-efcd4a8dec767781.d: crates/bench/src/bin/ablation_levels.rs
+
+/root/repo/target/debug/deps/ablation_levels-efcd4a8dec767781: crates/bench/src/bin/ablation_levels.rs
+
+crates/bench/src/bin/ablation_levels.rs:

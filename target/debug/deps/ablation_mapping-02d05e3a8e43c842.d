@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_mapping-02d05e3a8e43c842.d: crates/bench/src/bin/ablation_mapping.rs
+
+/root/repo/target/debug/deps/ablation_mapping-02d05e3a8e43c842: crates/bench/src/bin/ablation_mapping.rs
+
+crates/bench/src/bin/ablation_mapping.rs:

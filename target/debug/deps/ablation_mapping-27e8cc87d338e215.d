@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_mapping-27e8cc87d338e215.d: crates/bench/src/bin/ablation_mapping.rs
+
+/root/repo/target/debug/deps/ablation_mapping-27e8cc87d338e215: crates/bench/src/bin/ablation_mapping.rs
+
+crates/bench/src/bin/ablation_mapping.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_mapping-3177a44d8ce2b149.d: crates/bench/src/bin/ablation_mapping.rs
+
+/root/repo/target/debug/deps/ablation_mapping-3177a44d8ce2b149: crates/bench/src/bin/ablation_mapping.rs
+
+crates/bench/src/bin/ablation_mapping.rs:

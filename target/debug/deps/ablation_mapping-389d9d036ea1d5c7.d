@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_mapping-389d9d036ea1d5c7.d: crates/bench/src/bin/ablation_mapping.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_mapping-389d9d036ea1d5c7.rmeta: crates/bench/src/bin/ablation_mapping.rs Cargo.toml
+
+crates/bench/src/bin/ablation_mapping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_mapping-6d82ecbd3ca5059b.d: crates/bench/src/bin/ablation_mapping.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_mapping-6d82ecbd3ca5059b.rmeta: crates/bench/src/bin/ablation_mapping.rs Cargo.toml
+
+crates/bench/src/bin/ablation_mapping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_mapping-759710834a02973c.d: crates/bench/src/bin/ablation_mapping.rs
+
+/root/repo/target/debug/deps/ablation_mapping-759710834a02973c: crates/bench/src/bin/ablation_mapping.rs
+
+crates/bench/src/bin/ablation_mapping.rs:

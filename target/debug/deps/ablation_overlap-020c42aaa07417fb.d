@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_overlap-020c42aaa07417fb.d: crates/bench/src/bin/ablation_overlap.rs
+
+/root/repo/target/debug/deps/ablation_overlap-020c42aaa07417fb: crates/bench/src/bin/ablation_overlap.rs
+
+crates/bench/src/bin/ablation_overlap.rs:

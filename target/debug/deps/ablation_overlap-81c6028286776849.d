@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_overlap-81c6028286776849.d: crates/bench/src/bin/ablation_overlap.rs
+
+/root/repo/target/debug/deps/ablation_overlap-81c6028286776849: crates/bench/src/bin/ablation_overlap.rs
+
+crates/bench/src/bin/ablation_overlap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_overlap-a3105aef278f3237.d: crates/bench/src/bin/ablation_overlap.rs
+
+/root/repo/target/debug/deps/ablation_overlap-a3105aef278f3237: crates/bench/src/bin/ablation_overlap.rs
+
+crates/bench/src/bin/ablation_overlap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_overlap-c061234222ac8729.d: crates/bench/src/bin/ablation_overlap.rs
+
+/root/repo/target/debug/deps/ablation_overlap-c061234222ac8729: crates/bench/src/bin/ablation_overlap.rs
+
+crates/bench/src/bin/ablation_overlap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distributed_integration-db5906f710603bf1.d: tests/distributed_integration.rs
+
+/root/repo/target/debug/deps/distributed_integration-db5906f710603bf1: tests/distributed_integration.rs
+
+tests/distributed_integration.rs:

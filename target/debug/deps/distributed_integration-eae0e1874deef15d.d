@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/distributed_integration-eae0e1874deef15d.d: tests/distributed_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdistributed_integration-eae0e1874deef15d.rmeta: tests/distributed_integration.rs Cargo.toml
+
+tests/distributed_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

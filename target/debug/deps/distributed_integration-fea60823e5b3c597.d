@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distributed_integration-fea60823e5b3c597.d: tests/distributed_integration.rs
+
+/root/repo/target/debug/deps/distributed_integration-fea60823e5b3c597: tests/distributed_integration.rs
+
+tests/distributed_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eq09_serial_efficiency-0a0bc7157ece3299.d: crates/bench/src/bin/eq09_serial_efficiency.rs
+
+/root/repo/target/debug/deps/eq09_serial_efficiency-0a0bc7157ece3299: crates/bench/src/bin/eq09_serial_efficiency.rs
+
+crates/bench/src/bin/eq09_serial_efficiency.rs:

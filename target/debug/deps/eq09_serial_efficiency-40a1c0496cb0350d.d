@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eq09_serial_efficiency-40a1c0496cb0350d.d: crates/bench/src/bin/eq09_serial_efficiency.rs
+
+/root/repo/target/debug/deps/eq09_serial_efficiency-40a1c0496cb0350d: crates/bench/src/bin/eq09_serial_efficiency.rs
+
+crates/bench/src/bin/eq09_serial_efficiency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eq09_serial_efficiency-58b5c29f0620c13a.d: crates/bench/src/bin/eq09_serial_efficiency.rs
+
+/root/repo/target/debug/deps/eq09_serial_efficiency-58b5c29f0620c13a: crates/bench/src/bin/eq09_serial_efficiency.rs
+
+crates/bench/src/bin/eq09_serial_efficiency.rs:

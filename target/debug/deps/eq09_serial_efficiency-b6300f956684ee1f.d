@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eq09_serial_efficiency-b6300f956684ee1f.d: crates/bench/src/bin/eq09_serial_efficiency.rs
+
+/root/repo/target/debug/deps/eq09_serial_efficiency-b6300f956684ee1f: crates/bench/src/bin/eq09_serial_efficiency.rs
+
+crates/bench/src/bin/eq09_serial_efficiency.rs:

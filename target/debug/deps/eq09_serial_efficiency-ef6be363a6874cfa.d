@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eq09_serial_efficiency-ef6be363a6874cfa.d: crates/bench/src/bin/eq09_serial_efficiency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeq09_serial_efficiency-ef6be363a6874cfa.rmeta: crates/bench/src/bin/eq09_serial_efficiency.rs Cargo.toml
+
+crates/bench/src/bin/eq09_serial_efficiency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_timeline-0e383c479f80a832.d: crates/bench/src/bin/fig01_timeline.rs
+
+/root/repo/target/debug/deps/fig01_timeline-0e383c479f80a832: crates/bench/src/bin/fig01_timeline.rs
+
+crates/bench/src/bin/fig01_timeline.rs:

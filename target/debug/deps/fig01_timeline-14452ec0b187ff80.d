@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_timeline-14452ec0b187ff80.d: crates/bench/src/bin/fig01_timeline.rs
+
+/root/repo/target/debug/deps/fig01_timeline-14452ec0b187ff80: crates/bench/src/bin/fig01_timeline.rs
+
+crates/bench/src/bin/fig01_timeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_timeline-193dea0c581df61d.d: crates/bench/src/bin/fig01_timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_timeline-193dea0c581df61d.rmeta: crates/bench/src/bin/fig01_timeline.rs Cargo.toml
+
+crates/bench/src/bin/fig01_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

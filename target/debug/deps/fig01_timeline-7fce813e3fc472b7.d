@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_timeline-7fce813e3fc472b7.d: crates/bench/src/bin/fig01_timeline.rs
+
+/root/repo/target/debug/deps/fig01_timeline-7fce813e3fc472b7: crates/bench/src/bin/fig01_timeline.rs
+
+crates/bench/src/bin/fig01_timeline.rs:

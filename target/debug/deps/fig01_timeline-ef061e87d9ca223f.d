@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_timeline-ef061e87d9ca223f.d: crates/bench/src/bin/fig01_timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_timeline-ef061e87d9ca223f.rmeta: crates/bench/src/bin/fig01_timeline.rs Cargo.toml
+
+crates/bench/src/bin/fig01_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_cutcost-03b3da8458584bc3.d: crates/bench/src/bin/fig02_cutcost.rs
+
+/root/repo/target/debug/deps/fig02_cutcost-03b3da8458584bc3: crates/bench/src/bin/fig02_cutcost.rs
+
+crates/bench/src/bin/fig02_cutcost.rs:

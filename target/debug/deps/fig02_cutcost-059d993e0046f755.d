@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_cutcost-059d993e0046f755.d: crates/bench/src/bin/fig02_cutcost.rs
+
+/root/repo/target/debug/deps/fig02_cutcost-059d993e0046f755: crates/bench/src/bin/fig02_cutcost.rs
+
+crates/bench/src/bin/fig02_cutcost.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_cutcost-22e86c6ab1945b4c.d: crates/bench/src/bin/fig02_cutcost.rs
+
+/root/repo/target/debug/deps/fig02_cutcost-22e86c6ab1945b4c: crates/bench/src/bin/fig02_cutcost.rs
+
+crates/bench/src/bin/fig02_cutcost.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_cutcost-8044165723c8d3ed.d: crates/bench/src/bin/fig02_cutcost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_cutcost-8044165723c8d3ed.rmeta: crates/bench/src/bin/fig02_cutcost.rs Cargo.toml
+
+crates/bench/src/bin/fig02_cutcost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_cutcost-d1d3241fdf108a49.d: crates/bench/src/bin/fig02_cutcost.rs
+
+/root/repo/target/debug/deps/fig02_cutcost-d1d3241fdf108a49: crates/bench/src/bin/fig02_cutcost.rs
+
+crates/bench/src/bin/fig02_cutcost.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_meshes-26506ab56bd71275.d: crates/bench/src/bin/fig04_meshes.rs
+
+/root/repo/target/debug/deps/fig04_meshes-26506ab56bd71275: crates/bench/src/bin/fig04_meshes.rs
+
+crates/bench/src/bin/fig04_meshes.rs:

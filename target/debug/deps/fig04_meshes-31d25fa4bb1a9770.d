@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_meshes-31d25fa4bb1a9770.d: crates/bench/src/bin/fig04_meshes.rs
+
+/root/repo/target/debug/deps/fig04_meshes-31d25fa4bb1a9770: crates/bench/src/bin/fig04_meshes.rs
+
+crates/bench/src/bin/fig04_meshes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig04_meshes-9fc479aa7b8d6b58.d: crates/bench/src/bin/fig04_meshes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig04_meshes-9fc479aa7b8d6b58.rmeta: crates/bench/src/bin/fig04_meshes.rs Cargo.toml
+
+crates/bench/src/bin/fig04_meshes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_meshes-f6476a63eab67d82.d: crates/bench/src/bin/fig04_meshes.rs
+
+/root/repo/target/debug/deps/fig04_meshes-f6476a63eab67d82: crates/bench/src/bin/fig04_meshes.rs
+
+crates/bench/src/bin/fig04_meshes.rs:

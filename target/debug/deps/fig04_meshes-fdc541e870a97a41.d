@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_meshes-fdc541e870a97a41.d: crates/bench/src/bin/fig04_meshes.rs
+
+/root/repo/target/debug/deps/fig04_meshes-fdc541e870a97a41: crates/bench/src/bin/fig04_meshes.rs
+
+crates/bench/src/bin/fig04_meshes.rs:

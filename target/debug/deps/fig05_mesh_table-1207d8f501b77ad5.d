@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_mesh_table-1207d8f501b77ad5.d: crates/bench/src/bin/fig05_mesh_table.rs
+
+/root/repo/target/debug/deps/fig05_mesh_table-1207d8f501b77ad5: crates/bench/src/bin/fig05_mesh_table.rs
+
+crates/bench/src/bin/fig05_mesh_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_mesh_table-1375e338dad41331.d: crates/bench/src/bin/fig05_mesh_table.rs
+
+/root/repo/target/debug/deps/fig05_mesh_table-1375e338dad41331: crates/bench/src/bin/fig05_mesh_table.rs
+
+crates/bench/src/bin/fig05_mesh_table.rs:

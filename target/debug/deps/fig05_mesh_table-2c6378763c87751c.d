@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_mesh_table-2c6378763c87751c.d: crates/bench/src/bin/fig05_mesh_table.rs
+
+/root/repo/target/debug/deps/fig05_mesh_table-2c6378763c87751c: crates/bench/src/bin/fig05_mesh_table.rs
+
+crates/bench/src/bin/fig05_mesh_table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_mesh_table-6b13260fdc52cd12.d: crates/bench/src/bin/fig05_mesh_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_mesh_table-6b13260fdc52cd12.rmeta: crates/bench/src/bin/fig05_mesh_table.rs Cargo.toml
+
+crates/bench/src/bin/fig05_mesh_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

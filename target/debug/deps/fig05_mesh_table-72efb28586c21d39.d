@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_mesh_table-72efb28586c21d39.d: crates/bench/src/bin/fig05_mesh_table.rs
+
+/root/repo/target/debug/deps/fig05_mesh_table-72efb28586c21d39: crates/bench/src/bin/fig05_mesh_table.rs
+
+crates/bench/src/bin/fig05_mesh_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_partitions-317f0930886271ce.d: crates/bench/src/bin/fig06_partitions.rs
+
+/root/repo/target/debug/deps/fig06_partitions-317f0930886271ce: crates/bench/src/bin/fig06_partitions.rs
+
+crates/bench/src/bin/fig06_partitions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_partitions-5792c82ae6d63ae5.d: crates/bench/src/bin/fig06_partitions.rs
+
+/root/repo/target/debug/deps/fig06_partitions-5792c82ae6d63ae5: crates/bench/src/bin/fig06_partitions.rs
+
+crates/bench/src/bin/fig06_partitions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_partitions-9f47c909fbb5ca3d.d: crates/bench/src/bin/fig06_partitions.rs
+
+/root/repo/target/debug/deps/fig06_partitions-9f47c909fbb5ca3d: crates/bench/src/bin/fig06_partitions.rs
+
+crates/bench/src/bin/fig06_partitions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_partitions-bef3d4dfd2950843.d: crates/bench/src/bin/fig06_partitions.rs
+
+/root/repo/target/debug/deps/fig06_partitions-bef3d4dfd2950843: crates/bench/src/bin/fig06_partitions.rs
+
+crates/bench/src/bin/fig06_partitions.rs:

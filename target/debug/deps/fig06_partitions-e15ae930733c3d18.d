@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_partitions-e15ae930733c3d18.d: crates/bench/src/bin/fig06_partitions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_partitions-e15ae930733c3d18.rmeta: crates/bench/src/bin/fig06_partitions.rs Cargo.toml
+
+crates/bench/src/bin/fig06_partitions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_imbalance-20ae8fc9d1207dad.d: crates/bench/src/bin/fig07_imbalance.rs
+
+/root/repo/target/debug/deps/fig07_imbalance-20ae8fc9d1207dad: crates/bench/src/bin/fig07_imbalance.rs
+
+crates/bench/src/bin/fig07_imbalance.rs:

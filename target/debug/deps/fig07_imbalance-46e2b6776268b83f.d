@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_imbalance-46e2b6776268b83f.d: crates/bench/src/bin/fig07_imbalance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_imbalance-46e2b6776268b83f.rmeta: crates/bench/src/bin/fig07_imbalance.rs Cargo.toml
+
+crates/bench/src/bin/fig07_imbalance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

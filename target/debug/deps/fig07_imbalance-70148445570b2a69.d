@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_imbalance-70148445570b2a69.d: crates/bench/src/bin/fig07_imbalance.rs
+
+/root/repo/target/debug/deps/fig07_imbalance-70148445570b2a69: crates/bench/src/bin/fig07_imbalance.rs
+
+crates/bench/src/bin/fig07_imbalance.rs:

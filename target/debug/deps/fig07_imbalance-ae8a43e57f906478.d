@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_imbalance-ae8a43e57f906478.d: crates/bench/src/bin/fig07_imbalance.rs
+
+/root/repo/target/debug/deps/fig07_imbalance-ae8a43e57f906478: crates/bench/src/bin/fig07_imbalance.rs
+
+crates/bench/src/bin/fig07_imbalance.rs:

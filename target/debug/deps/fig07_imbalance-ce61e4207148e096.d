@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_imbalance-ce61e4207148e096.d: crates/bench/src/bin/fig07_imbalance.rs
+
+/root/repo/target/debug/deps/fig07_imbalance-ce61e4207148e096: crates/bench/src/bin/fig07_imbalance.rs
+
+crates/bench/src/bin/fig07_imbalance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_imbalance-ff57aa773463fe02.d: crates/bench/src/bin/fig07_imbalance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_imbalance-ff57aa773463fe02.rmeta: crates/bench/src/bin/fig07_imbalance.rs Cargo.toml
+
+crates/bench/src/bin/fig07_imbalance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_comm_volume-272c151977171b24.d: crates/bench/src/bin/fig08_comm_volume.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_comm_volume-272c151977171b24.rmeta: crates/bench/src/bin/fig08_comm_volume.rs Cargo.toml
+
+crates/bench/src/bin/fig08_comm_volume.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_comm_volume-459d4a5413df50bf.d: crates/bench/src/bin/fig08_comm_volume.rs
+
+/root/repo/target/debug/deps/fig08_comm_volume-459d4a5413df50bf: crates/bench/src/bin/fig08_comm_volume.rs
+
+crates/bench/src/bin/fig08_comm_volume.rs:

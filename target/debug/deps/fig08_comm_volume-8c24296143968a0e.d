@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_comm_volume-8c24296143968a0e.d: crates/bench/src/bin/fig08_comm_volume.rs
+
+/root/repo/target/debug/deps/fig08_comm_volume-8c24296143968a0e: crates/bench/src/bin/fig08_comm_volume.rs
+
+crates/bench/src/bin/fig08_comm_volume.rs:

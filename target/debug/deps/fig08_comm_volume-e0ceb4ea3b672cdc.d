@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_comm_volume-e0ceb4ea3b672cdc.d: crates/bench/src/bin/fig08_comm_volume.rs
+
+/root/repo/target/debug/deps/fig08_comm_volume-e0ceb4ea3b672cdc: crates/bench/src/bin/fig08_comm_volume.rs
+
+crates/bench/src/bin/fig08_comm_volume.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_comm_volume-e1147828966bf429.d: crates/bench/src/bin/fig08_comm_volume.rs
+
+/root/repo/target/debug/deps/fig08_comm_volume-e1147828966bf429: crates/bench/src/bin/fig08_comm_volume.rs
+
+crates/bench/src/bin/fig08_comm_volume.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_trench_scaling-94851fea4916488f.d: crates/bench/src/bin/fig09_trench_scaling.rs
+
+/root/repo/target/debug/deps/fig09_trench_scaling-94851fea4916488f: crates/bench/src/bin/fig09_trench_scaling.rs
+
+crates/bench/src/bin/fig09_trench_scaling.rs:

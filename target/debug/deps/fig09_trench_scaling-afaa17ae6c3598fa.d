@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_trench_scaling-afaa17ae6c3598fa.d: crates/bench/src/bin/fig09_trench_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_trench_scaling-afaa17ae6c3598fa.rmeta: crates/bench/src/bin/fig09_trench_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig09_trench_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

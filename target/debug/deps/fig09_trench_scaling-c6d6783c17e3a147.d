@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_trench_scaling-c6d6783c17e3a147.d: crates/bench/src/bin/fig09_trench_scaling.rs
+
+/root/repo/target/debug/deps/fig09_trench_scaling-c6d6783c17e3a147: crates/bench/src/bin/fig09_trench_scaling.rs
+
+crates/bench/src/bin/fig09_trench_scaling.rs:

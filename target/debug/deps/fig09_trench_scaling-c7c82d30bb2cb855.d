@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_trench_scaling-c7c82d30bb2cb855.d: crates/bench/src/bin/fig09_trench_scaling.rs
+
+/root/repo/target/debug/deps/fig09_trench_scaling-c7c82d30bb2cb855: crates/bench/src/bin/fig09_trench_scaling.rs
+
+crates/bench/src/bin/fig09_trench_scaling.rs:

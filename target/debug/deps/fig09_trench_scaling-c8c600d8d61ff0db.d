@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_trench_scaling-c8c600d8d61ff0db.d: crates/bench/src/bin/fig09_trench_scaling.rs
+
+/root/repo/target/debug/deps/fig09_trench_scaling-c8c600d8d61ff0db: crates/bench/src/bin/fig09_trench_scaling.rs
+
+crates/bench/src/bin/fig09_trench_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_embedding_scaling-6a1c502bbee85036.d: crates/bench/src/bin/fig10_embedding_scaling.rs
+
+/root/repo/target/debug/deps/fig10_embedding_scaling-6a1c502bbee85036: crates/bench/src/bin/fig10_embedding_scaling.rs
+
+crates/bench/src/bin/fig10_embedding_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_embedding_scaling-866739d0cf532bd6.d: crates/bench/src/bin/fig10_embedding_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_embedding_scaling-866739d0cf532bd6.rmeta: crates/bench/src/bin/fig10_embedding_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig10_embedding_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_embedding_scaling-c6a019524fb0eaa9.d: crates/bench/src/bin/fig10_embedding_scaling.rs
+
+/root/repo/target/debug/deps/fig10_embedding_scaling-c6a019524fb0eaa9: crates/bench/src/bin/fig10_embedding_scaling.rs
+
+crates/bench/src/bin/fig10_embedding_scaling.rs:

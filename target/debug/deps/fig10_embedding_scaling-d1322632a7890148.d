@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_embedding_scaling-d1322632a7890148.d: crates/bench/src/bin/fig10_embedding_scaling.rs
+
+/root/repo/target/debug/deps/fig10_embedding_scaling-d1322632a7890148: crates/bench/src/bin/fig10_embedding_scaling.rs
+
+crates/bench/src/bin/fig10_embedding_scaling.rs:

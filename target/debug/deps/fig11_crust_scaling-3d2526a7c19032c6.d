@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_crust_scaling-3d2526a7c19032c6.d: crates/bench/src/bin/fig11_crust_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_crust_scaling-3d2526a7c19032c6.rmeta: crates/bench/src/bin/fig11_crust_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig11_crust_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_crust_scaling-837210bcc07aadcb.d: crates/bench/src/bin/fig11_crust_scaling.rs
+
+/root/repo/target/debug/deps/fig11_crust_scaling-837210bcc07aadcb: crates/bench/src/bin/fig11_crust_scaling.rs
+
+crates/bench/src/bin/fig11_crust_scaling.rs:

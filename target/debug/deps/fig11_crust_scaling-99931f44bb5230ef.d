@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_crust_scaling-99931f44bb5230ef.d: crates/bench/src/bin/fig11_crust_scaling.rs
+
+/root/repo/target/debug/deps/fig11_crust_scaling-99931f44bb5230ef: crates/bench/src/bin/fig11_crust_scaling.rs
+
+crates/bench/src/bin/fig11_crust_scaling.rs:

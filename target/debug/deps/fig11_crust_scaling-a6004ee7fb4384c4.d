@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_crust_scaling-a6004ee7fb4384c4.d: crates/bench/src/bin/fig11_crust_scaling.rs
+
+/root/repo/target/debug/deps/fig11_crust_scaling-a6004ee7fb4384c4: crates/bench/src/bin/fig11_crust_scaling.rs
+
+crates/bench/src/bin/fig11_crust_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_crust_scaling-fc4732bd1f9f0b32.d: crates/bench/src/bin/fig11_crust_scaling.rs
+
+/root/repo/target/debug/deps/fig11_crust_scaling-fc4732bd1f9f0b32: crates/bench/src/bin/fig11_crust_scaling.rs
+
+crates/bench/src/bin/fig11_crust_scaling.rs:

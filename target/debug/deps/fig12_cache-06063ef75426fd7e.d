@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_cache-06063ef75426fd7e.d: crates/bench/src/bin/fig12_cache.rs
+
+/root/repo/target/debug/deps/fig12_cache-06063ef75426fd7e: crates/bench/src/bin/fig12_cache.rs
+
+crates/bench/src/bin/fig12_cache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_cache-2a2a897aae423391.d: crates/bench/src/bin/fig12_cache.rs
+
+/root/repo/target/debug/deps/fig12_cache-2a2a897aae423391: crates/bench/src/bin/fig12_cache.rs
+
+crates/bench/src/bin/fig12_cache.rs:

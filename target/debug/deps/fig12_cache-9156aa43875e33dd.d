@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_cache-9156aa43875e33dd.d: crates/bench/src/bin/fig12_cache.rs
+
+/root/repo/target/debug/deps/fig12_cache-9156aa43875e33dd: crates/bench/src/bin/fig12_cache.rs
+
+crates/bench/src/bin/fig12_cache.rs:

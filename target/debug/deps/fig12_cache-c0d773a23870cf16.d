@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_cache-c0d773a23870cf16.d: crates/bench/src/bin/fig12_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_cache-c0d773a23870cf16.rmeta: crates/bench/src/bin/fig12_cache.rs Cargo.toml
+
+crates/bench/src/bin/fig12_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

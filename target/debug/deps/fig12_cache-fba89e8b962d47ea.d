@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_cache-fba89e8b962d47ea.d: crates/bench/src/bin/fig12_cache.rs
+
+/root/repo/target/debug/deps/fig12_cache-fba89e8b962d47ea: crates/bench/src/bin/fig12_cache.rs
+
+crates/bench/src/bin/fig12_cache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_large_trench-13dad3b22b15c13d.d: crates/bench/src/bin/fig13_large_trench.rs
+
+/root/repo/target/debug/deps/fig13_large_trench-13dad3b22b15c13d: crates/bench/src/bin/fig13_large_trench.rs
+
+crates/bench/src/bin/fig13_large_trench.rs:

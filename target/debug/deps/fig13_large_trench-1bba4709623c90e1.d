@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_large_trench-1bba4709623c90e1.d: crates/bench/src/bin/fig13_large_trench.rs
+
+/root/repo/target/debug/deps/fig13_large_trench-1bba4709623c90e1: crates/bench/src/bin/fig13_large_trench.rs
+
+crates/bench/src/bin/fig13_large_trench.rs:

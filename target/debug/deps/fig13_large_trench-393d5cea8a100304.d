@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_large_trench-393d5cea8a100304.d: crates/bench/src/bin/fig13_large_trench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_large_trench-393d5cea8a100304.rmeta: crates/bench/src/bin/fig13_large_trench.rs Cargo.toml
+
+crates/bench/src/bin/fig13_large_trench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_large_trench-94df467715fadd75.d: crates/bench/src/bin/fig13_large_trench.rs
+
+/root/repo/target/debug/deps/fig13_large_trench-94df467715fadd75: crates/bench/src/bin/fig13_large_trench.rs
+
+crates/bench/src/bin/fig13_large_trench.rs:

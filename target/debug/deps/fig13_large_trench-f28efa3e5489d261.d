@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_large_trench-f28efa3e5489d261.d: crates/bench/src/bin/fig13_large_trench.rs
+
+/root/repo/target/debug/deps/fig13_large_trench-f28efa3e5489d261: crates/bench/src/bin/fig13_large_trench.rs
+
+crates/bench/src/bin/fig13_large_trench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/grouping-1b2e94558ccdcdea.d: crates/bench/benches/grouping.rs
+
+/root/repo/target/debug/deps/grouping-1b2e94558ccdcdea: crates/bench/benches/grouping.rs
+
+crates/bench/benches/grouping.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/grouping-43276e5f2572004c.d: crates/bench/benches/grouping.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrouping-43276e5f2572004c.rmeta: crates/bench/benches/grouping.rs Cargo.toml
+
+crates/bench/benches/grouping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/grouping_integration-1ac4da0e0979c825.d: tests/grouping_integration.rs
+
+/root/repo/target/debug/deps/grouping_integration-1ac4da0e0979c825: tests/grouping_integration.rs
+
+tests/grouping_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/grouping_integration-296f8c3c1c76a548.d: tests/grouping_integration.rs
+
+/root/repo/target/debug/deps/grouping_integration-296f8c3c1c76a548: tests/grouping_integration.rs
+
+tests/grouping_integration.rs:

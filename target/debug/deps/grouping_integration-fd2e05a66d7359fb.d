@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/grouping_integration-fd2e05a66d7359fb.d: tests/grouping_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrouping_integration-fd2e05a66d7359fb.rmeta: tests/grouping_integration.rs Cargo.toml
+
+tests/grouping_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

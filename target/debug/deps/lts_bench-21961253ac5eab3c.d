@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/lts_bench-21961253ac5eab3c.d: crates/bench/src/lib.rs crates/bench/src/scaling.rs
+
+/root/repo/target/debug/deps/lts_bench-21961253ac5eab3c: crates/bench/src/lib.rs crates/bench/src/scaling.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/scaling.rs:

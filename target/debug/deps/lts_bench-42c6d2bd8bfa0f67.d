@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lts_bench-42c6d2bd8bfa0f67.d: crates/bench/src/lib.rs crates/bench/src/scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblts_bench-42c6d2bd8bfa0f67.rmeta: crates/bench/src/lib.rs crates/bench/src/scaling.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lts_bench-50eb03149ee3f0f7.d: crates/bench/src/lib.rs crates/bench/src/scaling.rs
+
+/root/repo/target/debug/deps/liblts_bench-50eb03149ee3f0f7.rlib: crates/bench/src/lib.rs crates/bench/src/scaling.rs
+
+/root/repo/target/debug/deps/liblts_bench-50eb03149ee3f0f7.rmeta: crates/bench/src/lib.rs crates/bench/src/scaling.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/scaling.rs:

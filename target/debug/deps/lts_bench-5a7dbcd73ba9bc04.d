@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lts_bench-5a7dbcd73ba9bc04.d: crates/bench/src/lib.rs crates/bench/src/scaling.rs
+
+/root/repo/target/debug/deps/liblts_bench-5a7dbcd73ba9bc04.rlib: crates/bench/src/lib.rs crates/bench/src/scaling.rs
+
+/root/repo/target/debug/deps/liblts_bench-5a7dbcd73ba9bc04.rmeta: crates/bench/src/lib.rs crates/bench/src/scaling.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/scaling.rs:

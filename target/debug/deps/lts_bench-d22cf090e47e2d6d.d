@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lts_bench-d22cf090e47e2d6d.d: crates/bench/src/lib.rs crates/bench/src/scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblts_bench-d22cf090e47e2d6d.rmeta: crates/bench/src/lib.rs crates/bench/src/scaling.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/lts_bench-e8cda7e9a19c24e6.d: crates/bench/src/lib.rs crates/bench/src/scaling.rs
+
+/root/repo/target/debug/deps/lts_bench-e8cda7e9a19c24e6: crates/bench/src/lib.rs crates/bench/src/scaling.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/scaling.rs:

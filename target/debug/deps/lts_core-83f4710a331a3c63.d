@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/lts_core-83f4710a331a3c63.d: crates/core/src/lib.rs crates/core/src/chain1d.rs crates/core/src/energy.rs crates/core/src/lts.rs crates/core/src/newmark.rs crates/core/src/operator.rs crates/core/src/reference.rs crates/core/src/setup.rs crates/core/src/simulation.rs crates/core/src/spectral.rs crates/core/src/two_level.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblts_core-83f4710a331a3c63.rmeta: crates/core/src/lib.rs crates/core/src/chain1d.rs crates/core/src/energy.rs crates/core/src/lts.rs crates/core/src/newmark.rs crates/core/src/operator.rs crates/core/src/reference.rs crates/core/src/setup.rs crates/core/src/simulation.rs crates/core/src/spectral.rs crates/core/src/two_level.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/chain1d.rs:
+crates/core/src/energy.rs:
+crates/core/src/lts.rs:
+crates/core/src/newmark.rs:
+crates/core/src/operator.rs:
+crates/core/src/reference.rs:
+crates/core/src/setup.rs:
+crates/core/src/simulation.rs:
+crates/core/src/spectral.rs:
+crates/core/src/two_level.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lts_core-f73d71f20c9273d6.d: crates/core/src/lib.rs crates/core/src/chain1d.rs crates/core/src/energy.rs crates/core/src/lts.rs crates/core/src/newmark.rs crates/core/src/operator.rs crates/core/src/reference.rs crates/core/src/setup.rs crates/core/src/simulation.rs crates/core/src/spectral.rs crates/core/src/two_level.rs
+
+/root/repo/target/debug/deps/lts_core-f73d71f20c9273d6: crates/core/src/lib.rs crates/core/src/chain1d.rs crates/core/src/energy.rs crates/core/src/lts.rs crates/core/src/newmark.rs crates/core/src/operator.rs crates/core/src/reference.rs crates/core/src/setup.rs crates/core/src/simulation.rs crates/core/src/spectral.rs crates/core/src/two_level.rs
+
+crates/core/src/lib.rs:
+crates/core/src/chain1d.rs:
+crates/core/src/energy.rs:
+crates/core/src/lts.rs:
+crates/core/src/newmark.rs:
+crates/core/src/operator.rs:
+crates/core/src/reference.rs:
+crates/core/src/setup.rs:
+crates/core/src/simulation.rs:
+crates/core/src/spectral.rs:
+crates/core/src/two_level.rs:

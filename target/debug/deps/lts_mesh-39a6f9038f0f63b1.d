@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/lts_mesh-39a6f9038f0f63b1.d: crates/mesh/src/lib.rs crates/mesh/src/benchmarks.rs crates/mesh/src/dual.rs crates/mesh/src/grading.rs crates/mesh/src/hex.rs crates/mesh/src/hypergraph.rs crates/mesh/src/io.rs crates/mesh/src/levels.rs crates/mesh/src/quad.rs crates/mesh/src/random_media.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblts_mesh-39a6f9038f0f63b1.rmeta: crates/mesh/src/lib.rs crates/mesh/src/benchmarks.rs crates/mesh/src/dual.rs crates/mesh/src/grading.rs crates/mesh/src/hex.rs crates/mesh/src/hypergraph.rs crates/mesh/src/io.rs crates/mesh/src/levels.rs crates/mesh/src/quad.rs crates/mesh/src/random_media.rs Cargo.toml
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/benchmarks.rs:
+crates/mesh/src/dual.rs:
+crates/mesh/src/grading.rs:
+crates/mesh/src/hex.rs:
+crates/mesh/src/hypergraph.rs:
+crates/mesh/src/io.rs:
+crates/mesh/src/levels.rs:
+crates/mesh/src/quad.rs:
+crates/mesh/src/random_media.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lts_mesh-4dd80f2bcfe5d754.d: crates/mesh/src/lib.rs crates/mesh/src/benchmarks.rs crates/mesh/src/dual.rs crates/mesh/src/grading.rs crates/mesh/src/hex.rs crates/mesh/src/hypergraph.rs crates/mesh/src/io.rs crates/mesh/src/levels.rs crates/mesh/src/quad.rs crates/mesh/src/random_media.rs
+
+/root/repo/target/debug/deps/lts_mesh-4dd80f2bcfe5d754: crates/mesh/src/lib.rs crates/mesh/src/benchmarks.rs crates/mesh/src/dual.rs crates/mesh/src/grading.rs crates/mesh/src/hex.rs crates/mesh/src/hypergraph.rs crates/mesh/src/io.rs crates/mesh/src/levels.rs crates/mesh/src/quad.rs crates/mesh/src/random_media.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/benchmarks.rs:
+crates/mesh/src/dual.rs:
+crates/mesh/src/grading.rs:
+crates/mesh/src/hex.rs:
+crates/mesh/src/hypergraph.rs:
+crates/mesh/src/io.rs:
+crates/mesh/src/levels.rs:
+crates/mesh/src/quad.rs:
+crates/mesh/src/random_media.rs:

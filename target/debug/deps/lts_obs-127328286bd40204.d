@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lts_obs-127328286bd40204.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/lts_obs-127328286bd40204: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lts_obs-fc535cd1b021aec8.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/liblts_obs-fc535cd1b021aec8.rlib: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/liblts_obs-fc535cd1b021aec8.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/span.rs:

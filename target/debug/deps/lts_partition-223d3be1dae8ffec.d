@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/lts_partition-223d3be1dae8ffec.d: crates/partition/src/lib.rs crates/partition/src/assignment.rs crates/partition/src/costed.rs crates/partition/src/graph.rs crates/partition/src/hgraph.rs crates/partition/src/hmultilevel.rs crates/partition/src/kway.rs crates/partition/src/metrics.rs crates/partition/src/multilevel.rs crates/partition/src/refine.rs crates/partition/src/restricted.rs crates/partition/src/scotch_p.rs crates/partition/src/strategy.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblts_partition-223d3be1dae8ffec.rmeta: crates/partition/src/lib.rs crates/partition/src/assignment.rs crates/partition/src/costed.rs crates/partition/src/graph.rs crates/partition/src/hgraph.rs crates/partition/src/hmultilevel.rs crates/partition/src/kway.rs crates/partition/src/metrics.rs crates/partition/src/multilevel.rs crates/partition/src/refine.rs crates/partition/src/restricted.rs crates/partition/src/scotch_p.rs crates/partition/src/strategy.rs Cargo.toml
+
+crates/partition/src/lib.rs:
+crates/partition/src/assignment.rs:
+crates/partition/src/costed.rs:
+crates/partition/src/graph.rs:
+crates/partition/src/hgraph.rs:
+crates/partition/src/hmultilevel.rs:
+crates/partition/src/kway.rs:
+crates/partition/src/metrics.rs:
+crates/partition/src/multilevel.rs:
+crates/partition/src/refine.rs:
+crates/partition/src/restricted.rs:
+crates/partition/src/scotch_p.rs:
+crates/partition/src/strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/lts_partition-d211f79a2f64e685.d: crates/partition/src/lib.rs crates/partition/src/assignment.rs crates/partition/src/costed.rs crates/partition/src/graph.rs crates/partition/src/hgraph.rs crates/partition/src/hmultilevel.rs crates/partition/src/kway.rs crates/partition/src/metrics.rs crates/partition/src/multilevel.rs crates/partition/src/refine.rs crates/partition/src/restricted.rs crates/partition/src/scotch_p.rs crates/partition/src/strategy.rs
+
+/root/repo/target/debug/deps/liblts_partition-d211f79a2f64e685.rlib: crates/partition/src/lib.rs crates/partition/src/assignment.rs crates/partition/src/costed.rs crates/partition/src/graph.rs crates/partition/src/hgraph.rs crates/partition/src/hmultilevel.rs crates/partition/src/kway.rs crates/partition/src/metrics.rs crates/partition/src/multilevel.rs crates/partition/src/refine.rs crates/partition/src/restricted.rs crates/partition/src/scotch_p.rs crates/partition/src/strategy.rs
+
+/root/repo/target/debug/deps/liblts_partition-d211f79a2f64e685.rmeta: crates/partition/src/lib.rs crates/partition/src/assignment.rs crates/partition/src/costed.rs crates/partition/src/graph.rs crates/partition/src/hgraph.rs crates/partition/src/hmultilevel.rs crates/partition/src/kway.rs crates/partition/src/metrics.rs crates/partition/src/multilevel.rs crates/partition/src/refine.rs crates/partition/src/restricted.rs crates/partition/src/scotch_p.rs crates/partition/src/strategy.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/assignment.rs:
+crates/partition/src/costed.rs:
+crates/partition/src/graph.rs:
+crates/partition/src/hgraph.rs:
+crates/partition/src/hmultilevel.rs:
+crates/partition/src/kway.rs:
+crates/partition/src/metrics.rs:
+crates/partition/src/multilevel.rs:
+crates/partition/src/refine.rs:
+crates/partition/src/restricted.rs:
+crates/partition/src/scotch_p.rs:
+crates/partition/src/strategy.rs:

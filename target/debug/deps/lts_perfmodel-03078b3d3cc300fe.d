@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lts_perfmodel-03078b3d3cc300fe.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/cache.rs crates/perfmodel/src/cluster.rs
+
+/root/repo/target/debug/deps/lts_perfmodel-03078b3d3cc300fe: crates/perfmodel/src/lib.rs crates/perfmodel/src/cache.rs crates/perfmodel/src/cluster.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/cache.rs:
+crates/perfmodel/src/cluster.rs:

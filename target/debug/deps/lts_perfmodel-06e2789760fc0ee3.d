@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lts_perfmodel-06e2789760fc0ee3.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/cache.rs crates/perfmodel/src/cluster.rs
+
+/root/repo/target/debug/deps/liblts_perfmodel-06e2789760fc0ee3.rlib: crates/perfmodel/src/lib.rs crates/perfmodel/src/cache.rs crates/perfmodel/src/cluster.rs
+
+/root/repo/target/debug/deps/liblts_perfmodel-06e2789760fc0ee3.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/cache.rs crates/perfmodel/src/cluster.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/cache.rs:
+crates/perfmodel/src/cluster.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lts_perfmodel-3435c08946882905.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/cache.rs crates/perfmodel/src/cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblts_perfmodel-3435c08946882905.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/cache.rs crates/perfmodel/src/cluster.rs Cargo.toml
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/cache.rs:
+crates/perfmodel/src/cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lts_perfmodel-801189973e47453d.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/cache.rs crates/perfmodel/src/cluster.rs
+
+/root/repo/target/debug/deps/lts_perfmodel-801189973e47453d: crates/perfmodel/src/lib.rs crates/perfmodel/src/cache.rs crates/perfmodel/src/cluster.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/cache.rs:
+crates/perfmodel/src/cluster.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lts_runtime-2bed149416c775d2.d: crates/runtime/src/lib.rs crates/runtime/src/distributed.rs crates/runtime/src/exchange.rs crates/runtime/src/local.rs crates/runtime/src/stats.rs
+
+/root/repo/target/debug/deps/liblts_runtime-2bed149416c775d2.rlib: crates/runtime/src/lib.rs crates/runtime/src/distributed.rs crates/runtime/src/exchange.rs crates/runtime/src/local.rs crates/runtime/src/stats.rs
+
+/root/repo/target/debug/deps/liblts_runtime-2bed149416c775d2.rmeta: crates/runtime/src/lib.rs crates/runtime/src/distributed.rs crates/runtime/src/exchange.rs crates/runtime/src/local.rs crates/runtime/src/stats.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/distributed.rs:
+crates/runtime/src/exchange.rs:
+crates/runtime/src/local.rs:
+crates/runtime/src/stats.rs:

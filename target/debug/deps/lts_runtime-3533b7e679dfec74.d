@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lts_runtime-3533b7e679dfec74.d: crates/runtime/src/lib.rs crates/runtime/src/distributed.rs crates/runtime/src/exchange.rs crates/runtime/src/local.rs crates/runtime/src/stats.rs
+
+/root/repo/target/debug/deps/liblts_runtime-3533b7e679dfec74.rlib: crates/runtime/src/lib.rs crates/runtime/src/distributed.rs crates/runtime/src/exchange.rs crates/runtime/src/local.rs crates/runtime/src/stats.rs
+
+/root/repo/target/debug/deps/liblts_runtime-3533b7e679dfec74.rmeta: crates/runtime/src/lib.rs crates/runtime/src/distributed.rs crates/runtime/src/exchange.rs crates/runtime/src/local.rs crates/runtime/src/stats.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/distributed.rs:
+crates/runtime/src/exchange.rs:
+crates/runtime/src/local.rs:
+crates/runtime/src/stats.rs:

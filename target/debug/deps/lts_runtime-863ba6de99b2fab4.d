@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lts_runtime-863ba6de99b2fab4.d: crates/runtime/src/lib.rs crates/runtime/src/distributed.rs crates/runtime/src/exchange.rs crates/runtime/src/local.rs crates/runtime/src/stats.rs
+
+/root/repo/target/debug/deps/lts_runtime-863ba6de99b2fab4: crates/runtime/src/lib.rs crates/runtime/src/distributed.rs crates/runtime/src/exchange.rs crates/runtime/src/local.rs crates/runtime/src/stats.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/distributed.rs:
+crates/runtime/src/exchange.rs:
+crates/runtime/src/local.rs:
+crates/runtime/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lts_runtime-a66181abab1afd81.d: crates/runtime/src/lib.rs crates/runtime/src/distributed.rs crates/runtime/src/exchange.rs crates/runtime/src/local.rs crates/runtime/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblts_runtime-a66181abab1afd81.rmeta: crates/runtime/src/lib.rs crates/runtime/src/distributed.rs crates/runtime/src/exchange.rs crates/runtime/src/local.rs crates/runtime/src/stats.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/distributed.rs:
+crates/runtime/src/exchange.rs:
+crates/runtime/src/local.rs:
+crates/runtime/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lts_sem-194f7b15c97d4ee0.d: crates/sem/src/lib.rs crates/sem/src/acoustic.rs crates/sem/src/boundary.rs crates/sem/src/dofmap.rs crates/sem/src/elastic.rs crates/sem/src/gll.rs crates/sem/src/kernel.rs crates/sem/src/parallel.rs crates/sem/src/record.rs crates/sem/src/unstructured.rs
+
+/root/repo/target/debug/deps/lts_sem-194f7b15c97d4ee0: crates/sem/src/lib.rs crates/sem/src/acoustic.rs crates/sem/src/boundary.rs crates/sem/src/dofmap.rs crates/sem/src/elastic.rs crates/sem/src/gll.rs crates/sem/src/kernel.rs crates/sem/src/parallel.rs crates/sem/src/record.rs crates/sem/src/unstructured.rs
+
+crates/sem/src/lib.rs:
+crates/sem/src/acoustic.rs:
+crates/sem/src/boundary.rs:
+crates/sem/src/dofmap.rs:
+crates/sem/src/elastic.rs:
+crates/sem/src/gll.rs:
+crates/sem/src/kernel.rs:
+crates/sem/src/parallel.rs:
+crates/sem/src/record.rs:
+crates/sem/src/unstructured.rs:

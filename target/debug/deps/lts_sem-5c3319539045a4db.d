@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/lts_sem-5c3319539045a4db.d: crates/sem/src/lib.rs crates/sem/src/acoustic.rs crates/sem/src/boundary.rs crates/sem/src/dofmap.rs crates/sem/src/elastic.rs crates/sem/src/gll.rs crates/sem/src/kernel.rs crates/sem/src/parallel.rs crates/sem/src/record.rs crates/sem/src/unstructured.rs
+
+/root/repo/target/debug/deps/liblts_sem-5c3319539045a4db.rlib: crates/sem/src/lib.rs crates/sem/src/acoustic.rs crates/sem/src/boundary.rs crates/sem/src/dofmap.rs crates/sem/src/elastic.rs crates/sem/src/gll.rs crates/sem/src/kernel.rs crates/sem/src/parallel.rs crates/sem/src/record.rs crates/sem/src/unstructured.rs
+
+/root/repo/target/debug/deps/liblts_sem-5c3319539045a4db.rmeta: crates/sem/src/lib.rs crates/sem/src/acoustic.rs crates/sem/src/boundary.rs crates/sem/src/dofmap.rs crates/sem/src/elastic.rs crates/sem/src/gll.rs crates/sem/src/kernel.rs crates/sem/src/parallel.rs crates/sem/src/record.rs crates/sem/src/unstructured.rs
+
+crates/sem/src/lib.rs:
+crates/sem/src/acoustic.rs:
+crates/sem/src/boundary.rs:
+crates/sem/src/dofmap.rs:
+crates/sem/src/elastic.rs:
+crates/sem/src/gll.rs:
+crates/sem/src/kernel.rs:
+crates/sem/src/parallel.rs:
+crates/sem/src/record.rs:
+crates/sem/src/unstructured.rs:

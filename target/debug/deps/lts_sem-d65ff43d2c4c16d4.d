@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/lts_sem-d65ff43d2c4c16d4.d: crates/sem/src/lib.rs crates/sem/src/acoustic.rs crates/sem/src/boundary.rs crates/sem/src/dofmap.rs crates/sem/src/elastic.rs crates/sem/src/gll.rs crates/sem/src/kernel.rs crates/sem/src/parallel.rs crates/sem/src/record.rs crates/sem/src/unstructured.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblts_sem-d65ff43d2c4c16d4.rmeta: crates/sem/src/lib.rs crates/sem/src/acoustic.rs crates/sem/src/boundary.rs crates/sem/src/dofmap.rs crates/sem/src/elastic.rs crates/sem/src/gll.rs crates/sem/src/kernel.rs crates/sem/src/parallel.rs crates/sem/src/record.rs crates/sem/src/unstructured.rs Cargo.toml
+
+crates/sem/src/lib.rs:
+crates/sem/src/acoustic.rs:
+crates/sem/src/boundary.rs:
+crates/sem/src/dofmap.rs:
+crates/sem/src/elastic.rs:
+crates/sem/src/gll.rs:
+crates/sem/src/kernel.rs:
+crates/sem/src/parallel.rs:
+crates/sem/src/record.rs:
+crates/sem/src/unstructured.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lts_sem_integration-5e0cda915fb48a42.d: tests/lts_sem_integration.rs
+
+/root/repo/target/debug/deps/lts_sem_integration-5e0cda915fb48a42: tests/lts_sem_integration.rs
+
+tests/lts_sem_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lts_sem_integration-a4a57bf4060861c1.d: tests/lts_sem_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblts_sem_integration-a4a57bf4060861c1.rmeta: tests/lts_sem_integration.rs Cargo.toml
+
+tests/lts_sem_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

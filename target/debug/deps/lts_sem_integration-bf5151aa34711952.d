@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lts_sem_integration-bf5151aa34711952.d: tests/lts_sem_integration.rs
+
+/root/repo/target/debug/deps/lts_sem_integration-bf5151aa34711952: tests/lts_sem_integration.rs
+
+tests/lts_sem_integration.rs:

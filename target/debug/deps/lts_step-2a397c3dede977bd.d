@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lts_step-2a397c3dede977bd.d: crates/bench/benches/lts_step.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblts_step-2a397c3dede977bd.rmeta: crates/bench/benches/lts_step.rs Cargo.toml
+
+crates/bench/benches/lts_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lts_step-8937871be01067e9.d: crates/bench/benches/lts_step.rs
+
+/root/repo/target/debug/deps/lts_step-8937871be01067e9: crates/bench/benches/lts_step.rs
+
+crates/bench/benches/lts_step.rs:

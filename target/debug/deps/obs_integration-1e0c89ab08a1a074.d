@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_integration-1e0c89ab08a1a074.d: tests/obs_integration.rs
+
+/root/repo/target/debug/deps/obs_integration-1e0c89ab08a1a074: tests/obs_integration.rs
+
+tests/obs_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs_integration-7072deb311f78b4d.d: tests/obs_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_integration-7072deb311f78b4d.rmeta: tests/obs_integration.rs Cargo.toml
+
+tests/obs_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/operators-8175148b20b50c34.d: crates/bench/benches/operators.rs
+
+/root/repo/target/debug/deps/operators-8175148b20b50c34: crates/bench/benches/operators.rs
+
+crates/bench/benches/operators.rs:

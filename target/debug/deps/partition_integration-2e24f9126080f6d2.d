@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/partition_integration-2e24f9126080f6d2.d: tests/partition_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpartition_integration-2e24f9126080f6d2.rmeta: tests/partition_integration.rs Cargo.toml
+
+tests/partition_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

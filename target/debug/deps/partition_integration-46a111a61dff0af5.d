@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/partition_integration-46a111a61dff0af5.d: tests/partition_integration.rs
+
+/root/repo/target/debug/deps/partition_integration-46a111a61dff0af5: tests/partition_integration.rs
+
+tests/partition_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/partition_integration-8f8edb553544fd33.d: tests/partition_integration.rs
+
+/root/repo/target/debug/deps/partition_integration-8f8edb553544fd33: tests/partition_integration.rs
+
+tests/partition_integration.rs:

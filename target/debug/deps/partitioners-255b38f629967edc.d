@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/partitioners-255b38f629967edc.d: crates/bench/benches/partitioners.rs
+
+/root/repo/target/debug/deps/partitioners-255b38f629967edc: crates/bench/benches/partitioners.rs
+
+crates/bench/benches/partitioners.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_lts-368caa4974aa6784.d: tests/proptest_lts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_lts-368caa4974aa6784.rmeta: tests/proptest_lts.rs Cargo.toml
+
+tests/proptest_lts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

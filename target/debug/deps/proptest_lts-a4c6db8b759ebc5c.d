@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_lts-a4c6db8b759ebc5c.d: tests/proptest_lts.rs
+
+/root/repo/target/debug/deps/proptest_lts-a4c6db8b759ebc5c: tests/proptest_lts.rs
+
+tests/proptest_lts.rs:

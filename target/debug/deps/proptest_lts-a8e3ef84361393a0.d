@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_lts-a8e3ef84361393a0.d: tests/proptest_lts.rs
+
+/root/repo/target/debug/deps/proptest_lts-a8e3ef84361393a0: tests/proptest_lts.rs
+
+tests/proptest_lts.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_metrics-06b8ea18a36f2e1f.d: crates/partition/tests/proptest_metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_metrics-06b8ea18a36f2e1f.rmeta: crates/partition/tests/proptest_metrics.rs Cargo.toml
+
+crates/partition/tests/proptest_metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_metrics-c718fc9c66d5f828.d: crates/partition/tests/proptest_metrics.rs
+
+/root/repo/target/debug/deps/proptest_metrics-c718fc9c66d5f828: crates/partition/tests/proptest_metrics.rs
+
+crates/partition/tests/proptest_metrics.rs:

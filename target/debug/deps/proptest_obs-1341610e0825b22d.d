@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_obs-1341610e0825b22d.d: tests/proptest_obs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_obs-1341610e0825b22d.rmeta: tests/proptest_obs.rs Cargo.toml
+
+tests/proptest_obs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

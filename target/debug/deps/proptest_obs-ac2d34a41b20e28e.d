@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_obs-ac2d34a41b20e28e.d: tests/proptest_obs.rs
+
+/root/repo/target/debug/deps/proptest_obs-ac2d34a41b20e28e: tests/proptest_obs.rs
+
+tests/proptest_obs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_partition-1808971f7751ee2b.d: tests/proptest_partition.rs
+
+/root/repo/target/debug/deps/proptest_partition-1808971f7751ee2b: tests/proptest_partition.rs
+
+tests/proptest_partition.rs:

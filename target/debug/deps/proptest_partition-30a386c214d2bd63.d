@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_partition-30a386c214d2bd63.d: tests/proptest_partition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_partition-30a386c214d2bd63.rmeta: tests/proptest_partition.rs Cargo.toml
+
+tests/proptest_partition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_partition-b7738b0d60e77ad7.d: tests/proptest_partition.rs
+
+/root/repo/target/debug/deps/proptest_partition-b7738b0d60e77ad7: tests/proptest_partition.rs
+
+tests/proptest_partition.rs:

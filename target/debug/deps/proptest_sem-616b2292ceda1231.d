@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_sem-616b2292ceda1231.d: crates/sem/tests/proptest_sem.rs
+
+/root/repo/target/debug/deps/proptest_sem-616b2292ceda1231: crates/sem/tests/proptest_sem.rs
+
+crates/sem/tests/proptest_sem.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_sem-813c297872172d00.d: crates/sem/tests/proptest_sem.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_sem-813c297872172d00.rmeta: crates/sem/tests/proptest_sem.rs Cargo.toml
+
+crates/sem/tests/proptest_sem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

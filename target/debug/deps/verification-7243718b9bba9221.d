@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verification-7243718b9bba9221.d: crates/bench/src/bin/verification.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverification-7243718b9bba9221.rmeta: crates/bench/src/bin/verification.rs Cargo.toml
+
+crates/bench/src/bin/verification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

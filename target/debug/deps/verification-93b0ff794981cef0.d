@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verification-93b0ff794981cef0.d: crates/bench/src/bin/verification.rs
+
+/root/repo/target/debug/deps/verification-93b0ff794981cef0: crates/bench/src/bin/verification.rs
+
+crates/bench/src/bin/verification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verification-b65d6d5ce83c4099.d: crates/bench/src/bin/verification.rs
+
+/root/repo/target/debug/deps/verification-b65d6d5ce83c4099: crates/bench/src/bin/verification.rs
+
+crates/bench/src/bin/verification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verification-ceed3079462f3e2f.d: crates/bench/src/bin/verification.rs
+
+/root/repo/target/debug/deps/verification-ceed3079462f3e2f: crates/bench/src/bin/verification.rs
+
+crates/bench/src/bin/verification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verification-e305a212b2a926dd.d: crates/bench/src/bin/verification.rs
+
+/root/repo/target/debug/deps/verification-e305a212b2a926dd: crates/bench/src/bin/verification.rs
+
+crates/bench/src/bin/verification.rs:

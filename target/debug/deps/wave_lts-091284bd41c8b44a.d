@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wave_lts-091284bd41c8b44a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libwave_lts-091284bd41c8b44a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libwave_lts-091284bd41c8b44a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wave_lts-1426ee62783c3f06.d: src/bin/wave-lts.rs
+
+/root/repo/target/debug/deps/wave_lts-1426ee62783c3f06: src/bin/wave-lts.rs
+
+src/bin/wave-lts.rs:

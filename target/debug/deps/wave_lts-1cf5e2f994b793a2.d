@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wave_lts-1cf5e2f994b793a2.d: src/lib.rs
+
+/root/repo/target/debug/deps/wave_lts-1cf5e2f994b793a2: src/lib.rs
+
+src/lib.rs:

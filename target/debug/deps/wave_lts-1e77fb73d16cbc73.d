@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wave_lts-1e77fb73d16cbc73.d: src/bin/wave-lts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwave_lts-1e77fb73d16cbc73.rmeta: src/bin/wave-lts.rs Cargo.toml
+
+src/bin/wave-lts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

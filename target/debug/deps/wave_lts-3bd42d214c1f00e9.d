@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wave_lts-3bd42d214c1f00e9.d: src/bin/wave-lts.rs
+
+/root/repo/target/debug/deps/wave_lts-3bd42d214c1f00e9: src/bin/wave-lts.rs
+
+src/bin/wave-lts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wave_lts-6d573b0450a90832.d: src/lib.rs
+
+/root/repo/target/debug/deps/wave_lts-6d573b0450a90832: src/lib.rs
+
+src/lib.rs:

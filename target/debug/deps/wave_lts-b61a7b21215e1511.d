@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wave_lts-b61a7b21215e1511.d: src/bin/wave-lts.rs
+
+/root/repo/target/debug/deps/wave_lts-b61a7b21215e1511: src/bin/wave-lts.rs
+
+src/bin/wave-lts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wave_lts-db6acc6897ec272c.d: src/bin/wave-lts.rs
+
+/root/repo/target/debug/deps/wave_lts-db6acc6897ec272c: src/bin/wave-lts.rs
+
+src/bin/wave-lts.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wave_lts-e8aef83889044f68.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwave_lts-e8aef83889044f68.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wave_lts-f9c735ff6cce6432.d: src/lib.rs
+
+/root/repo/target/debug/deps/libwave_lts-f9c735ff6cce6432.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libwave_lts-f9c735ff6cce6432.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_run-3be26f2c9290cf13.d: examples/distributed_run.rs
+
+/root/repo/target/debug/examples/distributed_run-3be26f2c9290cf13: examples/distributed_run.rs
+
+examples/distributed_run.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distributed_run-887121b411fabaf5.d: examples/distributed_run.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistributed_run-887121b411fabaf5.rmeta: examples/distributed_run.rs Cargo.toml
+
+examples/distributed_run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

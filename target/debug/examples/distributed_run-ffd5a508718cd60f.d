@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_run-ffd5a508718cd60f.d: examples/distributed_run.rs
+
+/root/repo/target/debug/examples/distributed_run-ffd5a508718cd60f: examples/distributed_run.rs
+
+examples/distributed_run.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/file_workflow-2e67140edeb615d5.d: examples/file_workflow.rs
+
+/root/repo/target/debug/examples/file_workflow-2e67140edeb615d5: examples/file_workflow.rs
+
+examples/file_workflow.rs:

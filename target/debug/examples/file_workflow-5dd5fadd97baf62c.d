@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/file_workflow-5dd5fadd97baf62c.d: examples/file_workflow.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfile_workflow-5dd5fadd97baf62c.rmeta: examples/file_workflow.rs Cargo.toml
+
+examples/file_workflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/file_workflow-e61100b8ed0a8510.d: examples/file_workflow.rs
+
+/root/repo/target/debug/examples/file_workflow-e61100b8ed0a8510: examples/file_workflow.rs
+
+examples/file_workflow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heterogeneous_media-58beb295d4faff89.d: examples/heterogeneous_media.rs
+
+/root/repo/target/debug/examples/heterogeneous_media-58beb295d4faff89: examples/heterogeneous_media.rs
+
+examples/heterogeneous_media.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heterogeneous_media-89b6162e8e5fe803.d: examples/heterogeneous_media.rs
+
+/root/repo/target/debug/examples/heterogeneous_media-89b6162e8e5fe803: examples/heterogeneous_media.rs
+
+examples/heterogeneous_media.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/heterogeneous_media-b1cbf7aeeacb103c.d: examples/heterogeneous_media.rs Cargo.toml
+
+/root/repo/target/debug/examples/libheterogeneous_media-b1cbf7aeeacb103c.rmeta: examples/heterogeneous_media.rs Cargo.toml
+
+examples/heterogeneous_media.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/partition_compare-4317795172226c27.d: examples/partition_compare.rs
+
+/root/repo/target/debug/examples/partition_compare-4317795172226c27: examples/partition_compare.rs
+
+examples/partition_compare.rs:

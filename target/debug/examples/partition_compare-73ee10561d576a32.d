@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/partition_compare-73ee10561d576a32.d: examples/partition_compare.rs
+
+/root/repo/target/debug/examples/partition_compare-73ee10561d576a32: examples/partition_compare.rs
+
+examples/partition_compare.rs:

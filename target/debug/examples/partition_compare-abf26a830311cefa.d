@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/partition_compare-abf26a830311cefa.d: examples/partition_compare.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpartition_compare-abf26a830311cefa.rmeta: examples/partition_compare.rs Cargo.toml
+
+examples/partition_compare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

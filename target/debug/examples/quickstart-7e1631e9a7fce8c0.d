@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7e1631e9a7fce8c0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7e1631e9a7fce8c0: examples/quickstart.rs
+
+examples/quickstart.rs:

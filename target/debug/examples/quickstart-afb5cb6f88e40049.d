@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-afb5cb6f88e40049.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-afb5cb6f88e40049: examples/quickstart.rs
+
+examples/quickstart.rs:

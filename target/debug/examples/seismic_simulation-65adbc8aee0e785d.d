@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/seismic_simulation-65adbc8aee0e785d.d: examples/seismic_simulation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libseismic_simulation-65adbc8aee0e785d.rmeta: examples/seismic_simulation.rs Cargo.toml
+
+examples/seismic_simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

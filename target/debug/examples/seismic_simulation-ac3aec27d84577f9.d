@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/seismic_simulation-ac3aec27d84577f9.d: examples/seismic_simulation.rs
+
+/root/repo/target/debug/examples/seismic_simulation-ac3aec27d84577f9: examples/seismic_simulation.rs
+
+examples/seismic_simulation.rs:

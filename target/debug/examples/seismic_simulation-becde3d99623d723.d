@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/seismic_simulation-becde3d99623d723.d: examples/seismic_simulation.rs
+
+/root/repo/target/debug/examples/seismic_simulation-becde3d99623d723: examples/seismic_simulation.rs
+
+examples/seismic_simulation.rs:

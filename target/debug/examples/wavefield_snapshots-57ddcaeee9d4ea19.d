@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wavefield_snapshots-57ddcaeee9d4ea19.d: examples/wavefield_snapshots.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwavefield_snapshots-57ddcaeee9d4ea19.rmeta: examples/wavefield_snapshots.rs Cargo.toml
+
+examples/wavefield_snapshots.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

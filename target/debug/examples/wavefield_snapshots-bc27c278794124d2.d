@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wavefield_snapshots-bc27c278794124d2.d: examples/wavefield_snapshots.rs
+
+/root/repo/target/debug/examples/wavefield_snapshots-bc27c278794124d2: examples/wavefield_snapshots.rs
+
+examples/wavefield_snapshots.rs:

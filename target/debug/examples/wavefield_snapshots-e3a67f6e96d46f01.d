@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wavefield_snapshots-e3a67f6e96d46f01.d: examples/wavefield_snapshots.rs
+
+/root/repo/target/debug/examples/wavefield_snapshots-e3a67f6e96d46f01: examples/wavefield_snapshots.rs
+
+examples/wavefield_snapshots.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_timeline-76a92239b19c8f72.d: crates/bench/src/bin/fig01_timeline.rs
+
+/root/repo/target/release/deps/fig01_timeline-76a92239b19c8f72: crates/bench/src/bin/fig01_timeline.rs
+
+crates/bench/src/bin/fig01_timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_imbalance-01ee9c1800e6a7d2.d: crates/bench/src/bin/fig07_imbalance.rs
+
+/root/repo/target/release/deps/fig07_imbalance-01ee9c1800e6a7d2: crates/bench/src/bin/fig07_imbalance.rs
+
+crates/bench/src/bin/fig07_imbalance.rs:

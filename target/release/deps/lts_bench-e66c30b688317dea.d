@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/lts_bench-e66c30b688317dea.d: crates/bench/src/lib.rs crates/bench/src/scaling.rs
+
+/root/repo/target/release/deps/liblts_bench-e66c30b688317dea.rlib: crates/bench/src/lib.rs crates/bench/src/scaling.rs
+
+/root/repo/target/release/deps/liblts_bench-e66c30b688317dea.rmeta: crates/bench/src/lib.rs crates/bench/src/scaling.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/scaling.rs:

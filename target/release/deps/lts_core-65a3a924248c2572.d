@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/lts_core-65a3a924248c2572.d: crates/core/src/lib.rs crates/core/src/chain1d.rs crates/core/src/energy.rs crates/core/src/lts.rs crates/core/src/newmark.rs crates/core/src/operator.rs crates/core/src/reference.rs crates/core/src/setup.rs crates/core/src/simulation.rs crates/core/src/spectral.rs crates/core/src/two_level.rs
+
+/root/repo/target/release/deps/liblts_core-65a3a924248c2572.rlib: crates/core/src/lib.rs crates/core/src/chain1d.rs crates/core/src/energy.rs crates/core/src/lts.rs crates/core/src/newmark.rs crates/core/src/operator.rs crates/core/src/reference.rs crates/core/src/setup.rs crates/core/src/simulation.rs crates/core/src/spectral.rs crates/core/src/two_level.rs
+
+/root/repo/target/release/deps/liblts_core-65a3a924248c2572.rmeta: crates/core/src/lib.rs crates/core/src/chain1d.rs crates/core/src/energy.rs crates/core/src/lts.rs crates/core/src/newmark.rs crates/core/src/operator.rs crates/core/src/reference.rs crates/core/src/setup.rs crates/core/src/simulation.rs crates/core/src/spectral.rs crates/core/src/two_level.rs
+
+crates/core/src/lib.rs:
+crates/core/src/chain1d.rs:
+crates/core/src/energy.rs:
+crates/core/src/lts.rs:
+crates/core/src/newmark.rs:
+crates/core/src/operator.rs:
+crates/core/src/reference.rs:
+crates/core/src/setup.rs:
+crates/core/src/simulation.rs:
+crates/core/src/spectral.rs:
+crates/core/src/two_level.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/lts_mesh-1d83eea41098c25b.d: crates/mesh/src/lib.rs crates/mesh/src/benchmarks.rs crates/mesh/src/dual.rs crates/mesh/src/grading.rs crates/mesh/src/hex.rs crates/mesh/src/hypergraph.rs crates/mesh/src/io.rs crates/mesh/src/levels.rs crates/mesh/src/quad.rs crates/mesh/src/random_media.rs
+
+/root/repo/target/release/deps/liblts_mesh-1d83eea41098c25b.rlib: crates/mesh/src/lib.rs crates/mesh/src/benchmarks.rs crates/mesh/src/dual.rs crates/mesh/src/grading.rs crates/mesh/src/hex.rs crates/mesh/src/hypergraph.rs crates/mesh/src/io.rs crates/mesh/src/levels.rs crates/mesh/src/quad.rs crates/mesh/src/random_media.rs
+
+/root/repo/target/release/deps/liblts_mesh-1d83eea41098c25b.rmeta: crates/mesh/src/lib.rs crates/mesh/src/benchmarks.rs crates/mesh/src/dual.rs crates/mesh/src/grading.rs crates/mesh/src/hex.rs crates/mesh/src/hypergraph.rs crates/mesh/src/io.rs crates/mesh/src/levels.rs crates/mesh/src/quad.rs crates/mesh/src/random_media.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/benchmarks.rs:
+crates/mesh/src/dual.rs:
+crates/mesh/src/grading.rs:
+crates/mesh/src/hex.rs:
+crates/mesh/src/hypergraph.rs:
+crates/mesh/src/io.rs:
+crates/mesh/src/levels.rs:
+crates/mesh/src/quad.rs:
+crates/mesh/src/random_media.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lts_perfmodel-1de82a864d070f8f.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/cache.rs crates/perfmodel/src/cluster.rs
+
+/root/repo/target/release/deps/liblts_perfmodel-1de82a864d070f8f.rlib: crates/perfmodel/src/lib.rs crates/perfmodel/src/cache.rs crates/perfmodel/src/cluster.rs
+
+/root/repo/target/release/deps/liblts_perfmodel-1de82a864d070f8f.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/cache.rs crates/perfmodel/src/cluster.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/cache.rs:
+crates/perfmodel/src/cluster.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lts_runtime-424988c84aba334d.d: crates/runtime/src/lib.rs crates/runtime/src/distributed.rs crates/runtime/src/exchange.rs crates/runtime/src/local.rs crates/runtime/src/stats.rs
+
+/root/repo/target/release/deps/liblts_runtime-424988c84aba334d.rlib: crates/runtime/src/lib.rs crates/runtime/src/distributed.rs crates/runtime/src/exchange.rs crates/runtime/src/local.rs crates/runtime/src/stats.rs
+
+/root/repo/target/release/deps/liblts_runtime-424988c84aba334d.rmeta: crates/runtime/src/lib.rs crates/runtime/src/distributed.rs crates/runtime/src/exchange.rs crates/runtime/src/local.rs crates/runtime/src/stats.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/distributed.rs:
+crates/runtime/src/exchange.rs:
+crates/runtime/src/local.rs:
+crates/runtime/src/stats.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/lts_sem-6f06da5b098c37a2.d: crates/sem/src/lib.rs crates/sem/src/acoustic.rs crates/sem/src/boundary.rs crates/sem/src/dofmap.rs crates/sem/src/elastic.rs crates/sem/src/gll.rs crates/sem/src/kernel.rs crates/sem/src/parallel.rs crates/sem/src/record.rs crates/sem/src/unstructured.rs
+
+/root/repo/target/release/deps/liblts_sem-6f06da5b098c37a2.rlib: crates/sem/src/lib.rs crates/sem/src/acoustic.rs crates/sem/src/boundary.rs crates/sem/src/dofmap.rs crates/sem/src/elastic.rs crates/sem/src/gll.rs crates/sem/src/kernel.rs crates/sem/src/parallel.rs crates/sem/src/record.rs crates/sem/src/unstructured.rs
+
+/root/repo/target/release/deps/liblts_sem-6f06da5b098c37a2.rmeta: crates/sem/src/lib.rs crates/sem/src/acoustic.rs crates/sem/src/boundary.rs crates/sem/src/dofmap.rs crates/sem/src/elastic.rs crates/sem/src/gll.rs crates/sem/src/kernel.rs crates/sem/src/parallel.rs crates/sem/src/record.rs crates/sem/src/unstructured.rs
+
+crates/sem/src/lib.rs:
+crates/sem/src/acoustic.rs:
+crates/sem/src/boundary.rs:
+crates/sem/src/dofmap.rs:
+crates/sem/src/elastic.rs:
+crates/sem/src/gll.rs:
+crates/sem/src/kernel.rs:
+crates/sem/src/parallel.rs:
+crates/sem/src/record.rs:
+crates/sem/src/unstructured.rs:

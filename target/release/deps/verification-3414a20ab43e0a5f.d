@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/verification-3414a20ab43e0a5f.d: crates/bench/src/bin/verification.rs
+
+/root/repo/target/release/deps/verification-3414a20ab43e0a5f: crates/bench/src/bin/verification.rs
+
+crates/bench/src/bin/verification.rs:

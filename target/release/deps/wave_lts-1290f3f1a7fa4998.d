@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wave_lts-1290f3f1a7fa4998.d: src/bin/wave-lts.rs
+
+/root/repo/target/release/deps/wave_lts-1290f3f1a7fa4998: src/bin/wave-lts.rs
+
+src/bin/wave-lts.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wave_lts-c91404535add8a1d.d: src/lib.rs
+
+/root/repo/target/release/deps/libwave_lts-c91404535add8a1d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libwave_lts-c91404535add8a1d.rmeta: src/lib.rs
+
+src/lib.rs:

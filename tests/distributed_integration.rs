@@ -33,12 +33,15 @@ fn distributed_sem_matches_serial_all_strategies() {
     let u0: Vec<f64> = (0..ndof).map(|i| ((i as f64) * 0.07).sin()).collect();
     let reference = serial_run(&op, &setup, dt, &u0, 4);
 
-    for strategy in [Strategy::ScotchBaseline, Strategy::ScotchP, Strategy::MetisMc] {
+    for strategy in [
+        Strategy::ScotchBaseline,
+        Strategy::ScotchP,
+        Strategy::MetisMc,
+    ] {
         let n_ranks = 3;
         let part = partition_mesh(&b.mesh, &b.levels, n_ranks, strategy, 1);
         let cfg = DistributedConfig::new(n_ranks);
-        let (u, _, stats) =
-            run_distributed(&op, &setup, &part, dt, &u0, &vec![0.0; ndof], 4, &cfg);
+        let (u, _, stats) = run_distributed(&op, &setup, &part, dt, &u0, &vec![0.0; ndof], 4, &cfg);
         let scale = reference.iter().fold(1.0f64, |m, &x| m.max(x.abs()));
         for i in 0..ndof {
             assert!(
@@ -72,7 +75,10 @@ fn distributed_scales_to_many_ranks() {
         let max_dev = (0..ndof)
             .map(|i| (u[i] - reference[i]).abs())
             .fold(0.0f64, f64::max);
-        assert!(max_dev < 1e-12 * scale, "{n_ranks} ranks: deviation {max_dev}");
+        assert!(
+            max_dev < 1e-12 * scale,
+            "{n_ranks} ranks: deviation {max_dev}"
+        );
     }
 }
 
@@ -139,8 +145,7 @@ fn work_accounting_matches_partition() {
     let part = partition_mesh(&b.mesh, &b.levels, n_ranks, Strategy::ScotchP, 1);
     let cfg = DistributedConfig::new(n_ranks);
     let steps = 2;
-    let (_, _, stats) =
-        run_distributed(&op, &setup, &part, dt, &u0, &vec![0.0; ndof], steps, &cfg);
+    let (_, _, stats) = run_distributed(&op, &setup, &part, dt, &u0, &vec![0.0; ndof], steps, &cfg);
     // total distributed element-ops = serial masked ops
     let total: u64 = stats.iter().map(|s| s.elem_ops).sum();
     assert_eq!(total, steps as u64 * setup.lts_elem_ops());

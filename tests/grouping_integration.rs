@@ -22,7 +22,10 @@ fn grouped_sets_are_contiguous_runs() {
     for l in 0..setup.n_levels {
         assert!(is_contiguous(&setup.leaf[l]), "leaf[{l}] not contiguous");
         if l >= 1 {
-            assert!(is_contiguous(&setup.active[l]), "active[{l}] not contiguous");
+            assert!(
+                is_contiguous(&setup.active[l]),
+                "active[{l}] not contiguous"
+            );
         }
     }
     // active[l] is a suffix of the DOF range
@@ -114,7 +117,9 @@ fn grouped_chain_matches_ungrouped() {
     let (lv, dt) = c0.assign_levels(0.5, 3);
     let setup0 = LtsSetup::new(&c0, &lv);
     let n = 21;
-    let u_init: Vec<f64> = (0..n).map(|i| (-((i as f64 - 7.0) / 2.0f64).powi(2)).exp()).collect();
+    let u_init: Vec<f64> = (0..n)
+        .map(|i| (-((i as f64 - 7.0) / 2.0f64).powi(2)).exp())
+        .collect();
     let mut u0 = u_init.clone();
     let mut v0 = vec![0.0; n];
     let mut lts0 = LtsNewmark::new(&c0, &setup0, dt);

@@ -114,7 +114,9 @@ fn acoustic_lts_converges_to_fine_newmark() {
         Newmark::stagger_velocity(&op, dt, &u, &mut v, &[]);
         let mut lts = LtsNewmark::new(&op, &setup, dt);
         lts.run(&mut u, &mut v, 0.0, steps, &[]);
-        let err: f64 = (0..ndof).map(|i| (u[i] - u_ref[i]).abs()).fold(0.0, f64::max);
+        let err: f64 = (0..ndof)
+            .map(|i| (u[i] - u_ref[i]).abs())
+            .fold(0.0, f64::max);
         errs.push(err);
     }
     // second order: each halving reduces the error ~4×; the first point at
@@ -207,7 +209,10 @@ fn global_newmark_unstable_at_coarse_dt() {
     let mut nm = Newmark::new(&op, dt);
     nm.run(&mut u, &mut v, 0.0, 300, &[]);
     let norm: f64 = u.iter().map(|x| x * x).sum::<f64>().sqrt();
-    assert!(!(norm < 1e4), "expected instability at coarse dt, norm {norm}");
+    assert!(
+        norm.is_nan() || norm >= 1e4,
+        "expected instability at coarse dt, norm {norm}"
+    );
 
     let mut u = smooth_init(ndof);
     let mut v = vec![0.0; ndof];

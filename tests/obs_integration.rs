@@ -1,0 +1,198 @@
+//! Integration tests of the deterministic observability counters.
+//!
+//! The runtime's per-rank `elem_ops` / `msgs_sent` / `dofs_sent` counters are
+//! exact integers independent of timing, so they can be asserted *exactly*
+//! against two independent oracles:
+//!
+//! * the closed-form [`exchange_oracle`] computed from the mesh, the level
+//!   assignment and the partition alone (no execution), and
+//! * the serial [`LtsNewmark`] stepper's own operation count.
+//!
+//! Exactness requires DOFs ≡ corner nodes, i.e. SEM order 1.
+
+use wave_lts::lts::{LtsNewmark, LtsSetup, Operator};
+use wave_lts::mesh::{HexMesh, Levels};
+use wave_lts::obs::MetricsRegistry;
+use wave_lts::partition::{exchange_oracle, partition_mesh, Strategy};
+use wave_lts::runtime::stats::names;
+use wave_lts::runtime::{run_distributed_local_acoustic_observed, DistributedConfig};
+use wave_lts::sem::gll::cfl_dt_scale;
+use wave_lts::sem::AcousticOperator;
+
+const ORDER: usize = 1; // oracle is exact only when DOFs are corner nodes
+
+struct Fixture {
+    mesh: HexMesh,
+    levels: Levels,
+    dt: f64,
+    u0: Vec<f64>,
+    ndof: usize,
+}
+
+fn fixture() -> Fixture {
+    // 6×4×2 box with a fast slab on the left third → two CFL levels
+    let mut mesh = HexMesh::uniform(6, 4, 2, 1.0, 1.0);
+    mesh.paint_box((0, 2), (0, 4), (0, 2), 2.0, 1.0);
+    let levels = Levels::assign(&mesh, 0.5, 3);
+    assert!(
+        levels.n_levels >= 2,
+        "fixture must exercise multiple levels"
+    );
+    let op = AcousticOperator::new(&mesh, ORDER);
+    let ndof = Operator::ndof(&op);
+    assert_eq!(
+        ndof,
+        mesh.n_corner_nodes(),
+        "order-1 DOFs must be corner nodes"
+    );
+    let dt = levels.dt_global * cfl_dt_scale(ORDER, 3);
+    let u0: Vec<f64> = (0..ndof).map(|i| ((i as f64) * 0.13).sin()).collect();
+    Fixture {
+        mesh,
+        levels,
+        dt,
+        u0,
+        ndof,
+    }
+}
+
+fn serial_elem_ops(f: &Fixture, steps: usize) -> u64 {
+    let op = AcousticOperator::new(&f.mesh, ORDER);
+    let setup = LtsSetup::new(&op, &f.levels.elem_level);
+    let mut u = f.u0.clone();
+    let mut v = vec![0.0; f.ndof];
+    let mut lts = LtsNewmark::new(&op, &setup, f.dt);
+    lts.run(&mut u, &mut v, 0.0, steps, &[]);
+    lts.stats.elem_ops
+}
+
+/// Run the distributed-memory runtime and return the merged host registry.
+fn run_observed(f: &Fixture, part: &[u32], n_ranks: usize, steps: usize) -> MetricsRegistry {
+    let cfg = DistributedConfig::new(n_ranks);
+    let v0 = vec![0.0; f.ndof];
+    let mut host = MetricsRegistry::new();
+    let (_, _, stats) = run_distributed_local_acoustic_observed(
+        &f.mesh,
+        &f.levels,
+        ORDER,
+        part,
+        f.dt,
+        &f.u0,
+        &v0,
+        steps,
+        &cfg,
+        &[],
+        &mut host,
+    );
+    // the RankStats view must agree with the merged registry
+    let by_view: u64 = stats.iter().map(|s| s.elem_ops).sum();
+    assert_eq!(by_view, host.counter_total(names::ELEM_OPS));
+    let by_view: u64 = stats.iter().map(|s| s.dofs_sent).sum();
+    assert_eq!(by_view, host.counter_total(names::DOFS_SENT));
+    let by_view: u64 = stats.iter().map(|s| s.msgs_sent).sum();
+    assert_eq!(by_view, host.counter_total(names::MSGS_SENT));
+    host
+}
+
+#[test]
+fn distributed_counters_match_closed_form_oracle_exactly() {
+    let f = fixture();
+    let steps = 3;
+    let n_ranks = 3;
+    let part = partition_mesh(&f.mesh, &f.levels, n_ranks, Strategy::ScotchP, 1);
+    let host = run_observed(&f, &part, n_ranks, steps);
+    let o = exchange_oracle(&f.mesh, &f.levels, &part);
+    assert!(
+        o.total_dofs_sent() > 0,
+        "fixture partition must cut the mesh"
+    );
+
+    for l in 0..f.levels.n_levels {
+        let per_step_elem = o.elem_ops[l];
+        let per_step_dofs = o.dofs_sent[l];
+        let per_step_msgs = o.msgs_sent[l];
+        let s = steps as u64;
+        assert_eq!(
+            host.counter(names::ELEM_OPS, Some(l as u8)),
+            per_step_elem * s,
+            "elem_ops at level {l}"
+        );
+        assert_eq!(
+            host.counter(names::DOFS_SENT, Some(l as u8)),
+            per_step_dofs * s,
+            "dofs_sent at level {l}"
+        );
+        assert_eq!(
+            host.counter(names::MSGS_SENT, Some(l as u8)),
+            per_step_msgs * s,
+            "msgs_sent at level {l}"
+        );
+    }
+    assert_eq!(
+        host.counter_total(names::DOFS_SENT),
+        o.total_dofs_sent() * steps as u64
+    );
+    assert_eq!(
+        host.counter_total(names::MSGS_SENT),
+        o.total_msgs_sent() * steps as u64
+    );
+}
+
+#[test]
+fn distributed_elem_ops_sum_to_serial_count() {
+    let f = fixture();
+    let steps = 4;
+    for n_ranks in [2usize, 3] {
+        let part: Vec<u32> = (0..f.mesh.n_elems())
+            .map(|e| (e % n_ranks) as u32)
+            .collect();
+        let host = run_observed(&f, &part, n_ranks, steps);
+        let serial = serial_elem_ops(&f, steps);
+        assert_eq!(
+            host.counter_total(names::ELEM_OPS),
+            serial,
+            "{n_ranks} ranks: distributed element work must equal serial"
+        );
+        let o = exchange_oracle(&f.mesh, &f.levels, &part);
+        assert_eq!(
+            o.total_elem_ops() * steps as u64,
+            serial,
+            "oracle vs serial stepper"
+        );
+    }
+}
+
+#[test]
+fn single_rank_sends_nothing() {
+    let f = fixture();
+    let steps = 2;
+    let part = vec![0u32; f.mesh.n_elems()];
+    let host = run_observed(&f, &part, 1, steps);
+    assert_eq!(host.counter_total(names::DOFS_SENT), 0);
+    assert_eq!(host.counter_total(names::MSGS_SENT), 0);
+    assert_eq!(
+        host.counter_total(names::ELEM_OPS),
+        serial_elem_ops(&f, steps)
+    );
+}
+
+#[test]
+fn deterministic_counters_are_run_to_run_identical() {
+    let f = fixture();
+    let steps = 2;
+    let n_ranks = 2;
+    let part: Vec<u32> = (0..f.mesh.n_elems())
+        .map(|e| (e % n_ranks) as u32)
+        .collect();
+    let a = run_observed(&f, &part, n_ranks, steps);
+    let b = run_observed(&f, &part, n_ranks, steps);
+    for name in [
+        names::ELEM_OPS,
+        names::EXCHANGES,
+        names::MSGS_SENT,
+        names::DOFS_SENT,
+    ] {
+        assert_eq!(a.counter_by_level(name), b.counter_by_level(name), "{name}");
+        assert_eq!(a.counter_total(name), b.counter_total(name), "{name}");
+    }
+}

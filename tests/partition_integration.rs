@@ -62,7 +62,11 @@ fn level_aware_strategies_balance_every_level() {
         for (l, &pct) in rep.per_level_pct.iter().enumerate() {
             let count = b.levels.histogram()[l];
             if count >= 8 * k {
-                assert!(pct < 50.0, "{} level {l}: {pct}% ({count} elements)", s.name());
+                assert!(
+                    pct < 50.0,
+                    "{} level {l}: {pct}% ({count} elements)",
+                    s.name()
+                );
             }
         }
     }
@@ -74,7 +78,13 @@ fn patoh_cut_is_volume_aware() {
     // trench it must not lose badly to the graph partitioners on volume
     let b = BenchmarkMesh::build(MeshKind::Trench, 8_000);
     let k = 8;
-    let patoh = partition_mesh(&b.mesh, &b.levels, k, Strategy::Patoh { final_imbal: 0.05 }, 1);
+    let patoh = partition_mesh(
+        &b.mesh,
+        &b.levels,
+        k,
+        Strategy::Patoh { final_imbal: 0.05 },
+        1,
+    );
     let metis = partition_mesh(&b.mesh, &b.levels, k, Strategy::MetisMc, 1);
     let vol_p = mpi_volume(&b.mesh, &b.levels, &patoh);
     let vol_m = mpi_volume(&b.mesh, &b.levels, &metis);
@@ -108,8 +118,20 @@ fn metrics_are_internally_consistent() {
 fn seeds_change_partitions_but_not_validity() {
     let b = BenchmarkMesh::build(MeshKind::Crust, 3_000);
     let k = 4;
-    let a = partition_mesh(&b.mesh, &b.levels, k, Strategy::Patoh { final_imbal: 0.05 }, 1);
-    let c = partition_mesh(&b.mesh, &b.levels, k, Strategy::Patoh { final_imbal: 0.05 }, 99);
+    let a = partition_mesh(
+        &b.mesh,
+        &b.levels,
+        k,
+        Strategy::Patoh { final_imbal: 0.05 },
+        1,
+    );
+    let c = partition_mesh(
+        &b.mesh,
+        &b.levels,
+        k,
+        Strategy::Patoh { final_imbal: 0.05 },
+        99,
+    );
     assert_ne!(a, c, "different seeds should explore different partitions");
     for part in [&a, &c] {
         let rep = load_imbalance(&b.levels, part, k);

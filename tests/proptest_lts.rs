@@ -8,7 +8,10 @@ use wave_lts::lts::{Chain1d, LtsNewmark, LtsSetup, Newmark};
 fn chain_strategy() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
     (8usize..40).prop_flat_map(|n| {
         (
-            prop::collection::vec(prop_oneof![Just(1.0f64), Just(2.0), Just(4.0), Just(8.0)], n),
+            prop::collection::vec(
+                prop_oneof![Just(1.0f64), Just(2.0), Just(4.0), Just(8.0)],
+                n,
+            ),
             prop::collection::vec(-1.0f64..1.0, n + 1),
         )
     })

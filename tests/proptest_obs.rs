@@ -1,0 +1,86 @@
+//! Property-based tests of the observability counters: for random small
+//! meshes, level paintings and partitions, the distributed runtime's
+//! deterministic counters must equal the closed-form [`exchange_oracle`] and
+//! the serial stepper's element-operation count *exactly*.
+//!
+//! SEM order 1 throughout — the oracle counts corner nodes.
+
+use proptest::prelude::*;
+use wave_lts::lts::{LtsNewmark, LtsSetup, Operator};
+use wave_lts::mesh::{HexMesh, Levels};
+use wave_lts::obs::MetricsRegistry;
+use wave_lts::partition::exchange_oracle;
+use wave_lts::runtime::stats::names;
+use wave_lts::runtime::{run_distributed_local_acoustic_observed, DistributedConfig};
+use wave_lts::sem::gll::cfl_dt_scale;
+use wave_lts::sem::AcousticOperator;
+
+const ORDER: usize = 1;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Per-level and total exchange volumes and message counts of a real
+    /// distributed run equal `steps ×` the no-execution oracle; summed
+    /// element work equals the serial stepper's count.
+    #[test]
+    fn distributed_counters_equal_oracle_and_serial(
+        nx in 2usize..5, ny in 2usize..4, nz in 1usize..3,
+        paint in 0usize..3, k in 2usize..4, steps in 1usize..4,
+    ) {
+        let mut mesh = HexMesh::uniform(nx, ny, nz, 1.0, 1.0);
+        if paint > 0 {
+            mesh.paint_box((0, paint.min(nx)), (0, ny), (0, nz), 2.0, 1.0);
+        }
+        let levels = Levels::assign(&mesh, 0.5, 3);
+        let part: Vec<u32> = (0..mesh.n_elems()).map(|e| (e % k) as u32).collect();
+
+        let op = AcousticOperator::new(&mesh, ORDER);
+        let setup = LtsSetup::new(&op, &levels.elem_level);
+        let ndof = Operator::ndof(&op);
+        prop_assert_eq!(ndof, mesh.n_corner_nodes());
+        let dt = levels.dt_global * cfl_dt_scale(ORDER, 3);
+        let u0: Vec<f64> = (0..ndof).map(|i| ((i as f64) * 0.13).sin()).collect();
+        let v0 = vec![0.0; ndof];
+
+        // serial reference operation count
+        let mut u_ref = u0.clone();
+        let mut v_ref = v0.clone();
+        let mut lts = LtsNewmark::new(&op, &setup, dt);
+        lts.run(&mut u_ref, &mut v_ref, 0.0, steps, &[]);
+
+        // distributed run with merged host registry
+        let cfg = DistributedConfig::new(k);
+        let mut host = MetricsRegistry::new();
+        let (u, _, stats) = run_distributed_local_acoustic_observed(
+            &mesh, &levels, ORDER, &part, dt, &u0, &v0, steps, &cfg, &[], &mut host,
+        );
+
+        let o = exchange_oracle(&mesh, &levels, &part);
+        let s = steps as u64;
+        for l in 0..levels.n_levels {
+            prop_assert_eq!(
+                host.counter(names::DOFS_SENT, Some(l as u8)), o.dofs_sent[l] * s,
+                "dofs_sent at level {}", l
+            );
+            prop_assert_eq!(
+                host.counter(names::MSGS_SENT, Some(l as u8)), o.msgs_sent[l] * s,
+                "msgs_sent at level {}", l
+            );
+            prop_assert_eq!(
+                host.counter(names::ELEM_OPS, Some(l as u8)), o.elem_ops[l] * s,
+                "elem_ops at level {}", l
+            );
+        }
+        prop_assert_eq!(host.counter_total(names::ELEM_OPS), lts.stats.elem_ops);
+        prop_assert_eq!(o.total_elem_ops() * s, lts.stats.elem_ops);
+        let rank_sum: u64 = stats.iter().map(|r| r.elem_ops).sum();
+        prop_assert_eq!(rank_sum, lts.stats.elem_ops);
+
+        // the physics must agree too (the counters are not a side theory)
+        let scale = u_ref.iter().fold(1.0f64, |m, &x| m.max(x.abs()));
+        for i in 0..ndof {
+            prop_assert!((u[i] - u_ref[i]).abs() <= 1e-12 * scale, "dof {}", i);
+        }
+    }
+}

@@ -9,14 +9,15 @@
 use lts_bench::Args;
 use lts_core::{Chain1d, LtsSetup};
 use lts_obs::Json;
-use lts_runtime::stats::{ascii_timeline, profile_json};
-use lts_runtime::{run_distributed, DistributedConfig};
+use lts_runtime::stats::{ascii_timeline, chrome_trace, lambda_from_stats, profile_json};
+use lts_runtime::{run_distributed, DistributedConfig, MonitorConfig};
 
 fn main() {
     let args = Args::parse();
     let steps: usize = args.get("steps", 60);
     let amplify: u32 = args.get("amplify", 1_500_000);
     let profile_path: String = args.get("profile", "fig01_profile.json".to_string());
+    let trace_path: String = args.get("trace-out", String::new());
 
     // Fig. 1 geometry: a fine region Ω_f (4 elements, p = 2) next to a
     // coarse region Ω_c (4 elements, p = 1), embedded in a longer chain.
@@ -49,12 +50,14 @@ fn main() {
         .collect();
 
     let cfg = DistributedConfig {
-        n_ranks: 2,
         record_timeline: true,
         work_amplify: amplify,
-        overlap: false,
+        // live stall detection: warn when a rank waits through half a window
+        stall_monitor: Some(MonitorConfig::default()),
+        ..DistributedConfig::new(2)
     };
     let mut runs: Vec<Json> = Vec::new();
+    let mut traced: Vec<(String, Vec<lts_runtime::RankStats>)> = Vec::new();
     for (name, part) in [
         ("standard partition (level-oblivious)", &naive),
         ("p-level balanced partition", &balanced),
@@ -70,6 +73,9 @@ fn main() {
             .map(|s| s.wait_fraction())
             .fold(0.0f64, f64::max);
         println!("worst stall fraction: {:.0}%", 100.0 * worst);
+        for (l, lam) in lambda_from_stats(&stats) {
+            println!("  level {l}: Eq. 21 λ = {:.2}", lam);
+        }
         runs.push(Json::Obj(vec![
             ("partition".to_string(), Json::str(name)),
             (
@@ -83,6 +89,7 @@ fn main() {
             ),
             ("profile".to_string(), profile_json(&stats)),
         ]));
+        traced.push((name.to_string(), stats));
     }
     let doc = Json::Obj(vec![
         ("figure".to_string(), Json::str("fig01_timeline")),
@@ -94,6 +101,16 @@ fn main() {
             println!("\nwrote per-rank per-level busy/wait/exchange profile to {profile_path}")
         }
         Err(e) => eprintln!("\ncould not write {profile_path}: {e}"),
+    }
+    if !trace_path.is_empty() {
+        let borrowed: Vec<(&str, &[lts_runtime::RankStats])> = traced
+            .iter()
+            .map(|(n, s)| (n.as_str(), s.as_slice()))
+            .collect();
+        match std::fs::write(&trace_path, chrome_trace(&borrowed).render()) {
+            Ok(()) => println!("wrote Chrome trace (chrome://tracing, Perfetto) to {trace_path}"),
+            Err(e) => eprintln!("could not write {trace_path}: {e}"),
+        }
     }
     println!(
         "\npaper's Fig. 1: the level-oblivious split stalls one processor at every ∆τ sub-step;"

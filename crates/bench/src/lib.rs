@@ -4,6 +4,7 @@
 //! `DESIGN.md` for the index) and accepts `--elements N` to change the mesh
 //! scale (defaults are laptop-sized; paper-scale runs are a flag away).
 
+pub mod profile;
 pub mod scaling;
 
 use lts_mesh::{BenchmarkMesh, MeshKind};

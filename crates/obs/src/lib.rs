@@ -13,18 +13,25 @@
 //! * [`span!`] — scoped timing of a phase, recorded as a histogram
 //!   observation and (when tracing is enabled) a [`TraceEvent`] in a
 //!   structured trace.
-//! * [`export`] — hand-rolled JSON and CSV serialization (the environment
-//!   has no serde), so bench binaries emit machine-readable profiles.
+//! * [`export`] — hand-rolled JSON and CSV serialization *and parsing* (the
+//!   environment has no serde), so bench binaries emit — and `bench-compare`
+//!   re-reads — machine-readable profiles.
+//! * [`chrome`] — a Chrome Trace Format (`trace_event`) builder: the
+//!   runtime's per-rank timelines render into a file loadable in
+//!   `chrome://tracing`/Perfetto (pid = run, tid = rank, one category per
+//!   LTS level).
 //!
 //! The registry is deliberately *single-owner* (`&mut self` everywhere): the
 //! runtime gives each rank its own registry on its own thread and merges
 //! after the join, so the hot path pays one branch and one integer add per
 //! record — no atomics, no locks.
 
+pub mod chrome;
 pub mod export;
 pub mod registry;
 pub mod span;
 
+pub use chrome::{level_category, validate_trace, ChromeTrace};
 pub use export::{registry_to_csv, registry_to_json, Json};
 pub use registry::{Histogram, Key, Metric, MetricsRegistry};
 pub use span::{Span, TraceEvent};

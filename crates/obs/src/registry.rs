@@ -87,6 +87,41 @@ impl Histogram {
             *a += b;
         }
     }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) from the log₂ buckets.
+    ///
+    /// The answer is the geometric midpoint of the bucket containing the
+    /// `⌈q·count⌉`-th observation, clamped into the exact `[min, max]` range —
+    /// so single-bucket histograms report exact values and the worst-case
+    /// relative error is the bucket width (a factor of 2).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                let lo = 2f64.powi(i as i32) * 1e-9;
+                let hi = 2f64.powi(i as i32 + 1) * 1e-9;
+                return (lo * hi).sqrt().clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
 }
 
 /// One registered metric. The histogram variant carries its fixed bucket
@@ -373,6 +408,34 @@ mod tests {
         assert_eq!(h.max, 3e-6);
         assert!((h.mean() - 2e-6).abs() < 1e-18);
         assert_eq!(h.buckets.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn quantiles_bracket_observations() {
+        let mut h = Histogram::default();
+        // 100 observations spread over two decades: 1 µs … 100 µs
+        for i in 1..=100u32 {
+            h.observe(i as f64 * 1e-6);
+        }
+        let p50 = h.p50();
+        let p95 = h.p95();
+        let p99 = h.p99();
+        // log-bucket estimates are within a factor of 2 of the exact order
+        // statistics (50 µs, 95 µs, 99 µs) and keep their ordering
+        assert!((25e-6..=100e-6).contains(&p50), "p50 = {p50}");
+        assert!((47e-6..=100e-6).contains(&p95), "p95 = {p95}");
+        assert!(p50 <= p95 && p95 <= p99, "p50 {p50} p95 {p95} p99 {p99}");
+        assert!(p99 <= h.max && h.quantile(0.0) >= h.min);
+    }
+
+    #[test]
+    fn quantile_single_observation_is_exact() {
+        let mut h = Histogram::default();
+        h.observe(3.5e-3);
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile(q), 3.5e-3);
+        }
+        assert_eq!(Histogram::default().quantile(0.5), 0.0);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! tests assert agreement with the serial stepper to round-off.
 
 use crate::exchange::{build_plans, RankPlan};
+use crate::monitor::{MonitorConfig, RankMonitor, StallMonitor};
 use crate::stats::{names, RankStats, TimelineEvent};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use lts_core::{DofTopology, LtsSetup, Operator, Source};
@@ -22,10 +23,15 @@ pub struct DistributedConfig {
     /// Artificial extra work per element-operation (spin iterations) — makes
     /// load imbalance visible on problems too small to measure otherwise.
     pub work_amplify: u32,
+    /// Restrict `work_amplify` to one rank: deterministic skew for stall
+    /// experiments. `None` amplifies every rank.
+    pub amplify_rank: Option<usize>,
     /// Overlap communication with computation (the SPECFEM3D pattern the
     /// paper uses): compute boundary-element contributions, post the sends,
     /// compute interior elements while messages fly, then assemble.
     pub overlap: bool,
+    /// Run the online stall/imbalance monitor (see [`crate::monitor`]).
+    pub stall_monitor: Option<MonitorConfig>,
 }
 
 impl DistributedConfig {
@@ -34,7 +40,9 @@ impl DistributedConfig {
             n_ranks,
             record_timeline: false,
             work_amplify: 0,
+            amplify_rank: None,
             overlap: false,
+            stall_monitor: None,
         }
     }
 }
@@ -71,6 +79,7 @@ struct RankCtx<'a, O: Operator> {
     /// Per-rank metrics; merged into [`RankStats`] views after the join.
     reg: MetricsRegistry,
     timeline: Vec<TimelineEvent>,
+    monitor: Option<RankMonitor>,
     cfg: DistributedConfig,
     step_idx: u32,
     busy_since: Instant,
@@ -78,7 +87,7 @@ struct RankCtx<'a, O: Operator> {
 
 impl<'a, O: Operator> RankCtx<'a, O> {
     fn amplify(&self, n_elems: usize) {
-        if self.cfg.work_amplify > 0 {
+        if self.cfg.work_amplify > 0 && self.cfg.amplify_rank.is_none_or(|r| r == self.rank) {
             let iters = self.cfg.work_amplify as u64 * n_elems as u64;
             let mut x = 0u64;
             for i in 0..iters {
@@ -193,12 +202,17 @@ impl<'a, O: Operator> RankCtx<'a, O> {
         let wait_s = wait_start.elapsed().as_secs_f64();
         self.reg.observe(names::WAIT, Some(l as u8), wait_s);
         self.reg.inc_level(names::EXCHANGES, l as u8, 1);
+        if let Some(m) = self.monitor.as_mut() {
+            m.on_exchange(&mut self.reg, l as u8, busy_s, wait_s);
+        }
         if self.cfg.record_timeline {
             self.timeline.push(TimelineEvent {
                 level: l as u8,
                 step: self.step_idx,
                 busy_s,
                 wait_s,
+                elem_ops: self.reg.counter_total(names::ELEM_OPS),
+                dofs_sent: self.reg.counter_total(names::DOFS_SENT),
             });
         }
         // assemble in ascending-rank order for bitwise consistency
@@ -382,6 +396,9 @@ pub fn run_distributed_with_sources<O: Operator + DofTopology + Sync>(
     let plans = build_plans(op, setup, partition, n_ranks);
     let ndof = Operator::ndof(op);
     assert_eq!(u0.len(), ndof);
+    let monitor = cfg
+        .stall_monitor
+        .map(|mc| StallMonitor::new(mc, n_ranks, setup.n_levels));
 
     let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(n_ranks);
     let mut receivers: Vec<Receiver<Msg>> = Vec::with_capacity(n_ranks);
@@ -397,6 +414,7 @@ pub fn run_distributed_with_sources<O: Operator + DofTopology + Sync>(
             let tx = senders.clone();
             let plan = &plans[rank];
             let cfg = *cfg;
+            let mon = monitor.clone();
             handles.push(scope.spawn(move || {
                 let levels = setup.n_levels;
                 let mut my_sources: Vec<Vec<(usize, u32)>> = vec![Vec::new(); levels];
@@ -425,6 +443,7 @@ pub fn run_distributed_with_sources<O: Operator + DofTopology + Sync>(
                     inbox: vec![VecDeque::new(); n_ranks],
                     reg: MetricsRegistry::new(),
                     timeline: Vec::new(),
+                    monitor: mon.map(|s| RankMonitor::new(s, rank)),
                     cfg,
                     step_idx: 0,
                     busy_since: Instant::now(),
@@ -435,6 +454,9 @@ pub fn run_distributed_with_sources<O: Operator + DofTopology + Sync>(
                 // busy tail after the last exchange, recorded level-less
                 ctx.reg
                     .observe(names::BUSY, None, ctx.busy_since.elapsed().as_secs_f64());
+                if let Some(mut m) = ctx.monitor.take() {
+                    m.flush_window(&mut ctx.reg);
+                }
                 (
                     rank,
                     ctx.u,
@@ -474,7 +496,26 @@ pub fn run_distributed_with_sources<O: Operator + DofTopology + Sync>(
         }
         stats.push(st);
     }
+    stamp_lambda_gauges(monitor.as_deref(), &mut stats);
     (u, v, stats)
+}
+
+/// Stamp the monitor's final per-level Eq. 21 λ (and its run-long watermark)
+/// into every rank's registry as gauges. Runs after the join, when all busy
+/// totals are complete, so [`names::STALL_LAMBDA`] agrees with the post-hoc
+/// [`crate::stats::lambda_from_stats`].
+fn stamp_lambda_gauges(monitor: Option<&StallMonitor>, stats: &mut [RankStats]) {
+    let Some(mon) = monitor else { return };
+    let lam = mon.update_lambda_watermarks();
+    let wm = mon.lambda_watermarks();
+    for st in stats.iter_mut() {
+        for l in 0..lam.len() {
+            st.registry
+                .set_gauge_level(names::STALL_LAMBDA, l as u8, lam[l]);
+            st.registry
+                .set_gauge_level(names::STALL_LAMBDA_WM, l as u8, wm[l]);
+        }
+    }
 }
 
 /// One rank's complete owned world for the distributed-memory runner
@@ -504,6 +545,10 @@ pub fn run_rank_contexts<O: Operator + Send>(
     sources: &[Source],
 ) -> (Vec<RankResult>, Vec<RankStats>) {
     let n_ranks = ranks.len();
+    let monitor = cfg.stall_monitor.map(|mc| {
+        let n_levels = ranks.first().map_or(1, |r| r.n_levels);
+        StallMonitor::new(mc, n_ranks, n_levels)
+    });
     let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(n_ranks);
     let mut receivers: Vec<Receiver<Msg>> = Vec::with_capacity(n_ranks);
     for _ in 0..n_ranks {
@@ -516,6 +561,7 @@ pub fn run_rank_contexts<O: Operator + Send>(
         for ((rank, world), rx) in ranks.into_iter().enumerate().zip(receivers) {
             let tx = senders.clone();
             let cfg = *cfg;
+            let mon = monitor.clone();
             handles.push(scope.spawn(move || {
                 let LocalRank {
                     op,
@@ -548,6 +594,7 @@ pub fn run_rank_contexts<O: Operator + Send>(
                     inbox: vec![VecDeque::new(); n_ranks],
                     reg: MetricsRegistry::new(),
                     timeline: Vec::new(),
+                    monitor: mon.map(|s| RankMonitor::new(s, rank)),
                     cfg,
                     step_idx: 0,
                     busy_since: Instant::now(),
@@ -557,6 +604,9 @@ pub fn run_rank_contexts<O: Operator + Send>(
                 }
                 ctx.reg
                     .observe(names::BUSY, None, ctx.busy_since.elapsed().as_secs_f64());
+                if let Some(mut m) = ctx.monitor.take() {
+                    m.flush_window(&mut ctx.reg);
+                }
                 (
                     rank,
                     ctx.u,
@@ -578,15 +628,17 @@ pub fn run_rank_contexts<O: Operator + Send>(
         results[rank] = Some((u, v, map));
         stats[rank] = Some(st);
     }
+    let mut stats: Vec<RankStats> = stats
+        .into_iter()
+        .map(|s| s.expect("missing rank"))
+        .collect();
+    stamp_lambda_gauges(monitor.as_deref(), &mut stats);
     (
         results
             .into_iter()
             .map(|r| r.expect("missing rank"))
             .collect(),
-        stats
-            .into_iter()
-            .map(|s| s.expect("missing rank"))
-            .collect(),
+        stats,
     )
 }
 
@@ -758,10 +810,9 @@ mod tests {
         let setup = LtsSetup::new(&c, &lv);
         let part: Vec<u32> = (0..16).map(|e| u32::from(e >= 8)).collect(); // rank 1 has all fine
         let cfg = DistributedConfig {
-            n_ranks: 2,
             record_timeline: true,
             work_amplify: 20_000,
-            overlap: false,
+            ..DistributedConfig::new(2)
         };
         let u0 = gaussian(17);
         let (_, _, stats) = run_distributed(&c, &setup, &part, dt, &u0, &[0.0; 17], 50, &cfg);
@@ -773,5 +824,60 @@ mod tests {
             stats[1].wait_s
         );
         assert!(!stats[0].timeline.is_empty());
+    }
+
+    #[test]
+    fn monitor_lambda_matches_posthoc_eq21_and_warns() {
+        use crate::stats::lambda_from_stats;
+        // uniform mesh, even partition — then skew all amplified work onto
+        // rank 1 so rank 0 stalls and the online monitor must notice.
+        let c = Chain1d::uniform(16, 1.0, 1.0);
+        let setup = LtsSetup::new(&c, &[0u8; 16]);
+        let part: Vec<u32> = (0..16).map(|e| u32::from(e >= 8)).collect();
+        let cfg = DistributedConfig {
+            record_timeline: true,
+            work_amplify: 60_000,
+            amplify_rank: Some(1),
+            stall_monitor: Some(MonitorConfig {
+                window_exchanges: 4,
+                wait_warn_fraction: 0.5,
+                log_warnings: false,
+            }),
+            ..DistributedConfig::new(2)
+        };
+        let u0 = gaussian(17);
+        let (_, _, stats) = run_distributed(&c, &setup, &part, 0.5, &u0, &[0.0; 17], 60, &cfg);
+        let posthoc = lambda_from_stats(&stats);
+        assert!(!posthoc.is_empty());
+        for &(l, lam) in &posthoc {
+            // the online monitor accumulates the same per-exchange busy
+            // durations in integer nanoseconds; after the post-join stamp the
+            // gauge must agree with the post-hoc Eq. 21 value
+            for st in &stats {
+                let gauge = st
+                    .registry
+                    .gauge(names::STALL_LAMBDA, Some(l))
+                    .expect("final lambda gauge stamped on every rank");
+                assert!(
+                    (gauge - lam).abs() < 1e-3,
+                    "level {l}: monitor lambda {gauge} vs post-hoc {lam}"
+                );
+                let wm = st
+                    .registry
+                    .gauge(names::STALL_LAMBDA_WM, Some(l))
+                    .expect("lambda watermark stamped");
+                assert!(wm + 1e-12 >= gauge, "watermark {wm} below final {gauge}");
+            }
+        }
+        // rank 0 idles ≥ threshold → exactly the stalled rank warns
+        let warned_0 = stats[0].registry.counter_total(names::STALL_WARNINGS);
+        let warned_1 = stats[1].registry.counter_total(names::STALL_WARNINGS);
+        assert!(warned_0 >= 1, "stalled rank 0 must raise a warning");
+        assert_eq!(warned_1, 0, "busy rank must not warn");
+        let wf = stats[0]
+            .registry
+            .gauge(names::STALL_WAIT_FRAC_WM, Some(0))
+            .expect("wait-fraction watermark recorded");
+        assert!(wf >= 0.5, "windowed wait fraction {wf} below threshold");
     }
 }

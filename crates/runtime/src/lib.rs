@@ -16,6 +16,7 @@
 pub mod distributed;
 pub mod exchange;
 pub mod local;
+pub mod monitor;
 pub mod stats;
 
 pub use distributed::{run_distributed, DistributedConfig};
@@ -23,4 +24,8 @@ pub use local::{
     run_distributed_local_acoustic, run_distributed_local_acoustic_observed,
     run_distributed_local_elastic, run_distributed_local_elastic_observed,
 };
-pub use stats::{ascii_timeline, profile_json, LevelStats, RankStats, TimelineEvent};
+pub use monitor::{eq21_lambda, MonitorConfig, StallMonitor, StallWarning};
+pub use stats::{
+    ascii_timeline, chrome_trace, lambda_from_stats, profile_json, LevelStats, RankStats,
+    TimelineEvent,
+};

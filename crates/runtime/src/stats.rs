@@ -8,7 +8,7 @@
 //! of timing, so integration tests can assert them against closed-form
 //! oracles.
 
-use lts_obs::{Json, MetricsRegistry};
+use lts_obs::{level_category, ChromeTrace, Json, MetricsRegistry};
 
 /// Metric names the runtime records per rank. Level-scoped keys use
 /// `Some(level)`; the end-of-run busy tail is recorded level-less.
@@ -25,6 +25,17 @@ pub mod names {
     pub const BUSY: &str = "busy";
     /// Histogram: blocked time at exchanges of this level (s).
     pub const WAIT: &str = "wait";
+    /// Gauge, per level: watermark of the rank's *windowed* wait fraction —
+    /// the worst `wait/(busy+wait)` any monitor window saw at this level.
+    pub const STALL_WAIT_FRAC_WM: &str = "stall.wait_frac_wm";
+    /// Counter, per level: stall warnings raised by this rank (the monitor
+    /// warns at most once per rank × level).
+    pub const STALL_WARNINGS: &str = "stall.warnings";
+    /// Gauge, per level: final Eq. 21 λ over the ranks' measured busy time,
+    /// stamped after the join (identical on every rank; fraction 0..1).
+    pub const STALL_LAMBDA: &str = "stall.lambda";
+    /// Gauge, per level: watermark of windowed λ snapshots seen live.
+    pub const STALL_LAMBDA_WM: &str = "stall.lambda_wm";
 }
 
 /// One recorded exchange point of one rank.
@@ -38,6 +49,11 @@ pub struct TimelineEvent {
     pub busy_s: f64,
     /// Seconds spent blocked waiting for peers at this exchange.
     pub wait_s: f64,
+    /// Cumulative masked element products on this rank at this exchange
+    /// (drives the Chrome-trace counter track).
+    pub elem_ops: u64,
+    /// Cumulative interface DOF values sent by this rank at this exchange.
+    pub dofs_sent: u64,
 }
 
 /// Per-LTS-level slice of one rank's accounting.
@@ -171,6 +187,8 @@ pub fn profile_json(stats: &[RankStats]) -> Json {
                         ("step".to_string(), Json::UInt(ev.step as u64)),
                         ("busy_s".to_string(), Json::Num(ev.busy_s)),
                         ("wait_s".to_string(), Json::Num(ev.wait_s)),
+                        ("elem_ops".to_string(), Json::UInt(ev.elem_ops)),
+                        ("dofs_sent".to_string(), Json::UInt(ev.dofs_sent)),
                     ])
                 })
                 .collect();
@@ -189,6 +207,94 @@ pub fn profile_json(stats: &[RankStats]) -> Json {
         })
         .collect();
     Json::Obj(vec![("ranks".to_string(), Json::Arr(ranks))])
+}
+
+/// Post-hoc Eq. 21 λ per level over the ranks' measured busy seconds:
+/// `λ_l = (max_r busy_l − min_r busy_l) / max_r busy_l`, as a fraction.
+/// Levels are the union of levels any rank recorded; ranks without work at a
+/// level contribute a zero load (λ → 1 when a level lives on one rank only).
+///
+/// This is the value the online monitor ([`crate::monitor::StallMonitor`])
+/// converges to — its final [`names::STALL_LAMBDA`] gauge must match this
+/// within nanosecond-rounding tolerance.
+pub fn lambda_from_stats(stats: &[RankStats]) -> Vec<(u8, f64)> {
+    let mut levels: Vec<u8> = stats
+        .iter()
+        .flat_map(|s| s.registry.iter().filter_map(|(k, _)| k.level))
+        .collect();
+    levels.sort_unstable();
+    levels.dedup();
+    levels
+        .into_iter()
+        .map(|l| {
+            let loads: Vec<f64> = stats
+                .iter()
+                .map(|s| {
+                    s.registry
+                        .histogram(names::BUSY, Some(l))
+                        .map(|h| h.sum)
+                        .unwrap_or(0.0)
+                })
+                .collect();
+            (l, crate::monitor::eq21_lambda(&loads))
+        })
+        .collect()
+}
+
+/// Render one or more runs' per-rank timelines as a Chrome trace:
+/// **pid = run** (1-based, named by its label), **tid = rank**, one category
+/// per LTS level. Each [`TimelineEvent`] becomes a `busy` slice, a `wait`
+/// slice and a zero-width `exchange` marker, plus cumulative
+/// `elem_ops`/`dofs_sent` counter samples. Any structured spans recorded in a
+/// rank's registry (tracing-enabled runs) ride along on the same track.
+pub fn chrome_trace(runs: &[(&str, &[RankStats])]) -> ChromeTrace {
+    let mut t = ChromeTrace::new();
+    for (run_idx, (label, stats)) in runs.iter().enumerate() {
+        let pid = run_idx as u64 + 1;
+        t.process_name(pid, label);
+        for s in stats.iter() {
+            let tid = s.rank as u64;
+            t.thread_name(pid, tid, &format!("rank {}", s.rank));
+            let mut ts_us = 0.0f64;
+            for ev in &s.timeline {
+                let cat = level_category(Some(ev.level));
+                let args = vec![
+                    ("step".to_string(), Json::UInt(ev.step as u64)),
+                    ("level".to_string(), Json::UInt(ev.level as u64)),
+                ];
+                let busy_us = ev.busy_s * 1e6;
+                let wait_us = ev.wait_s * 1e6;
+                t.complete(pid, tid, "busy", &cat, ts_us, busy_us, args.clone());
+                t.complete(
+                    pid,
+                    tid,
+                    "wait",
+                    &cat,
+                    ts_us + busy_us,
+                    wait_us,
+                    args.clone(),
+                );
+                ts_us += busy_us + wait_us;
+                t.complete(pid, tid, "exchange", &cat, ts_us, 0.0, args);
+                t.counter(
+                    pid,
+                    tid,
+                    &format!("elem_ops rank{}", s.rank),
+                    ts_us,
+                    &[("elem_ops", ev.elem_ops as f64)],
+                );
+                t.counter(
+                    pid,
+                    tid,
+                    &format!("dofs_sent rank{}", s.rank),
+                    ts_us,
+                    &[("dofs_sent", ev.dofs_sent as f64)],
+                );
+            }
+            t.add_registry_spans(&s.registry, pid, tid);
+        }
+    }
+    t
 }
 
 /// Render per-rank busy/wait bars as ASCII (the Fig. 1 bottom panel). Each
@@ -336,6 +442,8 @@ mod tests {
                 step: 2,
                 busy_s: 0.5,
                 wait_s: 0.25,
+                elem_ops: 5,
+                dofs_sent: 10,
             }],
         );
         let json = profile_json(&[s]).render();
@@ -344,5 +452,77 @@ mod tests {
         assert!(json.contains(r#""dofs_sent":10"#));
         assert!(json.contains(r#""levels":[{"level":0"#));
         assert!(json.contains(r#""timeline":[{"level":0,"step":2"#));
+    }
+
+    fn timed_rank(rank: usize, busy: &[(u8, f64)], wait: &[(u8, f64)]) -> RankStats {
+        let mut reg = MetricsRegistry::new();
+        for &(l, b) in busy {
+            reg.observe(names::BUSY, Some(l), b);
+        }
+        for &(l, w) in wait {
+            reg.observe(names::WAIT, Some(l), w);
+        }
+        RankStats::from_registry(rank, reg, Vec::new())
+    }
+
+    #[test]
+    fn lambda_from_stats_matches_hand_computation() {
+        let stats = vec![
+            timed_rank(0, &[(0, 4.0), (1, 1.0)], &[]),
+            timed_rank(1, &[(0, 2.0)], &[(1, 0.5)]),
+        ];
+        let lam = lambda_from_stats(&stats);
+        assert_eq!(lam.len(), 2);
+        assert_eq!(lam[0].0, 0);
+        assert!((lam[0].1 - 0.5).abs() < 1e-12); // (4−2)/4
+        assert_eq!(lam[1], (1, 1.0)); // level 1 busy only on rank 0
+    }
+
+    #[test]
+    fn chrome_trace_has_monotone_ts_per_tid_and_round_trips() {
+        let mk = |rank: usize| {
+            let mut reg = MetricsRegistry::new();
+            reg.observe(names::BUSY, Some(0), 0.3);
+            let timeline = vec![
+                TimelineEvent {
+                    level: 0,
+                    step: 0,
+                    busy_s: 0.1,
+                    wait_s: 0.05,
+                    elem_ops: 8,
+                    dofs_sent: 4,
+                },
+                TimelineEvent {
+                    level: 1,
+                    step: 0,
+                    busy_s: 0.2,
+                    wait_s: 0.0,
+                    elem_ops: 24,
+                    dofs_sent: 12,
+                },
+            ];
+            RankStats::from_registry(rank, reg, timeline)
+        };
+        let stats = vec![mk(0), mk(1)];
+        let trace = chrome_trace(&[("run A", &stats)]);
+        let rendered = trace.render();
+        // the exporter's own validator parses the JSON back and checks that
+        // ts never rewinds within a (pid, tid) track
+        let n = lts_obs::validate_trace(&rendered).expect("valid trace_event JSON");
+        // 1 process_name + per rank: 1 thread_name + 2·(3 slices + 2 counters)
+        assert_eq!(n, 1 + 2 * (1 + 2 * 5));
+        let doc = Json::parse(&rendered).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let busy0: Vec<&Json> = events
+            .iter()
+            .filter(|e| {
+                e.get("name").and_then(|n| n.as_str()) == Some("busy")
+                    && e.get("tid").and_then(|t| t.as_u64()) == Some(0)
+            })
+            .collect();
+        assert_eq!(busy0.len(), 2);
+        assert_eq!(busy0[0].get("cat").unwrap().as_str(), Some("level0"));
+        assert_eq!(busy0[1].get("cat").unwrap().as_str(), Some("level1"));
+        assert_eq!(busy0[1].get("ts").unwrap().as_f64(), Some(0.15e6));
     }
 }

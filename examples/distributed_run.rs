@@ -29,12 +29,7 @@ fn main() {
     let v0 = vec![0.0; ndof];
     let n_ranks = 4;
     let steps = 10;
-    let cfg = DistributedConfig {
-        n_ranks,
-        record_timeline: false,
-        work_amplify: 0,
-        overlap: false,
-    };
+    let cfg = DistributedConfig::new(n_ranks);
 
     for strategy in [Strategy::ScotchBaseline, Strategy::ScotchP] {
         let part = partition_mesh(&bench.mesh, &bench.levels, n_ranks, strategy, 1);

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Repository lint gate: clippy clean under -D warnings, formatting canonical.
+# Repository lint gate: clippy clean under -D warnings, formatting canonical,
+# and the bench-smoke regression gate (deterministic counters vs the
+# committed BENCH_lts.json baseline; timings are skipped — hosts differ).
 # Run from anywhere; operates on the workspace this script lives in.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -9,5 +11,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo fmt --check"
 cargo fmt --check
+
+echo "== bench smoke (lts-profile --smoke → validate → bench-compare)"
+cargo build --release -q -p lts-bench --bin lts-profile
+smoke_out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
+trap 'rm -f "$smoke_out"' EXIT
+./target/release/lts-profile --mode run --smoke true --out "$smoke_out" >/dev/null
+./target/release/lts-profile --mode validate --file "$smoke_out"
+./target/release/lts-profile --mode compare \
+  --baseline BENCH_lts.json --current "$smoke_out" --timings false
 
 echo "ok"

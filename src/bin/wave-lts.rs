@@ -132,6 +132,7 @@ fn cmd_simulate(m: &HashMap<String, String>) {
     let steps: usize = get(m, "steps", 20);
     let elastic: bool = get(m, "elastic", false);
     let compare: bool = get(m, "compare", false);
+    let ranks: usize = get(m, "ranks", 0);
     let dt = b.levels.dt_global * cfl_dt_scale(order, 3);
     println!(
         "simulating {} global steps of Δt = {:.4} on {} ({} elements, order {order}, {})",
@@ -141,12 +142,98 @@ fn cmd_simulate(m: &HashMap<String, String>) {
         b.mesh.n_elems(),
         if elastic { "elastic" } else { "acoustic" }
     );
-    if elastic {
+    if ranks > 0 {
+        run_sim_distributed(m, &b, order, dt, steps, elastic, ranks);
+    } else if elastic {
         let op = ElasticOperator::poisson(&b.mesh, order);
         run_sim(&op, &b, dt, steps, compare);
     } else {
         let op = AcousticOperator::new(&b.mesh, order);
         run_sim(&op, &b, dt, steps, compare);
+    }
+}
+
+/// `simulate --ranks N`: partition, run the threaded message-passing
+/// runtime with the live stall monitor, print the Fig. 1 busy/stall bars and
+/// per-level Eq. 21 λ, and optionally dump a Chrome trace (`--trace-out`).
+fn run_sim_distributed(
+    m: &HashMap<String, String>,
+    b: &BenchmarkMesh,
+    order: usize,
+    dt: f64,
+    steps: usize,
+    elastic: bool,
+    ranks: usize,
+) {
+    use wave_lts::obs::MetricsRegistry;
+    use wave_lts::runtime::stats::{ascii_timeline, chrome_trace, lambda_from_stats};
+    use wave_lts::runtime::{
+        run_distributed_local_acoustic_observed, run_distributed_local_elastic_observed,
+        DistributedConfig, MonitorConfig,
+    };
+
+    let s = strategy(&get::<String>(m, "strategy", "scotch-p".into()));
+    let seed: u64 = get(m, "seed", 1);
+    let part = partition_mesh(&b.mesh, &b.levels, ranks, s, seed);
+    let cfg = DistributedConfig {
+        record_timeline: true,
+        stall_monitor: Some(MonitorConfig::default()),
+        ..DistributedConfig::new(ranks)
+    };
+    let ndof = if elastic {
+        Operator::ndof(&ElasticOperator::poisson(&b.mesh, order))
+    } else {
+        Operator::ndof(&AcousticOperator::new(&b.mesh, order))
+    };
+    let u0: Vec<f64> = (0..ndof).map(|i| ((i as f64) * 0.003).sin()).collect();
+    let v0 = vec![0.0; ndof];
+    let mut host = MetricsRegistry::new();
+    let t0 = std::time::Instant::now();
+    let (u, _, stats) = if elastic {
+        run_distributed_local_elastic_observed(
+            &b.mesh,
+            &b.levels,
+            order,
+            &part,
+            dt,
+            &u0,
+            &v0,
+            steps,
+            &cfg,
+            &[],
+            &mut host,
+        )
+    } else {
+        run_distributed_local_acoustic_observed(
+            &b.mesh,
+            &b.levels,
+            order,
+            &part,
+            dt,
+            &u0,
+            &v0,
+            steps,
+            &cfg,
+            &[],
+            &mut host,
+        )
+    };
+    let wall = t0.elapsed();
+    let norm: f64 = u.iter().map(|x| x * x).sum::<f64>().sqrt();
+    println!(
+        "distributed : {ranks} ranks ({}), {wall:.2?}, ‖u‖ = {norm:.6e}",
+        s.name()
+    );
+    print!("{}", ascii_timeline(&stats, 48));
+    for (l, lam) in lambda_from_stats(&stats) {
+        println!("  level {l}: Eq. 21 λ = {lam:.2}");
+    }
+    if let Some(trace_out) = m.get("trace-out") {
+        let runs = [("simulate", stats.as_slice())];
+        match std::fs::write(trace_out, chrome_trace(&runs).render()) {
+            Ok(()) => println!("Chrome trace (chrome://tracing, Perfetto): {trace_out}"),
+            Err(e) => eprintln!("could not write {trace_out}: {e}"),
+        }
     }
 }
 

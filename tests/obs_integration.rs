@@ -196,3 +196,73 @@ fn deterministic_counters_are_run_to_run_identical() {
         assert_eq!(a.counter_total(name), b.counter_total(name), "{name}");
     }
 }
+
+#[test]
+fn chrome_trace_round_trips_and_matches_timeline() {
+    use wave_lts::obs::{validate_trace, Json};
+    use wave_lts::runtime::stats::chrome_trace;
+
+    let f = fixture();
+    let n_ranks = 2;
+    let part = partition_mesh(&f.mesh, &f.levels, n_ranks, Strategy::ScotchP, 1);
+    let cfg = DistributedConfig {
+        record_timeline: true,
+        ..DistributedConfig::new(n_ranks)
+    };
+    let v0 = vec![0.0; f.ndof];
+    let mut host = MetricsRegistry::new();
+    let (_, _, stats) = run_distributed_local_acoustic_observed(
+        &f.mesh,
+        &f.levels,
+        ORDER,
+        &part,
+        f.dt,
+        &f.u0,
+        &v0,
+        2,
+        &cfg,
+        &[],
+        &mut host,
+    );
+    let rendered = chrome_trace(&[("integration", &stats)]).render();
+    // the exporter's own parser/validator must accept its output
+    let n_events = validate_trace(&rendered).expect("structurally valid trace");
+    assert!(n_events > 0);
+    let doc = Json::parse(&rendered).expect("round-trip");
+    let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+    assert_eq!(events.len(), n_events);
+    // one busy slice per timeline event, on the right rank's track
+    let timeline_total: usize = stats.iter().map(|s| s.timeline.len()).sum();
+    let busy_slices = events
+        .iter()
+        .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("busy"))
+        .count();
+    assert_eq!(busy_slices, timeline_total);
+    for (r, s) in stats.iter().enumerate() {
+        let on_track = events
+            .iter()
+            .filter(|e| {
+                e.get("tid").and_then(|t| t.as_u64()) == Some(r as u64)
+                    && e.get("name").and_then(|n| n.as_str()) == Some("exchange")
+            })
+            .count();
+        assert_eq!(on_track as u64, s.n_exchanges, "exchange markers rank {r}");
+    }
+    // counter tracks carry the cumulative deterministic counters
+    let last_elem_ops = events
+        .iter()
+        .rev()
+        .find(|e| {
+            e.get("ph").and_then(|p| p.as_str()) == Some("C")
+                && e.get("name")
+                    .and_then(|n| n.as_str())
+                    .is_some_and(|n| n.starts_with("elem_ops"))
+        })
+        .expect("elem_ops counter track");
+    let v = last_elem_ops
+        .get("args")
+        .and_then(|a| a.get("elem_ops"))
+        .and_then(|x| x.as_f64())
+        .unwrap();
+    assert!(v > 0.0);
+}

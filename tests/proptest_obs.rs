@@ -84,3 +84,38 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging histograms is lossless for the discrete state: bucket counts,
+    /// observation count and sum add, min/max take the extremes — so
+    /// post-join registry merging never distorts p50/p95/p99 inputs.
+    #[test]
+    fn histogram_merge_preserves_bucket_counts(
+        xs in prop::collection::vec(1e-9f64..10.0, 0..40),
+        ys in prop::collection::vec(1e-9f64..10.0, 0..40),
+    ) {
+        use wave_lts::obs::Histogram;
+        let mut a = Histogram::default();
+        for &x in &xs { a.observe(x); }
+        let mut b = Histogram::default();
+        for &y in &ys { b.observe(y); }
+        let mut joint = Histogram::default();
+        for &z in xs.iter().chain(&ys) { joint.observe(z); }
+
+        let mut merged = a.clone();
+        merged.merge(&b);
+        prop_assert_eq!(&merged.buckets[..], &joint.buckets[..]);
+        prop_assert_eq!(merged.count, joint.count);
+        prop_assert!((merged.sum - joint.sum).abs() <= 1e-9 * joint.sum.abs().max(1.0));
+        if joint.count > 0 {
+            prop_assert_eq!(merged.min, joint.min);
+            prop_assert_eq!(merged.max, joint.max);
+            // quantiles computed from identical buckets must agree exactly
+            prop_assert_eq!(merged.p50(), joint.p50());
+            prop_assert_eq!(merged.p95(), joint.p95());
+            prop_assert_eq!(merged.p99(), joint.p99());
+        }
+    }
+}

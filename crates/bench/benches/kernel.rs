@@ -1,0 +1,108 @@
+//! Criterion microbenches of the allocation-free SEM hot path: the
+//! sum-factorized element stiffness kernel across orders, and the masked
+//! product serial vs the colored `apply_masked_threads` at 2 and 4 workers.
+//!
+//! Every threaded variant is asserted **bitwise identical** to the serial
+//! path before the first timed iteration — a wrong-but-fast kernel never
+//! gets a number.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lts_core::{LtsSetup, Operator, Workspace};
+use lts_mesh::{BenchmarkMesh, MeshKind};
+use lts_sem::gll::GllBasis;
+use lts_sem::kernel::scalar_stiffness;
+use lts_sem::AcousticOperator;
+use std::hint::black_box;
+
+fn bench_scalar_stiffness(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scalar_stiffness");
+    g.sample_size(30);
+    for order in [2usize, 4, 6] {
+        let basis = GllBasis::new(order);
+        let npe = (order + 1).pow(3);
+        let loc: Vec<f64> = (0..npe).map(|i| (i as f64 * 0.17).sin()).collect();
+        let mut tmp = vec![0.0; npe];
+        let mut der = vec![0.0; npe];
+        g.bench_with_input(BenchmarkId::new("order", order), &order, |bch, _| {
+            bch.iter(|| {
+                scalar_stiffness(
+                    &basis,
+                    1.0,
+                    0.9,
+                    1.1,
+                    2.0,
+                    black_box(&loc),
+                    &mut tmp,
+                    &mut der,
+                );
+                black_box(&der);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_masked_threads(c: &mut Criterion) {
+    let b = BenchmarkMesh::build(MeshKind::Trench, 2_000);
+    let op = AcousticOperator::new(&b.mesh, 4);
+    let setup = LtsSetup::new(&op, &b.levels.elem_level);
+    let n = Operator::ndof(&op);
+    let u: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+    // the busiest masked product: the level with the most elements
+    let level = (0..setup.n_levels)
+        .max_by_key(|&l| setup.elems[l].len())
+        .unwrap();
+    let elems = &setup.elems[level];
+
+    let mut reference = vec![0.0; n];
+    let mut ws_serial = Workspace::new();
+    op.apply_masked_ws(
+        &u,
+        &mut reference,
+        elems,
+        &setup.dof_level,
+        level as u8,
+        &mut ws_serial,
+    );
+
+    let mut g = c.benchmark_group("masked_apply_threads");
+    g.sample_size(20);
+    for threads in [1usize, 2, 4] {
+        let mut ws = Workspace::new();
+        let mut out = vec![0.0; n];
+        op.apply_masked_threads(
+            &u,
+            &mut out,
+            elems,
+            &setup.dof_level,
+            level as u8,
+            &mut ws,
+            threads,
+        );
+        for i in 0..n {
+            assert_eq!(
+                out[i].to_bits(),
+                reference[i].to_bits(),
+                "threads={threads} must be bitwise identical before timing"
+            );
+        }
+        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |bch, &t| {
+            bch.iter(|| {
+                op.apply_masked_threads(
+                    black_box(&u),
+                    &mut out,
+                    elems,
+                    &setup.dof_level,
+                    level as u8,
+                    &mut ws,
+                    t,
+                );
+                black_box(&out);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scalar_stiffness, bench_masked_threads);
+criterion_main!(benches);

@@ -16,6 +16,7 @@ fn main() {
     let args = Args::parse();
     let steps: usize = args.get("steps", 60);
     let amplify: u32 = args.get("amplify", 1_500_000);
+    let threads: usize = args.get("threads", 1);
     let profile_path: String = args.get("profile", "fig01_profile.json".to_string());
     let trace_path: String = args.get("trace-out", String::new());
 
@@ -54,6 +55,7 @@ fn main() {
         work_amplify: amplify,
         // live stall detection: warn when a rank waits through half a window
         stall_monitor: Some(MonitorConfig::default()),
+        threads_per_rank: threads.max(1),
         ..DistributedConfig::new(2)
     };
     let mut runs: Vec<Json> = Vec::new();

@@ -36,7 +36,8 @@ fn main() {
             let out: String = args.get("out", "BENCH_lts.json".to_string());
             let doc = run_suite(smoke);
             validate_bench(&doc).expect("generated document must validate");
-            let mut table = Table::new(&["scenario", "elem_ops", "dofs_sent", "wall_s"]);
+            let mut table =
+                Table::new(&["scenario", "elem_ops", "dofs_sent", "wall_s", "elem_ops/s"]);
             if let Some(scenarios) = doc.get("scenarios").and_then(|s| s.as_arr()) {
                 for sc in scenarios {
                     let get_u = |path: &str, key: &str| {
@@ -56,6 +57,13 @@ fn main() {
                             "{:.4}",
                             sc.get("timings")
                                 .and_then(|t| t.get("wall_s"))
+                                .and_then(|v| v.as_f64())
+                                .unwrap_or(0.0)
+                        ),
+                        format!(
+                            "{:.0}",
+                            sc.get("timings")
+                                .and_then(|t| t.get("elem_ops_per_sec"))
                                 .and_then(|v| v.as_f64())
                                 .unwrap_or(0.0)
                         ),

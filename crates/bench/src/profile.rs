@@ -204,6 +204,32 @@ pub fn run_scenario(sc: &Scenario) -> Json {
                 ("wall_s".to_string(), Json::Num(wall_s)),
                 ("busy".to_string(), quantile_json(&busy)),
                 ("wait".to_string(), quantile_json(&wait)),
+                // Throughput view of the counters: aggregate and the
+                // per-rank `elem_ops_per_sec` gauges stamped by RankStats.
+                // Timing-derived, so deliberately *not* under "counters".
+                (
+                    "elem_ops_per_sec".to_string(),
+                    Json::Num(if busy.sum > 0.0 {
+                        sum_counter(names::ELEM_OPS) as f64 / busy.sum
+                    } else {
+                        0.0
+                    }),
+                ),
+                (
+                    "elem_ops_per_sec_per_rank".to_string(),
+                    Json::Arr(
+                        stats
+                            .iter()
+                            .map(|s| {
+                                Json::Num(
+                                    s.registry
+                                        .gauge(names::ELEM_OPS_PER_SEC, None)
+                                        .unwrap_or(0.0),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
             ]),
         ),
     ])

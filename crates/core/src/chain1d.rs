@@ -149,7 +149,7 @@ impl Operator for Chain1d {
         self.h.len() + 1
     }
 
-    fn apply(&self, u: &[f64], out: &mut [f64]) {
+    fn apply_ws(&self, u: &[f64], out: &mut [f64], _ws: &mut crate::Workspace) {
         debug_assert_eq!(u.len(), self.h.len() + 1);
         out.fill(0.0);
         for e in 0..self.n_elems() {
@@ -164,7 +164,15 @@ impl Operator for Chain1d {
         }
     }
 
-    fn apply_masked(&self, u: &[f64], out: &mut [f64], elems: &[u32], dof_level: &[u8], level: u8) {
+    fn apply_masked_ws(
+        &self,
+        u: &[f64],
+        out: &mut [f64],
+        elems: &[u32],
+        dof_level: &[u8],
+        level: u8,
+        _ws: &mut crate::Workspace,
+    ) {
         for &e in elems {
             let e = e as usize;
             let (l, r) = (self.gid(e), self.gid(e + 1));

@@ -31,7 +31,7 @@ pub mod two_level;
 pub use chain1d::Chain1d;
 pub use lts::{LtsNewmark, LtsStats};
 pub use newmark::Newmark;
-pub use operator::{DofTopology, Operator, Source};
+pub use operator::{DofTopology, Operator, Source, Workspace};
 pub use setup::LtsSetup;
 pub use simulation::{Integrator, RunReport, Simulation, StepView};
 pub use two_level::TwoLevelLts;

@@ -19,7 +19,7 @@
 //! `leaf` sets) take plain leap-frog sub-steps — analytically identical to
 //! the recovery (validated against [`crate::reference`] to round-off).
 
-use crate::operator::{Operator, Source};
+use crate::operator::{Operator, Source, Workspace};
 use crate::setup::LtsSetup;
 
 /// Work counters for the Eq. 9 efficiency accounting.
@@ -40,6 +40,10 @@ pub struct LtsNewmark<'a, O: Operator> {
     uts: Vec<Vec<f64>>,
     vts: Vec<Vec<f64>>,
     fs: Vec<Vec<f64>>,
+    ws: Workspace,
+    /// Intra-rank worker threads for the masked products (1 = serial; the
+    /// threaded path is bitwise-identical to serial by construction).
+    pub threads: usize,
     pub stats: LtsStats,
 }
 
@@ -56,6 +60,8 @@ impl<'a, O: Operator> LtsNewmark<'a, O> {
             uts: vec![vec![0.0; n]; levels],
             vts: vec![vec![0.0; n]; levels],
             fs: vec![vec![0.0; n]; levels],
+            ws: Workspace::new(),
+            threads: 1,
             stats: LtsStats::default(),
         }
     }
@@ -75,8 +81,15 @@ impl<'a, O: Operator> LtsNewmark<'a, O> {
         for &i in &s.touched[0] {
             self.fs[0][i as usize] = 0.0;
         }
-        self.op
-            .apply_masked(u, &mut self.fs[0], &s.elems[0], &s.dof_level, 0);
+        self.op.apply_masked_threads(
+            u,
+            &mut self.fs[0],
+            &s.elems[0],
+            &s.dof_level,
+            0,
+            &mut self.ws,
+            self.threads,
+        );
         self.stats.elem_ops += s.elems[0].len() as u64;
 
         if levels == 1 {
@@ -106,6 +119,8 @@ impl<'a, O: Operator> LtsNewmark<'a, O> {
             t,
             sources,
             &mut self.stats,
+            &mut self.ws,
+            self.threads,
         );
         // velocity recovery on active(1)
         for &i in &s.active[1] {
@@ -178,6 +193,8 @@ fn aux_advance<O: Operator>(
     t0: f64,
     sources: &[Source],
     stats: &mut LtsStats,
+    ws: &mut Workspace,
+    threads: usize,
 ) {
     let levels = s.n_levels;
     let dt_l = dt / (1u64 << l) as f64;
@@ -193,7 +210,15 @@ fn aux_advance<O: Operator>(
         {
             let (fs_lo, fs_hi) = fs.split_at_mut(l);
             let _ = fs_lo;
-            op.apply_masked(&uts[l], &mut fs_hi[0], &s.elems[l], &s.dof_level, l as u8);
+            op.apply_masked_threads(
+                &uts[l],
+                &mut fs_hi[0],
+                &s.elems[l],
+                &s.dof_level,
+                l as u8,
+                ws,
+                threads,
+            );
         }
         stats.elem_ops += s.elems[l].len() as u64;
 
@@ -235,7 +260,20 @@ fn aux_advance<O: Operator>(
                     dst[i as usize] = src[i as usize];
                 }
             }
-            aux_advance(op, s, l + 1, uts, vts, fs, dt, tm, sources, stats);
+            aux_advance(
+                op,
+                s,
+                l + 1,
+                uts,
+                vts,
+                fs,
+                dt,
+                tm,
+                sources,
+                stats,
+                ws,
+                threads,
+            );
 
             // leaf(l): plain leap-frog with the (constant-in-child) force
             for &i in &s.leaf[l] {

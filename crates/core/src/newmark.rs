@@ -9,13 +9,14 @@
 //! take the *globally* smallest step `Δt / p_max` — the bottleneck LTS
 //! removes.
 
-use crate::operator::{Operator, Source};
+use crate::operator::{Operator, Source, Workspace};
 
 /// Explicit Newmark / leap-frog stepper.
 pub struct Newmark<'a, O: Operator> {
     pub op: &'a O,
     pub dt: f64,
     accel: Vec<f64>,
+    ws: Workspace,
     /// Steps taken so far.
     pub n_steps: u64,
 }
@@ -28,6 +29,7 @@ impl<'a, O: Operator> Newmark<'a, O> {
             op,
             dt,
             accel: vec![0.0; n],
+            ws: Workspace::new(),
             n_steps: 0,
         }
     }
@@ -48,7 +50,7 @@ impl<'a, O: Operator> Newmark<'a, O> {
     /// Advance one step from time `t` (`u = u^n`, `v = v^{n-1/2}` on entry;
     /// `u^{n+1}`, `v^{n+1/2}` on exit).
     pub fn step(&mut self, u: &mut [f64], v: &mut [f64], t: f64, sources: &[Source]) {
-        self.op.apply(u, &mut self.accel);
+        self.op.apply_ws(u, &mut self.accel, &mut self.ws);
         let dt = self.dt;
         for (vi, a) in v.iter_mut().zip(&self.accel) {
             *vi -= dt * a;

@@ -15,18 +15,108 @@ pub trait DofTopology {
     fn elem_dofs(&self, e: u32, out: &mut Vec<u32>);
 }
 
+/// Reusable, operator-agnostic scratch storage owned by a stepper.
+///
+/// Operators stash whatever per-run state they need — element scratch
+/// buffers, compiled gather lists, restricted colorings — keyed by type, so
+/// the hot path never heap-allocates and the core crate never learns about
+/// SEM internals. One `Workspace` belongs to one (operator, level
+/// assignment) pair for the duration of a run; steppers own one and thread
+/// it through every `apply_*_ws` call.
+#[derive(Default)]
+pub struct Workspace {
+    slots: Vec<Box<dyn std::any::Any + Send>>,
+}
+
+impl Workspace {
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Fetch the unique slot of type `T`, creating it with `init` on first
+    /// use. Lookup is a linear scan over a handful of slots.
+    pub fn get_or_insert_with<T: std::any::Any + Send>(
+        &mut self,
+        init: impl FnOnce() -> T,
+    ) -> &mut T {
+        let pos = self
+            .slots
+            .iter()
+            .position(|s| s.as_ref().type_id() == std::any::TypeId::of::<T>());
+        let pos = match pos {
+            Some(p) => p,
+            None => {
+                self.slots.push(Box::new(init()));
+                self.slots.len() - 1
+            }
+        };
+        self.slots[pos].downcast_mut::<T>().expect("slot type")
+    }
+}
+
+impl std::fmt::Debug for Workspace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workspace")
+            .field("slots", &self.slots.len())
+            .finish()
+    }
+}
+
 /// The spatial operator `A = M⁻¹ K`.
-pub trait Operator {
+///
+/// The workhorse entry points take a [`Workspace`] so implementations can
+/// keep scratch and compiled gather lists across calls; the plain
+/// `apply`/`apply_masked` wrappers spin up a throwaway workspace for
+/// one-shot callers (reference solvers, tests).
+pub trait Operator: Sync {
     fn ndof(&self) -> usize;
 
     /// `out = A u` over the whole mesh.
-    fn apply(&self, u: &[f64], out: &mut [f64]);
+    fn apply_ws(&self, u: &[f64], out: &mut [f64], ws: &mut Workspace);
 
     /// `out += A (P u)` where `P` selects DOFs with `dof_level[i] == level`,
     /// assembled from the elements in `elems` only. The caller guarantees
     /// `elems` contains every element touching a level-`level` DOF, so the
     /// product is exact.
-    fn apply_masked(&self, u: &[f64], out: &mut [f64], elems: &[u32], dof_level: &[u8], level: u8);
+    fn apply_masked_ws(
+        &self,
+        u: &[f64],
+        out: &mut [f64],
+        elems: &[u32],
+        dof_level: &[u8],
+        level: u8,
+        ws: &mut Workspace,
+    );
+
+    /// Threaded variant of [`Operator::apply_masked_ws`]. Implementations
+    /// must be *bitwise identical* to the serial path at any thread count;
+    /// the default simply runs serially.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_masked_threads(
+        &self,
+        u: &[f64],
+        out: &mut [f64],
+        elems: &[u32],
+        dof_level: &[u8],
+        level: u8,
+        ws: &mut Workspace,
+        threads: usize,
+    ) {
+        let _ = threads;
+        self.apply_masked_ws(u, out, elems, dof_level, level, ws);
+    }
+
+    /// One-shot `out = A u` with a throwaway workspace.
+    fn apply(&self, u: &[f64], out: &mut [f64]) {
+        let mut ws = Workspace::new();
+        self.apply_ws(u, out, &mut ws);
+    }
+
+    /// One-shot masked product with a throwaway workspace.
+    fn apply_masked(&self, u: &[f64], out: &mut [f64], elems: &[u32], dof_level: &[u8], level: u8) {
+        let mut ws = Workspace::new();
+        self.apply_masked_ws(u, out, elems, dof_level, level, &mut ws);
+    }
 
     /// Diagonal mass matrix (used for energy accounting).
     fn mass(&self) -> &[f64];
@@ -67,6 +157,19 @@ impl std::fmt::Debug for Source {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn workspace_slots_are_typed_and_persistent() {
+        let mut ws = Workspace::new();
+        let v = ws.get_or_insert_with(|| vec![0.0f64; 4]);
+        v[2] = 7.0;
+        // same type → same slot, state survives
+        assert_eq!(ws.get_or_insert_with(Vec::<f64>::new)[2], 7.0);
+        // different type → independent slot
+        *ws.get_or_insert_with(|| 0u64) += 3;
+        assert_eq!(*ws.get_or_insert_with(|| 100u64), 3);
+        assert_eq!(ws.get_or_insert_with(Vec::<f64>::new).len(), 4);
+    }
 
     #[test]
     fn ricker_peaks_at_delay() {

@@ -13,7 +13,7 @@
 //! independently-derived cross-check of the recursive implementation at
 //! p = 2.
 
-use crate::operator::{Operator, Source};
+use crate::operator::{Operator, Source, Workspace};
 use crate::setup::LtsSetup;
 
 /// Two-level LTS-Newmark stepper with sub-step ratio `p`.
@@ -28,6 +28,7 @@ pub struct TwoLevelLts<'a, O: Operator> {
     vt: Vec<f64>,
     f0: Vec<f64>,
     f1: Vec<f64>,
+    ws: Workspace,
 }
 
 impl<'a, O: Operator> TwoLevelLts<'a, O> {
@@ -47,6 +48,7 @@ impl<'a, O: Operator> TwoLevelLts<'a, O> {
             vt: vec![0.0; n],
             f0: vec![0.0; n],
             f1: vec![0.0; n],
+            ws: Workspace::new(),
         }
     }
 
@@ -59,7 +61,7 @@ impl<'a, O: Operator> TwoLevelLts<'a, O> {
             self.f0[i as usize] = 0.0;
         }
         self.op
-            .apply_masked(u, &mut self.f0, &s.elems[0], &s.dof_level, 0);
+            .apply_masked_ws(u, &mut self.f0, &s.elems[0], &s.dof_level, 0, &mut self.ws);
 
         if s.n_levels == 1 {
             for (vi, f) in v.iter_mut().zip(&self.f0) {
@@ -82,8 +84,14 @@ impl<'a, O: Operator> TwoLevelLts<'a, O> {
             for &i in &s.touched[1] {
                 self.f1[i as usize] = 0.0;
             }
-            self.op
-                .apply_masked(&self.ut, &mut self.f1, &s.elems[1], &s.dof_level, 1);
+            self.op.apply_masked_ws(
+                &self.ut,
+                &mut self.f1,
+                &s.elems[1],
+                &s.dof_level,
+                1,
+                &mut self.ws,
+            );
             for &i in &s.active[1] {
                 let i = i as usize;
                 let f = self.f0[i] + self.f1[i];

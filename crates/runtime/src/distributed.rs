@@ -9,7 +9,7 @@ use crate::exchange::{build_plans, RankPlan};
 use crate::monitor::{MonitorConfig, RankMonitor, StallMonitor};
 use crate::stats::{names, RankStats, TimelineEvent};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use lts_core::{DofTopology, LtsSetup, Operator, Source};
+use lts_core::{DofTopology, LtsSetup, Operator, Source, Workspace};
 use lts_obs::MetricsRegistry;
 use std::collections::VecDeque;
 use std::time::Instant;
@@ -32,6 +32,10 @@ pub struct DistributedConfig {
     pub overlap: bool,
     /// Run the online stall/imbalance monitor (see [`crate::monitor`]).
     pub stall_monitor: Option<MonitorConfig>,
+    /// Intra-rank worker threads for the masked products (1 = serial). The
+    /// coloured scatter keeps results bitwise identical to serial at any
+    /// value, so counters and fields are unaffected.
+    pub threads_per_rank: usize,
 }
 
 impl DistributedConfig {
@@ -43,6 +47,7 @@ impl DistributedConfig {
             amplify_rank: None,
             overlap: false,
             stall_monitor: None,
+            threads_per_rank: 1,
         }
     }
 }
@@ -81,6 +86,8 @@ struct RankCtx<'a, O: Operator> {
     timeline: Vec<TimelineEvent>,
     monitor: Option<RankMonitor>,
     cfg: DistributedConfig,
+    /// Operator scratch + compiled gather lists, reused across all steps.
+    ws: Workspace,
     step_idx: u32,
     busy_since: Instant,
 }
@@ -113,24 +120,28 @@ impl<'a, O: Operator> RankCtx<'a, O> {
         if self.cfg.overlap && !self.plan.peers[l].is_empty() {
             {
                 let state = if state_is_u { &self.u } else { &self.uts[l] };
-                self.op.apply_masked(
+                self.op.apply_masked_threads(
                     state,
                     &mut self.fs[l],
                     &self.plan.my_boundary_elems[l],
                     self.dof_level,
                     l as u8,
+                    &mut self.ws,
+                    self.cfg.threads_per_rank,
                 );
             }
             self.amplify(self.plan.my_boundary_elems[l].len());
             self.send_partials(l);
             {
                 let state = if state_is_u { &self.u } else { &self.uts[l] };
-                self.op.apply_masked(
+                self.op.apply_masked_threads(
                     state,
                     &mut self.fs[l],
                     &self.plan.my_interior_elems[l],
                     self.dof_level,
                     l as u8,
+                    &mut self.ws,
+                    self.cfg.threads_per_rank,
                 );
             }
             self.amplify(self.plan.my_interior_elems[l].len());
@@ -140,12 +151,14 @@ impl<'a, O: Operator> RankCtx<'a, O> {
         } else {
             {
                 let state = if state_is_u { &self.u } else { &self.uts[l] };
-                self.op.apply_masked(
+                self.op.apply_masked_threads(
                     state,
                     &mut self.fs[l],
                     &self.plan.my_elems[l],
                     self.dof_level,
                     l as u8,
+                    &mut self.ws,
+                    self.cfg.threads_per_rank,
                 );
             }
             self.reg
@@ -445,6 +458,7 @@ pub fn run_distributed_with_sources<O: Operator + DofTopology + Sync>(
                     timeline: Vec::new(),
                     monitor: mon.map(|s| RankMonitor::new(s, rank)),
                     cfg,
+                    ws: Workspace::new(),
                     step_idx: 0,
                     busy_since: Instant::now(),
                 };
@@ -596,6 +610,7 @@ pub fn run_rank_contexts<O: Operator + Send>(
                     timeline: Vec::new(),
                     monitor: mon.map(|s| RankMonitor::new(s, rank)),
                     cfg,
+                    ws: Workspace::new(),
                     step_idx: 0,
                     busy_since: Instant::now(),
                 };

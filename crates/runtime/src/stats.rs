@@ -36,6 +36,10 @@ pub mod names {
     pub const STALL_LAMBDA: &str = "stall.lambda";
     /// Gauge, per level: watermark of windowed λ snapshots seen live.
     pub const STALL_LAMBDA_WM: &str = "stall.lambda_wm";
+    /// Gauge: element operations per busy second over the whole run — the
+    /// rank's masked-product throughput. Stamped after the join; derived
+    /// from counters + timings, so it never enters counter-exact compares.
+    pub const ELEM_OPS_PER_SEC: &str = "elem_ops_per_sec";
 }
 
 /// One recorded exchange point of one rank.
@@ -102,14 +106,19 @@ impl RankStats {
     /// Materialize the aggregate view from a rank's registry.
     pub fn from_registry(
         rank: usize,
-        registry: MetricsRegistry,
+        mut registry: MetricsRegistry,
         timeline: Vec<TimelineEvent>,
     ) -> Self {
+        let busy_s = registry.histogram_sum_total(names::BUSY);
+        let elem_ops = registry.counter_total(names::ELEM_OPS);
+        if busy_s > 0.0 {
+            registry.set_gauge(names::ELEM_OPS_PER_SEC, elem_ops as f64 / busy_s);
+        }
         RankStats {
             rank,
-            busy_s: registry.histogram_sum_total(names::BUSY),
+            busy_s,
             wait_s: registry.histogram_sum_total(names::WAIT),
-            elem_ops: registry.counter_total(names::ELEM_OPS),
+            elem_ops,
             n_exchanges: registry.counter_total(names::EXCHANGES),
             msgs_sent: registry.counter_total(names::MSGS_SENT),
             dofs_sent: registry.counter_total(names::DOFS_SENT),

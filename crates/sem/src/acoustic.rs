@@ -7,9 +7,10 @@
 //! and [`lts_core::DofTopology`] so both Newmark and LTS-Newmark drive it
 //! directly.
 
+use crate::compiled::{CompiledGather, GatherCache, ScalarScratch, ScalarWs, FULL_LEVEL};
 use crate::dofmap::DofMap;
 use crate::gll::GllBasis;
-use lts_core::{DofTopology, Operator};
+use lts_core::{DofTopology, Operator, Workspace};
 use lts_mesh::HexMesh;
 
 /// Matrix-free SEM operator for the scalar wave equation.
@@ -24,10 +25,15 @@ pub struct AcousticOperator {
     mu: Vec<f64>,
     /// Global diagonal mass (in the external numbering).
     mass: Vec<f64>,
+    /// Reciprocal mass, so the scatter multiplies instead of divides.
+    inv_mass: Vec<f64>,
     /// Optional DOF renumbering `new = perm[natural]` (p-level grouping,
     /// Sec. IV-D).
     perm: Option<Vec<u32>>,
 }
+
+/// Workspace slot of the structured acoustic operator.
+struct AcousticWs(ScalarWs);
 
 impl AcousticOperator {
     pub fn new(mesh: &HexMesh, order: usize) -> Self {
@@ -58,6 +64,7 @@ impl AcousticOperator {
                 }
             }
         }
+        let inv_mass = mass.iter().map(|&m| 1.0 / m).collect();
         AcousticOperator {
             dofmap,
             basis,
@@ -66,6 +73,7 @@ impl AcousticOperator {
             hz,
             mu,
             mass,
+            inv_mass,
             perm: None,
         }
     }
@@ -81,6 +89,7 @@ impl AcousticOperator {
             mass[new as usize] = self.mass[old];
         }
         self.mass = mass;
+        self.inv_mass = self.mass.iter().map(|&m| 1.0 / m).collect();
         self.perm = Some(perm.to_vec());
     }
 
@@ -121,7 +130,7 @@ impl AcousticOperator {
             for b in 0..np {
                 for a in 0..np {
                     let g = self.gid(self.dofmap.elem_node(ei, ej, ek, a, b, c));
-                    out[g] += tmp[li] / self.mass[g];
+                    out[g] += tmp[li] * self.inv_mass[g];
                     li += 1;
                 }
             }
@@ -159,18 +168,74 @@ impl AcousticOperator {
         }
     }
 
-    fn gather_masked(&self, e: u32, u: &[f64], dof_level: &[u8], level: u8, loc: &mut [f64]) {
-        let np = self.basis.n_points();
-        let (ei, ej, ek) = self.dofmap.elem_ijk(e);
-        let mut li = 0usize;
-        for c in 0..np {
-            for b in 0..np {
-                for a in 0..np {
-                    let g = self.gid(self.dofmap.elem_node(ei, ej, ek, a, b, c));
-                    loc[li] = if dof_level[g] == level { u[g] } else { 0.0 };
-                    li += 1;
+    /// Fetch or compile the colour-major gather entry for `(level, elems)`.
+    fn compiled_entry(
+        &self,
+        cache: &mut GatherCache,
+        key_level: u16,
+        elems: &[u32],
+        dof_level: Option<(&[u8], u8)>,
+    ) -> usize {
+        let npe = self.dofmap.nodes_per_elem();
+        cache.get_or_build(
+            key_level,
+            elems,
+            self.dofmap.n_nodes(),
+            &mut |e, out| DofTopology::elem_dofs(self, e, out),
+            &mut |order, idx, mask| {
+                let mut nodes = Vec::with_capacity(npe);
+                for &e in order {
+                    DofTopology::elem_dofs(self, e, &mut nodes);
+                    if let Some((lvl, k)) = dof_level {
+                        for &g in &nodes {
+                            mask.push(if lvl[g as usize] == k { 1.0 } else { 0.0 });
+                        }
+                    }
+                    idx.extend_from_slice(&nodes);
                 }
+            },
+        )
+    }
+
+    /// Process position `pos` of a compiled entry: branch-free gather,
+    /// stiffness kernel, multiply-by-`M⁻¹` scatter.
+    #[inline]
+    fn compiled_elem(
+        &self,
+        entry: &CompiledGather,
+        pos: usize,
+        u: &[f64],
+        sc: &mut ScalarScratch,
+        out: &mut [f64],
+    ) {
+        let npe = self.dofmap.nodes_per_elem();
+        let e = entry.order[pos];
+        let base = pos * npe;
+        let ids = &entry.idx[base..base + npe];
+        if entry.mask.is_empty() {
+            for li in 0..npe {
+                sc.loc[li] = u[ids[li] as usize];
             }
+        } else {
+            let mk = &entry.mask[base..base + npe];
+            for li in 0..npe {
+                sc.loc[li] = u[ids[li] as usize] * mk[li];
+            }
+        }
+        let (ei, ej, ek) = self.dofmap.elem_ijk(e);
+        crate::kernel::scalar_stiffness(
+            &self.basis,
+            self.hx[ei],
+            self.hy[ej],
+            self.hz[ek],
+            self.mu[e as usize],
+            &sc.loc,
+            &mut sc.tmp,
+            &mut sc.der,
+        );
+        for li in 0..npe {
+            let g = ids[li] as usize;
+            out[g] += sc.tmp[li] * self.inv_mass[g];
         }
     }
 }
@@ -199,27 +264,78 @@ impl Operator for AcousticOperator {
         self.dofmap.n_nodes()
     }
 
-    fn apply(&self, u: &[f64], out: &mut [f64]) {
+    fn apply_ws(&self, u: &[f64], out: &mut [f64], ws: &mut Workspace) {
         out.fill(0.0);
         let npe = self.dofmap.nodes_per_elem();
-        let mut loc = vec![0.0; npe];
-        let mut tmp = vec![0.0; npe];
-        let mut der = vec![0.0; npe];
-        for e in 0..self.dofmap.n_elems() as u32 {
-            self.gather(e, u, &mut loc);
-            self.elem_stiffness_scatter(e, &loc, &mut tmp, &mut der, out);
+        let st = ws.get_or_insert_with(|| AcousticWs(ScalarWs::new(npe)));
+        let i = match st.0.cache.find(FULL_LEVEL, &[]) {
+            Some(i) => i,
+            None => {
+                let all: Vec<u32> = (0..self.dofmap.n_elems() as u32).collect();
+                self.compiled_entry(&mut st.0.cache, FULL_LEVEL, &all, None)
+            }
+        };
+        let ScalarWs { cache, serial, .. } = &mut st.0;
+        let entry = cache.entry(i);
+        for pos in 0..entry.order.len() {
+            self.compiled_elem(entry, pos, u, serial, out);
         }
     }
 
-    fn apply_masked(&self, u: &[f64], out: &mut [f64], elems: &[u32], dof_level: &[u8], level: u8) {
+    fn apply_masked_ws(
+        &self,
+        u: &[f64],
+        out: &mut [f64],
+        elems: &[u32],
+        dof_level: &[u8],
+        level: u8,
+        ws: &mut Workspace,
+    ) {
         let npe = self.dofmap.nodes_per_elem();
-        let mut loc = vec![0.0; npe];
-        let mut tmp = vec![0.0; npe];
-        let mut der = vec![0.0; npe];
-        for &e in elems {
-            self.gather_masked(e, u, dof_level, level, &mut loc);
-            self.elem_stiffness_scatter(e, &loc, &mut tmp, &mut der, out);
+        let st = ws.get_or_insert_with(|| AcousticWs(ScalarWs::new(npe)));
+        let i = self.compiled_entry(
+            &mut st.0.cache,
+            level as u16,
+            elems,
+            Some((dof_level, level)),
+        );
+        let ScalarWs { cache, serial, .. } = &mut st.0;
+        let entry = cache.entry(i);
+        for pos in 0..entry.order.len() {
+            self.compiled_elem(entry, pos, u, serial, out);
         }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn apply_masked_threads(
+        &self,
+        u: &[f64],
+        out: &mut [f64],
+        elems: &[u32],
+        dof_level: &[u8],
+        level: u8,
+        ws: &mut Workspace,
+        threads: usize,
+    ) {
+        if threads <= 1 {
+            return self.apply_masked_ws(u, out, elems, dof_level, level, ws);
+        }
+        let npe = self.dofmap.nodes_per_elem();
+        let st = ws.get_or_insert_with(|| AcousticWs(ScalarWs::new(npe)));
+        let i = self.compiled_entry(
+            &mut st.0.cache,
+            level as u16,
+            elems,
+            Some((dof_level, level)),
+        );
+        let ScalarWs { cache, par, .. } = &mut st.0;
+        if par.len() < threads {
+            par.resize_with(threads, || ScalarScratch::new(npe));
+        }
+        let entry = cache.entry(i);
+        crate::parallel::par_colored(out, &entry.color_off, &mut par[..threads], |pos, sc, o| {
+            self.compiled_elem(entry, pos, u, sc, o);
+        });
     }
 
     fn mass(&self) -> &[f64] {

@@ -1,0 +1,205 @@
+//! Level-compiled gather lists: the `dof_level == level` branch of a masked
+//! product, baked once per `(level, element list)` into flat index/mask
+//! tables, ordered colour-major by a greedy conflict-free colouring.
+//!
+//! A compiled entry lets the inner sub-step loops of LTS-Newmark run
+//! branch-free (`loc = u[idx] * mask` with `mask ∈ {0, 1}`) and gives the
+//! threaded executor its race-freedom invariant for free: within one colour
+//! no two elements share a scatter target, so any interleaving of a colour's
+//! elements produces bitwise-identical sums. The *serial* path walks the same
+//! colour-major order, which is what makes the threaded product bitwise equal
+//! to the serial one.
+//!
+//! Entries live in a [`GatherCache`] stashed in the stepper's
+//! [`lts_core::Workspace`], so each `(level, element set)` pair is compiled
+//! exactly once per run.
+
+use crate::parallel::ElementColoring;
+
+/// Sentinel `level` for the unmasked full-mesh product.
+pub(crate) const FULL_LEVEL: u16 = u16::MAX;
+
+/// Emits the flat `idx`/`mask` tables for a colour-major element order.
+pub(crate) type FillFn<'a> = &'a mut dyn FnMut(&[u32], &mut Vec<u32>, &mut Vec<f64>);
+
+/// One compiled `(level, element list)` entry.
+pub(crate) struct CompiledGather {
+    level: u16,
+    /// The element list this entry was compiled for (cache key).
+    key: Vec<u32>,
+    /// Element ids in colour-major order.
+    pub(crate) order: Vec<u32>,
+    /// Prefix offsets into `order`, one span per colour (`n_colours + 1`).
+    pub(crate) color_off: Vec<u32>,
+    /// Per ordered element: its `npe` scatter-target ids (global nodes or
+    /// local DOFs, whatever the operator gathers from).
+    pub(crate) idx: Vec<u32>,
+    /// Multiplicative level masks (1.0 / 0.0), aligned with the gathered
+    /// values; empty for the unmasked full product.
+    pub(crate) mask: Vec<f64>,
+}
+
+/// Per-run cache of compiled gather lists (lives in a `Workspace`).
+#[derive(Default)]
+pub(crate) struct GatherCache {
+    entries: Vec<CompiledGather>,
+}
+
+impl GatherCache {
+    pub(crate) fn entry(&self, i: usize) -> &CompiledGather {
+        &self.entries[i]
+    }
+
+    /// Look up an existing entry. The full-mesh entry is unique per
+    /// operator, so `FULL_LEVEL` matches regardless of `elems`.
+    pub(crate) fn find(&self, level: u16, elems: &[u32]) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|en| en.level == level && (level == FULL_LEVEL || en.key == elems))
+    }
+
+    /// Fetch or compile the entry for `(level, elems)`.
+    ///
+    /// `targets_of` yields an element's scatter targets (drives the greedy
+    /// colouring); `fill` receives the colour-major `order` and emits the
+    /// flat `idx`/`mask` tables.
+    pub(crate) fn get_or_build(
+        &mut self,
+        level: u16,
+        elems: &[u32],
+        n_targets: usize,
+        targets_of: &mut dyn FnMut(u32, &mut Vec<u32>),
+        fill: FillFn,
+    ) -> usize {
+        if let Some(i) = self.find(level, elems) {
+            return i;
+        }
+        let coloring = ElementColoring::greedy(elems, n_targets, targets_of);
+        let mut order = Vec::with_capacity(elems.len());
+        let mut color_off = Vec::with_capacity(coloring.classes.len() + 1);
+        color_off.push(0u32);
+        for class in &coloring.classes {
+            order.extend_from_slice(class);
+            color_off.push(order.len() as u32);
+        }
+        let mut idx = Vec::new();
+        let mut mask = Vec::new();
+        fill(&order, &mut idx, &mut mask);
+        self.entries.push(CompiledGather {
+            level,
+            key: elems.to_vec(),
+            order,
+            color_off,
+            idx,
+            mask,
+        });
+        self.entries.len() - 1
+    }
+}
+
+/// Reusable element scratch for the scalar kernel.
+pub(crate) struct ScalarScratch {
+    pub(crate) loc: Vec<f64>,
+    pub(crate) tmp: Vec<f64>,
+    pub(crate) der: Vec<f64>,
+}
+
+impl ScalarScratch {
+    pub(crate) fn new(npe: usize) -> Self {
+        ScalarScratch {
+            loc: vec![0.0; npe],
+            tmp: vec![0.0; npe],
+            der: vec![0.0; npe],
+        }
+    }
+}
+
+/// Workspace state of a scalar (acoustic) operator: compiled entries plus
+/// serial and per-thread element scratch.
+pub(crate) struct ScalarWs {
+    pub(crate) cache: GatherCache,
+    pub(crate) serial: ScalarScratch,
+    pub(crate) par: Vec<ScalarScratch>,
+}
+
+impl ScalarWs {
+    pub(crate) fn new(npe: usize) -> Self {
+        ScalarWs {
+            cache: GatherCache::default(),
+            serial: ScalarScratch::new(npe),
+            par: Vec::new(),
+        }
+    }
+}
+
+/// Workspace state of an elastic operator.
+pub(crate) struct ElasticScratchWs {
+    pub(crate) cache: GatherCache,
+    pub(crate) serial: crate::elastic::Scratch,
+    pub(crate) par: Vec<crate::elastic::Scratch>,
+}
+
+impl ElasticScratchWs {
+    pub(crate) fn new(npe: usize) -> Self {
+        ElasticScratchWs {
+            cache: GatherCache::default(),
+            serial: crate::elastic::Scratch::new(npe),
+            par: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_compiles_once_per_level_and_list() {
+        // toy adjacency: element e targets {e, e+1} (a chain)
+        let mut targets = |e: u32, out: &mut Vec<u32>| {
+            out.clear();
+            out.push(e);
+            out.push(e + 1);
+        };
+        let mut builds = 0usize;
+        let mut cache = GatherCache::default();
+        let elems: Vec<u32> = (0..6).collect();
+        for _ in 0..3 {
+            let mut fill = |order: &[u32], idx: &mut Vec<u32>, _mask: &mut Vec<f64>| {
+                builds += 1;
+                idx.extend_from_slice(order);
+            };
+            let i = cache.get_or_build(0, &elems, 7, &mut targets, &mut fill);
+            assert_eq!(i, 0);
+        }
+        assert_eq!(builds, 1, "entry must be compiled exactly once");
+        // a different list is a different entry
+        let sub: Vec<u32> = vec![1, 3];
+        let mut fill = |order: &[u32], idx: &mut Vec<u32>, _mask: &mut Vec<f64>| {
+            idx.extend_from_slice(order);
+        };
+        let j = cache.get_or_build(0, &sub, 7, &mut targets, &mut fill);
+        assert_eq!(j, 1);
+        // the full-mesh sentinel matches without a key comparison
+        let k = cache.get_or_build(FULL_LEVEL, &elems, 7, &mut targets, &mut fill);
+        assert_eq!(cache.find(FULL_LEVEL, &[]), Some(k));
+    }
+
+    #[test]
+    fn compiled_order_is_colour_major_and_complete() {
+        let mut targets = |e: u32, out: &mut Vec<u32>| {
+            out.clear();
+            out.push(e / 2); // pairs (0,1), (2,3), … conflict
+        };
+        let elems: Vec<u32> = (0..8).collect();
+        let mut cache = GatherCache::default();
+        let mut fill = |_: &[u32], _: &mut Vec<u32>, _: &mut Vec<f64>| {};
+        let i = cache.get_or_build(0, &elems, 4, &mut targets, &mut fill);
+        let en = cache.entry(i);
+        assert_eq!(en.color_off, vec![0, 4, 8]);
+        assert_eq!(en.order, vec![0, 2, 4, 6, 1, 3, 5, 7]);
+        let mut all: Vec<u32> = en.order.clone();
+        all.sort_unstable();
+        assert_eq!(all, elems);
+    }
+}

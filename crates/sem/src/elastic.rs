@@ -5,9 +5,10 @@
 //! (`dof = 3·node + comp`), so the LTS level machinery applies per-DOF with
 //! no special cases.
 
+use crate::compiled::{CompiledGather, ElasticScratchWs, GatherCache, FULL_LEVEL};
 use crate::dofmap::DofMap;
 use crate::gll::GllBasis;
-use lts_core::{DofTopology, Operator};
+use lts_core::{DofTopology, Operator, Workspace};
 use lts_mesh::HexMesh;
 
 /// Matrix-free SEM operator for the elastic wave equation.
@@ -21,10 +22,15 @@ pub struct ElasticOperator {
     mu: Vec<f64>,
     /// Diagonal mass, one entry per *DOF* (3 per node), external numbering.
     mass: Vec<f64>,
+    /// Reciprocal mass, so the scatter multiplies instead of divides.
+    inv_mass: Vec<f64>,
     /// Optional node renumbering (p-level grouping); DOF `3g+c` maps to
     /// `3·node_perm[g]+c`.
     node_perm: Option<Vec<u32>>,
 }
+
+/// Workspace slot of the structured elastic operator.
+struct ElasticWs(ElasticScratchWs);
 
 /// `out[a,b,c] = Σ_m D[a][m] f[m,b,c]` (ξ-derivative).
 fn deriv_x(d: &[f64], np: usize, f: &[f64], out: &mut [f64]) {
@@ -128,7 +134,6 @@ pub(crate) fn elastic_stiffness(
     let np = basis.n_points();
     let npe = np * np * np;
     let d = &basis.d;
-    let w = &basis.weights;
     let jac = 0.125 * hx * hy * hz;
     let g = [2.0 / hx, 2.0 / hy, 2.0 / hz];
 
@@ -148,13 +153,8 @@ pub(crate) fn elastic_stiffness(
         o.fill(0.0);
     }
 
-    // quadrature weight field
-    let wq = |i: usize| -> f64 {
-        let a = i % np;
-        let b = (i / np) % np;
-        let c = i / (np * np);
-        w[a] * w[b] * w[c] * jac
-    };
+    // quadrature weight field, from the fused 3-D weight table
+    let wq = |i: usize| -> f64 { basis.wgll3[i] * jac };
 
     // σ components on the fly; out_i += Σ_j D_jᵀ (wJ g_j σ_ij)
     // diagonal stresses
@@ -254,6 +254,7 @@ impl ElasticOperator {
                 }
             }
         }
+        let inv_mass = mass.iter().map(|&m| 1.0 / m).collect();
         ElasticOperator {
             dofmap,
             basis,
@@ -263,6 +264,7 @@ impl ElasticOperator {
             lambda,
             mu,
             mass,
+            inv_mass,
             node_perm: None,
         }
     }
@@ -286,6 +288,7 @@ impl ElasticOperator {
             mass[new as usize] = self.mass[old];
         }
         self.mass = mass;
+        self.inv_mass = self.mass.iter().map(|&m| 1.0 / m).collect();
         self.node_perm = Some(node_perm);
     }
 
@@ -302,60 +305,99 @@ impl ElasticOperator {
         Self::new(mesh, order, 1.0 / 3.0f64.sqrt())
     }
 
-    fn elem_kernel(&self, e: u32, s: &mut Scratch, out: &mut [f64]) {
+    /// Post-permutation global node ids of element `e`, `a`-fastest.
+    fn elem_gids(&self, e: u32, out: &mut Vec<u32>) {
+        out.clear();
         let np = self.basis.n_points();
         let (ei, ej, ek) = self.dofmap.elem_ijk(e);
-        let (hx, hy, hz) = (self.hx[ei], self.hy[ej], self.hz[ek]);
-        let (lam, mu) = (self.lambda[e as usize], self.mu[e as usize]);
-        elastic_stiffness(&self.basis, hx, hy, hz, lam, mu, s);
-
-        // scatter with M⁻¹
-        let mut li = 0usize;
         for c in 0..np {
             for b in 0..np {
                 for a in 0..np {
-                    let gn = self.gid(self.dofmap.elem_node(ei, ej, ek, a, b, c));
-                    for comp in 0..3 {
-                        let dof = 3 * gn + comp;
-                        out[dof] += s.out[comp][li] / self.mass[dof];
-                    }
-                    li += 1;
+                    out.push(self.gid(self.dofmap.elem_node(ei, ej, ek, a, b, c)) as u32);
                 }
             }
         }
     }
 
-    fn gather(&self, e: u32, u: &[f64], s: &mut Scratch) {
-        let np = self.basis.n_points();
-        let (ei, ej, ek) = self.dofmap.elem_ijk(e);
-        let mut li = 0usize;
-        for c in 0..np {
-            for b in 0..np {
-                for a in 0..np {
-                    let gn = self.gid(self.dofmap.elem_node(ei, ej, ek, a, b, c));
-                    for comp in 0..3 {
-                        s.u[comp][li] = u[3 * gn + comp];
+    /// Fetch or compile the colour-major gather entry for `(level, elems)`.
+    /// `idx` holds node ids; masks carry 3 entries per node (one per
+    /// component).
+    fn compiled_entry(
+        &self,
+        cache: &mut GatherCache,
+        key_level: u16,
+        elems: &[u32],
+        dof_level: Option<(&[u8], u8)>,
+    ) -> usize {
+        let npe = self.dofmap.nodes_per_elem();
+        cache.get_or_build(
+            key_level,
+            elems,
+            self.dofmap.n_nodes(),
+            &mut |e, out| self.elem_gids(e, out),
+            &mut |order, idx, mask| {
+                let mut nodes = Vec::with_capacity(npe);
+                for &e in order {
+                    self.elem_gids(e, &mut nodes);
+                    if let Some((lvl, k)) = dof_level {
+                        for &gn in &nodes {
+                            for comp in 0..3 {
+                                let dof = 3 * gn as usize + comp;
+                                mask.push(if lvl[dof] == k { 1.0 } else { 0.0 });
+                            }
+                        }
                     }
-                    li += 1;
+                    idx.extend_from_slice(&nodes);
+                }
+            },
+        )
+    }
+
+    /// Process position `pos` of a compiled entry.
+    #[inline]
+    fn compiled_elem(
+        &self,
+        entry: &CompiledGather,
+        pos: usize,
+        u: &[f64],
+        s: &mut Scratch,
+        out: &mut [f64],
+    ) {
+        let npe = self.dofmap.nodes_per_elem();
+        let e = entry.order[pos];
+        let base = pos * npe;
+        let ids = &entry.idx[base..base + npe];
+        if entry.mask.is_empty() {
+            for li in 0..npe {
+                let gn = ids[li] as usize;
+                for comp in 0..3 {
+                    s.u[comp][li] = u[3 * gn + comp];
+                }
+            }
+        } else {
+            let mk = &entry.mask[3 * base..3 * (base + npe)];
+            for li in 0..npe {
+                let gn = ids[li] as usize;
+                for comp in 0..3 {
+                    s.u[comp][li] = u[3 * gn + comp] * mk[3 * li + comp];
                 }
             }
         }
-    }
-
-    fn gather_masked(&self, e: u32, u: &[f64], dof_level: &[u8], level: u8, s: &mut Scratch) {
-        let np = self.basis.n_points();
         let (ei, ej, ek) = self.dofmap.elem_ijk(e);
-        let mut li = 0usize;
-        for c in 0..np {
-            for b in 0..np {
-                for a in 0..np {
-                    let gn = self.gid(self.dofmap.elem_node(ei, ej, ek, a, b, c));
-                    for comp in 0..3 {
-                        let dof = 3 * gn + comp;
-                        s.u[comp][li] = if dof_level[dof] == level { u[dof] } else { 0.0 };
-                    }
-                    li += 1;
-                }
+        elastic_stiffness(
+            &self.basis,
+            self.hx[ei],
+            self.hy[ej],
+            self.hz[ek],
+            self.lambda[e as usize],
+            self.mu[e as usize],
+            s,
+        );
+        for li in 0..npe {
+            let gn = ids[li] as usize;
+            for comp in 0..3 {
+                let dof = 3 * gn + comp;
+                out[dof] += s.out[comp][li] * self.inv_mass[dof];
             }
         }
     }
@@ -392,21 +434,78 @@ impl Operator for ElasticOperator {
         3 * self.dofmap.n_nodes()
     }
 
-    fn apply(&self, u: &[f64], out: &mut [f64]) {
+    fn apply_ws(&self, u: &[f64], out: &mut [f64], ws: &mut Workspace) {
         out.fill(0.0);
-        let mut s = Scratch::new(self.dofmap.nodes_per_elem());
-        for e in 0..self.dofmap.n_elems() as u32 {
-            self.gather(e, u, &mut s);
-            self.elem_kernel(e, &mut s, out);
+        let npe = self.dofmap.nodes_per_elem();
+        let st = ws.get_or_insert_with(|| ElasticWs(ElasticScratchWs::new(npe)));
+        let i = match st.0.cache.find(FULL_LEVEL, &[]) {
+            Some(i) => i,
+            None => {
+                let all: Vec<u32> = (0..self.dofmap.n_elems() as u32).collect();
+                self.compiled_entry(&mut st.0.cache, FULL_LEVEL, &all, None)
+            }
+        };
+        let ElasticScratchWs { cache, serial, .. } = &mut st.0;
+        let entry = cache.entry(i);
+        for pos in 0..entry.order.len() {
+            self.compiled_elem(entry, pos, u, serial, out);
         }
     }
 
-    fn apply_masked(&self, u: &[f64], out: &mut [f64], elems: &[u32], dof_level: &[u8], level: u8) {
-        let mut s = Scratch::new(self.dofmap.nodes_per_elem());
-        for &e in elems {
-            self.gather_masked(e, u, dof_level, level, &mut s);
-            self.elem_kernel(e, &mut s, out);
+    fn apply_masked_ws(
+        &self,
+        u: &[f64],
+        out: &mut [f64],
+        elems: &[u32],
+        dof_level: &[u8],
+        level: u8,
+        ws: &mut Workspace,
+    ) {
+        let npe = self.dofmap.nodes_per_elem();
+        let st = ws.get_or_insert_with(|| ElasticWs(ElasticScratchWs::new(npe)));
+        let i = self.compiled_entry(
+            &mut st.0.cache,
+            level as u16,
+            elems,
+            Some((dof_level, level)),
+        );
+        let ElasticScratchWs { cache, serial, .. } = &mut st.0;
+        let entry = cache.entry(i);
+        for pos in 0..entry.order.len() {
+            self.compiled_elem(entry, pos, u, serial, out);
         }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn apply_masked_threads(
+        &self,
+        u: &[f64],
+        out: &mut [f64],
+        elems: &[u32],
+        dof_level: &[u8],
+        level: u8,
+        ws: &mut Workspace,
+        threads: usize,
+    ) {
+        if threads <= 1 {
+            return self.apply_masked_ws(u, out, elems, dof_level, level, ws);
+        }
+        let npe = self.dofmap.nodes_per_elem();
+        let st = ws.get_or_insert_with(|| ElasticWs(ElasticScratchWs::new(npe)));
+        let i = self.compiled_entry(
+            &mut st.0.cache,
+            level as u16,
+            elems,
+            Some((dof_level, level)),
+        );
+        let ElasticScratchWs { cache, par, .. } = &mut st.0;
+        if par.len() < threads {
+            par.resize_with(threads, || Scratch::new(npe));
+        }
+        let entry = cache.entry(i);
+        crate::parallel::par_colored(out, &entry.color_off, &mut par[..threads], |pos, s, o| {
+            self.compiled_elem(entry, pos, u, s, o);
+        });
     }
 
     fn mass(&self) -> &[f64] {

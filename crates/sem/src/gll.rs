@@ -44,6 +44,10 @@ pub struct GllBasis {
     pub weights: Vec<f64>,
     /// Derivative matrix, row-major: `d[i*(n+1)+j] = l'_j(ξ_i)`.
     pub d: Vec<f64>,
+    /// Fused 3-D weight table, `a`-fastest:
+    /// `wgll3[a + (n+1)(b + (n+1)c)] = w_a·w_b·w_c`. Lets the stiffness
+    /// kernels skip the per-node weight products.
+    pub wgll3: Vec<f64>,
 }
 
 impl GllBasis {
@@ -109,11 +113,21 @@ impl GllBasis {
         d[0] = -(n as f64) * (n as f64 + 1.0) / 4.0;
         d[np * np - 1] = n as f64 * (n as f64 + 1.0) / 4.0;
 
+        let mut wgll3 = vec![0.0; np * np * np];
+        for c in 0..np {
+            for b in 0..np {
+                for a in 0..np {
+                    wgll3[a + np * (b + np * c)] = weights[a] * weights[b] * weights[c];
+                }
+            }
+        }
+
         GllBasis {
             order: n,
             points,
             weights,
             d,
+            wgll3,
         }
     }
 
@@ -250,6 +264,28 @@ mod tests {
                 let s: f64 = (0..np).map(|j| b.deriv(i, j)).sum();
                 assert!(s.abs() < 1e-11, "order {n} row {i}: {s}");
             }
+        }
+    }
+
+    #[test]
+    fn wgll3_is_the_tensor_weight_product() {
+        for n in 1..=6 {
+            let b = GllBasis::new(n);
+            let np = n + 1;
+            assert_eq!(b.wgll3.len(), np * np * np);
+            for c in 0..np {
+                for bb in 0..np {
+                    for a in 0..np {
+                        assert_eq!(
+                            b.wgll3[a + np * (bb + np * c)],
+                            b.weights[a] * b.weights[bb] * b.weights[c],
+                            "order {n} at ({a},{bb},{c})"
+                        );
+                    }
+                }
+            }
+            let s: f64 = b.wgll3.iter().sum();
+            assert!((s - 8.0).abs() < 1e-12, "Σ wgll3 = {s} (volume of cube)");
         }
     }
 

@@ -22,14 +22,14 @@ pub fn scalar_stiffness(
 ) {
     let np = basis.n_points();
     let d = &basis.d;
-    let w = &basis.weights;
+    let w3 = &basis.wgll3;
     let jac = 0.125 * hx * hy * hz;
     let idx = |a: usize, b: usize, c: usize| a + np * (b + np * c);
 
     tmp.fill(0.0);
 
     // x-direction: der = D_ξ loc; tmp += Dᵀ (w μ J gx² der)
-    let gx2 = (2.0 / hx) * (2.0 / hx);
+    let cx = mu * jac * (2.0 / hx) * (2.0 / hx);
     for c in 0..np {
         for b in 0..np {
             for a in 0..np {
@@ -37,7 +37,7 @@ pub fn scalar_stiffness(
                 for m in 0..np {
                     s += d[a * np + m] * loc[idx(m, b, c)];
                 }
-                der[idx(a, b, c)] = s * (mu * jac * gx2 * w[a] * w[b] * w[c]);
+                der[idx(a, b, c)] = s * (cx * w3[idx(a, b, c)]);
             }
         }
     }
@@ -54,7 +54,7 @@ pub fn scalar_stiffness(
     }
 
     // y-direction
-    let gy2 = (2.0 / hy) * (2.0 / hy);
+    let cy = mu * jac * (2.0 / hy) * (2.0 / hy);
     for c in 0..np {
         for b in 0..np {
             for a in 0..np {
@@ -62,7 +62,7 @@ pub fn scalar_stiffness(
                 for m in 0..np {
                     s += d[b * np + m] * loc[idx(a, m, c)];
                 }
-                der[idx(a, b, c)] = s * (mu * jac * gy2 * w[a] * w[b] * w[c]);
+                der[idx(a, b, c)] = s * (cy * w3[idx(a, b, c)]);
             }
         }
     }
@@ -79,7 +79,7 @@ pub fn scalar_stiffness(
     }
 
     // z-direction
-    let gz2 = (2.0 / hz) * (2.0 / hz);
+    let cz = mu * jac * (2.0 / hz) * (2.0 / hz);
     for c in 0..np {
         for b in 0..np {
             for a in 0..np {
@@ -87,7 +87,7 @@ pub fn scalar_stiffness(
                 for m in 0..np {
                     s += d[c * np + m] * loc[idx(a, b, m)];
                 }
-                der[idx(a, b, c)] = s * (mu * jac * gz2 * w[a] * w[b] * w[c]);
+                der[idx(a, b, c)] = s * (cz * w3[idx(a, b, c)]);
             }
         }
     }

@@ -20,6 +20,7 @@
 #![allow(clippy::needless_range_loop)]
 pub mod acoustic;
 pub mod boundary;
+pub(crate) mod compiled;
 pub mod dofmap;
 pub mod elastic;
 pub mod gll;

@@ -32,6 +32,42 @@ impl ElementColoring {
         ElementColoring { classes }
     }
 
+    /// Greedy first-fit colouring of an arbitrary element list: walk the
+    /// list in order and give each element the smallest colour not yet used
+    /// by any element sharing one of its scatter targets. Deterministic —
+    /// the classes depend only on the list order and the sharing pattern, so
+    /// two operators with the same connectivity (e.g. a structured mesh and
+    /// its gather-list re-representation, under any DOF relabelling) colour
+    /// identically. Capped at 128 colours (a hex element has ≤ 26 sharing
+    /// neighbours, so first-fit never needs more than 27).
+    pub fn greedy(
+        elems: &[u32],
+        n_targets: usize,
+        targets_of: &mut dyn FnMut(u32, &mut Vec<u32>),
+    ) -> ElementColoring {
+        let mut used = vec![0u128; n_targets];
+        let mut classes: Vec<Vec<u32>> = Vec::new();
+        let mut buf = Vec::new();
+        for &e in elems {
+            targets_of(e, &mut buf);
+            let mut occupied: u128 = 0;
+            for &t in &buf {
+                occupied |= used[t as usize];
+            }
+            let c = (!occupied).trailing_zeros() as usize;
+            assert!(c < 128, "greedy colouring needs more than 128 colours");
+            if c == classes.len() {
+                classes.push(Vec::new());
+            }
+            let bit = 1u128 << c;
+            for &t in &buf {
+                used[t as usize] |= bit;
+            }
+            classes[c].push(e);
+        }
+        ElementColoring { classes }
+    }
+
     /// Restrict every class to the given element subset (e.g. one level's
     /// masked list).
     pub fn restricted(&self, elems: &[u32], n_elems: usize) -> ElementColoring {
@@ -50,7 +86,7 @@ impl ElementColoring {
 }
 
 /// A send/sync wrapper for the disjoint-scatter pattern.
-struct SharedOut(*mut f64, usize);
+pub(crate) struct SharedOut(*mut f64, usize);
 unsafe impl Sync for SharedOut {}
 
 impl SharedOut {
@@ -60,6 +96,47 @@ impl SharedOut {
     unsafe fn slice(&self) -> &mut [f64] {
         unsafe { std::slice::from_raw_parts_mut(self.0, self.1) }
     }
+}
+
+/// Run a colour-major compiled order on `scratch.len()` OS threads.
+///
+/// `f(pos, scratch, out)` processes the element at position `pos` of the
+/// compiled order. Each colour span `color_off[c]..color_off[c+1]` is split
+/// into one contiguous chunk per thread; a barrier separates colours. Within
+/// a colour no two elements share a scatter target, and every DOF receives
+/// at most one contribution per colour, so the accumulation order per DOF is
+/// exactly the colour order — the result is bitwise identical to a serial
+/// walk of the same compiled order, at any thread count.
+pub(crate) fn par_colored<S: Send>(
+    out: &mut [f64],
+    color_off: &[u32],
+    scratch: &mut [S],
+    f: impl Fn(usize, &mut S, &mut [f64]) + Sync,
+) {
+    let threads = scratch.len();
+    let shared = &SharedOut(out.as_mut_ptr(), out.len());
+    let barrier = &std::sync::Barrier::new(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (tid, sc) in scratch.iter_mut().enumerate() {
+            scope.spawn(move || {
+                for w in color_off.windows(2) {
+                    let (lo, hi) = (w[0] as usize, w[1] as usize);
+                    let chunk = (hi - lo).div_ceil(threads);
+                    let start = (lo + tid * chunk).min(hi);
+                    let end = (start + chunk).min(hi);
+                    // SAFETY: same-colour elements share no scatter targets
+                    // and threads take disjoint position ranges, so these
+                    // writes never alias until the barrier.
+                    let out = unsafe { shared.slice() };
+                    for pos in start..end {
+                        f(pos, sc, out);
+                    }
+                    barrier.wait();
+                }
+            });
+        }
+    });
 }
 
 /// Parallel `out = A u` for the acoustic operator.
@@ -144,6 +221,58 @@ mod tests {
                 serial[i],
                 parallel[i]
             );
+        }
+    }
+
+    #[test]
+    fn greedy_coloring_is_conflict_free_and_list_invariant() {
+        let mut m = HexMesh::uniform(4, 3, 2, 1.0, 1.0);
+        m.paint_box((0, 2), (0, 3), (0, 2), 2.0, 1.0);
+        let op = AcousticOperator::new(&m, 2);
+        let elems: Vec<u32> = (0..m.n_elems() as u32).collect();
+        let mut targets = |e: u32, out: &mut Vec<u32>| op.dofmap.elem_nodes(e, out);
+        let coloring = ElementColoring::greedy(&elems, op.dofmap.n_nodes(), &mut targets);
+        // conflict-free within every class
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for class in &coloring.classes {
+            for (i, &e1) in class.iter().enumerate() {
+                for &e2 in class.iter().skip(i + 1) {
+                    op.dofmap.elem_nodes(e1, &mut a);
+                    op.dofmap.elem_nodes(e2, &mut b);
+                    assert!(a.iter().all(|d| !b.contains(d)), "{e1} vs {e2}");
+                }
+            }
+        }
+        let total: usize = coloring.classes.iter().map(|c| c.len()).sum();
+        assert_eq!(total, m.n_elems());
+        // relabelling the targets does not change the classes: shift every
+        // node id by a constant (same sharing pattern, different labels)
+        let nn = op.dofmap.n_nodes();
+        let mut shifted = |e: u32, out: &mut Vec<u32>| {
+            op.dofmap.elem_nodes(e, out);
+            for t in out.iter_mut() {
+                *t = nn as u32 - 1 - *t;
+            }
+        };
+        let relabelled = ElementColoring::greedy(&elems, nn, &mut shifted);
+        assert_eq!(coloring.classes, relabelled.classes);
+    }
+
+    #[test]
+    fn par_colored_partitions_every_colour_span() {
+        // record which positions each thread count visits; all must see the
+        // full range exactly once
+        let color_off = [0u32, 5, 5, 12];
+        for threads in [2usize, 3, 7] {
+            let mut hits = vec![0u32; 12];
+            let mut out = vec![0.0; 12];
+            let mut scratch = vec![(); threads];
+            let cell = std::sync::Mutex::new(&mut hits);
+            par_colored(&mut out, &color_off, &mut scratch, |pos, _sc, _out| {
+                cell.lock().unwrap()[pos] += 1;
+            });
+            assert!(hits.iter().all(|&h| h == 1), "{threads} threads: {hits:?}");
         }
     }
 

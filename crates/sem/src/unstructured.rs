@@ -15,11 +15,14 @@
 //! ([`crate::kernel::scalar_stiffness`]), so contributions are
 //! bitwise-identical.
 
+use crate::compiled::{
+    CompiledGather, ElasticScratchWs, GatherCache, ScalarScratch, ScalarWs, FULL_LEVEL,
+};
 use crate::dofmap::DofMap;
 use crate::elastic::{elastic_stiffness, Scratch};
 use crate::gll::GllBasis;
 use crate::kernel::scalar_stiffness;
-use lts_core::{DofTopology, Operator};
+use lts_core::{DofTopology, Operator, Workspace};
 use lts_mesh::HexMesh;
 
 /// Gather-list acoustic operator.
@@ -31,9 +34,14 @@ pub struct UnstructuredAcoustic {
     pub elem_geom: Vec<(f64, f64, f64, f64)>,
     /// Diagonal mass over the (local) DOF range.
     mass: Vec<f64>,
+    /// Reciprocal mass, so the scatter multiplies instead of divides.
+    inv_mass: Vec<f64>,
     npe: usize,
     ndof: usize,
 }
+
+/// Workspace slot of the gather-list acoustic operator.
+struct UAcousticWs(ScalarWs);
 
 impl UnstructuredAcoustic {
     /// Build over a subset of a structured mesh's elements, with compact
@@ -116,12 +124,14 @@ impl UnstructuredAcoustic {
                 }
             }
         }
+        let inv_mass = mass.iter().map(|&m| 1.0 / m).collect();
         (
             UnstructuredAcoustic {
                 basis,
                 elem_dofs,
                 elem_geom,
                 mass,
+                inv_mass,
                 npe,
                 ndof,
             },
@@ -137,19 +147,72 @@ impl UnstructuredAcoustic {
         op
     }
 
-    fn apply_elem(
+    /// Fetch or compile the colour-major gather entry for `(level, elems)`.
+    fn compiled_entry(
         &self,
-        le: usize,
-        loc: &[f64],
-        tmp: &mut [f64],
-        der: &mut [f64],
+        cache: &mut GatherCache,
+        key_level: u16,
+        elems: &[u32],
+        dof_level: Option<(&[u8], u8)>,
+    ) -> usize {
+        cache.get_or_build(
+            key_level,
+            elems,
+            self.ndof,
+            &mut |e, out| DofTopology::elem_dofs(self, e, out),
+            &mut |order, idx, mask| {
+                for &e in order {
+                    let base = e as usize * self.npe;
+                    let dofs = &self.elem_dofs[base..base + self.npe];
+                    if let Some((lvl, k)) = dof_level {
+                        for &dof in dofs {
+                            mask.push(if lvl[dof as usize] == k { 1.0 } else { 0.0 });
+                        }
+                    }
+                    idx.extend_from_slice(dofs);
+                }
+            },
+        )
+    }
+
+    /// Process position `pos` of a compiled entry: branch-free gather,
+    /// stiffness kernel, multiply-by-`M⁻¹` scatter.
+    #[inline]
+    fn compiled_elem(
+        &self,
+        entry: &CompiledGather,
+        pos: usize,
+        u: &[f64],
+        sc: &mut ScalarScratch,
         out: &mut [f64],
     ) {
-        let (hx, hy, hz, mu) = self.elem_geom[le];
-        scalar_stiffness(&self.basis, hx, hy, hz, mu, loc, tmp, der);
-        let base = le * self.npe;
-        for (li, &dof) in self.elem_dofs[base..base + self.npe].iter().enumerate() {
-            out[dof as usize] += tmp[li] / self.mass[dof as usize];
+        let e = entry.order[pos];
+        let base = pos * self.npe;
+        let ids = &entry.idx[base..base + self.npe];
+        if entry.mask.is_empty() {
+            for li in 0..self.npe {
+                sc.loc[li] = u[ids[li] as usize];
+            }
+        } else {
+            let mk = &entry.mask[base..base + self.npe];
+            for li in 0..self.npe {
+                sc.loc[li] = u[ids[li] as usize] * mk[li];
+            }
+        }
+        let (hx, hy, hz, mu) = self.elem_geom[e as usize];
+        scalar_stiffness(
+            &self.basis,
+            hx,
+            hy,
+            hz,
+            mu,
+            &sc.loc,
+            &mut sc.tmp,
+            &mut sc.der,
+        );
+        for li in 0..self.npe {
+            let dof = ids[li] as usize;
+            out[dof] += sc.tmp[li] * self.inv_mass[dof];
         }
     }
 }
@@ -175,35 +238,75 @@ impl Operator for UnstructuredAcoustic {
         self.ndof
     }
 
-    fn apply(&self, u: &[f64], out: &mut [f64]) {
+    fn apply_ws(&self, u: &[f64], out: &mut [f64], ws: &mut Workspace) {
         out.fill(0.0);
-        let mut loc = vec![0.0; self.npe];
-        let mut tmp = vec![0.0; self.npe];
-        let mut der = vec![0.0; self.npe];
-        for le in 0..self.elem_geom.len() {
-            let base = le * self.npe;
-            for (li, &dof) in self.elem_dofs[base..base + self.npe].iter().enumerate() {
-                loc[li] = u[dof as usize];
+        let st = ws.get_or_insert_with(|| UAcousticWs(ScalarWs::new(self.npe)));
+        let i = match st.0.cache.find(FULL_LEVEL, &[]) {
+            Some(i) => i,
+            None => {
+                let all: Vec<u32> = (0..self.elem_geom.len() as u32).collect();
+                self.compiled_entry(&mut st.0.cache, FULL_LEVEL, &all, None)
             }
-            self.apply_elem(le, &loc, &mut tmp, &mut der, out);
+        };
+        let ScalarWs { cache, serial, .. } = &mut st.0;
+        let entry = cache.entry(i);
+        for pos in 0..entry.order.len() {
+            self.compiled_elem(entry, pos, u, serial, out);
         }
     }
 
-    fn apply_masked(&self, u: &[f64], out: &mut [f64], elems: &[u32], dof_level: &[u8], level: u8) {
-        let mut loc = vec![0.0; self.npe];
-        let mut tmp = vec![0.0; self.npe];
-        let mut der = vec![0.0; self.npe];
-        for &e in elems {
-            let base = e as usize * self.npe;
-            for (li, &dof) in self.elem_dofs[base..base + self.npe].iter().enumerate() {
-                loc[li] = if dof_level[dof as usize] == level {
-                    u[dof as usize]
-                } else {
-                    0.0
-                };
-            }
-            self.apply_elem(e as usize, &loc, &mut tmp, &mut der, out);
+    fn apply_masked_ws(
+        &self,
+        u: &[f64],
+        out: &mut [f64],
+        elems: &[u32],
+        dof_level: &[u8],
+        level: u8,
+        ws: &mut Workspace,
+    ) {
+        let st = ws.get_or_insert_with(|| UAcousticWs(ScalarWs::new(self.npe)));
+        let i = self.compiled_entry(
+            &mut st.0.cache,
+            level as u16,
+            elems,
+            Some((dof_level, level)),
+        );
+        let ScalarWs { cache, serial, .. } = &mut st.0;
+        let entry = cache.entry(i);
+        for pos in 0..entry.order.len() {
+            self.compiled_elem(entry, pos, u, serial, out);
         }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn apply_masked_threads(
+        &self,
+        u: &[f64],
+        out: &mut [f64],
+        elems: &[u32],
+        dof_level: &[u8],
+        level: u8,
+        ws: &mut Workspace,
+        threads: usize,
+    ) {
+        if threads <= 1 {
+            return self.apply_masked_ws(u, out, elems, dof_level, level, ws);
+        }
+        let st = ws.get_or_insert_with(|| UAcousticWs(ScalarWs::new(self.npe)));
+        let i = self.compiled_entry(
+            &mut st.0.cache,
+            level as u16,
+            elems,
+            Some((dof_level, level)),
+        );
+        let ScalarWs { cache, par, .. } = &mut st.0;
+        if par.len() < threads {
+            par.resize_with(threads, || ScalarScratch::new(self.npe));
+        }
+        let entry = cache.entry(i);
+        crate::parallel::par_colored(out, &entry.color_off, &mut par[..threads], |pos, sc, o| {
+            self.compiled_elem(entry, pos, u, sc, o);
+        });
     }
 
     fn mass(&self) -> &[f64] {
@@ -221,9 +324,14 @@ pub struct UnstructuredElastic {
     pub elem_nodes: Vec<u32>,
     pub elem_geom: Vec<(f64, f64, f64, f64, f64)>,
     mass: Vec<f64>,
+    /// Reciprocal mass, so the scatter multiplies instead of divides.
+    inv_mass: Vec<f64>,
     npe: usize,
     n_nodes: usize,
 }
+
+/// Workspace slot of the gather-list elastic operator.
+struct UElasticWs(ElasticScratchWs);
 
 impl UnstructuredElastic {
     /// Build over a subset of elements with compact local node numbering
@@ -306,12 +414,14 @@ impl UnstructuredElastic {
                 }
             }
         }
+        let inv_mass = mass.iter().map(|&m| 1.0 / m).collect();
         (
             UnstructuredElastic {
                 basis,
                 elem_nodes,
                 elem_geom,
                 mass,
+                inv_mass,
                 npe,
                 n_nodes,
             },
@@ -325,27 +435,78 @@ impl UnstructuredElastic {
         Self::from_subset(mesh, order, &all, None).0
     }
 
-    fn gather(&self, le: usize, u: &[f64], s: &mut Scratch, dof_level: Option<(&[u8], u8)>) {
-        let base = le * self.npe;
-        for (li, &node) in self.elem_nodes[base..base + self.npe].iter().enumerate() {
-            for comp in 0..3 {
-                let dof = 3 * node as usize + comp;
-                s.u[comp][li] = match dof_level {
-                    Some((lvl, k)) if lvl[dof] != k => 0.0,
-                    _ => u[dof],
-                };
-            }
-        }
+    /// Fetch or compile the colour-major gather entry for `(level, elems)`.
+    /// `idx` holds local node ids; masks carry 3 entries per node.
+    fn compiled_entry(
+        &self,
+        cache: &mut GatherCache,
+        key_level: u16,
+        elems: &[u32],
+        dof_level: Option<(&[u8], u8)>,
+    ) -> usize {
+        cache.get_or_build(
+            key_level,
+            elems,
+            self.n_nodes,
+            &mut |e, out| {
+                out.clear();
+                let base = e as usize * self.npe;
+                out.extend_from_slice(&self.elem_nodes[base..base + self.npe]);
+            },
+            &mut |order, idx, mask| {
+                for &e in order {
+                    let base = e as usize * self.npe;
+                    let nodes = &self.elem_nodes[base..base + self.npe];
+                    if let Some((lvl, k)) = dof_level {
+                        for &node in nodes {
+                            for comp in 0..3 {
+                                let dof = 3 * node as usize + comp;
+                                mask.push(if lvl[dof] == k { 1.0 } else { 0.0 });
+                            }
+                        }
+                    }
+                    idx.extend_from_slice(nodes);
+                }
+            },
+        )
     }
 
-    fn kernel_scatter(&self, le: usize, s: &mut Scratch, out: &mut [f64]) {
-        let (hx, hy, hz, lam, mu) = self.elem_geom[le];
+    /// Process position `pos` of a compiled entry.
+    #[inline]
+    fn compiled_elem(
+        &self,
+        entry: &CompiledGather,
+        pos: usize,
+        u: &[f64],
+        s: &mut Scratch,
+        out: &mut [f64],
+    ) {
+        let e = entry.order[pos];
+        let base = pos * self.npe;
+        let ids = &entry.idx[base..base + self.npe];
+        if entry.mask.is_empty() {
+            for li in 0..self.npe {
+                let node = ids[li] as usize;
+                for comp in 0..3 {
+                    s.u[comp][li] = u[3 * node + comp];
+                }
+            }
+        } else {
+            let mk = &entry.mask[3 * base..3 * (base + self.npe)];
+            for li in 0..self.npe {
+                let node = ids[li] as usize;
+                for comp in 0..3 {
+                    s.u[comp][li] = u[3 * node + comp] * mk[3 * li + comp];
+                }
+            }
+        }
+        let (hx, hy, hz, lam, mu) = self.elem_geom[e as usize];
         elastic_stiffness(&self.basis, hx, hy, hz, lam, mu, s);
-        let base = le * self.npe;
-        for (li, &node) in self.elem_nodes[base..base + self.npe].iter().enumerate() {
+        for li in 0..self.npe {
+            let node = ids[li] as usize;
             for comp in 0..3 {
-                let dof = 3 * node as usize + comp;
-                out[dof] += s.out[comp][li] / self.mass[dof];
+                let dof = 3 * node + comp;
+                out[dof] += s.out[comp][li] * self.inv_mass[dof];
             }
         }
     }
@@ -376,21 +537,75 @@ impl Operator for UnstructuredElastic {
         3 * self.n_nodes
     }
 
-    fn apply(&self, u: &[f64], out: &mut [f64]) {
+    fn apply_ws(&self, u: &[f64], out: &mut [f64], ws: &mut Workspace) {
         out.fill(0.0);
-        let mut s = Scratch::new(self.npe);
-        for le in 0..self.elem_geom.len() {
-            self.gather(le, u, &mut s, None);
-            self.kernel_scatter(le, &mut s, out);
+        let st = ws.get_or_insert_with(|| UElasticWs(ElasticScratchWs::new(self.npe)));
+        let i = match st.0.cache.find(FULL_LEVEL, &[]) {
+            Some(i) => i,
+            None => {
+                let all: Vec<u32> = (0..self.elem_geom.len() as u32).collect();
+                self.compiled_entry(&mut st.0.cache, FULL_LEVEL, &all, None)
+            }
+        };
+        let ElasticScratchWs { cache, serial, .. } = &mut st.0;
+        let entry = cache.entry(i);
+        for pos in 0..entry.order.len() {
+            self.compiled_elem(entry, pos, u, serial, out);
         }
     }
 
-    fn apply_masked(&self, u: &[f64], out: &mut [f64], elems: &[u32], dof_level: &[u8], level: u8) {
-        let mut s = Scratch::new(self.npe);
-        for &e in elems {
-            self.gather(e as usize, u, &mut s, Some((dof_level, level)));
-            self.kernel_scatter(e as usize, &mut s, out);
+    fn apply_masked_ws(
+        &self,
+        u: &[f64],
+        out: &mut [f64],
+        elems: &[u32],
+        dof_level: &[u8],
+        level: u8,
+        ws: &mut Workspace,
+    ) {
+        let st = ws.get_or_insert_with(|| UElasticWs(ElasticScratchWs::new(self.npe)));
+        let i = self.compiled_entry(
+            &mut st.0.cache,
+            level as u16,
+            elems,
+            Some((dof_level, level)),
+        );
+        let ElasticScratchWs { cache, serial, .. } = &mut st.0;
+        let entry = cache.entry(i);
+        for pos in 0..entry.order.len() {
+            self.compiled_elem(entry, pos, u, serial, out);
         }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn apply_masked_threads(
+        &self,
+        u: &[f64],
+        out: &mut [f64],
+        elems: &[u32],
+        dof_level: &[u8],
+        level: u8,
+        ws: &mut Workspace,
+        threads: usize,
+    ) {
+        if threads <= 1 {
+            return self.apply_masked_ws(u, out, elems, dof_level, level, ws);
+        }
+        let st = ws.get_or_insert_with(|| UElasticWs(ElasticScratchWs::new(self.npe)));
+        let i = self.compiled_entry(
+            &mut st.0.cache,
+            level as u16,
+            elems,
+            Some((dof_level, level)),
+        );
+        let ElasticScratchWs { cache, par, .. } = &mut st.0;
+        if par.len() < threads {
+            par.resize_with(threads, || Scratch::new(self.npe));
+        }
+        let entry = cache.entry(i);
+        crate::parallel::par_colored(out, &entry.color_off, &mut par[..threads], |pos, s, o| {
+            self.compiled_elem(entry, pos, u, s, o);
+        });
     }
 
     fn mass(&self) -> &[f64] {

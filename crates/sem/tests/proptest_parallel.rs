@@ -1,0 +1,117 @@
+//! Property-based bitwise-determinism tests of the threaded masked product.
+//!
+//! The colored scatter (`apply_masked_threads`) must produce **bit-for-bit**
+//! the same fields as the serial path at any thread count — that is the
+//! contract that lets `threads_per_rank > 1` leave every deterministic
+//! counter and every recorded field untouched. We check it the strong way:
+//! `f64::to_bits` equality, not a tolerance.
+
+use lts_core::{LtsSetup, Operator, Workspace};
+use lts_mesh::{HexMesh, Levels};
+use lts_sem::{AcousticOperator, ElasticOperator, UnstructuredAcoustic, UnstructuredElastic};
+use proptest::prelude::*;
+
+fn mesh_strategy() -> impl Strategy<Value = HexMesh> {
+    (
+        2usize..5,
+        2usize..5,
+        2usize..4,
+        1.0f64..3.0,
+        0.5f64..2.0,
+        0u64..1000,
+    )
+        .prop_map(|(nx, ny, nz, vel, rho, seed)| {
+            let mut m = HexMesh::uniform(nx, ny, nz, vel, rho);
+            // paint a random fast box so Levels::assign grades the mesh
+            let i0 = (seed as usize) % nx;
+            let j0 = (seed as usize / 7) % ny;
+            m.paint_box((i0, nx), (j0, ny), (0, nz), vel * 2.0, rho);
+            m
+        })
+}
+
+/// Serial reference vs 1/2/4 worker threads, every LTS level, one shared
+/// workspace per path (so the compiled-gather cache is exercised across
+/// levels exactly as a stepper would use it).
+fn check_bitwise<O: Operator>(
+    op: &O,
+    setup: &LtsSetup,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let n = op.ndof();
+    let u: Vec<f64> = (0..n)
+        .map(|i| ((i * 37 % 23) as f64) / 23.0 - 0.5)
+        .collect();
+    let mut ws_serial = Workspace::new();
+    for threads in [1usize, 2, 4] {
+        let mut ws_par = Workspace::new();
+        for k in 0..setup.n_levels {
+            let mut reference = vec![0.0; n];
+            op.apply_masked_ws(
+                &u,
+                &mut reference,
+                &setup.elems[k],
+                &setup.dof_level,
+                k as u8,
+                &mut ws_serial,
+            );
+            let mut parallel = vec![0.0; n];
+            op.apply_masked_threads(
+                &u,
+                &mut parallel,
+                &setup.elems[k],
+                &setup.dof_level,
+                k as u8,
+                &mut ws_par,
+                threads,
+            );
+            for i in 0..n {
+                prop_assert_eq!(
+                    parallel[i].to_bits(),
+                    reference[i].to_bits(),
+                    "dof {} level {} threads {}",
+                    i,
+                    k,
+                    threads
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Structured acoustic: threaded masked product is bitwise-identical to
+    /// serial across orders 2–4, all LTS levels, 1/2/4 threads.
+    #[test]
+    fn acoustic_parallel_masked_is_bitwise_serial(m in mesh_strategy(), order in 2usize..5) {
+        let lv = Levels::assign(&m, 0.5, 3);
+        let op = AcousticOperator::new(&m, order);
+        let setup = LtsSetup::new(&op, &lv.elem_level);
+        check_bitwise(&op, &setup)?;
+    }
+
+    /// Structured elastic (3 components per node).
+    #[test]
+    fn elastic_parallel_masked_is_bitwise_serial(m in mesh_strategy(), order in 2usize..4) {
+        let lv = Levels::assign(&m, 0.5, 3);
+        let op = ElasticOperator::poisson(&m, order);
+        let setup = LtsSetup::new(&op, &lv.elem_level);
+        check_bitwise(&op, &setup)?;
+    }
+
+    /// Unstructured (rank-local) operators over the full element set, with
+    /// their own compact numbering and per-element geometry.
+    #[test]
+    fn unstructured_parallel_masked_is_bitwise_serial(m in mesh_strategy(), order in 2usize..4) {
+        let lv = Levels::assign(&m, 0.5, 3);
+        let all: Vec<u32> = (0..m.n_elems() as u32).collect();
+        let (ac, _) = UnstructuredAcoustic::from_subset(&m, order, &all, None);
+        let setup = LtsSetup::new(&ac, &lv.elem_level);
+        check_bitwise(&ac, &setup)?;
+        let (el, _) = UnstructuredElastic::from_subset(&m, order, &all, None);
+        let setup = LtsSetup::new(&el, &lv.elem_level);
+        check_bitwise(&el, &setup)?;
+    }
+}

@@ -12,6 +12,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo fmt --check"
 cargo fmt --check
 
+echo "== cargo bench --no-run (microbenches must stay compilable)"
+cargo bench --no-run -q
+
 echo "== bench smoke (lts-profile --smoke → validate → bench-compare)"
 cargo build --release -q -p lts-bench --bin lts-profile
 smoke_out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"

@@ -4,6 +4,7 @@
 //! wave-lts info      --mesh trench --elements 100000
 //! wave-lts partition --mesh trench --elements 50000 --parts 16 --strategy scotch-p
 //! wave-lts simulate  --mesh crust  --elements 20000 --steps 100 [--order 4] [--elastic true]
+//!                    [--threads 4]   # intra-rank workers; results stay bitwise identical
 //! ```
 
 use std::collections::HashMap;
@@ -133,6 +134,7 @@ fn cmd_simulate(m: &HashMap<String, String>) {
     let elastic: bool = get(m, "elastic", false);
     let compare: bool = get(m, "compare", false);
     let ranks: usize = get(m, "ranks", 0);
+    let threads: usize = get(m, "threads", 1);
     let dt = b.levels.dt_global * cfl_dt_scale(order, 3);
     println!(
         "simulating {} global steps of Δt = {:.4} on {} ({} elements, order {order}, {})",
@@ -143,19 +145,20 @@ fn cmd_simulate(m: &HashMap<String, String>) {
         if elastic { "elastic" } else { "acoustic" }
     );
     if ranks > 0 {
-        run_sim_distributed(m, &b, order, dt, steps, elastic, ranks);
+        run_sim_distributed(m, &b, order, dt, steps, elastic, ranks, threads);
     } else if elastic {
         let op = ElasticOperator::poisson(&b.mesh, order);
-        run_sim(&op, &b, dt, steps, compare);
+        run_sim(&op, &b, dt, steps, compare, threads);
     } else {
         let op = AcousticOperator::new(&b.mesh, order);
-        run_sim(&op, &b, dt, steps, compare);
+        run_sim(&op, &b, dt, steps, compare, threads);
     }
 }
 
 /// `simulate --ranks N`: partition, run the threaded message-passing
 /// runtime with the live stall monitor, print the Fig. 1 busy/stall bars and
 /// per-level Eq. 21 λ, and optionally dump a Chrome trace (`--trace-out`).
+#[allow(clippy::too_many_arguments)]
 fn run_sim_distributed(
     m: &HashMap<String, String>,
     b: &BenchmarkMesh,
@@ -164,6 +167,7 @@ fn run_sim_distributed(
     steps: usize,
     elastic: bool,
     ranks: usize,
+    threads: usize,
 ) {
     use wave_lts::obs::MetricsRegistry;
     use wave_lts::runtime::stats::{ascii_timeline, chrome_trace, lambda_from_stats};
@@ -178,6 +182,7 @@ fn run_sim_distributed(
     let cfg = DistributedConfig {
         record_timeline: true,
         stall_monitor: Some(MonitorConfig::default()),
+        threads_per_rank: threads.max(1),
         ..DistributedConfig::new(ranks)
     };
     let ndof = if elastic {
@@ -243,6 +248,7 @@ fn run_sim<O: Operator + wave_lts::lts::DofTopology>(
     dt: f64,
     steps: usize,
     compare: bool,
+    threads: usize,
 ) {
     let setup = LtsSetup::new(op, &b.levels.elem_level);
     let ndof = Operator::ndof(op);
@@ -251,6 +257,7 @@ fn run_sim<O: Operator + wave_lts::lts::DofTopology>(
     let mut u = u0.clone();
     let mut v = vec![0.0; ndof];
     let mut lts = LtsNewmark::new(op, &setup, dt);
+    lts.threads = threads.max(1);
     let t0 = std::time::Instant::now();
     lts.run(&mut u, &mut v, 0.0, steps, &[]);
     let t_lts = t0.elapsed();

@@ -68,7 +68,21 @@ fn serial_elem_ops(f: &Fixture, steps: usize) -> u64 {
 
 /// Run the distributed-memory runtime and return the merged host registry.
 fn run_observed(f: &Fixture, part: &[u32], n_ranks: usize, steps: usize) -> MetricsRegistry {
-    let cfg = DistributedConfig::new(n_ranks);
+    run_observed_threads(f, part, n_ranks, steps, 1)
+}
+
+/// As [`run_observed`], with `threads` intra-rank workers per rank.
+fn run_observed_threads(
+    f: &Fixture,
+    part: &[u32],
+    n_ranks: usize,
+    steps: usize,
+    threads: usize,
+) -> MetricsRegistry {
+    let cfg = DistributedConfig {
+        threads_per_rank: threads,
+        ..DistributedConfig::new(n_ranks)
+    };
     let v0 = vec![0.0; f.ndof];
     let mut host = MetricsRegistry::new();
     let (_, _, stats) = run_distributed_local_acoustic_observed(
@@ -136,6 +150,65 @@ fn distributed_counters_match_closed_form_oracle_exactly() {
         host.counter_total(names::MSGS_SENT),
         o.total_msgs_sent() * steps as u64
     );
+}
+
+/// `threads_per_rank > 1` must be invisible to observability: the colored
+/// scatter keeps fields bitwise identical, so every deterministic counter
+/// still matches the closed-form oracle exactly — and the computed solution
+/// matches the serial run bit for bit.
+#[test]
+fn threaded_ranks_keep_counters_and_fields_exact() {
+    let f = fixture();
+    let steps = 3;
+    let n_ranks = 2;
+    let part = partition_mesh(&f.mesh, &f.levels, n_ranks, Strategy::ScotchP, 1);
+    let o = exchange_oracle(&f.mesh, &f.levels, &part);
+
+    let host = run_observed_threads(&f, &part, n_ranks, steps, 2);
+    for l in 0..f.levels.n_levels {
+        assert_eq!(
+            host.counter(names::ELEM_OPS, Some(l as u8)),
+            o.elem_ops[l] * steps as u64,
+            "elem_ops at level {l} with 2 worker threads"
+        );
+    }
+    assert_eq!(
+        host.counter_total(names::DOFS_SENT),
+        o.total_dofs_sent() * steps as u64
+    );
+    assert_eq!(
+        host.counter_total(names::MSGS_SENT),
+        o.total_msgs_sent() * steps as u64
+    );
+
+    // fields: serial vs threaded runs agree bit for bit
+    let v0 = vec![0.0; f.ndof];
+    let run = |threads: usize| {
+        let cfg = DistributedConfig {
+            threads_per_rank: threads,
+            ..DistributedConfig::new(n_ranks)
+        };
+        let mut host = MetricsRegistry::new();
+        run_distributed_local_acoustic_observed(
+            &f.mesh,
+            &f.levels,
+            ORDER,
+            &part,
+            f.dt,
+            &f.u0,
+            &v0,
+            steps,
+            &cfg,
+            &[],
+            &mut host,
+        )
+    };
+    let (u1, v1, _) = run(1);
+    let (u2, v2, _) = run(2);
+    for i in 0..f.ndof {
+        assert_eq!(u1[i].to_bits(), u2[i].to_bits(), "u[{i}]");
+        assert_eq!(v1[i].to_bits(), v2[i].to_bits(), "v[{i}]");
+    }
 }
 
 #[test]

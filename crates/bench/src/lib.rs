@@ -4,6 +4,8 @@
 //! `DESIGN.md` for the index) and accepts `--elements N` to change the mesh
 //! scale (defaults are laptop-sized; paper-scale runs are a flag away).
 
+#![forbid(unsafe_code)]
+
 pub mod profile;
 pub mod scaling;
 
@@ -115,6 +117,7 @@ impl Table {
 
 /// Engineering formatter: 1.4e6 → "1.4e6"-style short scientific.
 pub fn sci(x: f64) -> String {
+    // lint: allow(float-eq) — exact-zero guard before log10 (±0 → "0")
     if x == 0.0 {
         return "0".into();
     }

@@ -137,7 +137,8 @@ pub fn run_scenario(sc: &Scenario) -> Json {
     let (_, _, stats) = run_distributed_local_acoustic_observed(
         &b.mesh, &b.levels, sc.order, &part, op_dt, &zero, &zero, sc.steps, &cfg, &sources,
         &mut host,
-    );
+    )
+    .expect("distributed run failed");
     let wall_s = started.elapsed().as_secs_f64();
 
     let n_levels = b.levels.n_levels;

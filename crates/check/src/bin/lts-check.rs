@@ -1,0 +1,100 @@
+//! `lts-check` — run every structural invariant over the benchmark meshes.
+//!
+//! ```text
+//! cargo run -q -p lts-check -- [--elements N] [--ranks K] [--order P]
+//!                              [--tolerance PCT] [--meshes a,b,...]
+//! ```
+//!
+//! For each requested mesh this builds the benchmark geometry, assigns LTS
+//! levels, partitions with SCOTCH-P, and verifies: level colouring
+//! conflict-freedom + cover, DOF-level consistency, p-nesting, the Eq. 19
+//! balance tolerance, and the Eq. 20 hypergraph-cut = MPI-volume identity.
+//! Any violation prints as `mesh: [code] message` and the process exits 1.
+
+use lts_check::check_all;
+use lts_mesh::{BenchmarkMesh, MeshKind};
+use lts_partition::{partition_mesh, Strategy};
+use std::process::ExitCode;
+
+fn kind_of(name: &str) -> Option<MeshKind> {
+    match name {
+        "trench" => Some(MeshKind::Trench),
+        "trench-big" => Some(MeshKind::TrenchBig),
+        "embedding" => Some(MeshKind::Embedding),
+        "crust" => Some(MeshKind::Crust),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut elements = 2048usize;
+    let mut ranks = 8usize;
+    let mut order = 2usize;
+    // Generous default: SCOTCH-P's greedy level coupling leaves ~50% skew on
+    // sparse levels of the laptop-sized meshes; the gate's job at this scale
+    // is to catch Fig. 1-style catastrophic (100%) imbalance. Tighten with
+    // --tolerance for paper-scale runs.
+    let mut tolerance = 60.0f64;
+    let mut meshes = vec!["trench", "trench-big", "embedding", "crust"]
+        .into_iter()
+        .map(String::from)
+        .collect::<Vec<_>>();
+
+    let mut i = 0;
+    while i < argv.len() {
+        let (key, val) = (argv[i].as_str(), argv.get(i + 1));
+        let Some(val) = val else {
+            eprintln!("lts-check: missing value for {key}");
+            return ExitCode::from(2);
+        };
+        let ok = match key {
+            "--elements" => val.parse().map(|v| elements = v).is_ok(),
+            "--ranks" => val.parse().map(|v| ranks = v).is_ok(),
+            "--order" => val.parse().map(|v| order = v).is_ok(),
+            "--tolerance" => val.parse().map(|v| tolerance = v).is_ok(),
+            "--meshes" => {
+                meshes = val.split(',').map(|s| s.trim().to_string()).collect();
+                true
+            }
+            _ => false,
+        };
+        if !ok {
+            eprintln!("lts-check: bad argument {key} {val}");
+            return ExitCode::from(2);
+        }
+        i += 2;
+    }
+
+    let mut total = 0usize;
+    for name in &meshes {
+        let Some(kind) = kind_of(name) else {
+            eprintln!(
+                "lts-check: unknown mesh {name:?} (expected trench, trench-big, embedding, crust)"
+            );
+            return ExitCode::from(2);
+        };
+        let b = BenchmarkMesh::build(kind, elements);
+        let part = partition_mesh(&b.mesh, &b.levels, ranks, Strategy::ScotchP, 1);
+        let violations = check_all(&b.mesh, &b.levels, &part, ranks, order, tolerance);
+        println!(
+            "{name}: {} elements, {} levels, {ranks} ranks -> {}",
+            b.mesh.n_elems(),
+            b.levels.n_levels,
+            if violations.is_empty() {
+                "ok".to_string()
+            } else {
+                format!("{} violation(s)", violations.len())
+            }
+        );
+        for v in &violations {
+            println!("  {name}: [{}] {v}", v.code());
+        }
+        total += violations.len();
+    }
+    if total == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

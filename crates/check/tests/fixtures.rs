@@ -1,0 +1,85 @@
+//! Seeded-broken fixtures: each deliberately violates exactly one invariant
+//! family and must draw that family's *distinct* diagnostic — a checker that
+//! collapses everything into one "invalid" verdict can't steer a fix.
+
+use lts_check::{check_all, check_balance, check_coloring, check_p_nesting, Violation};
+use lts_mesh::{HexMesh, Levels};
+
+fn two_level_row() -> (HexMesh, Levels) {
+    let mut m = HexMesh::uniform(8, 1, 1, 1.0, 1.0);
+    m.paint_box((6, 8), (0, 1), (0, 1), 2.0, 1.0);
+    let lv = Levels::assign(&m, 0.5, 4);
+    (m, lv)
+}
+
+/// Fixture 1: a colouring that puts two face-adjacent elements in the same
+/// class. Their 4 shared corner nodes are claimed twice within the colour —
+/// exactly the race the threaded scatter would run into.
+#[test]
+fn broken_coloring_draws_coloring_conflict() {
+    let (m, _) = two_level_row();
+    let dofmap = lts_sem::DofMap::new(&m, 1);
+    let mut targets = |e: u32, out: &mut Vec<u32>| dofmap.elem_nodes(e, out);
+    let elems: Vec<u32> = (0..8).collect();
+    // elements 2 and 3 share a face but sit in one class
+    let classes = vec![vec![0, 2, 3, 5, 7], vec![1, 4, 6]];
+    let v = check_coloring(&classes, &elems, dofmap.n_nodes(), &mut targets, 0);
+    assert_eq!(v.len(), 1, "exactly one family must fire: {v:?}");
+    assert_eq!(v[0].code(), "coloring-conflict");
+    match &v[0] {
+        Violation::ColoringConflict { first, second, .. } => {
+            assert_eq!((*first, *second), (2, 3));
+        }
+        other => panic!("wrong variant: {other:?}"),
+    }
+    assert!(v[0].to_string().contains("elements 2 and 3"));
+}
+
+/// Fixture 2: per-level multipliers 1, 3, 9 — a ternary "nesting" that the
+/// power-of-two LTS recursion cannot realise.
+#[test]
+fn ternary_levels_draw_p_not_pow2() {
+    let v = check_p_nesting(&[1, 3, 9]);
+    assert_eq!(v.len(), 2);
+    assert!(v.iter().all(|x| x.code() == "p-not-pow2"));
+    assert_eq!(
+        v[0],
+        Violation::PNotPowerOfTwo { level: 1, p: 3 },
+        "diagnostic must name the offending level and value"
+    );
+}
+
+/// Fixture 3: a partition that dumps every fine element on one rank —
+/// Fig. 1's stalling configuration — against a tolerance it cannot meet.
+#[test]
+fn lopsided_partition_draws_imbalance() {
+    let (_, lv) = two_level_row();
+    // all fine (level-1) elements on rank 1
+    let part = vec![0, 0, 0, 0, 1, 1, 1, 1];
+    let v = check_balance(&lv, &part, 2, 25.0);
+    assert!(!v.is_empty());
+    assert!(v.iter().all(|x| x.code() == "imbalance"));
+    // the per-level diagnostic must single out the fine level (100% skew)
+    assert!(v.iter().any(|x| matches!(
+        x,
+        Violation::Imbalance {
+            level: Some(1),
+            pct,
+            ..
+        } if *pct == 100.0
+    )));
+}
+
+/// The three fixture families produce three *different* codes — the CLI's
+/// non-zero exit is reproduced by `check_all` returning non-empty.
+#[test]
+fn fixture_diagnostics_are_distinct() {
+    let codes = ["coloring-conflict", "p-not-pow2", "imbalance"];
+    let unique: std::collections::BTreeSet<_> = codes.iter().collect();
+    assert_eq!(unique.len(), 3);
+
+    // and a clean end-to-end run stays clean, so the exits differ too
+    let (m, lv) = two_level_row();
+    let part = vec![0, 0, 0, 1, 1, 1, 0, 1]; // balanced: 3 coarse + 1 fine each
+    assert!(check_all(&m, &lv, &part, 2, 1, 25.0).is_empty());
+}

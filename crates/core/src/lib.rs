@@ -17,6 +17,8 @@
 //!   implementing the traits, used by tests, examples and benches;
 //! * [`energy`] — the conserved discrete energy of the leap-frog scheme.
 
+#![forbid(unsafe_code)]
+
 pub mod chain1d;
 pub mod energy;
 pub mod lts;

@@ -159,6 +159,7 @@ impl<'a, O: Operator> LtsNewmark<'a, O> {
 
 /// Add `Δ·F(t)/M` at every source whose DOF's leaf level is `level`; `half`
 /// scales the first leap-frog half-step.
+// lint: hot-path
 #[allow(clippy::too_many_arguments)]
 fn inject_sources<O: Operator>(
     op: &O,
@@ -181,6 +182,7 @@ fn inject_sources<O: Operator>(
 /// Integrate the level-`l` auxiliary system over `Δt_{l−1}` (two sub-steps of
 /// `Δt_l`), starting from the state already copied into `uts[l]` with zero
 /// auxiliary velocity.
+// lint: hot-path
 #[allow(clippy::too_many_arguments)]
 fn aux_advance<O: Operator>(
     op: &O,

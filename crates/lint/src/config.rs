@@ -1,0 +1,107 @@
+//! Parser for `lint/hotpaths.toml`: the out-of-band list of functions that
+//! must satisfy the hot-path allocation policy in addition to those tagged
+//! inline with `// lint: hot-path`.
+//!
+//! The accepted grammar is the tiny subset the file actually uses (a real
+//! TOML crate is unavailable offline):
+//!
+//! ```toml
+//! [[hotpath]]
+//! file = "crates/core/src/lts.rs"   # workspace-relative, '/'-separated
+//! function = "step"
+//! ```
+//!
+//! `#` comments and blank lines are ignored; anything else is a hard error
+//! with a line number, so a typo can't silently drop a policy entry.
+
+/// The parsed hot-path list: `(workspace-relative file, function name)`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct HotPathConfig {
+    pub entries: Vec<(String, String)>,
+}
+
+impl HotPathConfig {
+    /// Is `(file, function)` listed? `file` is workspace-relative with
+    /// forward slashes (the walker normalises before calling).
+    pub fn contains(&self, file: &str, function: &str) -> bool {
+        self.entries.iter().any(|(f, g)| f == file && g == function)
+    }
+
+    pub fn parse(text: &str) -> Result<HotPathConfig, String> {
+        let mut entries: Vec<(Option<String>, Option<String>)> = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = match raw.find('#') {
+                Some(p) => &raw[..p],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[hotpath]]" {
+                entries.push((None, None));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "hotpaths.toml:{}: expected `key = \"value\"`",
+                    i + 1
+                ));
+            };
+            let value = value.trim();
+            if !(value.starts_with('"') && value.ends_with('"') && value.len() >= 2) {
+                return Err(format!("hotpaths.toml:{}: value must be quoted", i + 1));
+            }
+            let value = value[1..value.len() - 1].to_string();
+            let Some(entry) = entries.last_mut() else {
+                return Err(format!(
+                    "hotpaths.toml:{}: key outside a [[hotpath]] table",
+                    i + 1
+                ));
+            };
+            match key.trim() {
+                "file" => entry.0 = Some(value),
+                "function" => entry.1 = Some(value),
+                k => return Err(format!("hotpaths.toml:{}: unknown key `{k}`", i + 1)),
+            }
+        }
+        let mut out = Vec::with_capacity(entries.len());
+        for (i, (f, g)) in entries.into_iter().enumerate() {
+            match (f, g) {
+                (Some(f), Some(g)) => out.push((f, g)),
+                _ => {
+                    return Err(format!(
+                        "hotpaths.toml: [[hotpath]] entry {} is missing `file` or `function`",
+                        i + 1
+                    ))
+                }
+            }
+        }
+        Ok(HotPathConfig { entries: out })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_comments() {
+        let cfg = HotPathConfig::parse(
+            "# policy list\n\n[[hotpath]]\nfile = \"a/b.rs\"  # inline comment\nfunction = \"f\"\n\n[[hotpath]]\nfile = \"c.rs\"\nfunction = \"g\"\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.entries.len(), 2);
+        assert!(cfg.contains("a/b.rs", "f"));
+        assert!(cfg.contains("c.rs", "g"));
+        assert!(!cfg.contains("a/b.rs", "g"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(HotPathConfig::parse("file = \"x\"\n").is_err()); // outside table
+        assert!(HotPathConfig::parse("[[hotpath]]\nfile = x\n").is_err()); // unquoted
+        assert!(HotPathConfig::parse("[[hotpath]]\nfile = \"x\"\n").is_err()); // incomplete
+        assert!(HotPathConfig::parse("[[hotpath]]\nnope = \"x\"\n").is_err()); // unknown key
+    }
+}

@@ -1,0 +1,145 @@
+//! Hand-rolled workspace lint for the wave-LTS codebase.
+//!
+//! Four rules, all motivated by production incidents waiting to happen in a
+//! numerical hot loop (see `DESIGN.md` § Static analysis & soundness):
+//!
+//! 1. **hot-path-alloc** — functions tagged `// lint: hot-path` (or listed
+//!    in `lint/hotpaths.toml`) must not heap-allocate: no `Vec::new`,
+//!    `to_vec`, `clone`, `collect`, `format!`, … The SEM element kernels
+//!    run millions of times per step; one stray `clone()` is a 2× slowdown
+//!    that no unit test catches.
+//! 2. **no-panic** — `crates/runtime` and `crates/sem` non-test code must
+//!    not `unwrap`/`expect`/`panic!`: a rank that panics mid-exchange
+//!    deadlocks its peers instead of failing cleanly.
+//! 3. **unsafe-safety** — every `unsafe` block carries a `// SAFETY:`
+//!    comment; `unsafe` items carry a `# Safety` doc section.
+//! 4. **float-eq** — no `==`/`!=` against floating-point literals outside
+//!    `to_bits()` comparisons.
+//!
+//! Per-line escape: `// lint: allow(<rule>) — <justification>`.
+//!
+//! Run as `cargo xtask lint` (alias in `.cargo/config.toml`); CI runs it
+//! from `scripts/check.sh` and fails on any diagnostic.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod rules;
+pub mod source;
+
+use config::HotPathConfig;
+use rules::Diagnostic;
+use source::Scrubbed;
+use std::path::{Path, PathBuf};
+
+/// Crates whose non-test code falls under the `no-panic` rule.
+const NO_PANIC_SCOPES: &[&str] = &["crates/runtime/src", "crates/sem/src"];
+
+/// Lint one file's contents. `rel` is the workspace-relative path with
+/// forward slashes (used for rule scoping and `hotpaths.toml` matching).
+pub fn lint_source(rel: &str, src: &str, cfg: &HotPathConfig) -> Vec<Diagnostic> {
+    let s = Scrubbed::new(src);
+    let path = Path::new(rel);
+    let mut diags = Vec::new();
+    rules::check_hot_path(path, rel, &s, cfg, &mut diags);
+    if NO_PANIC_SCOPES.iter().any(|p| rel.starts_with(p)) {
+        rules::check_no_panic(path, &s, &mut diags);
+    }
+    rules::check_unsafe(path, &s, &mut diags);
+    rules::check_float_eq(path, &s, &mut diags);
+    diags
+}
+
+/// Recursively collect the `.rs` files the lint governs: the root package's
+/// `src/` and every `crates/*/src/`. `shims/` (offline stand-ins for
+/// registry crates, not our code), `tests/`, `benches/` and `examples/`
+/// trees are out of scope by construction.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut dirs = vec![root.join("src")];
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path().join("src"))
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        dirs.extend(members);
+    }
+    let mut files = Vec::new();
+    while let Some(dir) = dirs.pop() {
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for p in entries {
+            if p.is_dir() {
+                dirs.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                files.push(p);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lint the whole workspace rooted at `root`. Returns the number of files
+/// checked and all diagnostics, sorted by path and line.
+pub fn lint_workspace(root: &Path) -> std::io::Result<(usize, Vec<Diagnostic>)> {
+    let cfg_path = root.join("lint/hotpaths.toml");
+    let cfg = if cfg_path.is_file() {
+        HotPathConfig::parse(&std::fs::read_to_string(&cfg_path)?).unwrap_or_else(|e| {
+            // a broken policy file must not silently disable the policy
+            panic!("{e}");
+        })
+    } else {
+        HotPathConfig::default()
+    };
+    let files = workspace_files(root)?;
+    let mut diags = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(file)?;
+        for mut d in lint_source(&rel, &src, &cfg) {
+            d.file = PathBuf::from(&rel);
+            diags.push(d);
+        }
+    }
+    diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok((files.len(), diags))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoping_applies_no_panic_only_to_runtime_and_sem() {
+        let cfg = HotPathConfig::default();
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(lint_source("crates/runtime/src/a.rs", src, &cfg).len(), 1);
+        assert_eq!(lint_source("crates/sem/src/a.rs", src, &cfg).len(), 1);
+        assert!(lint_source("crates/mesh/src/a.rs", src, &cfg).is_empty());
+        assert!(lint_source("src/bin/a.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn diagnostics_render_file_line_rule() {
+        let cfg = HotPathConfig::default();
+        let d = lint_source(
+            "crates/sem/src/a.rs",
+            "fn f() { None::<u32>.unwrap(); }\n",
+            &cfg,
+        );
+        assert_eq!(format!("{}", d[0]), "crates/sem/src/a.rs:1: [no-panic] `.unwrap()` in non-test code (return a Result instead)");
+    }
+}

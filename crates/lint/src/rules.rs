@@ -1,0 +1,558 @@
+//! The four lint rules.
+//!
+//! Every rule works on a [`Scrubbed`] view pair, reports `file:line`
+//! diagnostics, and honours a per-line escape hatch: a comment
+//! `// lint: allow(<rule>)` on the flagged line or the line directly above
+//! suppresses that rule there (use sparingly, with a justification in the
+//! same comment).
+
+use crate::config::HotPathConfig;
+use crate::source::{line_of, Scrubbed};
+use std::fmt;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+pub const RULE_HOT_PATH: &str = "hot-path-alloc";
+pub const RULE_NO_PANIC: &str = "no-panic";
+pub const RULE_UNSAFE: &str = "unsafe-safety";
+pub const RULE_FLOAT_EQ: &str = "float-eq";
+
+/// One violation, printable as `path:line: [rule] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub file: PathBuf,
+    pub line: usize,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.msg
+        )
+    }
+}
+
+/// Calls the hot-path policy bans: anything that heap-allocates or clones
+/// on the per-element path. Token patterns, matched against scrubbed code.
+const ALLOC_TOKENS: &[&str] = &[
+    "Vec::new",
+    "vec!",
+    ".to_vec()",
+    ".clone()",
+    ".collect()",
+    ".collect::",
+    "Box::new",
+    "String::new",
+    ".to_string()",
+    ".to_owned()",
+    "with_capacity",
+    "format!",
+];
+
+const PANIC_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// `lint: allow(<rule>)` on the same or previous line.
+fn allowed(comment_lines: &[&str], line0: usize, rule: &str) -> bool {
+    let pat = format!("lint: allow({rule})");
+    let here = comment_lines.get(line0).is_some_and(|l| l.contains(&pat));
+    let above = line0 > 0 && comment_lines[line0 - 1].contains(&pat);
+    here || above
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Word-boundary occurrences of `word` in `text` (char offsets).
+fn word_positions(text: &str, word: &str) -> Vec<usize> {
+    let cs: Vec<char> = text.chars().collect();
+    let w: Vec<char> = word.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + w.len() <= cs.len() {
+        if cs[i..i + w.len()] == w[..]
+            && (i == 0 || !is_ident(cs[i - 1]))
+            && (i + w.len() == cs.len() || !is_ident(cs[i + w.len()]))
+        {
+            out.push(i);
+        }
+        i += 1;
+    }
+    out
+}
+
+/// A function item found in scrubbed code: name, the line its `fn` token is
+/// on (0-based), and the char range of its `{ … }` body.
+#[derive(Debug)]
+pub struct FnSpan {
+    pub name: String,
+    pub fn_line0: usize,
+    pub body: Range<usize>,
+}
+
+/// Find all function items with bodies. Token-level: `fn <ident> … {` with
+/// the first `{` at paren depth 0 taken as the body opener; trait-method
+/// declarations (ending in `;`) are skipped.
+pub fn functions(code: &str) -> Vec<FnSpan> {
+    let cs: Vec<char> = code.chars().collect();
+    let mut out = Vec::new();
+    for start in word_positions(code, "fn") {
+        // identifier after `fn`
+        let mut j = start + 2;
+        while j < cs.len() && cs[j].is_whitespace() {
+            j += 1;
+        }
+        let name_start = j;
+        while j < cs.len() && is_ident(cs[j]) {
+            j += 1;
+        }
+        if j == name_start {
+            continue; // `fn` of a closure type like `impl Fn(...)` — no name
+        }
+        let name: String = cs[name_start..j].iter().collect();
+        // scan to body `{` at paren depth 0, or `;` (no body)
+        let mut depth = 0i32;
+        let mut body_open = None;
+        while j < cs.len() {
+            match cs[j] {
+                '(' | '[' => depth += 1,
+                ')' | ']' => depth -= 1,
+                '{' if depth == 0 => {
+                    body_open = Some(j);
+                    break;
+                }
+                ';' if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = body_open else { continue };
+        let mut brace = 0i32;
+        let mut k = open;
+        while k < cs.len() {
+            match cs[k] {
+                '{' => brace += 1,
+                '}' => {
+                    brace -= 1;
+                    if brace == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        out.push(FnSpan {
+            name,
+            fn_line0: line_of(code, start) - 1,
+            body: open..k.min(cs.len()),
+        });
+    }
+    out
+}
+
+/// How a marker must appear in a comment line for [`block_above_contains`].
+enum Match {
+    /// Anywhere in the comment text (Safety sections in prose docs).
+    Contains,
+    /// The whole trimmed comment line must start with the marker — so prose
+    /// that merely *mentions* `// lint: hot-path` (like this lint's own
+    /// docs) does not tag the function below it.
+    LinePrefix,
+}
+
+/// Does the contiguous comment/attribute block directly above line
+/// `fn_line0` contain `marker`?
+fn block_above_contains(
+    code_lines: &[&str],
+    comment_lines: &[&str],
+    fn_line0: usize,
+    marker: &str,
+    how: Match,
+) -> bool {
+    let mut l = fn_line0;
+    while l > 0 {
+        l -= 1;
+        let code_t = code_lines.get(l).map_or("", |s| s.trim());
+        let com_t = comment_lines.get(l).map_or("", |s| s.trim());
+        let hit = match how {
+            Match::Contains => com_t.contains(marker),
+            Match::LinePrefix => com_t.starts_with(marker),
+        };
+        if hit {
+            return true;
+        }
+        let is_attr = code_t.starts_with("#[") || code_t.starts_with("#![");
+        let is_comment_only = code_t.is_empty() && !com_t.is_empty();
+        if !(is_attr || is_comment_only) {
+            return false; // blank line or unrelated code ends the block
+        }
+    }
+    false
+}
+
+/// Rule 1: no allocation in hot-path functions (tagged inline with
+/// `// lint: hot-path` or listed in `lint/hotpaths.toml`).
+pub fn check_hot_path(
+    file: &Path,
+    rel: &str,
+    s: &Scrubbed,
+    cfg: &HotPathConfig,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let code_lines = s.code_lines();
+    let comment_lines = s.comment_lines();
+    let cs: Vec<char> = s.code.chars().collect();
+    for f in functions(&s.code) {
+        let tagged = block_above_contains(
+            &code_lines,
+            &comment_lines,
+            f.fn_line0,
+            "// lint: hot-path",
+            Match::LinePrefix,
+        );
+        let listed = cfg.contains(rel, &f.name);
+        if !tagged && !listed {
+            continue;
+        }
+        let body: String = cs[f.body.clone()].iter().collect();
+        for tok in ALLOC_TOKENS {
+            let mut from = 0;
+            while let Some(p) = body[from..].find(tok) {
+                let pos = from + p;
+                let line0 = line_of(&s.code, f.body.start) - 1 + line_of(&body, pos) - 1;
+                if !allowed(&comment_lines, line0, RULE_HOT_PATH) {
+                    diags.push(Diagnostic {
+                        file: file.to_path_buf(),
+                        line: line0 + 1,
+                        rule: RULE_HOT_PATH,
+                        msg: format!("`{}` allocates in hot-path fn `{}`", tok, f.name),
+                    });
+                }
+                from = pos + tok.len();
+            }
+        }
+    }
+}
+
+/// Rule 2: no `unwrap`/`expect`/`panic!` family in non-test code of the
+/// crates this rule is scoped to (`lts-runtime`, `lts-sem`).
+pub fn check_no_panic(file: &Path, s: &Scrubbed, diags: &mut Vec<Diagnostic>) {
+    let comment_lines = s.comment_lines();
+    for (line0, line) in s.code.lines().enumerate() {
+        for tok in PANIC_TOKENS {
+            if line.contains(tok) && !allowed(&comment_lines, line0, RULE_NO_PANIC) {
+                diags.push(Diagnostic {
+                    file: file.to_path_buf(),
+                    line: line0 + 1,
+                    rule: RULE_NO_PANIC,
+                    msg: format!("`{tok}` in non-test code (return a Result instead)"),
+                });
+            }
+        }
+    }
+}
+
+/// Rule 3: every `unsafe` must carry a justification. Blocks need a
+/// `SAFETY:` comment on the same line or within the 5 lines above;
+/// `unsafe fn`/`unsafe impl`/`unsafe trait` items accept a `Safety` section
+/// anywhere in their attached doc block.
+pub fn check_unsafe(file: &Path, s: &Scrubbed, diags: &mut Vec<Diagnostic>) {
+    let code_lines = s.code_lines();
+    let comment_lines = s.comment_lines();
+    let cs: Vec<char> = s.code.chars().collect();
+    for pos in word_positions(&s.code, "unsafe") {
+        let line0 = line_of(&s.code, pos) - 1;
+        if allowed(&comment_lines, line0, RULE_UNSAFE) {
+            continue;
+        }
+        // item or block?
+        let mut j = pos + "unsafe".len();
+        while j < cs.len() && cs[j].is_whitespace() {
+            j += 1;
+        }
+        let rest: String = cs[j..cs.len().min(j + 6)].iter().collect();
+        let is_item =
+            rest.starts_with("fn") || rest.starts_with("impl") || rest.starts_with("trait");
+        let justified = if is_item {
+            block_above_contains(
+                &code_lines,
+                &comment_lines,
+                line0,
+                "SAFETY",
+                Match::Contains,
+            ) || block_above_contains(
+                &code_lines,
+                &comment_lines,
+                line0,
+                "Safety",
+                Match::Contains,
+            )
+        } else {
+            let lo = line0.saturating_sub(5);
+            (lo..=line0).any(|l| comment_lines.get(l).is_some_and(|c| c.contains("SAFETY")))
+        };
+        if !justified {
+            diags.push(Diagnostic {
+                file: file.to_path_buf(),
+                line: line0 + 1,
+                rule: RULE_UNSAFE,
+                msg: if is_item {
+                    "`unsafe` item without a Safety section in its docs".into()
+                } else {
+                    "`unsafe` block without a preceding `// SAFETY:` comment".into()
+                },
+            });
+        }
+    }
+}
+
+/// Is `tok` a float-typed token: a numeric literal with a `.` or exponent,
+/// an `f64`/`f32` suffix, or an `f64::`/`f32::` associated const?
+fn float_token(tok: &str) -> bool {
+    if tok.is_empty() {
+        return false;
+    }
+    if tok.starts_with("f64::") || tok.starts_with("f32::") {
+        return true;
+    }
+    let c0 = tok.chars().next().unwrap_or(' ');
+    if !c0.is_ascii_digit() {
+        return false;
+    }
+    if tok.starts_with("0x") || tok.starts_with("0b") || tok.starts_with("0o") {
+        return false;
+    }
+    tok.contains('.') || tok.contains("f64") || tok.contains("f32") || tok.contains('e')
+}
+
+/// Rule 4: no `==`/`!=` against a float literal (compare `to_bits()`, use a
+/// tolerance, or annotate an exact-zero guard with `lint: allow(float-eq)`).
+/// Type inference is out of reach for a lexical lint, so this flags the
+/// decidable case: a floating-point *literal* (or `f64::` const) as either
+/// operand.
+pub fn check_float_eq(file: &Path, s: &Scrubbed, diags: &mut Vec<Diagnostic>) {
+    let comment_lines = s.comment_lines();
+    for (line0, line) in s.code.lines().enumerate() {
+        if line.contains(".to_bits()") {
+            continue;
+        }
+        let cs: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i + 1 < cs.len() {
+            let two: String = cs[i..i + 2].iter().collect();
+            let is_cmp = (two == "==" || two == "!=")
+                && (i == 0 || !matches!(cs[i - 1], '=' | '!' | '<' | '>' | '&' | '|'))
+                && (i + 2 >= cs.len() || cs[i + 2] != '=');
+            if is_cmp {
+                // right operand token
+                let mut r = i + 2;
+                while r < cs.len() && cs[r] == ' ' {
+                    r += 1;
+                }
+                if r < cs.len() && (cs[r] == '-' || cs[r] == '&') {
+                    r += 1;
+                }
+                let rs = r;
+                while r < cs.len() && (is_ident(cs[r]) || cs[r] == '.' || cs[r] == ':') {
+                    r += 1;
+                }
+                let right: String = cs[rs..r].iter().collect();
+                // left operand token
+                let mut l = i;
+                while l > 0 && cs[l - 1] == ' ' {
+                    l -= 1;
+                }
+                let le = l;
+                while l > 0 && (is_ident(cs[l - 1]) || cs[l - 1] == '.' || cs[l - 1] == ':') {
+                    l -= 1;
+                }
+                let left: String = cs[l..le].iter().collect();
+                if (float_token(&right) || float_token(&left))
+                    && !allowed(&comment_lines, line0, RULE_FLOAT_EQ)
+                {
+                    diags.push(Diagnostic {
+                        file: file.to_path_buf(),
+                        line: line0 + 1,
+                        rule: RULE_FLOAT_EQ,
+                        msg: format!(
+                            "float `{two}` comparison against `{}`",
+                            if float_token(&right) { &right } else { &left }
+                        ),
+                    });
+                }
+                i += 2;
+                continue;
+            }
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags_for(src: &str, rule: &str) -> Vec<Diagnostic> {
+        let s = Scrubbed::new(src);
+        let mut d = Vec::new();
+        let p = Path::new("x.rs");
+        match rule {
+            RULE_NO_PANIC => check_no_panic(p, &s, &mut d),
+            RULE_UNSAFE => check_unsafe(p, &s, &mut d),
+            RULE_FLOAT_EQ => check_float_eq(p, &s, &mut d),
+            RULE_HOT_PATH => check_hot_path(p, "x.rs", &s, &HotPathConfig::default(), &mut d),
+            _ => unreachable!(),
+        }
+        d
+    }
+
+    #[test]
+    fn hot_path_flags_alloc_in_tagged_fn_only() {
+        let src = "\
+// lint: hot-path
+fn hot(v: &[f64]) -> Vec<f64> {
+    v.to_vec()
+}
+
+fn cold(v: &[f64]) -> Vec<f64> {
+    v.to_vec()
+}
+";
+        let d = diags_for(src, RULE_HOT_PATH);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 3);
+        assert!(d[0].msg.contains("hot"));
+    }
+
+    #[test]
+    fn hot_path_tag_works_through_attributes() {
+        let src = "\
+// lint: hot-path
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn hot() {
+    let v: Vec<u32> = (0..4).collect();
+    let _ = v;
+}
+";
+        let d = diags_for(src, RULE_HOT_PATH);
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn hot_path_config_listing() {
+        let cfg = HotPathConfig {
+            entries: vec![("a/b.rs".into(), "listed".into())],
+        };
+        let s = Scrubbed::new("fn listed() { x.clone(); }\nfn other() { y.clone(); }\n");
+        let mut d = Vec::new();
+        check_hot_path(Path::new("a/b.rs"), "a/b.rs", &s, &cfg, &mut d);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].msg.contains("listed"));
+    }
+
+    #[test]
+    fn no_panic_skips_tests_strings_and_allows() {
+        let src = "\
+fn f(x: Option<u32>) -> u32 {
+    let s = \"don't .unwrap() me\";
+    // lint: allow(no-panic) — structural invariant, cannot fail
+    x.expect(s)
+}
+fn g(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+#[cfg(test)]
+mod tests {
+    fn t() { None::<u32>.unwrap(); }
+}
+";
+        let d = diags_for(src, RULE_NO_PANIC);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 7);
+    }
+
+    #[test]
+    fn unsafe_block_needs_safety_comment() {
+        let bad = "fn f(p: *mut u8) { unsafe { *p = 0; } }\n";
+        assert_eq!(diags_for(bad, RULE_UNSAFE).len(), 1);
+        let good = "fn f(p: *mut u8) {\n    // SAFETY: p is valid\n    unsafe { *p = 0; }\n}\n";
+        assert!(diags_for(good, RULE_UNSAFE).is_empty());
+    }
+
+    #[test]
+    fn unsafe_item_accepts_doc_safety_section() {
+        let good = "\
+/// Does a thing.
+///
+/// # Safety
+///
+/// Caller promises the pointer is live.
+unsafe fn f(p: *mut u8) { let _ = p; }
+";
+        assert!(diags_for(good, RULE_UNSAFE).is_empty());
+        let bad = "unsafe fn f(p: *mut u8) { let _ = p; }\n";
+        assert_eq!(diags_for(bad, RULE_UNSAFE).len(), 1);
+    }
+
+    #[test]
+    fn float_eq_literal_comparisons() {
+        assert_eq!(
+            diags_for("fn f(x: f64) -> bool { x == 0.0 }\n", RULE_FLOAT_EQ).len(),
+            1
+        );
+        assert_eq!(
+            diags_for("fn f(x: f64) -> bool { 1.5 != x }\n", RULE_FLOAT_EQ).len(),
+            1
+        );
+        assert_eq!(
+            diags_for(
+                "fn f(x: f64) -> bool { x == f64::INFINITY }\n",
+                RULE_FLOAT_EQ
+            )
+            .len(),
+            1
+        );
+        // integers, to_bits, and annotated exact-zero guards pass
+        assert!(diags_for("fn f(x: usize) -> bool { x == 0 }\n", RULE_FLOAT_EQ).is_empty());
+        assert!(diags_for(
+            "fn f(x: f64) -> bool { x.to_bits() == 0.0f64.to_bits() }\n",
+            RULE_FLOAT_EQ
+        )
+        .is_empty());
+        assert!(diags_for(
+            "fn f(x: f64) -> bool {\n    // lint: allow(float-eq) — exact zero guard\n    x == 0.0\n}\n",
+            RULE_FLOAT_EQ
+        )
+        .is_empty());
+        // `<=`, `>=`, `=>`, `..=` must not trip the detector
+        assert!(diags_for(
+            "fn f(x: f64) -> bool { x <= 0.5 && x >= -1.0 }\n",
+            RULE_FLOAT_EQ
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn function_extraction_finds_bodies() {
+        let code = Scrubbed::new("fn a() { 1; }\ntrait T { fn decl(&self); }\nfn b() {}\n");
+        let fns = functions(&code.code);
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+}

@@ -158,6 +158,17 @@ impl HexMesh {
         self.elem_char_size(e) / self.velocity[e as usize]
     }
 
+    /// Domain bounding box `((x0, x1), (y0, y1), (z0, z1))`. The coordinate
+    /// plane arrays always hold `n + 1 ≥ 2` entries (asserted at
+    /// construction), so the extents are total.
+    pub fn domain_extent(&self) -> ((f64, f64), (f64, f64), (f64, f64)) {
+        (
+            (self.xs[0], self.xs[self.nx]),
+            (self.ys[0], self.ys[self.ny]),
+            (self.zs[0], self.zs[self.nz]),
+        )
+    }
+
     /// Element centroid.
     pub fn elem_center(&self, e: u32) -> (f64, f64, f64) {
         let (i, j, k) = self.elem_ijk(e);

@@ -19,6 +19,8 @@
 //! * [`quad`] — small 2-D quadrilateral meshes used to reproduce the
 //!   didactic Figs. 2 and 3.
 
+#![forbid(unsafe_code)]
+
 pub mod benchmarks;
 pub mod dual;
 pub mod grading;

@@ -201,7 +201,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -242,7 +242,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -265,7 +265,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -276,7 +276,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let val = self.value()?;
             fields.push((key, val));
@@ -293,7 +293,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let start = self.pos;
@@ -328,8 +328,8 @@ impl Parser<'_> {
                             let hi = self.hex4()?;
                             let c = if (0xD800..0xDC00).contains(&hi) {
                                 // surrogate pair
-                                self.expect(b'\\')?;
-                                self.expect(b'u')?;
+                                self.expect_byte(b'\\')?;
+                                self.expect_byte(b'u')?;
                                 let lo = self.hex4()?;
                                 let code =
                                     0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00));
@@ -375,7 +375,8 @@ impl Parser<'_> {
                 _ => break,
             }
         }
-        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("non-UTF-8 bytes in number at byte {start}"))?;
         if !float {
             if let Ok(u) = s.parse::<u64>() {
                 return Ok(Json::UInt(u));

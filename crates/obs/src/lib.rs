@@ -26,6 +26,8 @@
 //! after the join, so the hot path pays one branch and one integer add per
 //! record — no atomics, no locks.
 
+#![forbid(unsafe_code)]
+
 pub mod chrome;
 pub mod export;
 pub mod registry;

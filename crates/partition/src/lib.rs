@@ -20,6 +20,7 @@
 //! bisections, Fiduccia–Mattheyses boundary refinement with per-constraint
 //! balance, and recursive bisection for K parts.
 
+#![forbid(unsafe_code)]
 // Indexed `for i in 0..n` loops over parallel arrays are the house idiom in
 // these numerical kernels: the index couples several same-length arrays and
 // mirrors the subscripts in the paper's equations, which zip chains obscure.

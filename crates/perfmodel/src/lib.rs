@@ -14,6 +14,7 @@
 //!   reference code (Figs. 9–11), cross-validated by the trace-driven cache
 //!   simulator in [`cache`] (Fig. 12).
 
+#![forbid(unsafe_code)]
 // Indexed `for i in 0..n` loops over parallel arrays are the house idiom in
 // these numerical kernels: the index couples several same-length arrays and
 // mirrors the subscripts in the paper's equations, which zip chains obscure.

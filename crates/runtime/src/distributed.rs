@@ -5,6 +5,11 @@
 //! Mirrors [`lts_core::LtsNewmark`]'s recursion exactly; the integration
 //! tests assert agreement with the serial stepper to round-off.
 
+use crate::error::RuntimeError;
+
+/// What a distributed run returns: final `(u, v)` and per-rank stats, or
+/// the first rank failure.
+pub type RunResult = Result<(Vec<f64>, Vec<f64>, Vec<RankStats>), RuntimeError>;
 use crate::exchange::{build_plans, RankPlan};
 use crate::monitor::{MonitorConfig, RankMonitor, StallMonitor};
 use crate::stats::{names, RankStats, TimelineEvent};
@@ -112,7 +117,7 @@ impl<'a, O: Operator> RankCtx<'a, O> {
     /// are then complete, since interior elements by definition touch no
     /// shared DOF), the sends are posted, interior elements are computed
     /// while the messages are in flight, and only then are peers awaited.
-    fn force_level(&mut self, l: usize, state_is_u: bool) {
+    fn force_level(&mut self, l: usize, state_is_u: bool) -> Result<(), RuntimeError> {
         // zero my entries
         for &i in &self.plan.my_zero[l] {
             self.fs[l][i as usize] = 0.0;
@@ -131,7 +136,7 @@ impl<'a, O: Operator> RankCtx<'a, O> {
                 );
             }
             self.amplify(self.plan.my_boundary_elems[l].len());
-            self.send_partials(l);
+            self.send_partials(l)?;
             {
                 let state = if state_is_u { &self.u } else { &self.uts[l] };
                 self.op.apply_masked_threads(
@@ -147,7 +152,7 @@ impl<'a, O: Operator> RankCtx<'a, O> {
             self.amplify(self.plan.my_interior_elems[l].len());
             self.reg
                 .inc_level(names::ELEM_OPS, l as u8, self.plan.my_elems[l].len() as u64);
-            self.recv_and_assemble(l);
+            self.recv_and_assemble(l)?;
         } else {
             {
                 let state = if state_is_u { &self.u } else { &self.uts[l] };
@@ -165,13 +170,14 @@ impl<'a, O: Operator> RankCtx<'a, O> {
                 .inc_level(names::ELEM_OPS, l as u8, self.plan.my_elems[l].len() as u64);
             self.amplify(self.plan.my_elems[l].len());
             if !self.plan.peers[l].is_empty() {
-                self.send_partials(l);
-                self.recv_and_assemble(l);
+                self.send_partials(l)?;
+                self.recv_and_assemble(l)?;
             }
         }
+        Ok(())
     }
 
-    fn send_partials(&mut self, l: usize) {
+    fn send_partials(&mut self, l: usize) -> Result<(), RuntimeError> {
         let mut dofs_sent = 0u64;
         for (pi, &peer) in self.plan.peers[l].iter().enumerate() {
             let payload: Vec<f64> = self.plan.pair_dofs[l][pi]
@@ -179,16 +185,21 @@ impl<'a, O: Operator> RankCtx<'a, O> {
                 .map(|&d| self.fs[l][d as usize])
                 .collect();
             dofs_sent += payload.len() as u64;
-            self.tx[peer]
-                .send((self.rank, payload))
-                .expect("peer hung up");
+            self.tx[peer].send((self.rank, payload)).map_err(|_| {
+                RuntimeError::PeerDisconnected {
+                    rank: self.rank,
+                    peer,
+                    level: l,
+                }
+            })?;
         }
         self.reg
             .inc_level(names::MSGS_SENT, l as u8, self.plan.peers[l].len() as u64);
         self.reg.inc_level(names::DOFS_SENT, l as u8, dofs_sent);
+        Ok(())
     }
 
-    fn recv_and_assemble(&mut self, l: usize) {
+    fn recv_and_assemble(&mut self, l: usize) -> Result<(), RuntimeError> {
         let busy_s = self.busy_since.elapsed().as_secs_f64();
         self.reg.observe(names::BUSY, Some(l as u8), busy_s);
         // receive one message per peer (FIFO per sender ⇒ correct pairing)
@@ -202,7 +213,10 @@ impl<'a, O: Operator> RankCtx<'a, O> {
             }
         }
         while missing > 0 {
-            let (from, payload) = self.rx.recv().expect("channel closed");
+            let (from, payload) = self.rx.recv().map_err(|_| RuntimeError::ChannelClosed {
+                rank: self.rank,
+                level: l,
+            })?;
             if let Some(pi) = self.plan.peers[l].iter().position(|&p| p == from) {
                 if pending[pi].is_none() {
                     pending[pi] = Some(payload);
@@ -211,6 +225,16 @@ impl<'a, O: Operator> RankCtx<'a, O> {
                 }
             }
             self.inbox[from].push_back(payload);
+        }
+        // after the loop every slot is filled; re-bind without the Option so
+        // the assembly below cannot index a missing message
+        let mut msgs: Vec<Vec<f64>> = Vec::with_capacity(pending.len());
+        for (pi, p) in pending.into_iter().enumerate() {
+            msgs.push(p.ok_or(RuntimeError::NotAPeer {
+                rank: self.rank,
+                peer: self.plan.peers[l][pi],
+                level: l,
+            })?);
         }
         let wait_s = wait_start.elapsed().as_secs_f64();
         self.reg.observe(names::WAIT, Some(l as u8), wait_s);
@@ -229,7 +253,7 @@ impl<'a, O: Operator> RankCtx<'a, O> {
             });
         }
         // assemble in ascending-rank order for bitwise consistency
-        let mut cursors = vec![0usize; pending.len()];
+        let mut cursors = vec![0usize; msgs.len()];
         for (d, ranks) in &self.plan.shared[l] {
             let mut total = 0.0;
             for &r in ranks {
@@ -239,14 +263,19 @@ impl<'a, O: Operator> RankCtx<'a, O> {
                     let pi = self.plan.peers[l]
                         .iter()
                         .position(|&p| p == r as usize)
-                        .unwrap();
-                    total += pending[pi].as_ref().unwrap()[cursors[pi]];
+                        .ok_or(RuntimeError::NotAPeer {
+                            rank: self.rank,
+                            peer: r as usize,
+                            level: l,
+                        })?;
+                    total += msgs[pi][cursors[pi]];
                     cursors[pi] += 1;
                 }
             }
             self.fs[l][*d as usize] = total;
         }
         self.busy_since = Instant::now();
+        Ok(())
     }
 
     /// Inject `Δ·F(t)/M` for this rank's sources at `level` into `target`
@@ -259,13 +288,13 @@ impl<'a, O: Operator> RankCtx<'a, O> {
         }
     }
 
-    fn aux_advance(&mut self, l: usize, t0: f64) {
+    fn aux_advance(&mut self, l: usize, t0: f64) -> Result<(), RuntimeError> {
         let levels = self.n_levels;
         let dt_l = self.dt / (1u64 << l) as f64;
         let innermost = l == levels - 1;
         for m in 0..2usize {
             let tm = t0 + m as f64 * dt_l;
-            self.force_level(l, false);
+            self.force_level(l, false)?;
             if innermost {
                 for ai in 0..self.plan.my_active[l].len() {
                     let i = self.plan.my_active[l][ai] as usize;
@@ -299,7 +328,7 @@ impl<'a, O: Operator> RankCtx<'a, O> {
                         dst[i as usize] = src[i as usize];
                     }
                 }
-                self.aux_advance(l + 1, tm);
+                self.aux_advance(l + 1, tm)?;
                 for ai in 0..self.plan.my_leaf[l].len() {
                     let i = self.plan.my_leaf[l][ai] as usize;
                     let mut f = 0.0;
@@ -332,12 +361,13 @@ impl<'a, O: Operator> RankCtx<'a, O> {
                 }
             }
         }
+        Ok(())
     }
 
-    fn step(&mut self, t: f64) {
+    fn step(&mut self, t: f64) -> Result<(), RuntimeError> {
         let levels = self.n_levels;
         let dt = self.dt;
-        self.force_level(0, true);
+        self.force_level(0, true)?;
         if levels == 1 {
             for &i in &self.plan.my_dofs {
                 let i = i as usize;
@@ -354,7 +384,7 @@ impl<'a, O: Operator> RankCtx<'a, O> {
             for &i in &self.plan.my_active[1] {
                 self.uts[1][i as usize] = self.u[i as usize];
             }
-            self.aux_advance(1, t);
+            self.aux_advance(1, t)?;
             for &i in &self.plan.my_active[1] {
                 let i = i as usize;
                 self.v[i] += 2.0 * (self.uts[1][i] - self.u[i]) / dt;
@@ -372,11 +402,13 @@ impl<'a, O: Operator> RankCtx<'a, O> {
             }
         }
         self.step_idx += 1;
+        Ok(())
     }
 }
 
 /// Run `n_steps` of distributed LTS-Newmark over `partition`. Returns the
-/// assembled global `(u, v)` and per-rank statistics.
+/// assembled global `(u, v)` and per-rank statistics; fails cleanly (no
+/// deadlock, no panic) if any rank drops out mid-run.
 #[allow(clippy::too_many_arguments)]
 pub fn run_distributed<O: Operator + DofTopology + Sync>(
     op: &O,
@@ -387,7 +419,7 @@ pub fn run_distributed<O: Operator + DofTopology + Sync>(
     v0: &[f64],
     n_steps: usize,
     cfg: &DistributedConfig,
-) -> (Vec<f64>, Vec<f64>, Vec<RankStats>) {
+) -> RunResult {
     run_distributed_with_sources(op, setup, partition, dt, u0, v0, n_steps, cfg, &[])
 }
 
@@ -404,7 +436,7 @@ pub fn run_distributed_with_sources<O: Operator + DofTopology + Sync>(
     n_steps: usize,
     cfg: &DistributedConfig,
     sources: &[Source],
-) -> (Vec<f64>, Vec<f64>, Vec<RankStats>) {
+) -> RunResult {
     let n_ranks = cfg.n_ranks;
     let plans = build_plans(op, setup, partition, n_ranks);
     let ndof = Operator::ndof(op);
@@ -421,8 +453,9 @@ pub fn run_distributed_with_sources<O: Operator + DofTopology + Sync>(
         receivers.push(rx);
     }
 
-    let results: Vec<(usize, Vec<f64>, Vec<f64>, RankStats)> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
+    type Joined = Result<(usize, Vec<f64>, Vec<f64>, RankStats), RuntimeError>;
+    let results: Result<Vec<_>, RuntimeError> = std::thread::scope(|scope| {
+        let mut handles: Vec<std::thread::ScopedJoinHandle<Joined>> = Vec::new();
         for (rank, rx) in receivers.into_iter().enumerate() {
             let tx = senders.clone();
             let plan = &plans[rank];
@@ -463,7 +496,7 @@ pub fn run_distributed_with_sources<O: Operator + DofTopology + Sync>(
                     busy_since: Instant::now(),
                 };
                 for step in 0..n_steps {
-                    ctx.step(step as f64 * dt);
+                    ctx.step(step as f64 * dt)?;
                 }
                 // busy tail after the last exchange, recorded level-less
                 ctx.reg
@@ -471,20 +504,28 @@ pub fn run_distributed_with_sources<O: Operator + DofTopology + Sync>(
                 if let Some(mut m) = ctx.monitor.take() {
                     m.flush_window(&mut ctx.reg);
                 }
-                (
+                Ok((
                     rank,
                     ctx.u,
                     ctx.v,
                     RankStats::from_registry(rank, ctx.reg, ctx.timeline),
-                )
+                ))
             }));
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rank panicked"))
-            .collect()
+        // join everyone before propagating: a failed rank drops its senders,
+        // which unblocks any peer still waiting in recv
+        let mut joined = Vec::with_capacity(handles.len());
+        for (rank, h) in handles.into_iter().enumerate() {
+            joined.push(
+                h.join()
+                    .map_err(|_| RuntimeError::RankPanicked { rank })
+                    .and_then(|r| r),
+            );
+        }
+        joined.into_iter().collect()
     });
     drop(senders);
+    let results = results?;
 
     // assemble global state from DOF owners (lowest owning rank)
     let mut owner = vec![u32::MAX; ndof];
@@ -501,7 +542,7 @@ pub fn run_distributed_with_sources<O: Operator + DofTopology + Sync>(
         by_rank[rank] = Some((ur, vr, st));
     }
     for (rank, slot) in by_rank.into_iter().enumerate() {
-        let (ur, vr, st) = slot.expect("missing rank result");
+        let (ur, vr, st) = slot.ok_or(RuntimeError::MissingRank { rank })?;
         for d in 0..ndof {
             if owner[d] == rank as u32 {
                 u[d] = ur[d];
@@ -511,7 +552,7 @@ pub fn run_distributed_with_sources<O: Operator + DofTopology + Sync>(
         stats.push(st);
     }
     stamp_lambda_gauges(monitor.as_deref(), &mut stats);
-    (u, v, stats)
+    Ok((u, v, stats))
 }
 
 /// Stamp the monitor's final per-level Eq. 21 λ (and its run-long watermark)
@@ -557,7 +598,7 @@ pub fn run_rank_contexts<O: Operator + Send>(
     n_steps: usize,
     cfg: &DistributedConfig,
     sources: &[Source],
-) -> (Vec<RankResult>, Vec<RankStats>) {
+) -> Result<(Vec<RankResult>, Vec<RankStats>), RuntimeError> {
     let n_ranks = ranks.len();
     let monitor = cfg.stall_monitor.map(|mc| {
         let n_levels = ranks.first().map_or(1, |r| r.n_levels);
@@ -570,8 +611,9 @@ pub fn run_rank_contexts<O: Operator + Send>(
         senders.push(tx);
         receivers.push(rx);
     }
-    let outcome: Vec<RankOutcome> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
+    let outcome: Result<Vec<RankOutcome>, RuntimeError> = std::thread::scope(|scope| {
+        let mut handles: Vec<std::thread::ScopedJoinHandle<Result<RankOutcome, RuntimeError>>> =
+            Vec::new();
         for ((rank, world), rx) in ranks.into_iter().enumerate().zip(receivers) {
             let tx = senders.clone();
             let cfg = *cfg;
@@ -615,46 +657,49 @@ pub fn run_rank_contexts<O: Operator + Send>(
                     busy_since: Instant::now(),
                 };
                 for step in 0..n_steps {
-                    ctx.step(step as f64 * dt);
+                    ctx.step(step as f64 * dt)?;
                 }
                 ctx.reg
                     .observe(names::BUSY, None, ctx.busy_since.elapsed().as_secs_f64());
                 if let Some(mut m) = ctx.monitor.take() {
                     m.flush_window(&mut ctx.reg);
                 }
-                (
+                Ok((
                     rank,
                     ctx.u,
                     ctx.v,
                     global_of_local,
                     RankStats::from_registry(rank, ctx.reg, ctx.timeline),
-                )
+                ))
             }));
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rank panicked"))
-            .collect()
+        let mut joined = Vec::with_capacity(handles.len());
+        for (rank, h) in handles.into_iter().enumerate() {
+            joined.push(
+                h.join()
+                    .map_err(|_| RuntimeError::RankPanicked { rank })
+                    .and_then(|r| r),
+            );
+        }
+        joined.into_iter().collect()
     });
     drop(senders);
     let mut results: Vec<Option<RankResult>> = (0..n_ranks).map(|_| None).collect();
     let mut stats: Vec<Option<RankStats>> = (0..n_ranks).map(|_| None).collect();
-    for (rank, u, v, map, st) in outcome {
+    for (rank, u, v, map, st) in outcome? {
         results[rank] = Some((u, v, map));
         stats[rank] = Some(st);
     }
-    let mut stats: Vec<RankStats> = stats
-        .into_iter()
-        .map(|s| s.expect("missing rank"))
-        .collect();
-    stamp_lambda_gauges(monitor.as_deref(), &mut stats);
-    (
-        results
-            .into_iter()
-            .map(|r| r.expect("missing rank"))
-            .collect(),
-        stats,
-    )
+    let mut flat_stats: Vec<RankStats> = Vec::with_capacity(n_ranks);
+    for (rank, s) in stats.into_iter().enumerate() {
+        flat_stats.push(s.ok_or(RuntimeError::MissingRank { rank })?);
+    }
+    stamp_lambda_gauges(monitor.as_deref(), &mut flat_stats);
+    let mut flat_results: Vec<RankResult> = Vec::with_capacity(n_ranks);
+    for (rank, r) in results.into_iter().enumerate() {
+        flat_results.push(r.ok_or(RuntimeError::MissingRank { rank })?);
+    }
+    Ok((flat_results, flat_stats))
 }
 
 #[cfg(test)]
@@ -690,7 +735,8 @@ mod tests {
         let (us, vs) = serial(&c, &setup, 0.5, &u0, 30);
         let part: Vec<u32> = (0..16).map(|e| u32::from(e >= 8)).collect();
         let cfg = DistributedConfig::new(2);
-        let (ud, vd, stats) = run_distributed(&c, &setup, &part, 0.5, &u0, &[0.0; 17], 30, &cfg);
+        let (ud, vd, stats) =
+            run_distributed(&c, &setup, &part, 0.5, &u0, &[0.0; 17], 30, &cfg).unwrap();
         for i in 0..17 {
             assert_eq!(us[i], ud[i], "u[{i}]");
             assert_eq!(vs[i], vd[i], "v[{i}]");
@@ -717,7 +763,7 @@ mod tests {
         let (us, _) = serial(&c, &setup, dt, &u0, 20);
         let part: Vec<u32> = (0..24).map(|e| (e / 6) as u32).collect();
         let cfg = DistributedConfig::new(4);
-        let (ud, _, _) = run_distributed(&c, &setup, &part, dt, &u0, &[0.0; 25], 20, &cfg);
+        let (ud, _, _) = run_distributed(&c, &setup, &part, dt, &u0, &[0.0; 25], 20, &cfg).unwrap();
         for i in 0..25 {
             assert!(
                 (us[i] - ud[i]).abs() < 1e-13,
@@ -742,7 +788,7 @@ mod tests {
         // interleaved ownership → many interfaces
         let part: Vec<u32> = (0..12).map(|e| (e % 3) as u32).collect();
         let cfg = DistributedConfig::new(3);
-        let (ud, _, _) = run_distributed(&c, &setup, &part, dt, &u0, &[0.0; 13], 15, &cfg);
+        let (ud, _, _) = run_distributed(&c, &setup, &part, dt, &u0, &[0.0; 13], 15, &cfg).unwrap();
         for i in 0..13 {
             assert!((us[i] - ud[i]).abs() < 1e-13, "u[{i}]");
         }
@@ -755,7 +801,8 @@ mod tests {
         let u0 = gaussian(9);
         let (us, _) = serial(&c, &setup, 0.5, &u0, 10);
         let cfg = DistributedConfig::new(1);
-        let (ud, _, stats) = run_distributed(&c, &setup, &[0; 8], 0.5, &u0, &[0.0; 9], 10, &cfg);
+        let (ud, _, stats) =
+            run_distributed(&c, &setup, &[0; 8], 0.5, &u0, &[0.0; 9], 10, &cfg).unwrap();
         assert_eq!(us, ud);
         assert_eq!(stats[0].n_exchanges, 0);
     }
@@ -780,8 +827,10 @@ mod tests {
             overlap: true,
             ..blocking
         };
-        let (ub, _, _) = run_distributed(&c, &setup, &part, dt, &u0, &[0.0; 25], 20, &blocking);
-        let (uo, _, _) = run_distributed(&c, &setup, &part, dt, &u0, &[0.0; 25], 20, &overlapped);
+        let (ub, _, _) =
+            run_distributed(&c, &setup, &part, dt, &u0, &[0.0; 25], 20, &blocking).unwrap();
+        let (uo, _, _) =
+            run_distributed(&c, &setup, &part, dt, &u0, &[0.0; 25], 20, &overlapped).unwrap();
         // interface partials are order-identical; interior-element summation
         // order differs only on private DOFs → tiny round-off differences
         for i in 0..25 {
@@ -830,7 +879,8 @@ mod tests {
             ..DistributedConfig::new(2)
         };
         let u0 = gaussian(17);
-        let (_, _, stats) = run_distributed(&c, &setup, &part, dt, &u0, &[0.0; 17], 50, &cfg);
+        let (_, _, stats) =
+            run_distributed(&c, &setup, &part, dt, &u0, &[0.0; 17], 50, &cfg).unwrap();
         // rank 0 (coarse only) waits more than rank 1
         assert!(
             stats[0].wait_s > stats[1].wait_s,
@@ -861,7 +911,8 @@ mod tests {
             ..DistributedConfig::new(2)
         };
         let u0 = gaussian(17);
-        let (_, _, stats) = run_distributed(&c, &setup, &part, 0.5, &u0, &[0.0; 17], 60, &cfg);
+        let (_, _, stats) =
+            run_distributed(&c, &setup, &part, 0.5, &u0, &[0.0; 17], 60, &cfg).unwrap();
         let posthoc = lambda_from_stats(&stats);
         assert!(!posthoc.is_empty());
         for &(l, lam) in &posthoc {

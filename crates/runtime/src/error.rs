@@ -1,0 +1,58 @@
+//! Error type for the distributed runtime.
+//!
+//! The rank loops used to `expect()` on channel operations; under the
+//! workspace `no-panic` lint every fallible exchange step now surfaces a
+//! [`RuntimeError`] instead. Failure of one rank cascades cleanly: when its
+//! thread returns, its channel senders drop, peers' `recv()` calls fail
+//! with [`RuntimeError::ChannelClosed`], and the whole run unwinds to the
+//! caller rather than deadlocking the surviving ranks.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A send to `peer` failed: its receiver was dropped mid-exchange.
+    PeerDisconnected {
+        rank: usize,
+        peer: usize,
+        level: usize,
+    },
+    /// `recv()` failed while awaiting assembly partials: every sender is
+    /// gone, so some peer exited early.
+    ChannelClosed { rank: usize, level: usize },
+    /// The exchange plan's shared-DOF list references a rank that is not in
+    /// this rank's peer list for the level (plan construction bug).
+    NotAPeer {
+        rank: usize,
+        peer: usize,
+        level: usize,
+    },
+    /// A rank thread panicked (the panic payload is not preserved; the
+    /// panic message itself goes to stderr when it happens).
+    RankPanicked { rank: usize },
+    /// A rank produced no result slot (internal bookkeeping bug).
+    MissingRank { rank: usize },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            RuntimeError::PeerDisconnected { rank, peer, level } => write!(
+                f,
+                "rank {rank}: peer {peer} hung up during level-{level} exchange"
+            ),
+            RuntimeError::ChannelClosed { rank, level } => write!(
+                f,
+                "rank {rank}: channel closed while awaiting level-{level} partials"
+            ),
+            RuntimeError::NotAPeer { rank, peer, level } => write!(
+                f,
+                "rank {rank}: shared-DOF list names rank {peer}, not a level-{level} peer"
+            ),
+            RuntimeError::RankPanicked { rank } => write!(f, "rank {rank} panicked"),
+            RuntimeError::MissingRank { rank } => write!(f, "no result from rank {rank}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}

@@ -13,13 +13,17 @@
 //! stay bitwise consistent with the serial stepper — asserted by the
 //! integration tests.
 
+#![forbid(unsafe_code)]
+
 pub mod distributed;
+pub mod error;
 pub mod exchange;
 pub mod local;
 pub mod monitor;
 pub mod stats;
 
 pub use distributed::{run_distributed, DistributedConfig};
+pub use error::RuntimeError;
 pub use local::{
     run_distributed_local_acoustic, run_distributed_local_acoustic_observed,
     run_distributed_local_elastic, run_distributed_local_elastic_observed,

@@ -8,10 +8,10 @@
 //! rank-local DOF/element numbering up front). Verified bitwise against the
 //! serial stepper.
 
+use crate::distributed::RunResult;
 use crate::distributed::{run_rank_contexts, DistributedConfig, LocalRank};
 use crate::exchange::build_plans;
 use crate::exchange::RankPlan;
-use crate::stats::RankStats;
 use lts_core::{LtsSetup, Operator, Source};
 use lts_mesh::{HexMesh, Levels};
 use lts_obs::MetricsRegistry;
@@ -34,7 +34,7 @@ pub fn run_distributed_local_acoustic(
     n_steps: usize,
     cfg: &DistributedConfig,
     sources: &[Source],
-) -> (Vec<f64>, Vec<f64>, Vec<RankStats>) {
+) -> RunResult {
     let mut host = MetricsRegistry::new();
     run_distributed_local_acoustic_observed(
         mesh, levels, order, partition, dt, u0, v0, n_steps, cfg, sources, &mut host,
@@ -58,7 +58,7 @@ pub fn run_distributed_local_acoustic_observed(
     cfg: &DistributedConfig,
     sources: &[Source],
     host: &mut MetricsRegistry,
-) -> (Vec<f64>, Vec<f64>, Vec<RankStats>) {
+) -> RunResult {
     let n_ranks = cfg.n_ranks;
     // global discretization (mass + level sets), as the decomposer computes
     let discretize = host.start_span("decompose.discretize", None);
@@ -87,9 +87,11 @@ pub fn run_distributed_local_acoustic_observed(
         );
         // index translations
         let local_dof = |g: u32| -> u32 {
+            // The plan only names DOFs of elements this rank owns, so a miss
+            // is a plan-construction bug, not a runtime condition.
             global_of_local
                 .binary_search(&g)
-                .expect("dof not owned by rank") as u32
+                .expect("dof not owned by rank") as u32 // lint: allow(no-panic)
         };
         let local_elem: std::collections::HashMap<u32, u32> = my_elems_global
             .iter()
@@ -179,7 +181,7 @@ pub fn run_distributed_local_acoustic_observed(
     drop(worlds_span);
 
     let run_span = host.start_span("run.steps", None);
-    let (results, stats) = run_rank_contexts(ranks, dt, n_steps, cfg, sources);
+    let (results, stats) = run_rank_contexts(ranks, dt, n_steps, cfg, sources)?;
     drop(run_span);
     for s in &stats {
         host.merge_from(&s.registry);
@@ -202,7 +204,7 @@ pub fn run_distributed_local_acoustic_observed(
             }
         }
     }
-    (u, v, stats)
+    Ok((u, v, stats))
 }
 
 /// [`run_distributed_local_acoustic`] for the elastic operator: local node
@@ -219,7 +221,7 @@ pub fn run_distributed_local_elastic(
     n_steps: usize,
     cfg: &DistributedConfig,
     sources: &[Source],
-) -> (Vec<f64>, Vec<f64>, Vec<RankStats>) {
+) -> RunResult {
     let mut host = MetricsRegistry::new();
     run_distributed_local_elastic_observed(
         mesh, levels, order, partition, dt, u0, v0, n_steps, cfg, sources, &mut host,
@@ -241,7 +243,7 @@ pub fn run_distributed_local_elastic_observed(
     cfg: &DistributedConfig,
     sources: &[Source],
     host: &mut MetricsRegistry,
-) -> (Vec<f64>, Vec<f64>, Vec<RankStats>) {
+) -> RunResult {
     let n_ranks = cfg.n_ranks;
     let discretize = host.start_span("decompose.discretize", None);
     let global_op = ElasticOperator::poisson(mesh, order);
@@ -270,6 +272,9 @@ pub fn run_distributed_local_elastic_observed(
         let local_dof = |g: u32| -> u32 {
             let node = g / 3;
             let comp = g % 3;
+            // Same decompose-time invariant as the acoustic variant:
+            // plans never name foreign nodes.
+            // lint: allow(no-panic) — decompose-time structural invariant
             3 * node_of_local.binary_search(&node).expect("node not owned") as u32 + comp
         };
         let local_elem: std::collections::HashMap<u32, u32> = my_elems_global
@@ -371,7 +376,7 @@ pub fn run_distributed_local_elastic_observed(
     drop(worlds_span);
 
     let run_span = host.start_span("run.steps", None);
-    let (results, stats) = run_rank_contexts(ranks, dt, n_steps, cfg, sources);
+    let (results, stats) = run_rank_contexts(ranks, dt, n_steps, cfg, sources)?;
     drop(run_span);
     for s in &stats {
         host.merge_from(&s.registry);
@@ -393,7 +398,7 @@ pub fn run_distributed_local_elastic_observed(
             }
         }
     }
-    (u, v, stats)
+    Ok((u, v, stats))
 }
 
 #[cfg(test)]
@@ -447,7 +452,8 @@ mod tests {
             4,
             &cfg,
             &[],
-        );
+        )
+        .unwrap();
         let scale = reference.iter().fold(1.0f64, |m, &x| m.max(x.abs()));
         for i in 0..ndof {
             assert!(
@@ -490,7 +496,8 @@ mod tests {
             5,
             &cfg,
             &srcs,
-        );
+        )
+        .unwrap();
         let scale = reference.iter().fold(1e-30f64, |m, &x| m.max(x.abs()));
         for i in 0..ndof {
             assert!(
@@ -530,7 +537,8 @@ mod tests {
             3,
             &cfg,
             &[],
-        );
+        )
+        .unwrap();
         let scale = u_ref.iter().fold(1.0f64, |m, &x| m.max(x.abs()));
         for i in 0..ndof {
             assert!(

@@ -163,11 +163,19 @@ impl StallMonitor {
                 w.rank, w.level, w.wait_fraction, w.lambda, self.cfg.wait_warn_fraction, w.exchanges_seen
             );
         }
-        self.warnings.lock().expect("monitor poisoned").push(w);
+        // A panicked rank may have poisoned the mutex; the warning list is
+        // still coherent (push is atomic w.r.t. the lock), so recover it.
+        self.warnings
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(w);
     }
 
     pub fn warnings(&self) -> Vec<StallWarning> {
-        self.warnings.lock().expect("monitor poisoned").clone()
+        self.warnings
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
     }
 }
 

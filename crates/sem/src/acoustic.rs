@@ -199,6 +199,7 @@ impl AcousticOperator {
 
     /// Process position `pos` of a compiled entry: branch-free gather,
     /// stiffness kernel, multiply-by-`M⁻¹` scatter.
+    // lint: hot-path
     #[inline]
     fn compiled_elem(
         &self,

@@ -73,9 +73,7 @@ impl Sponge {
         let px = planes(&mesh.xs, mesh.nx);
         let py = planes(&mesh.ys, mesh.ny);
         let pz = planes(&mesh.zs, mesh.nz);
-        let (x0, x1) = (mesh.xs[0], *mesh.xs.last().unwrap());
-        let (y0, y1) = (mesh.ys[0], *mesh.ys.last().unwrap());
-        let (z0, z1) = (mesh.zs[0], *mesh.zs.last().unwrap());
+        let ((x0, x1), (y0, y1), (z0, z1)) = mesh.domain_extent();
 
         // smooth ramp: 0 at the layer's inner edge, 1 at the face
         let ramp = |d: f64| -> f64 {

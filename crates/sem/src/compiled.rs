@@ -75,13 +75,25 @@ impl GatherCache {
             return i;
         }
         let coloring = ElementColoring::greedy(elems, n_targets, targets_of);
-        let mut order = Vec::with_capacity(elems.len());
-        let mut color_off = Vec::with_capacity(coloring.classes.len() + 1);
-        color_off.push(0u32);
-        for class in &coloring.classes {
-            order.extend_from_slice(class);
-            color_off.push(order.len() as u32);
+        // lts-check hook: re-assert, at every compile, the exact invariants
+        // the threaded scatter relies on — conflict-freedom within each
+        // colour and a one-to-one cover of the requested element list.
+        #[cfg(debug_assertions)]
+        {
+            let conflict = crate::verify::conflict_free(&coloring.classes, n_targets, targets_of);
+            debug_assert!(
+                conflict.is_ok(),
+                "compiled colouring for level {level}: {}",
+                conflict.unwrap_err()
+            );
+            let cover = crate::verify::complete_cover(&coloring.classes, elems);
+            debug_assert!(
+                cover.is_ok(),
+                "compiled colouring for level {level}: {}",
+                cover.unwrap_err()
+            );
         }
+        let (order, color_off) = coloring.flatten();
         let mut idx = Vec::new();
         let mut mask = Vec::new();
         fill(&order, &mut idx, &mut mask);

@@ -1,0 +1,73 @@
+//! The one `unsafe` primitive of the threaded executor: a lifetime-carrying
+//! shared view of an output slice whose writers promise index-disjointness.
+//!
+//! Everything `unsafe` in `lts-sem` funnels through [`DisjointOut`] so the
+//! soundness argument lives in exactly one place. The invariant it encodes —
+//! *concurrent claimants never touch the same index between two barriers* —
+//! is discharged structurally by the colouring: within one colour of a
+//! [`crate::compiled::CompiledGather`] no two elements share a scatter
+//! target (verified by [`crate::verify::conflict_free`], re-checked by a
+//! `debug_assert!` at every compile, model-checked across interleavings by
+//! `tests/loom_model.rs`, and auditable offline via the `lts-check` binary).
+//!
+//! Safe alternatives considered and rejected:
+//! * `&[Cell<f64>]` via `Cell::as_slice_of_cells` — `Cell` is not `Sync`,
+//!   so it cannot cross the scoped-thread boundary.
+//! * `&[AtomicU64]` — would change the generated code on the hottest loop
+//!   of the whole system and forfeit bitwise identity guarantees.
+//! * per-thread private buffers merged afterwards — changes the memory
+//!   traffic the paper's performance model is calibrated against.
+//!
+//! Unlike the raw `(*mut f64, usize)` pair it replaced, [`DisjointOut`]
+//! carries the lifetime of the borrowed slice, so a claimed view can never
+//! outlive the buffer it aliases.
+
+use std::marker::PhantomData;
+
+/// A `Sync` view over a `&'a mut [f64]` that hands out aliasing `&mut`
+/// slices to cooperating threads which promise disjoint index access.
+pub(crate) struct DisjointOut<'a> {
+    ptr: *mut f64,
+    len: usize,
+    /// Ties the view to the original mutable borrow: while a `DisjointOut`
+    /// exists the caller cannot touch the slice through any other path.
+    _borrow: PhantomData<&'a mut [f64]>,
+}
+
+// SAFETY: sharing `DisjointOut` across threads only shares the *capability*
+// to call `claim`; actual aliased access is governed by `claim`'s contract
+// (disjoint index sets between barriers). The wrapped pointer originates
+// from an exclusive `&mut [f64]` borrow held for the view's lifetime, so no
+// third party can observe the writes mid-flight.
+unsafe impl Sync for DisjointOut<'_> {}
+
+impl<'a> DisjointOut<'a> {
+    /// Wrap an exclusively borrowed output slice. The borrow is held for
+    /// `'a`, so all access until then goes through [`DisjointOut::claim`].
+    pub(crate) fn new(out: &'a mut [f64]) -> Self {
+        DisjointOut {
+            ptr: out.as_mut_ptr(),
+            len: out.len(),
+            _borrow: PhantomData,
+        }
+    }
+
+    /// Reborrow the full slice.
+    ///
+    /// # Safety
+    ///
+    /// Callers on distinct threads must write disjoint index sets between
+    /// two consecutive synchronisation points (the colour barrier in
+    /// [`crate::parallel::par_colored`]). In the colored executor this holds
+    /// because (a) threads take disjoint position ranges of the compiled
+    /// order and (b) same-colour elements share no scatter targets — the
+    /// invariant `lts-check` verifies and `GatherCache::get_or_build`
+    /// re-asserts in debug builds.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn claim(&self) -> &mut [f64] {
+        // SAFETY: `ptr`/`len` come from a live `&'a mut [f64]` (see `new`);
+        // the aliasing produced by concurrent `claim`s is harmless under the
+        // caller contract above (disjoint index sets between barriers).
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+}

@@ -120,11 +120,12 @@ impl DofMap {
         let py = planes(&mesh.ys, self.ny);
         let pz = planes(&mesh.zs, self.nz);
         let nearest = |p: &[f64], v: f64| -> usize {
+            // GLL planes are never empty, so the fold always visits at least
+            // one candidate; total_cmp keeps this panic-free even for NaNs.
             p.iter()
                 .enumerate()
-                .min_by(|a, b| (a.1 - v).abs().partial_cmp(&(b.1 - v).abs()).unwrap())
-                .unwrap()
-                .0
+                .min_by(|a, b| (a.1 - v).abs().total_cmp(&(b.1 - v).abs()))
+                .map_or(0, |(i, _)| i)
         };
         self.global_node(nearest(&px, x), nearest(&py, y), nearest(&pz, z))
     }

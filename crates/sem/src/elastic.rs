@@ -122,6 +122,7 @@ fn deriv_z_t_add(d: &[f64], np: usize, f: &[f64], out: &mut [f64]) {
 
 /// `s.out = K_e · s.u` for one brick element of the isotropic elastic
 /// operator (shared by the structured and unstructured variants).
+// lint: hot-path
 pub(crate) fn elastic_stiffness(
     basis: &GllBasis,
     hx: f64,
@@ -354,6 +355,7 @@ impl ElasticOperator {
     }
 
     /// Process position `pos` of a compiled entry.
+    // lint: hot-path
     #[inline]
     fn compiled_elem(
         &self,

@@ -21,6 +21,7 @@
 pub mod acoustic;
 pub mod boundary;
 pub(crate) mod compiled;
+pub(crate) mod disjoint;
 pub mod dofmap;
 pub mod elastic;
 pub mod gll;
@@ -28,6 +29,7 @@ pub mod kernel;
 pub mod parallel;
 pub mod record;
 pub mod unstructured;
+pub mod verify;
 
 pub use acoustic::AcousticOperator;
 pub use boundary::Sponge;

@@ -2,18 +2,25 @@
 //!
 //! On a structured hex mesh the 8 parity classes `(i%2, j%2, k%2)` are
 //! independent sets: two elements of the same colour never share a GLL node,
-//! so their stiffness scatters touch disjoint DOFs and can run on Rayon
-//! worker threads without synchronization. Colours are processed one after
+//! so their stiffness scatters touch disjoint DOFs and can run on worker
+//! threads without synchronization. Colours are processed one after
 //! another — the result is deterministic (within a colour every DOF receives
 //! contributions from exactly one element).
 //!
 //! This is the per-node parallelism of the paper's platform (8 cores per
 //! node under MPI); combined with `lts-runtime` it gives the familiar
 //! MPI × threads hybrid.
+//!
+//! The executor's entire `unsafe` surface is the [`DisjointOut`] primitive
+//! (see `disjoint.rs` for the soundness argument); single-threaded calls
+//! take a fully safe path that never constructs the shared view at all. The
+//! colour/barrier protocol itself is model-checked across all interleavings
+//! in `tests/loom_model.rs`, which drives the same [`chunk_range`] split
+//! used here.
 
 use crate::acoustic::AcousticOperator;
-use crate::dofmap::DofMap;
-use rayon::prelude::*;
+use crate::compiled::ScalarScratch;
+use crate::disjoint::DisjointOut;
 
 /// The 8 parity colour classes of a structured mesh.
 #[derive(Debug, Clone)]
@@ -23,7 +30,7 @@ pub struct ElementColoring {
 }
 
 impl ElementColoring {
-    pub fn new(dofmap: &DofMap) -> Self {
+    pub fn new(dofmap: &crate::dofmap::DofMap) -> Self {
         let mut classes: Vec<Vec<u32>> = vec![Vec::new(); 8];
         for e in 0..dofmap.n_elems() as u32 {
             let (i, j, k) = dofmap.elem_ijk(e);
@@ -83,30 +90,46 @@ impl ElementColoring {
                 .collect(),
         }
     }
+
+    /// Flatten into the colour-major `(order, color_off)` representation the
+    /// executor consumes: `order` lists all elements colour by colour,
+    /// `color_off[c]..color_off[c+1]` is colour `c`'s span.
+    pub fn flatten(&self) -> (Vec<u32>, Vec<u32>) {
+        let total: usize = self.classes.iter().map(|c| c.len()).sum();
+        let mut order = Vec::with_capacity(total);
+        let mut color_off = Vec::with_capacity(self.classes.len() + 1);
+        color_off.push(0u32);
+        for class in &self.classes {
+            order.extend_from_slice(class);
+            color_off.push(order.len() as u32);
+        }
+        (order, color_off)
+    }
 }
 
-/// A send/sync wrapper for the disjoint-scatter pattern.
-pub(crate) struct SharedOut(*mut f64, usize);
-unsafe impl Sync for SharedOut {}
-
-impl SharedOut {
-    /// SAFETY: callers must guarantee that concurrent invocations touch
-    /// disjoint index sets (here: same-colour elements share no DOFs).
-    #[allow(clippy::mut_from_ref)]
-    unsafe fn slice(&self) -> &mut [f64] {
-        unsafe { std::slice::from_raw_parts_mut(self.0, self.1) }
-    }
+/// The contiguous position range thread `tid` of `threads` owns within a
+/// colour span `lo..hi`: ceil-divided chunks, clamped to the span. Shared
+/// with the interleaving model checker (`tests/loom_model.rs`) so the model
+/// verifies the exact split the executor runs.
+#[doc(hidden)]
+pub fn chunk_range(lo: usize, hi: usize, threads: usize, tid: usize) -> (usize, usize) {
+    let chunk = (hi - lo).div_ceil(threads);
+    let start = (lo + tid * chunk).min(hi);
+    let end = (start + chunk).min(hi);
+    (start, end)
 }
 
 /// Run a colour-major compiled order on `scratch.len()` OS threads.
 ///
 /// `f(pos, scratch, out)` processes the element at position `pos` of the
 /// compiled order. Each colour span `color_off[c]..color_off[c+1]` is split
-/// into one contiguous chunk per thread; a barrier separates colours. Within
-/// a colour no two elements share a scatter target, and every DOF receives
-/// at most one contribution per colour, so the accumulation order per DOF is
-/// exactly the colour order — the result is bitwise identical to a serial
-/// walk of the same compiled order, at any thread count.
+/// into one contiguous chunk per thread ([`chunk_range`]); a barrier
+/// separates colours. Within a colour no two elements share a scatter
+/// target, and every DOF receives at most one contribution per colour, so
+/// the accumulation order per DOF is exactly the colour order — the result
+/// is bitwise identical to a serial walk of the same compiled order, at any
+/// thread count.
+// lint: hot-path
 pub(crate) fn par_colored<S: Send>(
     out: &mut [f64],
     color_off: &[u32],
@@ -114,21 +137,32 @@ pub(crate) fn par_colored<S: Send>(
     f: impl Fn(usize, &mut S, &mut [f64]) + Sync,
 ) {
     let threads = scratch.len();
-    let shared = &SharedOut(out.as_mut_ptr(), out.len());
+    if threads <= 1 {
+        // Fully safe single-threaded path: the exclusive borrow is used
+        // directly, no shared view is ever constructed.
+        if let Some(sc) = scratch.first_mut() {
+            for w in color_off.windows(2) {
+                for pos in w[0] as usize..w[1] as usize {
+                    f(pos, sc, out);
+                }
+            }
+        }
+        return;
+    }
+    let shared = &DisjointOut::new(out);
     let barrier = &std::sync::Barrier::new(threads);
     let f = &f;
     std::thread::scope(|scope| {
         for (tid, sc) in scratch.iter_mut().enumerate() {
             scope.spawn(move || {
                 for w in color_off.windows(2) {
-                    let (lo, hi) = (w[0] as usize, w[1] as usize);
-                    let chunk = (hi - lo).div_ceil(threads);
-                    let start = (lo + tid * chunk).min(hi);
-                    let end = (start + chunk).min(hi);
-                    // SAFETY: same-colour elements share no scatter targets
-                    // and threads take disjoint position ranges, so these
-                    // writes never alias until the barrier.
-                    let out = unsafe { shared.slice() };
+                    let (start, end) = chunk_range(w[0] as usize, w[1] as usize, threads, tid);
+                    // SAFETY: threads take disjoint position ranges of this
+                    // colour span and same-colour elements share no scatter
+                    // targets (the compiled-colouring invariant, re-checked
+                    // at build time), so concurrent writes through the
+                    // claimed view never alias until the barrier.
+                    let out = unsafe { shared.claim() };
                     for pos in start..end {
                         f(pos, sc, out);
                     }
@@ -139,7 +173,8 @@ pub(crate) fn par_colored<S: Send>(
     });
 }
 
-/// Parallel `out = A u` for the acoustic operator.
+/// Parallel `out = A u` for the acoustic operator: flattens the colouring
+/// and drives the colored executor with one scratch set per available core.
 pub fn apply_parallel(
     op: &AcousticOperator,
     coloring: &ElementColoring,
@@ -147,15 +182,14 @@ pub fn apply_parallel(
     out: &mut [f64],
 ) {
     out.fill(0.0);
-    let shared = SharedOut(out.as_mut_ptr(), out.len());
-    for class in &coloring.classes {
-        class.par_iter().for_each(|&e| {
-            // SAFETY: elements within one parity class share no GLL nodes,
-            // so these scatters write disjoint entries of `out`.
-            let out = unsafe { shared.slice() };
-            op.apply_masked_one(e, u, out);
-        });
-    }
+    let (order, color_off) = coloring.flatten();
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = hw.min(8).min(order.len().max(1));
+    let npe = op.dofmap.nodes_per_elem();
+    let mut scratch: Vec<ScalarScratch> = (0..threads).map(|_| ScalarScratch::new(npe)).collect();
+    par_colored(out, &color_off, &mut scratch, |pos, sc, o| {
+        op.apply_one_scratch(order[pos], u, sc, o);
+    });
 }
 
 impl AcousticOperator {
@@ -163,11 +197,15 @@ impl AcousticOperator {
     /// parallel driver).
     pub fn apply_masked_one(&self, e: u32, u: &[f64], out: &mut [f64]) {
         let npe = self.dofmap.nodes_per_elem();
-        let mut loc = vec![0.0; npe];
-        let mut tmp = vec![0.0; npe];
-        let mut der = vec![0.0; npe];
-        self.gather_pub(e, u, &mut loc);
-        self.elem_stiffness_scatter_pub(e, &loc, &mut tmp, &mut der, out);
+        let mut sc = ScalarScratch::new(npe);
+        self.apply_one_scratch(e, u, &mut sc, out);
+    }
+
+    /// Allocation-free single-element apply with caller-provided scratch.
+    // lint: hot-path
+    fn apply_one_scratch(&self, e: u32, u: &[f64], sc: &mut ScalarScratch, out: &mut [f64]) {
+        self.gather_pub(e, u, &mut sc.loc);
+        self.elem_stiffness_scatter_pub(e, &sc.loc, &mut sc.tmp, &mut sc.der, out);
     }
 }
 
@@ -264,7 +302,7 @@ mod tests {
         // record which positions each thread count visits; all must see the
         // full range exactly once
         let color_off = [0u32, 5, 5, 12];
-        for threads in [2usize, 3, 7] {
+        for threads in [1usize, 2, 3, 7] {
             let mut hits = vec![0u32; 12];
             let mut out = vec![0.0; 12];
             let mut scratch = vec![(); threads];
@@ -273,6 +311,25 @@ mod tests {
                 cell.lock().unwrap()[pos] += 1;
             });
             assert!(hits.iter().all(|&h| h == 1), "{threads} threads: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_tile_span_without_overlap() {
+        for (lo, hi) in [(0usize, 12usize), (3, 3), (5, 6), (0, 97)] {
+            for threads in 1..=9usize {
+                let mut seen = vec![0u32; hi];
+                for tid in 0..threads {
+                    let (s, e) = chunk_range(lo, hi, threads, tid);
+                    assert!(lo <= s && s <= e && e <= hi);
+                    for p in s..e {
+                        seen[p] += 1;
+                    }
+                }
+                for p in lo..hi {
+                    assert_eq!(seen[p], 1, "pos {p} for {threads} threads on {lo}..{hi}");
+                }
+            }
         }
     }
 
@@ -290,5 +347,15 @@ mod tests {
                 assert!(subset.contains(e));
             }
         }
+    }
+
+    #[test]
+    fn flatten_is_colour_major() {
+        let coloring = ElementColoring {
+            classes: vec![vec![4, 2], vec![], vec![1, 3, 0]],
+        };
+        let (order, color_off) = coloring.flatten();
+        assert_eq!(order, vec![4, 2, 1, 3, 0]);
+        assert_eq!(color_off, vec![0, 2, 2, 5]);
     }
 }

@@ -177,6 +177,7 @@ impl UnstructuredAcoustic {
 
     /// Process position `pos` of a compiled entry: branch-free gather,
     /// stiffness kernel, multiply-by-`M⁻¹` scatter.
+    // lint: hot-path
     #[inline]
     fn compiled_elem(
         &self,
@@ -472,6 +473,7 @@ impl UnstructuredElastic {
     }
 
     /// Process position `pos` of a compiled entry.
+    // lint: hot-path
     #[inline]
     fn compiled_elem(
         &self,

@@ -42,7 +42,8 @@ fn main() {
             &v0,
             steps,
             &cfg,
-        );
+        )
+        .expect("distributed run failed");
         println!(
             "== {} on {n_ranks} ranks, {steps} global steps ==",
             strategy.name()

@@ -12,6 +12,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo fmt --check"
 cargo fmt --check
 
+echo "== cargo xtask lint (hot-path alloc / no-panic / unsafe-safety / float-eq)"
+cargo xtask lint
+
+echo "== lts-check (structural invariants over the four benchmark meshes)"
+cargo run -q --release -p lts-check
+
 echo "== cargo bench --no-run (microbenches must stay compilable)"
 cargo bench --no-run -q
 

@@ -208,6 +208,7 @@ fn run_sim_distributed(
             &[],
             &mut host,
         )
+        .expect("distributed run failed")
     } else {
         run_distributed_local_acoustic_observed(
             &b.mesh,
@@ -222,6 +223,7 @@ fn run_sim_distributed(
             &[],
             &mut host,
         )
+        .expect("distributed run failed")
     };
     let wall = t0.elapsed();
     let norm: f64 = u.iter().map(|x| x * x).sum::<f64>().sqrt();

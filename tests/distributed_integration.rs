@@ -41,7 +41,8 @@ fn distributed_sem_matches_serial_all_strategies() {
         let n_ranks = 3;
         let part = partition_mesh(&b.mesh, &b.levels, n_ranks, strategy, 1);
         let cfg = DistributedConfig::new(n_ranks);
-        let (u, _, stats) = run_distributed(&op, &setup, &part, dt, &u0, &vec![0.0; ndof], 4, &cfg);
+        let (u, _, stats) =
+            run_distributed(&op, &setup, &part, dt, &u0, &vec![0.0; ndof], 4, &cfg).unwrap();
         let scale = reference.iter().fold(1.0f64, |m, &x| m.max(x.abs()));
         for i in 0..ndof {
             assert!(
@@ -70,7 +71,8 @@ fn distributed_scales_to_many_ranks() {
     for n_ranks in [2usize, 6, 8] {
         let part = partition_mesh(&b.mesh, &b.levels, n_ranks, Strategy::ScotchP, 1);
         let cfg = DistributedConfig::new(n_ranks);
-        let (u, _, _) = run_distributed(&op, &setup, &part, dt, &u0, &vec![0.0; ndof], 3, &cfg);
+        let (u, _, _) =
+            run_distributed(&op, &setup, &part, dt, &u0, &vec![0.0; ndof], 3, &cfg).unwrap();
         let scale = reference.iter().fold(1.0f64, |m, &x| m.max(x.abs()));
         let max_dev = (0..ndof)
             .map(|i| (u[i] - reference[i]).abs())
@@ -121,7 +123,8 @@ fn distributed_with_sources_matches_serial() {
         steps,
         &cfg,
         &srcs,
-    );
+    )
+    .unwrap();
     let scale = u_ref.iter().fold(1e-30f64, |m, &x| m.max(x.abs()));
     for i in 0..ndof {
         assert!(
@@ -145,7 +148,8 @@ fn work_accounting_matches_partition() {
     let part = partition_mesh(&b.mesh, &b.levels, n_ranks, Strategy::ScotchP, 1);
     let cfg = DistributedConfig::new(n_ranks);
     let steps = 2;
-    let (_, _, stats) = run_distributed(&op, &setup, &part, dt, &u0, &vec![0.0; ndof], steps, &cfg);
+    let (_, _, stats) =
+        run_distributed(&op, &setup, &part, dt, &u0, &vec![0.0; ndof], steps, &cfg).unwrap();
     // total distributed element-ops = serial masked ops
     let total: u64 = stats.iter().map(|s| s.elem_ops).sum();
     assert_eq!(total, steps as u64 * setup.lts_elem_ops());

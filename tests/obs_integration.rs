@@ -97,7 +97,8 @@ fn run_observed_threads(
         &cfg,
         &[],
         &mut host,
-    );
+    )
+    .unwrap();
     // the RankStats view must agree with the merged registry
     let by_view: u64 = stats.iter().map(|s| s.elem_ops).sum();
     assert_eq!(by_view, host.counter_total(names::ELEM_OPS));
@@ -202,6 +203,7 @@ fn threaded_ranks_keep_counters_and_fields_exact() {
             &[],
             &mut host,
         )
+        .unwrap()
     };
     let (u1, v1, _) = run(1);
     let (u2, v2, _) = run(2);
@@ -296,7 +298,8 @@ fn chrome_trace_round_trips_and_matches_timeline() {
         &cfg,
         &[],
         &mut host,
-    );
+    )
+    .unwrap();
     let rendered = chrome_trace(&[("integration", &stats)]).render();
     // the exporter's own parser/validator must accept its output
     let n_events = validate_trace(&rendered).expect("structurally valid trace");

@@ -54,7 +54,8 @@ proptest! {
         let mut host = MetricsRegistry::new();
         let (u, _, stats) = run_distributed_local_acoustic_observed(
             &mesh, &levels, ORDER, &part, dt, &u0, &v0, steps, &cfg, &[], &mut host,
-        );
+        )
+        .unwrap();
 
         let o = exchange_oracle(&mesh, &levels, &part);
         let s = steps as u64;

@@ -12,7 +12,7 @@
 //!   (relative, default 0.5) unless `--timings false` skips timing checks
 //!   (use on CI, where hosts differ). Exit 1 on any failure.
 
-use lts_bench::profile::{compare_bench, run_suite, validate_bench};
+use lts_bench::profile::{compare_bench, host_mismatch, run_suite, validate_bench};
 use lts_bench::{Args, Table};
 use lts_obs::Json;
 
@@ -94,7 +94,17 @@ fn main() {
             let current: String = args.get("current", "BENCH_lts.json".to_string());
             let timings: bool = args.get("timings", true);
             let tol: f64 = args.get("tol", 0.5);
-            let failures = compare_bench(&read_doc(&baseline), &read_doc(&current), tol, timings);
+            let base_doc = read_doc(&baseline);
+            let cur_doc = read_doc(&current);
+            if timings {
+                if let Some(m) = host_mismatch(&base_doc, &cur_doc) {
+                    eprintln!(
+                        "bench-compare: warning: {m}; wall-clock gates are \
+                         meaningless across hosts (use --timings false)"
+                    );
+                }
+            }
+            let failures = compare_bench(&base_doc, &cur_doc, tol, timings);
             if failures.is_empty() {
                 println!("bench-compare: OK ({current} vs {baseline}, counters exact)");
             } else {

@@ -41,11 +41,15 @@ pub struct Scenario {
     pub steps: usize,
     pub order: usize,
     pub seed: u64,
+    /// Communication/computation overlap: boundary partials are sent
+    /// before the interior apply instead of after the full apply.
+    pub overlap: bool,
 }
 
 impl Scenario {
     pub fn id(&self) -> String {
-        format!("{}__{}__r{}", self.mesh, self.strategy, self.ranks)
+        let ov = if self.overlap { "__ov" } else { "" };
+        format!("{}__{}__r{}{ov}", self.mesh, self.strategy, self.ranks)
     }
 
     pub fn strategy_enum(&self) -> Strategy {
@@ -83,16 +87,27 @@ fn scenario(mesh: &'static str, strategy: &'static str, ranks: usize) -> Scenari
         steps: STEPS,
         order: ORDER,
         seed: SEED,
+        overlap: false,
     }
 }
 
-/// The scenario matrix: `smoke` selects the CI subset (two scenarios), the
-/// full matrix is 2 meshes × 4 strategies × {2, 4, 8} ranks.
+fn scenario_ov(mesh: &'static str, strategy: &'static str, ranks: usize) -> Scenario {
+    Scenario {
+        overlap: true,
+        ..scenario(mesh, strategy, ranks)
+    }
+}
+
+/// The scenario matrix: `smoke` selects the CI subset (three scenarios),
+/// the full matrix is 2 meshes × 4 strategies × {2, 4, 8} ranks, plus an
+/// overlap twin of every r8 scenario so the wait-time reduction from
+/// comm/compute overlap is tracked by the bench gate, not claimed.
 pub fn matrix(smoke: bool) -> Vec<Scenario> {
     if smoke {
         return vec![
             scenario("trench", "scotch", 2),
             scenario("trench", "scotch-p", 2),
+            scenario_ov("trench", "scotch", 8),
         ];
     }
     let mut out = Vec::new();
@@ -101,6 +116,7 @@ pub fn matrix(smoke: bool) -> Vec<Scenario> {
             for ranks in [2, 4, 8] {
                 out.push(scenario(mesh, strategy, ranks));
             }
+            out.push(scenario_ov(mesh, strategy, 8));
         }
     }
     out
@@ -129,6 +145,7 @@ pub fn run_scenario(sc: &Scenario) -> Json {
             log_warnings: false,
             ..MonitorConfig::default()
         }),
+        overlap: sc.overlap,
         ..DistributedConfig::new(sc.ranks)
     };
     let zero = vec![0.0; ndof];
@@ -176,6 +193,7 @@ pub fn run_scenario(sc: &Scenario) -> Json {
         ("steps".to_string(), Json::UInt(sc.steps as u64)),
         ("order".to_string(), Json::UInt(sc.order as u64)),
         ("seed".to_string(), Json::UInt(sc.seed)),
+        ("overlap".to_string(), Json::Bool(sc.overlap)),
         ("n_levels".to_string(), Json::UInt(n_levels as u64)),
         (
             "counters".to_string(),
@@ -328,6 +346,27 @@ pub fn validate_bench(doc: &Json) -> Result<usize, String> {
     Ok(scenarios.len())
 }
 
+/// Describe a host mismatch between two BENCH documents, if any. Counters
+/// stay comparable across hosts, wall-clock does not — the `compare` CLI
+/// warns with this so a stale or foreign host record is surfaced instead
+/// of silently gating timings against an incomparable machine.
+pub fn host_mismatch(baseline: &Json, current: &Json) -> Option<String> {
+    let field = |doc: &Json, key: &str| -> String {
+        doc.get("host")
+            .and_then(|h| h.get(key))
+            .map(|v| v.render())
+            .unwrap_or_else(|| "?".to_string())
+    };
+    for key in ["os", "arch", "cpus"] {
+        let b = field(baseline, key);
+        let c = field(current, key);
+        if b != c {
+            return Some(format!("host.{key} differs: baseline {b}, current {c}"));
+        }
+    }
+    None
+}
+
 fn index_by_id(doc: &Json) -> Vec<(&str, &Json)> {
     doc.get("scenarios")
         .and_then(|s| s.as_arr())
@@ -422,6 +461,7 @@ mod tests {
             steps: 2,
             order: 1,
             seed: 1,
+            overlap: false,
         }
     }
 
@@ -441,7 +481,10 @@ mod tests {
     fn smoke_matrix_is_subset_of_full() {
         let full = matrix(false);
         let smoke = matrix(true);
-        assert_eq!(full.len(), 2 * 4 * 3);
+        // 2 meshes × 4 strategies × {2,4,8} ranks, plus one r8 overlap
+        // twin per mesh × strategy
+        assert_eq!(full.len(), 2 * 4 * 3 + 2 * 4);
+        assert!(full.iter().any(|s| s.overlap && s.ranks == 8));
         assert!(!smoke.is_empty());
         for sc in &smoke {
             let twin = full

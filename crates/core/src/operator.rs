@@ -106,6 +106,16 @@ pub trait Operator: Sync {
         self.apply_masked_ws(u, out, elems, dof_level, level, ws);
     }
 
+    /// Warm any per-(level, element-list) state a masked apply would build
+    /// lazily — compiled gather lists, restricted colorings — so a
+    /// comm/compute-overlapped stepper can take the compile cost *before*
+    /// the timed loop instead of inside the first overlap window.
+    /// Implementations for which [`Operator::apply_masked_ws`] is
+    /// stateless keep the default no-op.
+    fn precompile_masked(&self, elems: &[u32], dof_level: &[u8], level: u8, ws: &mut Workspace) {
+        let _ = (elems, dof_level, level, ws);
+    }
+
     /// One-shot `out = A u` with a throwaway workspace.
     fn apply(&self, u: &[f64], out: &mut [f64]) {
         let mut ws = Workspace::new();

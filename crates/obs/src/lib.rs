@@ -35,5 +35,5 @@ pub mod span;
 
 pub use chrome::{level_category, validate_trace, ChromeTrace};
 pub use export::{registry_to_csv, registry_to_json, Json};
-pub use registry::{Histogram, Key, Metric, MetricsRegistry};
+pub use registry::{Histogram, Key, Metric, MetricsRegistry, HIST_BUCKETS};
 pub use span::{Span, TraceEvent};

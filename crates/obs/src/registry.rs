@@ -38,7 +38,7 @@ impl Key {
 pub const HIST_BUCKETS: usize = 40;
 
 /// A duration/value histogram with exact count/sum/min/max.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     pub count: u64,
     pub sum: f64,
@@ -269,6 +269,29 @@ impl MetricsRegistry {
             })
     }
 
+    /// Set a label-dimensioned gauge (e.g. per-transport-backend wait time,
+    /// labelled by backend name).
+    pub fn set_gauge_labeled(&mut self, name: &'static str, label: &str, value: f64) {
+        self.metrics.insert(
+            Key {
+                name,
+                level: None,
+                label: Some(label.to_string()),
+            },
+            Metric::Gauge(value),
+        );
+    }
+
+    pub fn gauge_labeled(&self, name: &str, label: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(k, _)| k.name == name && k.label.as_deref() == Some(label))
+            .and_then(|(_, m)| match m {
+                Metric::Gauge(g) => Some(*g),
+                _ => None,
+            })
+    }
+
     // ---- histograms / timers ----------------------------------------------
 
     pub fn observe_key(&mut self, key: Key, value: f64) {
@@ -291,6 +314,14 @@ impl MetricsRegistry {
             },
             value,
         );
+    }
+
+    /// Install a fully materialized histogram under `key`, replacing any
+    /// previous metric there. This is the wire-decode path: a histogram that
+    /// crossed a process boundary is reinstated *exactly* (count, sum,
+    /// min/max, buckets), which `observe`-replay could not guarantee.
+    pub fn set_histogram(&mut self, key: Key, hist: Histogram) {
+        self.metrics.insert(key, Metric::Histogram(hist));
     }
 
     pub fn histogram(&self, name: &str, level: Option<u8>) -> Option<&Histogram> {

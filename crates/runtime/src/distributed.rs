@@ -4,6 +4,17 @@
 //!
 //! Mirrors [`lts_core::LtsNewmark`]'s recursion exactly; the integration
 //! tests assert agreement with the serial stepper to round-off.
+//!
+//! Ranks speak to each other only through the pluggable
+//! [`crate::transport::Transport`] trait, so the same stepper runs over
+//! in-process channels, bounded shared-memory rings, or Unix-socket frames
+//! (and, wrapped in a [`crate::transport::faulty::FaultyTransport`], under
+//! injected faults). Every force evaluation applies boundary elements first
+//! and interior elements second *in both communication modes*: interface
+//! partials depend only on boundary elements, so the payload bytes — and,
+//! because the per-DOF summation order never changes, the final fields —
+//! are bitwise identical whether `overlap` posts the sends between the two
+//! applies or after them.
 
 use crate::error::RuntimeError;
 
@@ -13,7 +24,7 @@ pub type RunResult = Result<(Vec<f64>, Vec<f64>, Vec<RankStats>), RuntimeError>;
 use crate::exchange::{build_plans, RankPlan};
 use crate::monitor::{MonitorConfig, RankMonitor, StallMonitor};
 use crate::stats::{names, RankStats, TimelineEvent};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::transport::{self, Recv, Transport, TransportError, TransportKind};
 use lts_core::{DofTopology, LtsSetup, Operator, Source, Workspace};
 use lts_obs::MetricsRegistry;
 use std::collections::VecDeque;
@@ -41,6 +52,8 @@ pub struct DistributedConfig {
     /// coloured scatter keeps results bitwise identical to serial at any
     /// value, so counters and fields are unaffected.
     pub threads_per_rank: usize,
+    /// Which halo-exchange backend the in-process entry points build.
+    pub transport: TransportKind,
 }
 
 impl DistributedConfig {
@@ -53,20 +66,16 @@ impl DistributedConfig {
             overlap: false,
             stall_monitor: None,
             threads_per_rank: 1,
+            transport: TransportKind::Channel,
         }
     }
 }
 
-type Msg = (usize, Vec<f64>);
-
 /// One rank's run result: `(u_local, v_local, global_of_local)`.
 pub type RankResult = (Vec<f64>, Vec<f64>, Vec<u32>);
 
-/// Per-rank thread outcome before reordering: `(rank, u, v, map, stats)`.
-type RankOutcome = (usize, Vec<f64>, Vec<f64>, Vec<u32>, RankStats);
-
-/// A rank's assembled state before the ownership merge: `(u, v, stats)`.
-type RankState = (Vec<f64>, Vec<f64>, RankStats);
+/// One rank's outcome on the globally-replicated state layout.
+pub type RankRun = Result<(Vec<f64>, Vec<f64>, RankStats), RuntimeError>;
 
 struct RankCtx<'a, O: Operator> {
     rank: usize,
@@ -83,9 +92,19 @@ struct RankCtx<'a, O: Operator> {
     uts: Vec<Vec<f64>>,
     vts: Vec<Vec<f64>>,
     fs: Vec<Vec<f64>>,
-    tx: Vec<Sender<Msg>>,
-    rx: Receiver<Msg>,
-    inbox: Vec<VecDeque<Vec<f64>>>,
+    /// This rank's endpoint of the halo-exchange fabric.
+    transport: Box<dyn Transport>,
+    /// Peers whose goodbye has been observed.
+    gone: Vec<bool>,
+    /// Messages that arrived while awaiting a different peer: `(level tag,
+    /// payload)`, per sender, consumed FIFO.
+    inbox: Vec<VecDeque<(u8, Vec<f64>)>>,
+    /// Reused payload staging for sends (the hot path never allocates).
+    send_buf: Vec<f64>,
+    /// Reused per-exchange receive slots, assembly cursors, buffer pool.
+    pending: Vec<Option<Vec<f64>>>,
+    cursors: Vec<usize>,
+    pool: Vec<Vec<f64>>,
     /// Per-rank metrics; merged into [`RankStats`] views after the join.
     reg: MetricsRegistry,
     timeline: Vec<TimelineEvent>,
@@ -95,6 +114,56 @@ struct RankCtx<'a, O: Operator> {
     ws: Workspace,
     step_idx: u32,
     busy_since: Instant,
+}
+
+/// Map a transport send failure onto the runtime error for `(rank, peer, l)`.
+#[cold]
+fn send_error(rank: usize, peer: usize, level: usize, e: TransportError) -> RuntimeError {
+    match e {
+        TransportError::Disconnected { .. } | TransportError::Closed => {
+            RuntimeError::PeerDisconnected { rank, peer, level }
+        }
+        TransportError::Timeout => RuntimeError::ExchangeTimeout { rank, level },
+        TransportError::Injected => RuntimeError::FaultInjected { rank, level },
+        e => RuntimeError::TransportIo {
+            rank,
+            level,
+            detail: e.to_string(),
+        },
+    }
+}
+
+/// Map a transport receive failure onto the runtime error for `(rank, l)`.
+#[cold]
+fn recv_error(rank: usize, level: usize, e: TransportError) -> RuntimeError {
+    match e {
+        TransportError::Disconnected { peer } => {
+            RuntimeError::PeerDisconnected { rank, peer, level }
+        }
+        TransportError::Closed => RuntimeError::ChannelClosed { rank, level },
+        TransportError::Timeout => RuntimeError::ExchangeTimeout { rank, level },
+        TransportError::Injected => RuntimeError::FaultInjected { rank, level },
+        e => RuntimeError::TransportIo {
+            rank,
+            level,
+            detail: e.to_string(),
+        },
+    }
+}
+
+#[cold]
+fn peer_gone(rank: usize, peer: usize, level: usize) -> RuntimeError {
+    RuntimeError::PeerDisconnected { rank, peer, level }
+}
+
+#[cold]
+fn bad_payload(rank: usize, peer: usize, level: usize) -> RuntimeError {
+    RuntimeError::BadPayload { rank, peer, level }
+}
+
+#[cold]
+fn not_a_peer(rank: usize, peer: usize, level: usize) -> RuntimeError {
+    RuntimeError::NotAPeer { rank, peer, level }
 }
 
 impl<'a, O: Operator> RankCtx<'a, O> {
@@ -109,89 +178,99 @@ impl<'a, O: Operator> RankCtx<'a, O> {
         }
     }
 
+    /// Warm every compiled gather entry the run will touch, before the timed
+    /// loop: with comm/compute overlap the first send would otherwise be
+    /// delayed by the boundary list's one-time compile.
+    fn precompile(&mut self) {
+        for l in 0..self.n_levels {
+            for elems in [
+                &self.plan.my_boundary_elems[l],
+                &self.plan.my_interior_elems[l],
+            ] {
+                if !elems.is_empty() {
+                    self.op
+                        .precompile_masked(elems, self.dof_level, l as u8, &mut self.ws);
+                }
+            }
+        }
+    }
+
     /// Apply the masked product over this rank's elements, amplify work,
     /// then assemble totals on shared DOFs.
     ///
-    /// With `cfg.overlap` the SPECFEM3D asynchronous pattern is used:
-    /// boundary-element contributions are computed first (interface partials
-    /// are then complete, since interior elements by definition touch no
-    /// shared DOF), the sends are posted, interior elements are computed
-    /// while the messages are in flight, and only then are peers awaited.
+    /// Boundary elements are applied first in *both* modes (interface
+    /// partials are then complete, since interior elements by definition
+    /// touch no shared DOF); `overlap` only decides whether the sends are
+    /// posted between the two applies (SPECFEM3D-style, messages fly while
+    /// interior elements compute) or after them. The per-DOF summation
+    /// order — and therefore every field bit — is identical either way.
     fn force_level(&mut self, l: usize, state_is_u: bool) -> Result<(), RuntimeError> {
         // zero my entries
         for &i in &self.plan.my_zero[l] {
             self.fs[l][i as usize] = 0.0;
         }
-        if self.cfg.overlap && !self.plan.peers[l].is_empty() {
-            {
-                let state = if state_is_u { &self.u } else { &self.uts[l] };
-                self.op.apply_masked_threads(
-                    state,
-                    &mut self.fs[l],
-                    &self.plan.my_boundary_elems[l],
-                    self.dof_level,
-                    l as u8,
-                    &mut self.ws,
-                    self.cfg.threads_per_rank,
-                );
-            }
-            self.amplify(self.plan.my_boundary_elems[l].len());
+        let has_peers = !self.plan.peers[l].is_empty();
+        if !self.plan.my_boundary_elems[l].is_empty() {
+            let state = if state_is_u { &self.u } else { &self.uts[l] };
+            self.op.apply_masked_threads(
+                state,
+                &mut self.fs[l],
+                &self.plan.my_boundary_elems[l],
+                self.dof_level,
+                l as u8,
+                &mut self.ws,
+                self.cfg.threads_per_rank,
+            );
+        }
+        self.amplify(self.plan.my_boundary_elems[l].len());
+        if has_peers && self.cfg.overlap {
             self.send_partials(l)?;
-            {
-                let state = if state_is_u { &self.u } else { &self.uts[l] };
-                self.op.apply_masked_threads(
-                    state,
-                    &mut self.fs[l],
-                    &self.plan.my_interior_elems[l],
-                    self.dof_level,
-                    l as u8,
-                    &mut self.ws,
-                    self.cfg.threads_per_rank,
-                );
-            }
-            self.amplify(self.plan.my_interior_elems[l].len());
-            self.reg
-                .inc_level(names::ELEM_OPS, l as u8, self.plan.my_elems[l].len() as u64);
-            self.recv_and_assemble(l)?;
-        } else {
-            {
-                let state = if state_is_u { &self.u } else { &self.uts[l] };
-                self.op.apply_masked_threads(
-                    state,
-                    &mut self.fs[l],
-                    &self.plan.my_elems[l],
-                    self.dof_level,
-                    l as u8,
-                    &mut self.ws,
-                    self.cfg.threads_per_rank,
-                );
-            }
-            self.reg
-                .inc_level(names::ELEM_OPS, l as u8, self.plan.my_elems[l].len() as u64);
-            self.amplify(self.plan.my_elems[l].len());
-            if !self.plan.peers[l].is_empty() {
+        }
+        if !self.plan.my_interior_elems[l].is_empty() {
+            let state = if state_is_u { &self.u } else { &self.uts[l] };
+            self.op.apply_masked_threads(
+                state,
+                &mut self.fs[l],
+                &self.plan.my_interior_elems[l],
+                self.dof_level,
+                l as u8,
+                &mut self.ws,
+                self.cfg.threads_per_rank,
+            );
+        }
+        self.amplify(self.plan.my_interior_elems[l].len());
+        self.reg
+            .inc_level(names::ELEM_OPS, l as u8, self.plan.my_elems[l].len() as u64);
+        if has_peers {
+            if !self.cfg.overlap {
                 self.send_partials(l)?;
-                self.recv_and_assemble(l)?;
             }
+            self.recv_and_assemble(l)?;
         }
         Ok(())
     }
 
+    /// Post this rank's interface partials to every level-`l` peer. Stages
+    /// each payload in the reused `send_buf`; allocation-free steady state
+    /// (enforced via `lint/hotpaths.toml`).
     fn send_partials(&mut self, l: usize) -> Result<(), RuntimeError> {
         let mut dofs_sent = 0u64;
-        for (pi, &peer) in self.plan.peers[l].iter().enumerate() {
-            let payload: Vec<f64> = self.plan.pair_dofs[l][pi]
-                .iter()
-                .map(|&d| self.fs[l][d as usize])
-                .collect();
-            dofs_sent += payload.len() as u64;
-            self.tx[peer].send((self.rank, payload)).map_err(|_| {
-                RuntimeError::PeerDisconnected {
-                    rank: self.rank,
-                    peer,
-                    level: l,
-                }
-            })?;
+        for pi in 0..self.plan.peers[l].len() {
+            let peer = self.plan.peers[l][pi];
+            if self.gone[peer] {
+                return Err(peer_gone(self.rank, peer, l));
+            }
+            self.send_buf.clear();
+            for &d in &self.plan.pair_dofs[l][pi] {
+                self.send_buf.push(self.fs[l][d as usize]);
+            }
+            dofs_sent += self.send_buf.len() as u64;
+            if let Err(e) = self.transport.send(peer, l as u8, &self.send_buf) {
+                return Err(send_error(self.rank, peer, l, e));
+            }
+        }
+        if let Err(e) = self.transport.flush() {
+            return Err(recv_error(self.rank, l, e));
         }
         self.reg
             .inc_level(names::MSGS_SENT, l as u8, self.plan.peers[l].len() as u64);
@@ -199,46 +278,119 @@ impl<'a, O: Operator> RankCtx<'a, O> {
         Ok(())
     }
 
+    /// Await one payload per level-`l` peer, then assemble shared-DOF totals
+    /// in ascending-rank order for bitwise cross-rank consistency. A peer's
+    /// goodbye while its payload is still awaited surfaces as
+    /// [`RuntimeError::PeerDisconnected`]; payload lengths are validated
+    /// against the exchange plan before any indexing. Buffers recycle
+    /// through `pool`; allocation-free steady state (see
+    /// `lint/hotpaths.toml`).
     fn recv_and_assemble(&mut self, l: usize) -> Result<(), RuntimeError> {
         let busy_s = self.busy_since.elapsed().as_secs_f64();
         self.reg.observe(names::BUSY, Some(l as u8), busy_s);
-        // receive one message per peer (FIFO per sender ⇒ correct pairing)
         let wait_start = Instant::now();
-        let mut pending: Vec<Option<Vec<f64>>> = vec![None; self.plan.peers[l].len()];
-        let mut missing = self.plan.peers[l].len();
-        for (pi, &peer) in self.plan.peers[l].iter().enumerate() {
-            if let Some(m) = self.inbox[peer].pop_front() {
-                pending[pi] = Some(m);
+        let np = self.plan.peers[l].len();
+        // opportunistic drain: claim everything the transport has already
+        // delivered before deciding what to block on. Best-effort — a
+        // backend that cannot poll returns None and loses nothing (its
+        // partials arrive through the blocking loop below); real errors
+        // also resurface there, on the path that can classify them.
+        loop {
+            let mut buf = self.pool.pop().unwrap_or_default();
+            match self.transport.try_recv_into(&mut buf) {
+                Ok(Some(Recv::Msg { from, level })) => {
+                    if from >= self.inbox.len() {
+                        return Err(not_a_peer(self.rank, from, l));
+                    }
+                    self.inbox[from].push_back((level, buf));
+                }
+                Ok(Some(Recv::Goodbye { from })) => {
+                    self.pool.push(buf);
+                    if from < self.gone.len() {
+                        self.gone[from] = true;
+                    }
+                }
+                Ok(None) | Err(_) => {
+                    self.pool.push(buf);
+                    break;
+                }
+            }
+        }
+        self.pending.clear();
+        self.pending.resize_with(np, || None);
+        let mut missing = np;
+        let mut ready = 0u64;
+        for pi in 0..np {
+            let peer = self.plan.peers[l][pi];
+            if let Some((tag, m)) = self.inbox[peer].pop_front() {
+                if tag as usize != l {
+                    return Err(bad_payload(self.rank, peer, l));
+                }
+                self.pending[pi] = Some(m);
                 missing -= 1;
+                ready += 1;
+            } else if self.gone[peer] {
+                // nothing stashed and the peer is dead: its payload for this
+                // exchange can never arrive
+                return Err(peer_gone(self.rank, peer, l));
             }
         }
         while missing > 0 {
-            let (from, payload) = self.rx.recv().map_err(|_| RuntimeError::ChannelClosed {
-                rank: self.rank,
-                level: l,
-            })?;
-            if let Some(pi) = self.plan.peers[l].iter().position(|&p| p == from) {
-                if pending[pi].is_none() {
-                    pending[pi] = Some(payload);
-                    missing -= 1;
-                    continue;
+            let mut buf = self.pool.pop().unwrap_or_default();
+            match self.transport.recv_into(&mut buf) {
+                Ok(Recv::Msg { from, level }) => {
+                    let slot = self.plan.peers[l].iter().position(|&p| p == from);
+                    match slot {
+                        Some(pi) if self.pending[pi].is_none() => {
+                            if level as usize != l {
+                                return Err(bad_payload(self.rank, from, l));
+                            }
+                            self.pending[pi] = Some(buf);
+                            missing -= 1;
+                        }
+                        _ => {
+                            if from >= self.inbox.len() {
+                                return Err(not_a_peer(self.rank, from, l));
+                            }
+                            self.inbox[from].push_back((level, buf));
+                        }
+                    }
+                }
+                Ok(Recv::Goodbye { from }) => {
+                    self.pool.push(buf);
+                    if from < self.gone.len() {
+                        self.gone[from] = true;
+                    }
+                    let awaited = self.plan.peers[l]
+                        .iter()
+                        .position(|&p| p == from)
+                        .is_some_and(|pi| self.pending[pi].is_none());
+                    if awaited {
+                        return Err(peer_gone(self.rank, from, l));
+                    }
+                }
+                Err(e) => {
+                    self.pool.push(buf);
+                    return Err(recv_error(self.rank, l, e));
                 }
             }
-            self.inbox[from].push_back(payload);
         }
-        // after the loop every slot is filled; re-bind without the Option so
-        // the assembly below cannot index a missing message
-        let mut msgs: Vec<Vec<f64>> = Vec::with_capacity(pending.len());
-        for (pi, p) in pending.into_iter().enumerate() {
-            msgs.push(p.ok_or(RuntimeError::NotAPeer {
-                rank: self.rank,
-                peer: self.plan.peers[l][pi],
-                level: l,
-            })?);
+        // validate payload lengths against the plan before any indexing
+        for pi in 0..np {
+            let ok = match self.pending[pi].as_ref() {
+                Some(m) => m.len() == self.plan.pair_dofs[l][pi].len(),
+                None => false,
+            };
+            if !ok {
+                return Err(bad_payload(self.rank, self.plan.peers[l][pi], l));
+            }
         }
         let wait_s = wait_start.elapsed().as_secs_f64();
         self.reg.observe(names::WAIT, Some(l as u8), wait_s);
         self.reg.inc_level(names::EXCHANGES, l as u8, 1);
+        if ready > 0 {
+            self.reg.inc_level(names::EXCHANGE_READY, l as u8, ready);
+        }
         if let Some(m) = self.monitor.as_mut() {
             m.on_exchange(&mut self.reg, l as u8, busy_s, wait_s);
         }
@@ -253,26 +405,37 @@ impl<'a, O: Operator> RankCtx<'a, O> {
             });
         }
         // assemble in ascending-rank order for bitwise consistency
-        let mut cursors = vec![0usize; msgs.len()];
-        for (d, ranks) in &self.plan.shared[l] {
+        self.cursors.clear();
+        self.cursors.resize(np, 0);
+        let rank = self.rank;
+        let plan = self.plan;
+        let fs_l = &mut self.fs[l];
+        for (d, ranks) in &plan.shared[l] {
             let mut total = 0.0;
             for &r in ranks {
-                if r as usize == self.rank {
-                    total += self.fs[l][*d as usize];
+                if r as usize == rank {
+                    total += fs_l[*d as usize];
                 } else {
-                    let pi = self.plan.peers[l]
-                        .iter()
-                        .position(|&p| p == r as usize)
-                        .ok_or(RuntimeError::NotAPeer {
-                            rank: self.rank,
-                            peer: r as usize,
-                            level: l,
-                        })?;
-                    total += msgs[pi][cursors[pi]];
-                    cursors[pi] += 1;
+                    let pi = match plan.peers[l].iter().position(|&p| p == r as usize) {
+                        Some(pi) => pi,
+                        None => return Err(not_a_peer(rank, r as usize, l)),
+                    };
+                    match self.pending[pi].as_ref() {
+                        Some(m) => {
+                            total += m[self.cursors[pi]];
+                            self.cursors[pi] += 1;
+                        }
+                        None => return Err(not_a_peer(rank, r as usize, l)),
+                    }
                 }
             }
-            self.fs[l][*d as usize] = total;
+            fs_l[*d as usize] = total;
+        }
+        // recycle the payload buffers for the next exchange
+        while let Some(p) = self.pending.pop() {
+            if let Some(b) = p {
+                self.pool.push(b);
+            }
         }
         self.busy_since = Instant::now();
         Ok(())
@@ -406,6 +569,59 @@ impl<'a, O: Operator> RankCtx<'a, O> {
     }
 }
 
+/// Drive one rank's context for `n_steps`, then stamp its transport metrics
+/// (labelled by backend) and close the endpoint so peers observe a clean
+/// goodbye. On error the context drops, which closes the endpoint too —
+/// that drop is what propagates the failure cascade.
+fn run_rank_loop<O: Operator>(mut ctx: RankCtx<'_, O>, n_steps: usize) -> RankRun {
+    ctx.precompile();
+    ctx.busy_since = Instant::now();
+    let dt = ctx.dt;
+    for step in 0..n_steps {
+        ctx.step(step as f64 * dt)?;
+    }
+    // busy tail after the last exchange, recorded level-less
+    ctx.reg
+        .observe(names::BUSY, None, ctx.busy_since.elapsed().as_secs_f64());
+    if let Some(mut m) = ctx.monitor.take() {
+        m.flush_window(&mut ctx.reg);
+    }
+    let backend = ctx.transport.backend();
+    let tm = ctx.transport.metrics();
+    ctx.reg
+        .set_gauge_labeled(names::TRANSPORT_SEND_BLOCK_S, backend, tm.send_block_s);
+    ctx.reg
+        .set_gauge_labeled(names::TRANSPORT_MSGS, backend, tm.msgs_sent as f64);
+    ctx.reg
+        .set_gauge_labeled(names::TRANSPORT_BYTES, backend, tm.bytes_sent as f64);
+    ctx.transport.close();
+    let rank = ctx.rank;
+    Ok((
+        ctx.u,
+        ctx.v,
+        RankStats::from_registry(rank, ctx.reg, ctx.timeline),
+    ))
+}
+
+/// Stamp the monitor's final per-level Eq. 21 λ (and its run-long watermark)
+/// into the given registries as gauges. Runs after the join, when all busy
+/// totals are complete, so [`names::STALL_LAMBDA`] agrees with the post-hoc
+/// [`crate::stats::lambda_from_stats`].
+fn stamp_lambda_gauges<'r>(
+    monitor: Option<&StallMonitor>,
+    regs: impl Iterator<Item = &'r mut MetricsRegistry>,
+) {
+    let Some(mon) = monitor else { return };
+    let lam = mon.update_lambda_watermarks();
+    let wm = mon.lambda_watermarks();
+    for reg in regs {
+        for l in 0..lam.len() {
+            reg.set_gauge_level(names::STALL_LAMBDA, l as u8, lam[l]);
+            reg.set_gauge_level(names::STALL_LAMBDA_WM, l as u8, wm[l]);
+        }
+    }
+}
+
 /// Run `n_steps` of distributed LTS-Newmark over `partition`. Returns the
 /// assembled global `(u, v)` and per-rank statistics; fails cleanly (no
 /// deadlock, no panic) if any rank drops out mid-run.
@@ -438,6 +654,78 @@ pub fn run_distributed_with_sources<O: Operator + DofTopology + Sync>(
     sources: &[Source],
 ) -> RunResult {
     let n_ranks = cfg.n_ranks;
+    let endpoints = transport::make_cluster(cfg.transport, n_ranks);
+    let (outcomes, plans) = run_endpoints_with_plans(
+        op, setup, partition, dt, u0, v0, n_steps, cfg, sources, endpoints,
+    );
+    // lowest failed rank wins, matching the pre-transport behaviour
+    let mut results = Vec::with_capacity(n_ranks);
+    for o in outcomes {
+        results.push(o?);
+    }
+
+    // assemble global state from DOF owners (lowest owning rank)
+    let ndof = Operator::ndof(op);
+    let mut owner = vec![u32::MAX; ndof];
+    for (rank, plan) in plans.iter().enumerate() {
+        for &d in &plan.my_dofs {
+            owner[d as usize] = owner[d as usize].min(rank as u32);
+        }
+    }
+    let mut u = vec![0.0; ndof];
+    let mut v = vec![0.0; ndof];
+    let mut stats: Vec<RankStats> = Vec::with_capacity(n_ranks);
+    for (rank, (ur, vr, st)) in results.into_iter().enumerate() {
+        for d in 0..ndof {
+            if owner[d] == rank as u32 {
+                u[d] = ur[d];
+                v[d] = vr[d];
+            }
+        }
+        stats.push(st);
+    }
+    Ok((u, v, stats))
+}
+
+/// Run every rank of a globally-replicated distributed run on the given
+/// transport endpoints (one per rank, e.g. from
+/// [`transport::make_cluster`] or wrapped in
+/// [`crate::transport::faulty::FaultyTransport`]), returning **each rank's
+/// own outcome** instead of the first failure — the fault-injection tests
+/// assert that killing one rank yields an error on *every* rank.
+#[allow(clippy::too_many_arguments)]
+pub fn run_distributed_endpoints<O: Operator + DofTopology + Sync>(
+    op: &O,
+    setup: &LtsSetup,
+    partition: &[u32],
+    dt: f64,
+    u0: &[f64],
+    v0: &[f64],
+    n_steps: usize,
+    cfg: &DistributedConfig,
+    sources: &[Source],
+    endpoints: Vec<Box<dyn Transport>>,
+) -> Vec<RankRun> {
+    run_endpoints_with_plans(
+        op, setup, partition, dt, u0, v0, n_steps, cfg, sources, endpoints,
+    )
+    .0
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_endpoints_with_plans<O: Operator + DofTopology + Sync>(
+    op: &O,
+    setup: &LtsSetup,
+    partition: &[u32],
+    dt: f64,
+    u0: &[f64],
+    v0: &[f64],
+    n_steps: usize,
+    cfg: &DistributedConfig,
+    sources: &[Source],
+    endpoints: Vec<Box<dyn Transport>>,
+) -> (Vec<RankRun>, Vec<RankPlan>) {
+    let n_ranks = endpoints.len();
     let plans = build_plans(op, setup, partition, n_ranks);
     let ndof = Operator::ndof(op);
     assert_eq!(u0.len(), ndof);
@@ -445,19 +733,9 @@ pub fn run_distributed_with_sources<O: Operator + DofTopology + Sync>(
         .stall_monitor
         .map(|mc| StallMonitor::new(mc, n_ranks, setup.n_levels));
 
-    let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(n_ranks);
-    let mut receivers: Vec<Receiver<Msg>> = Vec::with_capacity(n_ranks);
-    for _ in 0..n_ranks {
-        let (tx, rx) = unbounded();
-        senders.push(tx);
-        receivers.push(rx);
-    }
-
-    type Joined = Result<(usize, Vec<f64>, Vec<f64>, RankStats), RuntimeError>;
-    let results: Result<Vec<_>, RuntimeError> = std::thread::scope(|scope| {
-        let mut handles: Vec<std::thread::ScopedJoinHandle<Joined>> = Vec::new();
-        for (rank, rx) in receivers.into_iter().enumerate() {
-            let tx = senders.clone();
+    let mut outcomes: Vec<RankRun> = std::thread::scope(|scope| {
+        let mut handles: Vec<std::thread::ScopedJoinHandle<RankRun>> = Vec::new();
+        for (rank, transport) in endpoints.into_iter().enumerate() {
             let plan = &plans[rank];
             let cfg = *cfg;
             let mon = monitor.clone();
@@ -470,7 +748,7 @@ pub fn run_distributed_with_sources<O: Operator + DofTopology + Sync>(
                         my_sources[setup.leaf_level[d as usize] as usize].push((si, d));
                     }
                 }
-                let mut ctx = RankCtx {
+                let ctx = RankCtx {
                     rank,
                     op,
                     n_levels: levels,
@@ -484,9 +762,13 @@ pub fn run_distributed_with_sources<O: Operator + DofTopology + Sync>(
                     uts: vec![vec![0.0; ndof]; levels],
                     vts: vec![vec![0.0; ndof]; levels],
                     fs: vec![vec![0.0; ndof]; levels],
-                    tx,
-                    rx,
+                    transport,
+                    gone: vec![false; n_ranks],
                     inbox: vec![VecDeque::new(); n_ranks],
+                    send_buf: Vec::new(),
+                    pending: Vec::new(),
+                    cursors: Vec::new(),
+                    pool: Vec::new(),
                     reg: MetricsRegistry::new(),
                     timeline: Vec::new(),
                     monitor: mon.map(|s| RankMonitor::new(s, rank)),
@@ -495,82 +777,92 @@ pub fn run_distributed_with_sources<O: Operator + DofTopology + Sync>(
                     step_idx: 0,
                     busy_since: Instant::now(),
                 };
-                for step in 0..n_steps {
-                    ctx.step(step as f64 * dt)?;
-                }
-                // busy tail after the last exchange, recorded level-less
-                ctx.reg
-                    .observe(names::BUSY, None, ctx.busy_since.elapsed().as_secs_f64());
-                if let Some(mut m) = ctx.monitor.take() {
-                    m.flush_window(&mut ctx.reg);
-                }
-                Ok((
-                    rank,
-                    ctx.u,
-                    ctx.v,
-                    RankStats::from_registry(rank, ctx.reg, ctx.timeline),
-                ))
+                run_rank_loop(ctx, n_steps)
             }));
         }
-        // join everyone before propagating: a failed rank drops its senders,
-        // which unblocks any peer still waiting in recv
-        let mut joined = Vec::with_capacity(handles.len());
-        for (rank, h) in handles.into_iter().enumerate() {
-            joined.push(
+        // join everyone before propagating: a failed rank's endpoint closes,
+        // which unblocks any peer still waiting in recv (goodbye cascade)
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| {
                 h.join()
                     .map_err(|_| RuntimeError::RankPanicked { rank })
-                    .and_then(|r| r),
-            );
-        }
-        joined.into_iter().collect()
+                    .and_then(|r| r)
+            })
+            .collect()
     });
-    drop(senders);
-    let results = results?;
-
-    // assemble global state from DOF owners (lowest owning rank)
-    let mut owner = vec![u32::MAX; ndof];
-    for (rank, plan) in plans.iter().enumerate() {
-        for &d in &plan.my_dofs {
-            owner[d as usize] = owner[d as usize].min(rank as u32);
-        }
-    }
-    let mut u = vec![0.0; ndof];
-    let mut v = vec![0.0; ndof];
-    let mut stats: Vec<RankStats> = Vec::with_capacity(n_ranks);
-    let mut by_rank: Vec<Option<RankState>> = (0..n_ranks).map(|_| None).collect();
-    for (rank, ur, vr, st) in results {
-        by_rank[rank] = Some((ur, vr, st));
-    }
-    for (rank, slot) in by_rank.into_iter().enumerate() {
-        let (ur, vr, st) = slot.ok_or(RuntimeError::MissingRank { rank })?;
-        for d in 0..ndof {
-            if owner[d] == rank as u32 {
-                u[d] = ur[d];
-                v[d] = vr[d];
-            }
-        }
-        stats.push(st);
-    }
-    stamp_lambda_gauges(monitor.as_deref(), &mut stats);
-    Ok((u, v, stats))
+    stamp_lambda_gauges(
+        monitor.as_deref(),
+        outcomes
+            .iter_mut()
+            .filter_map(|o| o.as_mut().ok().map(|(_, _, st)| &mut st.registry)),
+    );
+    (outcomes, plans)
 }
 
-/// Stamp the monitor's final per-level Eq. 21 λ (and its run-long watermark)
-/// into every rank's registry as gauges. Runs after the join, when all busy
-/// totals are complete, so [`names::STALL_LAMBDA`] agrees with the post-hoc
-/// [`crate::stats::lambda_from_stats`].
-fn stamp_lambda_gauges(monitor: Option<&StallMonitor>, stats: &mut [RankStats]) {
-    let Some(mon) = monitor else { return };
-    let lam = mon.update_lambda_watermarks();
-    let wm = mon.lambda_watermarks();
-    for st in stats.iter_mut() {
-        for l in 0..lam.len() {
-            st.registry
-                .set_gauge_level(names::STALL_LAMBDA, l as u8, lam[l]);
-            st.registry
-                .set_gauge_level(names::STALL_LAMBDA_WM, l as u8, wm[l]);
+/// Run ONE rank of a globally-replicated distributed run on an
+/// already-connected endpoint — the building block of the multi-process
+/// runner: `wave-lts worker` rebuilds its mesh and exchange plan
+/// deterministically, dials the coordinator, and calls this with the
+/// resulting [`crate::transport::socket::SocketTransport`].
+///
+/// The online stall monitor needs shared-memory aggregation across ranks,
+/// so it is not run here regardless of `cfg.stall_monitor`; the
+/// deterministic counters and busy/wait histograms are recorded as usual.
+#[allow(clippy::too_many_arguments)]
+pub fn run_rank_endpoint<O: Operator>(
+    op: &O,
+    setup: &LtsSetup,
+    plan: &RankPlan,
+    rank: usize,
+    dt: f64,
+    u0: &[f64],
+    v0: &[f64],
+    n_steps: usize,
+    cfg: &DistributedConfig,
+    sources: &[Source],
+    transport: Box<dyn Transport>,
+) -> RankRun {
+    let n_ranks = transport.n_ranks();
+    let ndof = u0.len();
+    let levels = setup.n_levels;
+    let mut my_sources: Vec<Vec<(usize, u32)>> = vec![Vec::new(); levels];
+    for (si, src) in sources.iter().enumerate() {
+        if plan.my_dofs.binary_search(&src.dof).is_ok() {
+            my_sources[setup.leaf_level[src.dof as usize] as usize].push((si, src.dof));
         }
     }
+    let ctx = RankCtx {
+        rank,
+        op,
+        n_levels: levels,
+        dof_level: &setup.dof_level,
+        plan,
+        sources,
+        my_sources,
+        dt,
+        u: u0.to_vec(),
+        v: v0.to_vec(),
+        uts: vec![vec![0.0; ndof]; levels],
+        vts: vec![vec![0.0; ndof]; levels],
+        fs: vec![vec![0.0; ndof]; levels],
+        transport,
+        gone: vec![false; n_ranks],
+        inbox: vec![VecDeque::new(); n_ranks],
+        send_buf: Vec::new(),
+        pending: Vec::new(),
+        cursors: Vec::new(),
+        pool: Vec::new(),
+        reg: MetricsRegistry::new(),
+        timeline: Vec::new(),
+        monitor: None,
+        cfg: *cfg,
+        ws: Workspace::new(),
+        step_idx: 0,
+        busy_since: Instant::now(),
+    };
+    run_rank_loop(ctx, n_steps)
 }
 
 /// One rank's complete owned world for the distributed-memory runner
@@ -590,8 +882,9 @@ pub struct LocalRank<O: Operator> {
     pub global_of_local: Vec<u32>,
 }
 
-/// Spawn one thread per pre-built [`LocalRank`] world and run `n_steps`.
-/// Returns each rank's final `(u, v, global_of_local)` plus statistics.
+/// Spawn one thread per pre-built [`LocalRank`] world and run `n_steps` over
+/// the configured transport backend. Returns each rank's final
+/// `(u, v, global_of_local)` plus statistics.
 pub fn run_rank_contexts<O: Operator + Send>(
     ranks: Vec<LocalRank<O>>,
     dt: f64,
@@ -604,18 +897,11 @@ pub fn run_rank_contexts<O: Operator + Send>(
         let n_levels = ranks.first().map_or(1, |r| r.n_levels);
         StallMonitor::new(mc, n_ranks, n_levels)
     });
-    let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(n_ranks);
-    let mut receivers: Vec<Receiver<Msg>> = Vec::with_capacity(n_ranks);
-    for _ in 0..n_ranks {
-        let (tx, rx) = unbounded();
-        senders.push(tx);
-        receivers.push(rx);
-    }
-    let outcome: Result<Vec<RankOutcome>, RuntimeError> = std::thread::scope(|scope| {
-        let mut handles: Vec<std::thread::ScopedJoinHandle<Result<RankOutcome, RuntimeError>>> =
-            Vec::new();
-        for ((rank, world), rx) in ranks.into_iter().enumerate().zip(receivers) {
-            let tx = senders.clone();
+    let endpoints = transport::make_cluster(cfg.transport, n_ranks);
+    type Joined = Result<(Vec<f64>, Vec<f64>, Vec<u32>, RankStats), RuntimeError>;
+    let outcome: Result<Vec<_>, RuntimeError> = std::thread::scope(|scope| {
+        let mut handles: Vec<std::thread::ScopedJoinHandle<Joined>> = Vec::new();
+        for ((rank, world), transport) in ranks.into_iter().enumerate().zip(endpoints) {
             let cfg = *cfg;
             let mon = monitor.clone();
             handles.push(scope.spawn(move || {
@@ -631,7 +917,7 @@ pub fn run_rank_contexts<O: Operator + Send>(
                     global_of_local,
                 } = world;
                 let ndof = u.len();
-                let mut ctx = RankCtx {
+                let ctx = RankCtx {
                     rank,
                     op: &op,
                     n_levels,
@@ -645,9 +931,13 @@ pub fn run_rank_contexts<O: Operator + Send>(
                     uts: vec![vec![0.0; ndof]; n_levels],
                     vts: vec![vec![0.0; ndof]; n_levels],
                     fs: vec![vec![0.0; ndof]; n_levels],
-                    tx,
-                    rx,
+                    transport,
+                    gone: vec![false; n_ranks],
                     inbox: vec![VecDeque::new(); n_ranks],
+                    send_buf: Vec::new(),
+                    pending: Vec::new(),
+                    cursors: Vec::new(),
+                    pool: Vec::new(),
                     reg: MetricsRegistry::new(),
                     timeline: Vec::new(),
                     monitor: mon.map(|s| RankMonitor::new(s, rank)),
@@ -656,49 +946,30 @@ pub fn run_rank_contexts<O: Operator + Send>(
                     step_idx: 0,
                     busy_since: Instant::now(),
                 };
-                for step in 0..n_steps {
-                    ctx.step(step as f64 * dt)?;
-                }
-                ctx.reg
-                    .observe(names::BUSY, None, ctx.busy_since.elapsed().as_secs_f64());
-                if let Some(mut m) = ctx.monitor.take() {
-                    m.flush_window(&mut ctx.reg);
-                }
-                Ok((
-                    rank,
-                    ctx.u,
-                    ctx.v,
-                    global_of_local,
-                    RankStats::from_registry(rank, ctx.reg, ctx.timeline),
-                ))
+                run_rank_loop(ctx, n_steps).map(|(u, v, st)| (u, v, global_of_local, st))
             }));
         }
-        let mut joined = Vec::with_capacity(handles.len());
-        for (rank, h) in handles.into_iter().enumerate() {
-            joined.push(
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| {
                 h.join()
                     .map_err(|_| RuntimeError::RankPanicked { rank })
-                    .and_then(|r| r),
-            );
-        }
-        joined.into_iter().collect()
+                    .and_then(|r| r)
+            })
+            .collect()
     });
-    drop(senders);
-    let mut results: Vec<Option<RankResult>> = (0..n_ranks).map(|_| None).collect();
-    let mut stats: Vec<Option<RankStats>> = (0..n_ranks).map(|_| None).collect();
-    for (rank, u, v, map, st) in outcome? {
-        results[rank] = Some((u, v, map));
-        stats[rank] = Some(st);
-    }
-    let mut flat_stats: Vec<RankStats> = Vec::with_capacity(n_ranks);
-    for (rank, s) in stats.into_iter().enumerate() {
-        flat_stats.push(s.ok_or(RuntimeError::MissingRank { rank })?);
-    }
-    stamp_lambda_gauges(monitor.as_deref(), &mut flat_stats);
+    let outcome = outcome?;
     let mut flat_results: Vec<RankResult> = Vec::with_capacity(n_ranks);
-    for (rank, r) in results.into_iter().enumerate() {
-        flat_results.push(r.ok_or(RuntimeError::MissingRank { rank })?);
+    let mut flat_stats: Vec<RankStats> = Vec::with_capacity(n_ranks);
+    for (u, v, map, st) in outcome {
+        flat_results.push((u, v, map));
+        flat_stats.push(st);
     }
+    stamp_lambda_gauges(
+        monitor.as_deref(),
+        flat_stats.iter_mut().map(|s| &mut s.registry),
+    );
     Ok((flat_results, flat_stats))
 }
 
@@ -807,8 +1078,11 @@ mod tests {
         assert_eq!(stats[0].n_exchanges, 0);
     }
 
+    /// The unified boundary-first force path makes overlap a pure *send
+    /// placement* choice: fields must agree bit-for-bit, not just to
+    /// round-off, and the deterministic counters must be identical.
     #[test]
-    fn overlap_matches_blocking_to_roundoff() {
+    fn overlap_matches_blocking_bitwise() {
         let mut vel = vec![1.0; 24];
         for (i, vx) in vel.iter_mut().enumerate() {
             if i >= 20 {
@@ -827,19 +1101,61 @@ mod tests {
             overlap: true,
             ..blocking
         };
-        let (ub, _, _) =
+        let (ub, vb, sb) =
             run_distributed(&c, &setup, &part, dt, &u0, &[0.0; 25], 20, &blocking).unwrap();
-        let (uo, _, _) =
+        let (uo, vo, so) =
             run_distributed(&c, &setup, &part, dt, &u0, &[0.0; 25], 20, &overlapped).unwrap();
-        // interface partials are order-identical; interior-element summation
-        // order differs only on private DOFs → tiny round-off differences
         for i in 0..25 {
-            assert!(
-                (ub[i] - uo[i]).abs() < 1e-12,
-                "dof {i}: blocking {} vs overlapped {}",
-                ub[i],
-                uo[i]
-            );
+            assert_eq!(ub[i].to_bits(), uo[i].to_bits(), "u[{i}]");
+            assert_eq!(vb[i].to_bits(), vo[i].to_bits(), "v[{i}]");
+        }
+        for (b, o) in sb.iter().zip(&so) {
+            assert_eq!(b.elem_ops, o.elem_ops);
+            assert_eq!(b.n_exchanges, o.n_exchanges);
+            assert_eq!(b.msgs_sent, o.msgs_sent);
+            assert_eq!(b.dofs_sent, o.dofs_sent);
+        }
+    }
+
+    /// Pluggable means interchangeable: every backend must produce the same
+    /// field bits and the same deterministic counters as the channel
+    /// reference, in both communication modes.
+    #[test]
+    fn every_transport_matches_channel_bitwise() {
+        let mut vel = vec![1.0; 12];
+        for v in vel.iter_mut().skip(8) {
+            *v = 2.0;
+        }
+        let c = Chain1d::with_velocities(vel, 1.0);
+        let (lv, dt) = c.assign_levels(0.5, 2);
+        let setup = LtsSetup::new(&c, &lv);
+        let u0 = gaussian(13);
+        let part: Vec<u32> = (0..12).map(|e| (e % 3) as u32).collect();
+        for overlap in [false, true] {
+            let base = DistributedConfig {
+                overlap,
+                ..DistributedConfig::new(3)
+            };
+            let (uc, vc, sc) =
+                run_distributed(&c, &setup, &part, dt, &u0, &[0.0; 13], 15, &base).unwrap();
+            for kind in [TransportKind::SharedRing, TransportKind::UnixSocket] {
+                let cfg = DistributedConfig {
+                    transport: kind,
+                    ..base
+                };
+                let (u, v, st) =
+                    run_distributed(&c, &setup, &part, dt, &u0, &[0.0; 13], 15, &cfg).unwrap();
+                for i in 0..13 {
+                    assert_eq!(uc[i].to_bits(), u[i].to_bits(), "{kind:?} u[{i}]");
+                    assert_eq!(vc[i].to_bits(), v[i].to_bits(), "{kind:?} v[{i}]");
+                }
+                for (a, b) in sc.iter().zip(&st) {
+                    assert_eq!(a.elem_ops, b.elem_ops, "{kind:?}");
+                    assert_eq!(a.n_exchanges, b.n_exchanges, "{kind:?}");
+                    assert_eq!(a.msgs_sent, b.msgs_sent, "{kind:?}");
+                    assert_eq!(a.dofs_sent, b.dofs_sent, "{kind:?}");
+                }
+            }
         }
     }
 
@@ -945,5 +1261,31 @@ mod tests {
             .gauge(names::STALL_WAIT_FRAC_WM, Some(0))
             .expect("wait-fraction watermark recorded");
         assert!(wf >= 0.5, "windowed wait fraction {wf} below threshold");
+    }
+
+    /// Transport accounting rides along as backend-labelled gauges.
+    #[test]
+    fn transport_gauges_are_stamped() {
+        let c = Chain1d::uniform(8, 1.0, 1.0);
+        let setup = LtsSetup::new(&c, &[0u8; 8]);
+        let u0 = gaussian(9);
+        let part: Vec<u32> = (0..8).map(|e| u32::from(e >= 4)).collect();
+        let cfg = DistributedConfig {
+            transport: TransportKind::SharedRing,
+            ..DistributedConfig::new(2)
+        };
+        let (_, _, stats) =
+            run_distributed(&c, &setup, &part, 0.5, &u0, &[0.0; 9], 5, &cfg).unwrap();
+        for st in &stats {
+            let msgs = st
+                .registry
+                .gauge_labeled(names::TRANSPORT_MSGS, "shm-ring")
+                .expect("transport msgs gauge");
+            assert_eq!(msgs as u64, st.msgs_sent);
+            assert!(st
+                .registry
+                .gauge_labeled(names::TRANSPORT_SEND_BLOCK_S, "shm-ring")
+                .is_some());
+        }
     }
 }

@@ -20,9 +20,15 @@ pub mod error;
 pub mod exchange;
 pub mod local;
 pub mod monitor;
+#[cfg(unix)]
+pub mod process;
 pub mod stats;
+pub mod transport;
 
-pub use distributed::{run_distributed, DistributedConfig};
+pub use distributed::{
+    run_distributed, run_distributed_endpoints, run_distributed_with_sources, run_rank_endpoint,
+    DistributedConfig, RankRun,
+};
 pub use error::RuntimeError;
 pub use local::{
     run_distributed_local_acoustic, run_distributed_local_acoustic_observed,
@@ -33,3 +39,4 @@ pub use stats::{
     ascii_timeline, chrome_trace, lambda_from_stats, profile_json, LevelStats, RankStats,
     TimelineEvent,
 };
+pub use transport::{Transport, TransportError, TransportKind};

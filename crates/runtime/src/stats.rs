@@ -19,6 +19,14 @@ pub mod names {
     pub const EXCHANGES: &str = "exchanges";
     /// Counter: partial-force messages posted, per level.
     pub const MSGS_SENT: &str = "msgs_sent";
+    /// Counter, per level: partials that had **already arrived** when the
+    /// rank reached the exchange point (drained from the inbox without
+    /// touching the transport). The scheduler-independent witness of
+    /// comm/compute overlap: with sends posted before the interior apply
+    /// this approaches `msgs_sent`, with blocking sends it stays near the
+    /// out-of-order stash rate. Timing-free but schedule-*shifted*, so it
+    /// is deliberately not part of the exact-match bench counters.
+    pub const EXCHANGE_READY: &str = "exchange.partials_ready";
     /// Counter: interface DOF values sent (message payload lengths), per level.
     pub const DOFS_SENT: &str = "dofs_sent";
     /// Histogram: compute segments ending at an exchange of this level (s).
@@ -40,10 +48,20 @@ pub mod names {
     /// rank's masked-product throughput. Stamped after the join; derived
     /// from counters + timings, so it never enters counter-exact compares.
     pub const ELEM_OPS_PER_SEC: &str = "elem_ops_per_sec";
+    /// Gauge, labelled by transport backend name: seconds the rank's
+    /// endpoint spent blocked in `send` on backpressure.
+    pub const TRANSPORT_SEND_BLOCK_S: &str = "transport.send_block_s";
+    /// Gauge, labelled by transport backend name: halo messages the
+    /// endpoint posted (mirrors the `msgs_sent` counter; lets exporters see
+    /// which backend carried them).
+    pub const TRANSPORT_MSGS: &str = "transport.msgs";
+    /// Gauge, labelled by transport backend name: payload bytes put on the
+    /// wire (0 for by-reference in-process backends).
+    pub const TRANSPORT_BYTES: &str = "transport.bytes";
 }
 
 /// One recorded exchange point of one rank.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimelineEvent {
     /// LTS level of the force exchange.
     pub level: u8,

@@ -1,0 +1,754 @@
+//! The versioned, length-prefixed wire codec for halo payloads and monitor
+//! stats — what [`super::socket::SocketTransport`] and the multi-process
+//! runner ([`crate::process`]) put on the wire.
+//!
+//! Every frame is a 12-byte little-endian header followed by `body_len`
+//! bytes of body:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic      0x5754_4C53 ("SLTW" on the wire, LE)
+//!      4     2  version    1
+//!      6     1  kind       0 Hello · 1 Halo · 2 Goodbye · 3 Stats · 4 Done
+//!      7     1  reserved   0
+//!      8     4  body_len
+//! ```
+//!
+//! Payload `f64`s travel as raw IEEE-754 bit patterns (`to_bits`, LE), so a
+//! multi-process run reproduces in-process fields *bitwise* — including NaN
+//! payloads, signed zeros and subnormals. Decoding never panics: every read
+//! is bounds-checked and malformed input surfaces a [`CodecError`].
+
+use crate::stats::{names, RankStats, TimelineEvent};
+use lts_obs::{Histogram, Key, MetricsRegistry, HIST_BUCKETS};
+
+pub const MAGIC: u32 = 0x5754_4C53;
+pub const VERSION: u16 = 1;
+/// Upper bound on `body_len`: rejects absurd allocations from corrupt
+/// headers before any buffer is sized.
+pub const MAX_BODY: u32 = 1 << 28;
+/// Header size in bytes.
+pub const HEADER_LEN: usize = 12;
+
+/// `level` encoding for level-less metric keys.
+const NO_LEVEL: u8 = u8::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes than a complete frame; not an error on a growing buffer.
+    Truncated,
+    BadMagic(u32),
+    BadVersion(u16),
+    UnknownKind(u8),
+    /// `body_len` exceeds [`MAX_BODY`].
+    Oversize(u32),
+    /// Structurally invalid body (internal counts disagree with the length).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            CodecError::Truncated => write!(f, "frame truncated"),
+            CodecError::BadMagic(m) => write!(f, "bad magic 0x{m:08x}"),
+            CodecError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            CodecError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            CodecError::Oversize(n) => write!(f, "body length {n} exceeds cap"),
+            CodecError::Malformed(what) => write!(f, "malformed body: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A rank's metrics in wire form: the runtime's fixed metric table (id ↔
+/// name) plus the optional exchange timeline. Only metrics in the table
+/// cross the wire; free-form keys stay process-local.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WireStats {
+    /// `(metric id, level | 255, value)`
+    pub counters: Vec<(u8, u8, u64)>,
+    /// `(metric id, level | 255, histogram)`
+    pub hists: Vec<(u8, u8, Histogram)>,
+    /// `(metric id, level | 255, value)`
+    pub gauges: Vec<(u8, u8, f64)>,
+    pub timeline: Vec<TimelineEvent>,
+}
+
+/// The fixed metric-id tables. `Key.name` is `&'static str`, so wire-decoded
+/// stats can only rebuild metrics whose names are baked in here.
+const COUNTER_NAMES: [&str; 6] = [
+    names::ELEM_OPS,
+    names::EXCHANGES,
+    names::MSGS_SENT,
+    names::DOFS_SENT,
+    names::STALL_WARNINGS,
+    names::EXCHANGE_READY,
+];
+const HIST_NAMES: [&str; 2] = [names::BUSY, names::WAIT];
+const GAUGE_NAMES: [&str; 4] = [
+    names::STALL_WAIT_FRAC_WM,
+    names::STALL_LAMBDA,
+    names::STALL_LAMBDA_WM,
+    names::ELEM_OPS_PER_SEC,
+];
+
+fn table_id(table: &[&str], name: &str) -> Option<u8> {
+    table.iter().position(|&n| n == name).map(|i| i as u8)
+}
+
+fn wire_level(level: Option<u8>) -> u8 {
+    match level {
+        Some(l) if l < NO_LEVEL => l,
+        _ => NO_LEVEL,
+    }
+}
+
+fn key_level(wire: u8) -> Option<u8> {
+    if wire == NO_LEVEL {
+        None
+    } else {
+        Some(wire)
+    }
+}
+
+impl WireStats {
+    /// Capture the table-known metrics of one rank's view.
+    pub fn from_rank_stats(stats: &RankStats) -> WireStats {
+        let mut out = WireStats {
+            timeline: stats.timeline.clone(),
+            ..WireStats::default()
+        };
+        for (key, metric) in stats.registry.iter() {
+            if key.label.is_some() {
+                continue;
+            }
+            let lvl = wire_level(key.level);
+            match metric {
+                lts_obs::Metric::Counter(c) => {
+                    if let Some(id) = table_id(&COUNTER_NAMES, key.name) {
+                        out.counters.push((id, lvl, *c));
+                    }
+                }
+                lts_obs::Metric::Histogram(h) => {
+                    if let Some(id) = table_id(&HIST_NAMES, key.name) {
+                        out.hists.push((id, lvl, h.clone()));
+                    }
+                }
+                lts_obs::Metric::Gauge(g) => {
+                    if let Some(id) = table_id(&GAUGE_NAMES, key.name) {
+                        out.gauges.push((id, lvl, *g));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Rebuild a [`RankStats`] view (exact counters, exact histogram
+    /// contents) for `rank`.
+    pub fn into_rank_stats(self, rank: usize) -> RankStats {
+        let mut reg = MetricsRegistry::new();
+        for (id, lvl, c) in &self.counters {
+            if let Some(&name) = COUNTER_NAMES.get(*id as usize) {
+                reg.inc_key(
+                    Key {
+                        name,
+                        level: key_level(*lvl),
+                        label: None,
+                    },
+                    *c,
+                );
+            }
+        }
+        for (id, lvl, h) in &self.hists {
+            if let Some(&name) = HIST_NAMES.get(*id as usize) {
+                reg.set_histogram(
+                    Key {
+                        name,
+                        level: key_level(*lvl),
+                        label: None,
+                    },
+                    h.clone(),
+                );
+            }
+        }
+        for (id, lvl, g) in &self.gauges {
+            if let Some(&name) = GAUGE_NAMES.get(*id as usize) {
+                match key_level(*lvl) {
+                    Some(l) => reg.set_gauge_level(name, l, *g),
+                    None => reg.set_gauge(name, *g),
+                }
+            }
+        }
+        RankStats::from_registry(rank, reg, self.timeline)
+    }
+}
+
+/// One wire frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Worker → router handshake: which rank this connection carries.
+    Hello { rank: u32 },
+    /// A halo payload from `src` to `dst`, tagged with its LTS level.
+    Halo {
+        src: u32,
+        dst: u32,
+        level: u8,
+        payload: Vec<f64>,
+    },
+    /// `rank`'s endpoint is gone; no further frames from it.
+    Goodbye { rank: u32 },
+    /// End-of-run metrics of `rank`.
+    Stats { rank: u32, stats: WireStats },
+    /// End-of-run fields of `rank` in rank-local numbering plus the
+    /// local→global DOF map.
+    Done {
+        rank: u32,
+        u: Vec<f64>,
+        v: Vec<f64>,
+        global_of_local: Vec<u32>,
+    },
+}
+
+impl Frame {
+    fn kind(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => 0,
+            Frame::Halo { .. } => 1,
+            Frame::Goodbye { .. } => 2,
+            Frame::Stats { .. } => 3,
+            Frame::Done { .. } => 4,
+        }
+    }
+}
+
+// ---- encoding ------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_f64s(out: &mut Vec<u8>, vs: &[f64]) {
+    put_u32(out, vs.len() as u32);
+    for &x in vs {
+        put_f64(out, x);
+    }
+}
+
+fn put_hist(out: &mut Vec<u8>, h: &Histogram) {
+    put_u64(out, h.count);
+    put_f64(out, h.sum);
+    put_f64(out, h.min);
+    put_f64(out, h.max);
+    for &b in h.buckets.iter() {
+        put_u64(out, b);
+    }
+}
+
+/// Append `frame`'s bytes (header + body) to `out`.
+pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
+    let header_at = out.len();
+    put_u32(out, MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.push(frame.kind());
+    out.push(0); // reserved
+    put_u32(out, 0); // body_len backpatched below
+    let body_at = out.len();
+    match frame {
+        Frame::Hello { rank } | Frame::Goodbye { rank } => put_u32(out, *rank),
+        Frame::Halo {
+            src,
+            dst,
+            level,
+            payload,
+        } => {
+            put_u32(out, *src);
+            put_u32(out, *dst);
+            out.push(*level);
+            put_f64s(out, payload);
+        }
+        Frame::Stats { rank, stats } => {
+            put_u32(out, *rank);
+            put_u32(out, stats.counters.len() as u32);
+            for &(id, lvl, v) in &stats.counters {
+                out.push(id);
+                out.push(lvl);
+                put_u64(out, v);
+            }
+            put_u32(out, stats.hists.len() as u32);
+            for (id, lvl, h) in &stats.hists {
+                out.push(*id);
+                out.push(*lvl);
+                put_hist(out, h);
+            }
+            put_u32(out, stats.gauges.len() as u32);
+            for &(id, lvl, g) in &stats.gauges {
+                out.push(id);
+                out.push(lvl);
+                put_f64(out, g);
+            }
+            put_u32(out, stats.timeline.len() as u32);
+            for ev in &stats.timeline {
+                out.push(ev.level);
+                put_u32(out, ev.step);
+                put_f64(out, ev.busy_s);
+                put_f64(out, ev.wait_s);
+                put_u64(out, ev.elem_ops);
+                put_u64(out, ev.dofs_sent);
+            }
+        }
+        Frame::Done {
+            rank,
+            u,
+            v,
+            global_of_local,
+        } => {
+            put_u32(out, *rank);
+            put_f64s(out, u);
+            put_f64s(out, v);
+            put_u32(out, global_of_local.len() as u32);
+            for &g in global_of_local {
+                put_u32(out, g);
+            }
+        }
+    }
+    let body_len = (out.len() - body_at) as u32;
+    out[header_at + 8..header_at + 12].copy_from_slice(&body_len.to_le_bytes());
+}
+
+/// Convenience: one frame as a fresh byte vector.
+pub fn encode_vec(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode(frame, &mut out);
+    out
+}
+
+/// Encode a `Halo` frame straight from a payload slice — the socket hot
+/// path, which must not copy the payload into a `Frame` first.
+pub fn encode_halo_into(src: u32, dst: u32, level: u8, payload: &[f64], out: &mut Vec<u8>) {
+    let header_at = out.len();
+    put_u32(out, MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.push(1); // kind: Halo
+    out.push(0); // reserved
+    put_u32(out, 0); // body_len backpatched below
+    let body_at = out.len();
+    put_u32(out, src);
+    put_u32(out, dst);
+    out.push(level);
+    put_f64s(out, payload);
+    let body_len = (out.len() - body_at) as u32;
+    out[header_at + 8..header_at + 12].copy_from_slice(&body_len.to_le_bytes());
+}
+
+// ---- decoding ------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .ok_or(CodecError::Malformed("length overflow"))?;
+        let s = self
+            .buf
+            .get(self.at..end)
+            .ok_or(CodecError::Malformed("body shorter than its contents"))?;
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+        ]))
+    }
+
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A `u32` count that must be payable by the remaining bytes at
+    /// `elem_bytes` each — rejects allocation bombs from corrupt counts.
+    fn count(&mut self, elem_bytes: usize) -> Result<usize, CodecError> {
+        let n = self.u32()? as usize;
+        let need = n
+            .checked_mul(elem_bytes)
+            .ok_or(CodecError::Malformed("count overflow"))?;
+        if self.buf.len() - self.at < need {
+            return Err(CodecError::Malformed("count exceeds body"));
+        }
+        Ok(n)
+    }
+
+    fn f64s(&mut self) -> Result<Vec<f64>, CodecError> {
+        let n = self.count(8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+
+    fn hist(&mut self) -> Result<Histogram, CodecError> {
+        let mut h = Histogram {
+            count: self.u64()?,
+            sum: self.f64()?,
+            min: self.f64()?,
+            max: self.f64()?,
+            buckets: [0; HIST_BUCKETS],
+        };
+        for b in h.buckets.iter_mut() {
+            *b = self.u64()?;
+        }
+        Ok(h)
+    }
+
+    fn done(&self) -> Result<(), CodecError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CodecError::Malformed("trailing bytes after body"))
+        }
+    }
+}
+
+/// Validate a 12-byte header; returns `(kind, body_len)`.
+pub fn decode_header(h: &[u8]) -> Result<(u8, u32), CodecError> {
+    if h.len() < HEADER_LEN {
+        return Err(CodecError::Truncated);
+    }
+    let magic = u32::from_le_bytes([h[0], h[1], h[2], h[3]]);
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes([h[4], h[5]]);
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let kind = h[6];
+    if kind > 4 {
+        return Err(CodecError::UnknownKind(kind));
+    }
+    let body_len = u32::from_le_bytes([h[8], h[9], h[10], h[11]]);
+    if body_len > MAX_BODY {
+        return Err(CodecError::Oversize(body_len));
+    }
+    Ok((kind, body_len))
+}
+
+/// Decode a frame body already split off by its header.
+pub fn decode_body(kind: u8, body: &[u8]) -> Result<Frame, CodecError> {
+    let mut r = Reader { buf: body, at: 0 };
+    let frame = match kind {
+        0 => Frame::Hello { rank: r.u32()? },
+        1 => Frame::Halo {
+            src: r.u32()?,
+            dst: r.u32()?,
+            level: r.u8()?,
+            payload: r.f64s()?,
+        },
+        2 => Frame::Goodbye { rank: r.u32()? },
+        3 => {
+            let rank = r.u32()?;
+            let mut stats = WireStats::default();
+            for _ in 0..r.count(10)? {
+                stats.counters.push((r.u8()?, r.u8()?, r.u64()?));
+            }
+            for _ in 0..r.count(2 + 8 * (4 + HIST_BUCKETS))? {
+                stats.hists.push((r.u8()?, r.u8()?, r.hist()?));
+            }
+            for _ in 0..r.count(10)? {
+                stats.gauges.push((r.u8()?, r.u8()?, r.f64()?));
+            }
+            for _ in 0..r.count(1 + 4 + 4 * 8)? {
+                stats.timeline.push(TimelineEvent {
+                    level: r.u8()?,
+                    step: r.u32()?,
+                    busy_s: r.f64()?,
+                    wait_s: r.f64()?,
+                    elem_ops: r.u64()?,
+                    dofs_sent: r.u64()?,
+                });
+            }
+            Frame::Stats { rank, stats }
+        }
+        4 => {
+            let rank = r.u32()?;
+            let u = r.f64s()?;
+            let v = r.f64s()?;
+            let n = r.count(4)?;
+            let mut global_of_local = Vec::with_capacity(n);
+            for _ in 0..n {
+                global_of_local.push(r.u32()?);
+            }
+            Frame::Done {
+                rank,
+                u,
+                v,
+                global_of_local,
+            }
+        }
+        other => return Err(CodecError::UnknownKind(other)),
+    };
+    r.done()?;
+    Ok(frame)
+}
+
+/// Decode the first frame in `buf`. Returns the frame and how many bytes it
+/// consumed; [`CodecError::Truncated`] means "feed me more bytes".
+pub fn decode(buf: &[u8]) -> Result<(Frame, usize), CodecError> {
+    let (kind, body_len) = decode_header(buf)?;
+    let total = HEADER_LEN + body_len as usize;
+    let body = buf.get(HEADER_LEN..total).ok_or(CodecError::Truncated)?;
+    Ok((decode_body(kind, body)?, total))
+}
+
+// ---- stream I/O ----------------------------------------------------------
+
+/// Stream-side failures of [`read_frame`].
+#[derive(Debug)]
+pub enum StreamError {
+    /// Clean end of stream at a frame boundary.
+    Eof,
+    Io(std::io::Error),
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Eof => write!(f, "end of stream"),
+            StreamError::Io(e) => write!(f, "stream i/o: {e}"),
+            StreamError::Codec(e) => write!(f, "stream codec: {e}"),
+        }
+    }
+}
+
+fn read_exact_or_eof<R: std::io::Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    eof_ok_at_start: bool,
+) -> Result<(), StreamError> {
+    let mut got = 0usize;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(if got == 0 && eof_ok_at_start {
+                    StreamError::Eof
+                } else {
+                    StreamError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "eof mid-frame",
+                    ))
+                });
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(StreamError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Read one complete frame from `r`, using `scratch` as the body buffer.
+/// [`StreamError::Eof`] is returned only at a clean frame boundary.
+pub fn read_frame<R: std::io::Read>(
+    r: &mut R,
+    scratch: &mut Vec<u8>,
+) -> Result<Frame, StreamError> {
+    let mut header = [0u8; HEADER_LEN];
+    read_exact_or_eof(r, &mut header, true)?;
+    read_body(&header, r, scratch)
+}
+
+/// Finish reading a frame whose 12-byte header is already in hand (the
+/// socket backend reads headers itself so a receive timeout can stay
+/// byte-aligned).
+pub fn read_body<R: std::io::Read>(
+    header: &[u8],
+    mut r: R,
+    scratch: &mut Vec<u8>,
+) -> Result<Frame, StreamError> {
+    let (kind, body_len) = decode_header(header).map_err(StreamError::Codec)?;
+    scratch.clear();
+    scratch.resize(body_len as usize, 0);
+    read_exact_or_eof(&mut r, scratch, false)?;
+    decode_body(kind, scratch).map_err(StreamError::Codec)
+}
+
+/// Write one frame to `w` (no flush).
+pub fn write_frame<W: std::io::Write>(w: &mut W, frame: &Frame) -> std::io::Result<()> {
+    let mut bytes = Vec::new();
+    encode(frame, &mut bytes);
+    w.write_all(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        let mut h = Histogram::default();
+        h.observe(1e-4);
+        h.observe(3.0);
+        vec![
+            Frame::Hello { rank: 7 },
+            Frame::Goodbye { rank: 0 },
+            Frame::Halo {
+                src: 1,
+                dst: 2,
+                level: 3,
+                payload: vec![0.0, -0.0, f64::NAN, f64::INFINITY, 1e-310, -2.5],
+            },
+            Frame::Halo {
+                src: 0,
+                dst: 1,
+                level: 0,
+                payload: vec![],
+            },
+            Frame::Stats {
+                rank: 4,
+                stats: WireStats {
+                    counters: vec![(0, 0, 42), (3, 255, 9)],
+                    hists: vec![(1, 2, h)],
+                    gauges: vec![(1, 0, 0.75)],
+                    timeline: vec![TimelineEvent {
+                        level: 1,
+                        step: 9,
+                        busy_s: 0.25,
+                        wait_s: 0.125,
+                        elem_ops: 77,
+                        dofs_sent: 12,
+                    }],
+                },
+            },
+            Frame::Done {
+                rank: 2,
+                u: vec![1.5, -2.5],
+                v: vec![0.0],
+                global_of_local: vec![10, 11, 12],
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_all_kinds() {
+        for f in sample_frames() {
+            let bytes = encode_vec(&f);
+            let (g, used) = decode(&bytes).expect("decode");
+            assert_eq!(used, bytes.len());
+            // NaN payloads break PartialEq; compare re-encodings (bit-exact)
+            assert_eq!(encode_vec(&g), bytes);
+        }
+    }
+
+    #[test]
+    fn truncation_is_always_truncated_error() {
+        for f in sample_frames() {
+            let bytes = encode_vec(&f);
+            for cut in 0..bytes.len() {
+                match decode(&bytes[..cut]) {
+                    Err(CodecError::Truncated) => {}
+                    other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_headers_are_rejected() {
+        let bytes = encode_vec(&Frame::Hello { rank: 1 });
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(decode(&bad), Err(CodecError::BadMagic(_))));
+        let mut bad = bytes.clone();
+        bad[4] = 0x7f;
+        assert!(matches!(decode(&bad), Err(CodecError::BadVersion(_))));
+        let mut bad = bytes.clone();
+        bad[6] = 250;
+        assert!(matches!(decode(&bad), Err(CodecError::UnknownKind(250))));
+        let mut bad = bytes;
+        bad[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode(&bad), Err(CodecError::Oversize(_))));
+    }
+
+    #[test]
+    fn corrupt_counts_do_not_allocate_or_panic() {
+        // a Halo whose ndof field claims more doubles than the body holds
+        let mut bytes = encode_vec(&Frame::Halo {
+            src: 0,
+            dst: 1,
+            level: 0,
+            payload: vec![1.0, 2.0],
+        });
+        // ndof lives right after src+dst+level in the body
+        let ndof_at = HEADER_LEN + 9;
+        bytes[ndof_at..ndof_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(CodecError::Malformed(_))));
+    }
+
+    #[test]
+    fn stream_read_write_round_trips() {
+        let mut wire = Vec::new();
+        for f in sample_frames() {
+            write_frame(&mut wire, &f).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(wire);
+        let mut scratch = Vec::new();
+        for f in sample_frames() {
+            let got = read_frame(&mut cursor, &mut scratch).expect("frame");
+            assert_eq!(encode_vec(&got), encode_vec(&f));
+        }
+        assert!(matches!(
+            read_frame(&mut cursor, &mut scratch),
+            Err(StreamError::Eof)
+        ));
+    }
+
+    #[test]
+    fn wire_stats_rebuild_exact_counters_and_hists() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc_level(names::ELEM_OPS, 0, 100);
+        reg.inc_level(names::ELEM_OPS, 1, 23);
+        reg.inc_level(names::EXCHANGES, 1, 4);
+        reg.observe(names::BUSY, Some(0), 0.5);
+        reg.observe(names::BUSY, None, 0.25);
+        reg.observe(names::WAIT, Some(0), 0.0625);
+        reg.set_gauge_level(names::STALL_LAMBDA, 0, 0.5);
+        let stats = RankStats::from_registry(3, reg, Vec::new());
+        let wire = WireStats::from_rank_stats(&stats);
+        let back = wire.into_rank_stats(3);
+        assert_eq!(back.elem_ops, 123);
+        assert_eq!(back.n_exchanges, 4);
+        assert_eq!(back.busy_s.to_bits(), stats.busy_s.to_bits());
+        assert_eq!(back.wait_s.to_bits(), stats.wait_s.to_bits());
+        assert_eq!(back.registry.gauge(names::STALL_LAMBDA, Some(0)), Some(0.5));
+        let h = back.registry.histogram(names::BUSY, Some(0)).unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum.to_bits(), 0.5f64.to_bits());
+    }
+}

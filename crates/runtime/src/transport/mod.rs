@@ -1,0 +1,293 @@
+//! The pluggable halo-exchange transport.
+//!
+//! The distributed stepper ([`crate::distributed`]) speaks to its peers only
+//! through the [`Transport`] trait: post a level-tagged partial-force payload
+//! to a peer, receive the next incoming payload. Three backends implement the
+//! contract:
+//!
+//! * [`channel::ChannelTransport`] — the original in-process crossbeam
+//!   channels (unbounded FIFO per sender);
+//! * [`ring::RingTransport`] — bounded shared-memory ring segments per
+//!   directed rank pair, with condvar-based backpressure (the shape of a
+//!   real shared-memory MPI fabric);
+//! * [`socket::SocketTransport`] — length-prefixed frames over Unix domain
+//!   sockets through a star router, the same wire codec the multi-process
+//!   `wave-lts worker` runner uses (see [`crate::process`]).
+//!
+//! Every backend must pass the same [`conformance`] battery (ordering,
+//! addressing, payload bit-integrity, backpressure, disconnect semantics),
+//! and any backend can be wrapped in a [`faulty::FaultyTransport`] to inject
+//! delays, drops and peer death for the fault-cascade tests.
+//!
+//! ## Disconnect semantics
+//!
+//! Dropping (or [`Transport::close`]-ing) an endpoint delivers a *goodbye*
+//! to every peer, after all previously posted messages (FIFO). A receiver
+//! that still awaits a payload from that peer surfaces the disconnect as an
+//! error instead of blocking forever — this is what turns a mid-run rank
+//! death into a clean [`crate::RuntimeError`] cascade on every rank.
+
+pub mod channel;
+pub mod codec;
+pub mod conformance;
+pub mod faulty;
+pub mod ring;
+#[cfg(unix)]
+pub mod socket;
+
+use std::fmt;
+use std::time::Duration;
+
+/// Which backend the runtime should build for an in-process run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Unbounded in-process channels (the default).
+    Channel,
+    /// Bounded shared-memory rings per directed rank pair.
+    SharedRing,
+    /// Unix-socket star router speaking the versioned wire codec.
+    UnixSocket,
+}
+
+impl TransportKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportKind::Channel => "channel",
+            TransportKind::SharedRing => "shm-ring",
+            TransportKind::UnixSocket => "unix-socket",
+        }
+    }
+
+    /// Parse a CLI spelling (`channel` | `shm` | `shm-ring` | `socket` |
+    /// `unix-socket`).
+    pub fn parse(s: &str) -> Option<TransportKind> {
+        match s {
+            "channel" => Some(TransportKind::Channel),
+            "shm" | "shm-ring" | "ring" => Some(TransportKind::SharedRing),
+            "socket" | "unix-socket" | "unix" => Some(TransportKind::UnixSocket),
+            _ => None,
+        }
+    }
+}
+
+/// Transport-level failures. The rank loop maps these onto
+/// [`crate::RuntimeError`] variants with rank/level context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer's endpoint is gone (send refused or goodbye observed).
+    Disconnected { peer: usize },
+    /// The whole fabric is gone: nothing can ever arrive again.
+    Closed,
+    /// A timed receive elapsed with no message.
+    Timeout,
+    /// A frame failed to decode (socket backends).
+    Codec(codec::CodecError),
+    /// An OS-level I/O failure (socket backends).
+    Io(String),
+    /// A configured fault fired (see [`faulty::FaultyTransport`]).
+    Injected,
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Disconnected { peer } => write!(f, "peer {peer} disconnected"),
+            TransportError::Closed => write!(f, "transport closed"),
+            TransportError::Timeout => write!(f, "receive timed out"),
+            TransportError::Codec(e) => write!(f, "wire codec error: {e}"),
+            TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
+            TransportError::Injected => write!(f, "injected fault"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// What a successful receive yielded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recv {
+    /// A halo payload from `from`, tagged with its LTS level; the payload
+    /// doubles were appended to the caller's buffer.
+    Msg { from: usize, level: u8 },
+    /// `from`'s endpoint closed; no further message from it will ever
+    /// arrive. Delivered after all of `from`'s earlier messages (FIFO).
+    Goodbye { from: usize },
+}
+
+/// Per-endpoint traffic accounting, stamped into the rank's metrics registry
+/// as backend-labelled gauges after the run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransportMetrics {
+    /// Halo messages posted by this endpoint.
+    pub msgs_sent: u64,
+    /// Total `f64` values posted.
+    pub doubles_sent: u64,
+    /// Payload bytes put on the wire (0 for by-reference backends).
+    pub bytes_sent: u64,
+    /// Seconds this endpoint spent blocked in `send` on backpressure.
+    pub send_block_s: f64,
+}
+
+/// One rank's endpoint of the halo-exchange fabric.
+///
+/// Contract every backend (and the conformance suite) relies on:
+///
+/// * **per-sender FIFO** — two messages from the same sender arrive in the
+///   order they were sent; no ordering across senders;
+/// * **bit integrity** — payload `f64`s arrive with identical bit patterns
+///   (including NaN payloads, infinities, signed zeros, subnormals);
+/// * **goodbye after drain** — a dropped endpoint's goodbye is observed
+///   only after everything it sent has been received.
+pub trait Transport: Send {
+    fn rank(&self) -> usize;
+    fn n_ranks(&self) -> usize;
+    /// Stable backend label (metric gauge label, bench comparisons).
+    fn backend(&self) -> &'static str;
+
+    /// Post `payload` to `peer`, tagged with `level`. May block on
+    /// backpressure (bounded backends); must not block indefinitely once the
+    /// peer is gone.
+    fn send(&mut self, peer: usize, level: u8, payload: &[f64]) -> Result<(), TransportError>;
+
+    /// Push any buffered frames onto the wire (socket backends batch the
+    /// per-peer sends of one exchange into one syscall burst).
+    fn flush(&mut self) -> Result<(), TransportError> {
+        Ok(())
+    }
+
+    /// Blocking receive: append the next payload to `buf` (which is cleared
+    /// first) and return its origin, or the next goodbye.
+    fn recv_into(&mut self, buf: &mut Vec<f64>) -> Result<Recv, TransportError> {
+        self.recv_into_timeout(buf, None)
+    }
+
+    /// [`Transport::recv_into`] with an optional timeout; `None` blocks.
+    fn recv_into_timeout(
+        &mut self,
+        buf: &mut Vec<f64>,
+        timeout: Option<Duration>,
+    ) -> Result<Recv, TransportError>;
+
+    /// Best-effort non-blocking poll: `Ok(Some(..))` if a message or goodbye
+    /// was already delivered, `Ok(None)` if nothing is ready *or the backend
+    /// cannot poll cheaply* (the default — a blocking stream cannot peek
+    /// without risking frame alignment). Callers must treat `None` as "use
+    /// the blocking path", never as "the fabric is idle". Polling must not
+    /// lose or reorder messages relative to [`Transport::recv_into`].
+    fn try_recv_into(&mut self, buf: &mut Vec<f64>) -> Result<Option<Recv>, TransportError> {
+        let _ = buf;
+        Ok(None)
+    }
+
+    /// Traffic accounting so far.
+    fn metrics(&self) -> TransportMetrics {
+        TransportMetrics::default()
+    }
+
+    /// Tear this endpoint down so peers observe the disconnect. Dropping the
+    /// endpoint must have the same effect; `close` makes it explicit (and
+    /// idempotent) for fault injection.
+    fn close(&mut self) {}
+}
+
+/// Boxed endpoints are endpoints too (what [`make_cluster`] hands out and
+/// what [`faulty::wrap`] decorates).
+impl Transport for Box<dyn Transport> {
+    fn rank(&self) -> usize {
+        (**self).rank()
+    }
+
+    fn n_ranks(&self) -> usize {
+        (**self).n_ranks()
+    }
+
+    fn backend(&self) -> &'static str {
+        (**self).backend()
+    }
+
+    fn send(&mut self, peer: usize, level: u8, payload: &[f64]) -> Result<(), TransportError> {
+        (**self).send(peer, level, payload)
+    }
+
+    fn flush(&mut self) -> Result<(), TransportError> {
+        (**self).flush()
+    }
+
+    fn recv_into_timeout(
+        &mut self,
+        buf: &mut Vec<f64>,
+        timeout: Option<Duration>,
+    ) -> Result<Recv, TransportError> {
+        (**self).recv_into_timeout(buf, timeout)
+    }
+
+    fn try_recv_into(&mut self, buf: &mut Vec<f64>) -> Result<Option<Recv>, TransportError> {
+        (**self).try_recv_into(buf)
+    }
+
+    fn metrics(&self) -> TransportMetrics {
+        (**self).metrics()
+    }
+
+    fn close(&mut self) {
+        (**self).close()
+    }
+}
+
+/// Build one connected cluster of `n` endpoints of the requested backend.
+///
+/// On non-Unix hosts the `UnixSocket` kind falls back to `Channel` (the
+/// socket backend is `cfg(unix)`); everywhere this repo builds, it is real.
+pub fn make_cluster(kind: TransportKind, n: usize) -> Vec<Box<dyn Transport>> {
+    match kind {
+        TransportKind::Channel => channel::channel_cluster(n),
+        TransportKind::SharedRing => ring::ring_cluster(n, ring::DEFAULT_CAPACITY),
+        #[cfg(unix)]
+        TransportKind::UnixSocket => match socket::in_process_cluster(n) {
+            Ok(eps) => eps,
+            // Socket-pair creation can only fail on fd exhaustion; degrade
+            // to channels rather than aborting the run.
+            Err(_) => channel::channel_cluster(n),
+        },
+        #[cfg(not(unix))]
+        TransportKind::UnixSocket => channel::channel_cluster(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_parse_round_trips() {
+        for kind in [
+            TransportKind::Channel,
+            TransportKind::SharedRing,
+            TransportKind::UnixSocket,
+        ] {
+            assert_eq!(TransportKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(TransportKind::parse("shm"), Some(TransportKind::SharedRing));
+        assert_eq!(
+            TransportKind::parse("socket"),
+            Some(TransportKind::UnixSocket)
+        );
+        assert_eq!(TransportKind::parse("tcp6"), None);
+    }
+
+    #[test]
+    fn make_cluster_builds_every_kind() {
+        for kind in [
+            TransportKind::Channel,
+            TransportKind::SharedRing,
+            TransportKind::UnixSocket,
+        ] {
+            let eps = make_cluster(kind, 3);
+            assert_eq!(eps.len(), 3);
+            for (r, ep) in eps.iter().enumerate() {
+                assert_eq!(ep.rank(), r);
+                assert_eq!(ep.n_ranks(), 3);
+            }
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Bounded shared-memory ring backend.
+//!
+//! One bounded ring of payload slots per *directed* rank pair plus a per-rank
+//! doorbell, which is the shape of a real shared-memory MPI fabric: senders
+//! copy into a bounded segment and block on backpressure when the consumer
+//! lags; receivers sleep on their doorbell instead of polling n−1 rings.
+//!
+//! Slots are recycled through a per-ring free list, so the steady-state hot
+//! path allocates nothing (see `lint/hotpaths.toml`). Disconnects follow the
+//! module-level goodbye protocol: closing an endpoint marks every inbound
+//! ring closed (waking any peer blocked in `send` with an error) and rings
+//! every peer's doorbell with a goodbye bell, FIFO-after its earlier bells.
+
+use super::{Recv, Transport, TransportError, TransportMetrics};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Slots per directed pair. Small enough that an imbalanced run actually
+/// exercises backpressure, large enough that a balanced run never blocks.
+pub const DEFAULT_CAPACITY: usize = 8;
+
+/// Poison-tolerant lock: a panicking peer thread must degrade into the
+/// goodbye/disconnect path, not propagate panics through the fabric.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+struct RingBuf {
+    queue: VecDeque<(u8, Vec<f64>)>,
+    free: Vec<Vec<f64>>,
+    closed: bool,
+}
+
+/// One directed sender→receiver ring.
+struct PairRing {
+    buf: Mutex<RingBuf>,
+    not_full: Condvar,
+    cap: usize,
+}
+
+enum Bell {
+    Msg(usize),
+    Bye(usize),
+}
+
+/// A rank's wake-up queue: one bell per inbound message or goodbye.
+struct Doorbell {
+    bells: Mutex<VecDeque<Bell>>,
+    ready: Condvar,
+}
+
+struct ClusterState {
+    /// Flat `[from * n + to]`; the diagonal is never used.
+    rings: Vec<PairRing>,
+    doorbells: Vec<Doorbell>,
+    n: usize,
+}
+
+impl ClusterState {
+    fn ring(&self, from: usize, to: usize) -> &PairRing {
+        &self.rings[from * self.n + to]
+    }
+}
+
+pub struct RingTransport {
+    rank: usize,
+    state: Arc<ClusterState>,
+    closed: bool,
+    metrics: TransportMetrics,
+}
+
+/// Build `n` endpoints over freshly allocated rings of `cap` slots each.
+/// (The conformance suite uses a tiny `cap` to force the backpressure path.)
+pub fn ring_cluster(n: usize, cap: usize) -> Vec<Box<dyn Transport>> {
+    let cap = cap.max(1);
+    let mut rings = Vec::with_capacity(n * n);
+    for _ in 0..n * n {
+        rings.push(PairRing {
+            buf: Mutex::new(RingBuf {
+                queue: VecDeque::with_capacity(cap),
+                free: Vec::with_capacity(cap),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            cap,
+        });
+    }
+    let doorbells = (0..n)
+        .map(|_| Doorbell {
+            bells: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        })
+        .collect();
+    let state = Arc::new(ClusterState {
+        rings,
+        doorbells,
+        n,
+    });
+    (0..n)
+        .map(|rank| {
+            Box::new(RingTransport {
+                rank,
+                state: Arc::clone(&state),
+                closed: false,
+                metrics: TransportMetrics::default(),
+            }) as Box<dyn Transport>
+        })
+        .collect()
+}
+
+#[cold]
+fn desync() -> TransportError {
+    TransportError::Io(String::from("ring/doorbell desync"))
+}
+
+#[cold]
+fn bad_peer(peer: usize) -> TransportError {
+    TransportError::Io(format!("invalid peer {peer}"))
+}
+
+impl RingTransport {
+    /// Turn a popped doorbell into the received message/goodbye, recycling
+    /// the ring slot and waking a sender blocked on backpressure.
+    fn consume_bell(&mut self, bell: Bell, buf: &mut Vec<f64>) -> Result<Recv, TransportError> {
+        match bell {
+            Bell::Bye(from) => Ok(Recv::Goodbye { from }),
+            Bell::Msg(from) => {
+                let ring = self.state.ring(from, self.rank);
+                let mut rb = lock(&ring.buf);
+                let Some((level, slot)) = rb.queue.pop_front() else {
+                    return Err(desync());
+                };
+                buf.extend_from_slice(&slot);
+                if rb.free.len() < ring.cap {
+                    rb.free.push(slot);
+                }
+                drop(rb);
+                ring.not_full.notify_one();
+                Ok(Recv::Msg { from, level })
+            }
+        }
+    }
+}
+
+impl Transport for RingTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn n_ranks(&self) -> usize {
+        self.state.n
+    }
+
+    fn backend(&self) -> &'static str {
+        "shm-ring"
+    }
+
+    // lint: hot-path
+    fn send(&mut self, peer: usize, level: u8, payload: &[f64]) -> Result<(), TransportError> {
+        if self.closed {
+            return Err(TransportError::Closed);
+        }
+        if peer == self.rank || peer >= self.state.n {
+            return Err(bad_peer(peer));
+        }
+        let ring = self.state.ring(self.rank, peer);
+        let mut buf = lock(&ring.buf);
+        while buf.queue.len() >= ring.cap && !buf.closed {
+            let t0 = Instant::now();
+            buf = match ring.not_full.wait(buf) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            self.metrics.send_block_s += t0.elapsed().as_secs_f64();
+        }
+        if buf.closed {
+            return Err(TransportError::Disconnected { peer });
+        }
+        let mut slot = buf.free.pop().unwrap_or_default();
+        slot.clear();
+        slot.extend_from_slice(payload);
+        buf.queue.push_back((level, slot));
+        drop(buf);
+        self.metrics.msgs_sent += 1;
+        self.metrics.doubles_sent += payload.len() as u64;
+        self.metrics.bytes_sent += 8 * payload.len() as u64;
+        let db = &self.state.doorbells[peer];
+        lock(&db.bells).push_back(Bell::Msg(self.rank));
+        db.ready.notify_one();
+        Ok(())
+    }
+
+    // lint: hot-path
+    fn recv_into_timeout(
+        &mut self,
+        buf: &mut Vec<f64>,
+        timeout: Option<Duration>,
+    ) -> Result<Recv, TransportError> {
+        buf.clear();
+        let db = &self.state.doorbells[self.rank];
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut bells = lock(&db.bells);
+        let bell = loop {
+            if let Some(b) = bells.pop_front() {
+                break b;
+            }
+            bells = match deadline {
+                None => match db.ready.wait(bells) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                },
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(TransportError::Timeout);
+                    }
+                    match db.ready.wait_timeout(bells, d - now) {
+                        Ok((g, _)) => g,
+                        Err(poisoned) => poisoned.into_inner().0,
+                    }
+                }
+            };
+        };
+        drop(bells);
+        self.consume_bell(bell, buf)
+    }
+
+    fn try_recv_into(&mut self, buf: &mut Vec<f64>) -> Result<Option<Recv>, TransportError> {
+        buf.clear();
+        let db = &self.state.doorbells[self.rank];
+        let bell = match lock(&db.bells).pop_front() {
+            Some(b) => b,
+            None => return Ok(None),
+        };
+        self.consume_bell(bell, buf).map(Some)
+    }
+
+    fn metrics(&self) -> TransportMetrics {
+        self.metrics
+    }
+
+    fn close(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        for peer in 0..self.state.n {
+            if peer == self.rank {
+                continue;
+            }
+            // wake peers blocked sending to us: their ring is now closed
+            let inbound = self.state.ring(peer, self.rank);
+            lock(&inbound.buf).closed = true;
+            inbound.not_full.notify_all();
+            // and ring their doorbell with the goodbye (after our messages)
+            let db = &self.state.doorbells[peer];
+            lock(&db.bells).push_back(Bell::Bye(self.rank));
+            db.ready.notify_one();
+        }
+    }
+}
+
+impl Drop for RingTransport {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_ring_blocks_then_delivers_everything() {
+        let mut eps = ring_cluster(2, 2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let sender = std::thread::spawn(move || {
+            for i in 0..50u32 {
+                a.send(1, 0, &[f64::from(i)]).unwrap();
+            }
+            a.metrics()
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        let mut buf = Vec::new();
+        for i in 0..50u32 {
+            assert_eq!(
+                b.recv_into(&mut buf).unwrap(),
+                Recv::Msg { from: 0, level: 0 }
+            );
+            assert_eq!(buf, vec![f64::from(i)]);
+        }
+        let m = sender.join().unwrap();
+        assert_eq!(m.msgs_sent, 50);
+        assert!(m.send_block_s > 0.0, "2-slot ring never backpressured");
+    }
+
+    #[test]
+    fn close_unblocks_a_sender_with_disconnect() {
+        let mut eps = ring_cluster(2, 1);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.send(1, 0, &[1.0]).unwrap();
+        let sender = std::thread::spawn(move || a.send(1, 0, &[2.0]));
+        std::thread::sleep(Duration::from_millis(20));
+        b.close();
+        assert_eq!(
+            sender.join().unwrap(),
+            Err(TransportError::Disconnected { peer: 1 })
+        );
+    }
+}

@@ -339,6 +339,17 @@ impl Operator for AcousticOperator {
         });
     }
 
+    fn precompile_masked(&self, elems: &[u32], dof_level: &[u8], level: u8, ws: &mut Workspace) {
+        let npe = self.dofmap.nodes_per_elem();
+        let st = ws.get_or_insert_with(|| AcousticWs(ScalarWs::new(npe)));
+        let _ = self.compiled_entry(
+            &mut st.0.cache,
+            level as u16,
+            elems,
+            Some((dof_level, level)),
+        );
+    }
+
     fn mass(&self) -> &[f64] {
         &self.mass
     }

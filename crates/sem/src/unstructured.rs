@@ -310,6 +310,16 @@ impl Operator for UnstructuredAcoustic {
         });
     }
 
+    fn precompile_masked(&self, elems: &[u32], dof_level: &[u8], level: u8, ws: &mut Workspace) {
+        let st = ws.get_or_insert_with(|| UAcousticWs(ScalarWs::new(self.npe)));
+        let _ = self.compiled_entry(
+            &mut st.0.cache,
+            level as u16,
+            elems,
+            Some((dof_level, level)),
+        );
+    }
+
     fn mass(&self) -> &[f64] {
         &self.mass
     }
@@ -608,6 +618,16 @@ impl Operator for UnstructuredElastic {
         crate::parallel::par_colored(out, &entry.color_off, &mut par[..threads], |pos, s, o| {
             self.compiled_elem(entry, pos, u, s, o);
         });
+    }
+
+    fn precompile_masked(&self, elems: &[u32], dof_level: &[u8], level: u8, ws: &mut Workspace) {
+        let st = ws.get_or_insert_with(|| UElasticWs(ElasticScratchWs::new(self.npe)));
+        let _ = self.compiled_entry(
+            &mut st.0.cache,
+            level as u16,
+            elems,
+            Some((dof_level, level)),
+        );
     }
 
     fn mass(&self) -> &[f64] {

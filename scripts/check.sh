@@ -18,6 +18,12 @@ cargo xtask lint
 echo "== lts-check (structural invariants over the four benchmark meshes)"
 cargo run -q --release -p lts-check
 
+echo "== transport conformance (channel / shm-ring / unix-socket / faulty)"
+cargo test -q --test transport_conformance
+
+echo "== multi-process smoke (wave-lts worker over unix sockets)"
+cargo test -q --test multiprocess_integration
+
 echo "== cargo bench --no-run (microbenches must stay compilable)"
 cargo bench --no-run -q
 

@@ -5,7 +5,15 @@
 //! wave-lts partition --mesh trench --elements 50000 --parts 16 --strategy scotch-p
 //! wave-lts simulate  --mesh crust  --elements 20000 --steps 100 [--order 4] [--elastic true]
 //!                    [--threads 4]   # intra-rank workers; results stay bitwise identical
+//!                    [--ranks 8] [--transport channel|shm-ring|unix-socket|process]
+//!                    [--overlap true]   # comm/compute overlap; bitwise identical
 //! ```
+//!
+//! `--transport process` spawns one `wave-lts worker` OS process per rank
+//! and routes halo frames over Unix sockets; `worker` is the internal
+//! subcommand those processes run (not meant to be invoked by hand). All
+//! transports produce bitwise-identical fields and identical deterministic
+//! counters.
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -61,6 +69,16 @@ fn strategy(name: &str) -> Strategy {
             eprintln!(
                 "unknown strategy {other:?}; expected scotch|scotch-p|metis|patoh|patoh-0.01"
             );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn transport_kind(name: &str) -> wave_lts::runtime::TransportKind {
+    match wave_lts::runtime::TransportKind::parse(name) {
+        Some(k) => k,
+        None => {
+            eprintln!("unknown transport {name:?}; expected channel|shm-ring|unix-socket|process");
             std::process::exit(2);
         }
     }
@@ -144,7 +162,10 @@ fn cmd_simulate(m: &HashMap<String, String>) {
         b.mesh.n_elems(),
         if elastic { "elastic" } else { "acoustic" }
     );
-    if ranks > 0 {
+    let transport_name: String = get(m, "transport", "channel".into());
+    if ranks > 0 && transport_name == "process" {
+        run_sim_multiprocess(m, &b, order, dt, steps, elastic, ranks, threads);
+    } else if ranks > 0 {
         run_sim_distributed(m, &b, order, dt, steps, elastic, ranks, threads);
     } else if elastic {
         let op = ElasticOperator::poisson(&b.mesh, order);
@@ -179,10 +200,13 @@ fn run_sim_distributed(
     let s = strategy(&get::<String>(m, "strategy", "scotch-p".into()));
     let seed: u64 = get(m, "seed", 1);
     let part = partition_mesh(&b.mesh, &b.levels, ranks, s, seed);
+    let transport = transport_kind(&get::<String>(m, "transport", "channel".into()));
     let cfg = DistributedConfig {
         record_timeline: true,
         stall_monitor: Some(MonitorConfig::default()),
         threads_per_rank: threads.max(1),
+        overlap: get(m, "overlap", false),
+        transport,
         ..DistributedConfig::new(ranks)
     };
     let ndof = if elastic {
@@ -228,8 +252,10 @@ fn run_sim_distributed(
     let wall = t0.elapsed();
     let norm: f64 = u.iter().map(|x| x * x).sum::<f64>().sqrt();
     println!(
-        "distributed : {ranks} ranks ({}), {wall:.2?}, ‖u‖ = {norm:.6e}",
-        s.name()
+        "distributed : {ranks} ranks ({}, {}{}), {wall:.2?}, ‖u‖ = {norm:.6e}",
+        s.name(),
+        transport.name(),
+        if cfg.overlap { ", overlap" } else { "" }
     );
     print!("{}", ascii_timeline(&stats, 48));
     for (l, lam) in lambda_from_stats(&stats) {
@@ -242,6 +268,171 @@ fn run_sim_distributed(
             Err(e) => eprintln!("could not write {trace_out}: {e}"),
         }
     }
+}
+
+/// `simulate --ranks N --transport process`: spawn one `wave-lts worker`
+/// OS process per rank, route halo frames over Unix sockets, and print the
+/// same summary as the in-process runner. Workers rebuild the mesh and
+/// partition deterministically from the parameters echoed below, and `Δt`
+/// crosses as raw bits, so results are bitwise identical to the
+/// in-process transports.
+#[allow(clippy::too_many_arguments)]
+fn run_sim_multiprocess(
+    m: &HashMap<String, String>,
+    b: &BenchmarkMesh,
+    order: usize,
+    dt: f64,
+    steps: usize,
+    elastic: bool,
+    ranks: usize,
+    threads: usize,
+) {
+    use wave_lts::runtime::process::{run_coordinator, ProcSpec};
+    use wave_lts::runtime::stats::{ascii_timeline, lambda_from_stats};
+
+    let bin = std::env::current_exe().expect("current exe");
+    let args: Vec<String> = [
+        "worker",
+        "--mesh",
+        &get::<String>(m, "mesh", "trench".into()),
+        "--elements",
+        &get::<usize>(m, "elements", 20_000).to_string(),
+        "--geometry",
+        &get::<String>(m, "geometry", "inclusion".into()),
+        "--order",
+        &order.to_string(),
+        "--steps",
+        &steps.to_string(),
+        "--elastic",
+        &elastic.to_string(),
+        "--strategy",
+        &get::<String>(m, "strategy", "scotch-p".into()),
+        "--seed",
+        &get::<u64>(m, "seed", 1).to_string(),
+        "--threads",
+        &threads.max(1).to_string(),
+        "--overlap",
+        &get::<bool>(m, "overlap", false).to_string(),
+        "--dt-bits",
+        &dt.to_bits().to_string(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let spec = ProcSpec {
+        bin,
+        args,
+        n_ranks: ranks,
+        timeout: std::time::Duration::from_secs(600),
+    };
+    let t0 = std::time::Instant::now();
+    let (u, _, stats) = run_coordinator(&spec).expect("multi-process run failed");
+    let wall = t0.elapsed();
+    let norm: f64 = u.iter().map(|x| x * x).sum::<f64>().sqrt();
+    println!("distributed : {ranks} worker processes (unix-socket), {wall:.2?}, ‖u‖ = {norm:.6e}");
+    print!("{}", ascii_timeline(&stats, 48));
+    for (l, lam) in lambda_from_stats(&stats) {
+        println!("  level {l}: Eq. 21 λ = {lam:.2}");
+    }
+    let _ = b;
+}
+
+/// The internal per-rank process behind `--transport process`. Rebuilds
+/// the world deterministically from the same parameters the coordinator
+/// used, dials `--socket`, runs its rank, and reports Stats + Done frames
+/// on a second connection. Exits nonzero if the rank fails, which the
+/// coordinator surfaces as `RankPanicked`.
+fn cmd_worker(m: &HashMap<String, String>) {
+    let socket: String = get(m, "socket", String::new());
+    let rank: usize = get(m, "rank", usize::MAX);
+    let ranks: usize = get(m, "ranks", 0);
+    if socket.is_empty() || rank == usize::MAX || ranks == 0 || rank >= ranks {
+        eprintln!("worker: --socket, --rank and --ranks are required");
+        std::process::exit(2);
+    }
+    let b = build(m);
+    let order: usize = get(m, "order", 4);
+    let elastic: bool = get(m, "elastic", false);
+    if elastic {
+        let op = ElasticOperator::poisson(&b.mesh, order);
+        worker_run(m, &b, &op, rank, ranks, order);
+    } else {
+        let op = AcousticOperator::new(&b.mesh, order);
+        worker_run(m, &b, &op, rank, ranks, order);
+    }
+}
+
+fn worker_run<O: Operator + wave_lts::lts::DofTopology>(
+    m: &HashMap<String, String>,
+    b: &BenchmarkMesh,
+    op: &O,
+    rank: usize,
+    ranks: usize,
+    order: usize,
+) {
+    use wave_lts::runtime::exchange::build_plans;
+    use wave_lts::runtime::process::{worker_connect, worker_report};
+    use wave_lts::runtime::{run_rank_endpoint, DistributedConfig, TransportKind};
+
+    let steps: usize = get(m, "steps", 20);
+    let threads: usize = get(m, "threads", 1);
+    let seed: u64 = get(m, "seed", 1);
+    let s = strategy(&get::<String>(m, "strategy", "scotch-p".into()));
+    let part = partition_mesh(&b.mesh, &b.levels, ranks, s, seed);
+    let default_dt = b.levels.dt_global * cfl_dt_scale(order, 3);
+    let dt = f64::from_bits(get::<u64>(m, "dt-bits", default_dt.to_bits()));
+    let amp = f64::from_bits(get::<u64>(m, "u0-bits", 0.003f64.to_bits()));
+    let setup = LtsSetup::new(op, &b.levels.elem_level);
+    let ndof = Operator::ndof(op);
+    let u0: Vec<f64> = (0..ndof).map(|i| ((i as f64) * amp).sin()).collect();
+    let v0 = vec![0.0; ndof];
+    let plans = build_plans(op, &setup, &part, ranks);
+    let plan = &plans[rank];
+    let cfg = DistributedConfig {
+        overlap: get(m, "overlap", false),
+        threads_per_rank: threads.max(1),
+        transport: TransportKind::UnixSocket,
+        ..DistributedConfig::new(ranks)
+    };
+    let socket = socket_arg(m);
+    let path = std::path::Path::new(&socket);
+    let transport = match worker_connect(path, rank, ranks) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("worker rank {rank}: connect {}: {e}", path.display());
+            std::process::exit(3);
+        }
+    };
+    match run_rank_endpoint(
+        op,
+        &setup,
+        plan,
+        rank,
+        dt,
+        &u0,
+        &v0,
+        steps,
+        &cfg,
+        &[],
+        Box::new(transport),
+    ) {
+        Ok((u, v, stats)) => {
+            let ul: Vec<f64> = plan.my_dofs.iter().map(|&d| u[d as usize]).collect();
+            let vl: Vec<f64> = plan.my_dofs.iter().map(|&d| v[d as usize]).collect();
+            if let Err(e) = worker_report(path, rank, &stats, &ul, &vl, &plan.my_dofs) {
+                eprintln!("worker rank {rank}: report: {e}");
+                std::process::exit(3);
+            }
+        }
+        Err(e) => {
+            eprintln!("worker rank {rank}: {e}");
+            std::process::exit(3);
+        }
+    }
+}
+
+fn socket_arg(m: &HashMap<String, String>) -> String {
+    get(m, "socket", String::new())
 }
 
 fn run_sim<O: Operator + wave_lts::lts::DofTopology>(
@@ -316,8 +507,9 @@ fn main() {
         "partition" => cmd_partition(&args),
         "simulate" => cmd_simulate(&args),
         "export" => cmd_export(&args),
+        "worker" => cmd_worker(&args),
         other => {
-            eprintln!("unknown command {other:?}; expected info|partition|simulate|export");
+            eprintln!("unknown command {other:?}; expected info|partition|simulate|export|worker");
             std::process::exit(2);
         }
     }

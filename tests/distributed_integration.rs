@@ -136,6 +136,175 @@ fn distributed_with_sources_matches_serial() {
     }
 }
 
+// ---- fault injection ------------------------------------------------------
+//
+// The PR-4 claim "a dead rank surfaces as RuntimeError everywhere, no
+// deadlock" becomes a tested property here: a FaultyTransport kills one
+// rank at a chosen LTS level, and every rank must come back with an error
+// before a wall-clock deadline.
+
+use std::time::Duration;
+use wave_lts::lts::Chain1d;
+use wave_lts::runtime::transport::{self, faulty, TransportKind};
+use wave_lts::runtime::{run_distributed_endpoints, RuntimeError};
+
+/// A 3-level chain with an interleaved partition: every rank owns elements
+/// at every level and talks to every other rank, so a victim has sends to
+/// die on at any level.
+fn chain_world() -> (Chain1d, LtsSetup, Vec<u32>, f64) {
+    let mut vel = vec![1.0; 24];
+    for (i, v) in vel.iter_mut().enumerate() {
+        if i >= 20 {
+            *v = 4.0;
+        } else if i >= 17 {
+            *v = 2.0;
+        }
+    }
+    let c = Chain1d::with_velocities(vel, 1.0);
+    let (lv, dt) = c.assign_levels(0.5, 3);
+    let setup = LtsSetup::new(&c, &lv);
+    assert_eq!(setup.n_levels, 3);
+    let part: Vec<u32> = (0..24).map(|e| (e % 3) as u32).collect();
+    (c, setup, part, dt)
+}
+
+/// Run a 3-rank chain with rank 1's endpoint wrapped in the given fault
+/// plan (every endpoint additionally gets `base` applied), on a watchdog
+/// thread so a deadlock fails the test instead of hanging it.
+fn run_with_faults(
+    kind: TransportKind,
+    overlap: bool,
+    victim_plan: faulty::FaultPlan,
+    all_plan: Option<faulty::FaultPlan>,
+) -> Vec<wave_lts::runtime::RankRun> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let (c, setup, part, dt) = chain_world();
+        let ndof = 25;
+        let u0: Vec<f64> = (0..ndof).map(|i| ((i as f64) * 0.37).sin()).collect();
+        let mut endpoints = transport::make_cluster(kind, 3);
+        if let Some(plan) = all_plan {
+            endpoints = endpoints
+                .into_iter()
+                .map(|ep| faulty::wrap(ep, plan))
+                .collect();
+        }
+        let ep = endpoints.remove(1);
+        endpoints.insert(1, faulty::wrap(ep, victim_plan));
+        let cfg = DistributedConfig {
+            overlap,
+            ..DistributedConfig::new(3)
+        };
+        let outcomes = run_distributed_endpoints(
+            &c,
+            &setup,
+            &part,
+            dt,
+            &u0,
+            &vec![0.0; ndof],
+            10,
+            &cfg,
+            &[],
+            endpoints,
+        );
+        let _ = tx.send(outcomes);
+    });
+    rx.recv_timeout(Duration::from_secs(60))
+        .unwrap_or_else(|_| panic!("{kind:?} overlap={overlap}: runtime deadlocked"))
+}
+
+#[test]
+fn killed_rank_cascades_error_to_every_rank_at_every_level() {
+    // full level sweep on the channel backend in both comm modes; one level
+    // on the heavier backends to keep the suite fast
+    let scenarios: [(TransportKind, bool, std::ops::Range<usize>); 4] = [
+        (TransportKind::Channel, false, 0..3),
+        (TransportKind::Channel, true, 0..3),
+        (TransportKind::SharedRing, false, 1..2),
+        (TransportKind::UnixSocket, false, 1..2),
+    ];
+    for (kind, overlap, levels) in scenarios {
+        for level in levels {
+            let outcomes = run_with_faults(
+                kind,
+                overlap,
+                faulty::FaultPlan {
+                    die_on_send_at_level: Some(level as u8),
+                    ..Default::default()
+                },
+                None,
+            );
+            assert_eq!(outcomes.len(), 3);
+            for (rank, o) in outcomes.iter().enumerate() {
+                let err = match o {
+                    Err(e) => e,
+                    Ok(_) => panic!(
+                        "{kind:?} overlap={overlap} die@{level}: rank {rank} finished cleanly"
+                    ),
+                };
+                assert!(
+                    !matches!(err, RuntimeError::RankPanicked { .. }),
+                    "{kind:?} die@{level}: rank {rank} panicked instead of erroring: {err}"
+                );
+            }
+            // the victim reports the injected fault at the right level...
+            match &outcomes[1] {
+                Err(RuntimeError::FaultInjected { rank, level: l }) => {
+                    assert_eq!((*rank, *l), (1, level));
+                }
+                other => panic!("{kind:?} die@{level}: victim outcome {other:?}"),
+            }
+            // ...and the survivors observe the disconnect, not the fault
+            for rank in [0usize, 2] {
+                match &outcomes[rank] {
+                    Err(
+                        RuntimeError::PeerDisconnected { .. } | RuntimeError::ChannelClosed { .. },
+                    ) => {}
+                    other => panic!("{kind:?} die@{level}: rank {rank} outcome {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dropped_messages_with_recv_timeout_error_instead_of_hanging() {
+    // rank 1 silently drops every 5th send; every rank's receives time out
+    // rather than block forever — the lossy-network failure mode
+    let outcomes = run_with_faults(
+        TransportKind::Channel,
+        false,
+        faulty::FaultPlan {
+            drop_every: Some(5),
+            ..Default::default()
+        },
+        Some(faulty::FaultPlan {
+            recv_timeout_ms: Some(1_000),
+            ..Default::default()
+        }),
+    );
+    for (rank, o) in outcomes.iter().enumerate() {
+        let err = match o {
+            Err(e) => e,
+            Ok(_) => panic!("rank {rank} finished despite dropped partials"),
+        };
+        // a drop either times out the receiver or — when a later message
+        // from the same peer arrives first — desyncs the per-sender FIFO,
+        // which the level tag detects as a malformed partial
+        assert!(
+            matches!(
+                err,
+                RuntimeError::ExchangeTimeout { .. }
+                    | RuntimeError::PeerDisconnected { .. }
+                    | RuntimeError::ChannelClosed { .. }
+                    | RuntimeError::FaultInjected { .. }
+                    | RuntimeError::BadPayload { .. }
+            ),
+            "rank {rank}: unexpected failure mode {err}"
+        );
+    }
+}
+
 #[test]
 fn work_accounting_matches_partition() {
     let b = BenchmarkMesh::build(MeshKind::Trench, 600);

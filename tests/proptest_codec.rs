@@ -1,0 +1,97 @@
+//! Property-based tests of the transport wire codec: round-trips are
+//! bit-exact for arbitrary payloads (including NaNs, infinities, signed
+//! zeros and subnormals), and malformed input — truncation, corruption,
+//! random garbage — always surfaces a [`CodecError`], never a panic or an
+//! unbounded allocation.
+
+use proptest::prelude::*;
+use wave_lts::runtime::transport::codec::{
+    self, decode, encode_vec, CodecError, Frame, HEADER_LEN,
+};
+
+/// Arbitrary `f64`s drawn from raw bit patterns: hits NaN payloads, both
+/// zeros, subnormals and infinities — everything the wire must preserve.
+fn payload_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((0u64..u64::MAX).prop_map(f64::from_bits), 0..64)
+}
+
+fn halo_strategy() -> impl Strategy<Value = Frame> {
+    (0u32..64, 0u32..64, 0u8..8, payload_strategy()).prop_map(|(src, dst, level, payload)| {
+        Frame::Halo {
+            src,
+            dst,
+            level,
+            payload,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Encode → decode reproduces the exact frame bytes (bit patterns of
+    /// every `f64` included) and consumes exactly the encoded length.
+    #[test]
+    fn halo_round_trip_is_bit_exact(frame in halo_strategy()) {
+        let bytes = encode_vec(&frame);
+        let (back, used) = decode(&bytes).expect("decode");
+        prop_assert_eq!(used, bytes.len());
+        // NaN payloads defeat PartialEq; re-encoding must be byte-identical
+        prop_assert_eq!(encode_vec(&back), bytes);
+    }
+
+    /// Every proper prefix of a valid frame is `Truncated` — the "feed me
+    /// more bytes" signal a stream reassembler relies on. Never a panic.
+    #[test]
+    fn any_truncation_reports_truncated(frame in halo_strategy(), frac in 0.0f64..1.0) {
+        let bytes = encode_vec(&frame);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        prop_assert!(cut < bytes.len());
+        match decode(&bytes[..cut]) {
+            Err(CodecError::Truncated) => {}
+            other => prop_assert!(false, "cut {} of {}: {:?}", cut, bytes.len(), other),
+        }
+    }
+
+    /// Flipping any byte of a valid frame either still decodes (payload
+    /// bytes are opaque) or yields a structured error — never a panic, and
+    /// never an allocation sized by the corrupt bytes.
+    #[test]
+    fn single_byte_corruption_never_panics(
+        frame in halo_strategy(),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = encode_vec(&frame);
+        let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
+        bytes[pos] ^= flip;
+        if let Ok((_, used)) = decode(&bytes) {
+            prop_assert!(used <= bytes.len());
+        }
+    }
+
+    /// Random garbage is rejected with an error (or decodes only if it
+    /// happens to be a valid frame, which the magic makes astronomically
+    /// unlikely) — the decoder is total.
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(0u8..=255, 0..256)) {
+        let _ = decode(&bytes);
+        if bytes.len() >= HEADER_LEN {
+            let _ = codec::decode_header(&bytes[..HEADER_LEN]);
+        }
+    }
+
+    /// A corrupt internal count (claiming more elements than the body
+    /// holds) must fail structurally instead of allocating.
+    #[test]
+    fn inflated_counts_are_malformed(frame in halo_strategy(), claimed in 1024u32..u32::MAX) {
+        let mut bytes = encode_vec(&frame);
+        // the payload count sits after src + dst + level in the body
+        let at = HEADER_LEN + 9;
+        bytes[at..at + 4].copy_from_slice(&claimed.to_le_bytes());
+        match decode(&bytes) {
+            Err(CodecError::Malformed(_)) | Err(CodecError::Truncated) => {}
+            other => prop_assert!(false, "claimed {}: {:?}", claimed, other),
+        }
+    }
+}

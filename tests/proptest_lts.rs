@@ -118,3 +118,49 @@ proptest! {
         }
     }
 }
+
+// ---- cross-transport identity --------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// On any random chain and interleaved partition, every transport
+    /// backend in both communication modes reproduces the channel/blocking
+    /// run bit for bit, with identical deterministic counters.
+    #[test]
+    fn transports_agree_bitwise_on_random_chains((vel, u0) in chain_strategy()) {
+        use wave_lts::runtime::{run_distributed, DistributedConfig, TransportKind};
+        let c = Chain1d::with_velocities(vel, 1.0);
+        let (lv, dt) = c.assign_levels(0.4, 3);
+        let setup = LtsSetup::new(&c, &lv);
+        let nelem = c.h.len();
+        let n = u0.len();
+        let n_ranks = 2 + nelem % 2; // 2 or 3 ranks, interleaved ownership
+        let part: Vec<u32> = (0..nelem).map(|e| (e % n_ranks) as u32).collect();
+        let run = |kind: TransportKind, overlap: bool| {
+            let cfg = DistributedConfig { transport: kind, overlap,
+                ..DistributedConfig::new(n_ranks) };
+            run_distributed(&c, &setup, &part, dt, &u0, &vec![0.0; n], 6, &cfg)
+                .expect("distributed run")
+        };
+        let (ur, vr, sr) = run(TransportKind::Channel, false);
+        for kind in [TransportKind::Channel, TransportKind::SharedRing, TransportKind::UnixSocket] {
+            for overlap in [false, true] {
+                if kind == TransportKind::Channel && !overlap { continue; }
+                let (u, v, s) = run(kind, overlap);
+                for i in 0..n {
+                    prop_assert_eq!(ur[i].to_bits(), u[i].to_bits(),
+                        "{:?} overlap={} u[{}]", kind, overlap, i);
+                    prop_assert_eq!(vr[i].to_bits(), v[i].to_bits(),
+                        "{:?} overlap={} v[{}]", kind, overlap, i);
+                }
+                for (a, b) in sr.iter().zip(&s) {
+                    prop_assert_eq!(a.elem_ops, b.elem_ops);
+                    prop_assert_eq!(a.n_exchanges, b.n_exchanges);
+                    prop_assert_eq!(a.msgs_sent, b.msgs_sent);
+                    prop_assert_eq!(a.dofs_sent, b.dofs_sent);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Every transport backend must pass the same conformance battery — the
+//! "pluggable" in "pluggable transport" is this file.
+//!
+//! The suite itself lives in `runtime::transport::conformance` so backends
+//! added later inherit it; these tests just instantiate it per backend,
+//! including a fault-wrapped fabric whose injected delays must not change
+//! any observable semantics.
+
+use wave_lts::runtime::transport::conformance::{run_suite, Checks};
+use wave_lts::runtime::transport::faulty::{wrap, FaultPlan};
+use wave_lts::runtime::transport::{channel, make_cluster, ring, Transport, TransportKind};
+
+#[test]
+fn channel_backend_conforms() {
+    run_suite(
+        |n| make_cluster(TransportKind::Channel, n),
+        Checks::default(),
+    );
+}
+
+#[test]
+fn shm_ring_backend_conforms() {
+    run_suite(
+        |n| make_cluster(TransportKind::SharedRing, n),
+        Checks::default(),
+    );
+}
+
+/// A deliberately tiny ring (2 slots) forces the backpressure path through
+/// the whole battery, not just the backpressure check.
+#[test]
+fn shm_ring_backend_conforms_under_tiny_capacity() {
+    run_suite(|n| ring::ring_cluster(n, 2), Checks::default());
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_backend_conforms() {
+    run_suite(
+        |n| make_cluster(TransportKind::UnixSocket, n),
+        Checks::default(),
+    );
+}
+
+/// Link-latency shaping (delivery matures `latency` after the send was
+/// posted) delays observation only; FIFO, addressing, integrity and
+/// disconnect semantics must survive unchanged.
+#[test]
+fn latency_shaped_channel_conforms() {
+    run_suite(
+        |n| channel::channel_cluster_with_latency(n, std::time::Duration::from_micros(500)),
+        Checks::default(),
+    );
+}
+
+/// Injected send delays shape timing only; every conformance property must
+/// survive unchanged.
+#[test]
+fn delay_injecting_wrapper_changes_nothing() {
+    let plan = FaultPlan {
+        send_delay_us: 200,
+        ..FaultPlan::default()
+    };
+    run_suite(
+        |n| {
+            make_cluster(TransportKind::Channel, n)
+                .into_iter()
+                .map(|ep| wrap(ep, plan))
+                .collect::<Vec<Box<dyn Transport>>>()
+        },
+        Checks::default(),
+    );
+}

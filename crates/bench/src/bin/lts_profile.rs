@@ -12,9 +12,12 @@
 //!   (relative, default 0.5) unless `--timings false` skips timing checks
 //!   (use on CI, where hosts differ). Exit 1 on any failure.
 
-use lts_bench::profile::{compare_bench, host_mismatch, run_suite, validate_bench};
+use lts_bench::profile::{
+    compare_bench, host_mismatch, kernel_variant_mismatch, run_suite, validate_bench,
+};
 use lts_bench::{Args, Table};
 use lts_obs::Json;
+use lts_sem::simd;
 
 fn read_doc(path: &str) -> Json {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -36,8 +39,19 @@ fn main() {
             let out: String = args.get("out", "BENCH_lts.json".to_string());
             let doc = run_suite(smoke);
             validate_bench(&doc).expect("generated document must validate");
-            let mut table =
-                Table::new(&["scenario", "elem_ops", "dofs_sent", "wall_s", "elem_ops/s"]);
+            println!(
+                "kernel: {} (features: {})",
+                simd::active().name(),
+                simd::cpu_features()
+            );
+            let mut table = Table::new(&[
+                "scenario",
+                "kernel",
+                "elem_ops",
+                "dofs_sent",
+                "wall_s",
+                "elem_ops/s",
+            ]);
             if let Some(scenarios) = doc.get("scenarios").and_then(|s| s.as_arr()) {
                 for sc in scenarios {
                     let get_u = |path: &str, key: &str| {
@@ -51,6 +65,7 @@ fn main() {
                             .and_then(|v| v.as_str())
                             .unwrap_or("?")
                             .to_string(),
+                        simd::active().name().to_string(),
                         get_u("counters", "elem_ops").to_string(),
                         get_u("counters", "dofs_sent").to_string(),
                         format!(
@@ -101,6 +116,13 @@ fn main() {
                     eprintln!(
                         "bench-compare: warning: {m}; wall-clock gates are \
                          meaningless across hosts (use --timings false)"
+                    );
+                }
+                if let Some(m) = kernel_variant_mismatch(&base_doc, &cur_doc) {
+                    eprintln!(
+                        "bench-compare: warning: {m}; timings were produced \
+                         by different SIMD kernels (regenerate the baseline \
+                         or use --timings false)"
                     );
                 }
             }

@@ -22,6 +22,7 @@ use lts_partition::{partition_mesh, Strategy};
 use lts_runtime::stats::{lambda_from_stats, names};
 use lts_runtime::{run_distributed_local_acoustic_observed, DistributedConfig, MonitorConfig};
 use lts_sem::gll::cfl_dt_scale;
+use lts_sem::simd;
 use lts_sem::AcousticOperator;
 
 pub const SCHEMA: &str = "lts-bench/1";
@@ -31,8 +32,9 @@ pub const SCHEMA: &str = "lts-bench/1";
 /// (encoded in the fixed matrix) agree.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
-    /// Mesh key: `"trench"` (graded surface strip) or `"crust"` (geometric
-    /// crust grading).
+    /// Mesh key: `"trench"` (graded surface strip), `"trench-big"` (one
+    /// extra refinement layer, 6 levels), `"embedding"` (small fast block)
+    /// or `"crust"` (geometric crust grading).
     pub mesh: &'static str,
     /// Strategy key: `"scotch"`, `"scotch-p"`, `"metis"` or `"patoh"`.
     pub strategy: &'static str,
@@ -48,8 +50,15 @@ pub struct Scenario {
 
 impl Scenario {
     pub fn id(&self) -> String {
+        // The order is part of the identity only when it differs from the
+        // historical default (1), so legacy baseline ids stay stable.
+        let p = if self.order > 1 {
+            format!("__p{}", self.order)
+        } else {
+            String::new()
+        };
         let ov = if self.overlap { "__ov" } else { "" };
-        format!("{}__{}__r{}{ov}", self.mesh, self.strategy, self.ranks)
+        format!("{}__{}__r{}{p}{ov}", self.mesh, self.strategy, self.ranks)
     }
 
     pub fn strategy_enum(&self) -> Strategy {
@@ -65,6 +74,8 @@ impl Scenario {
     pub fn build_mesh(&self) -> BenchmarkMesh {
         match self.mesh {
             "trench" => BenchmarkMesh::build(MeshKind::Trench, self.elements),
+            "trench-big" => BenchmarkMesh::build(MeshKind::TrenchBig, self.elements),
+            "embedding" => BenchmarkMesh::build(MeshKind::Embedding, self.elements),
             "crust" => BenchmarkMesh::crust_geometric(self.elements),
             other => panic!("unknown mesh key {other:?}"),
         }
@@ -77,6 +88,11 @@ const ELEMENTS: usize = 256;
 const STEPS: usize = 4;
 const ORDER: usize = 1;
 const SEED: u64 = 1;
+/// The paper's production polynomial order. Order-4 scenarios exercise the
+/// SIMD stiffness batch at its real arithmetic intensity; steps are capped
+/// at 2 so the smoke run stays fast despite the ~60× heavier elements.
+const P4_ORDER: usize = 4;
+const P4_STEPS: usize = 2;
 
 fn scenario(mesh: &'static str, strategy: &'static str, ranks: usize) -> Scenario {
     Scenario {
@@ -98,16 +114,37 @@ fn scenario_ov(mesh: &'static str, strategy: &'static str, ranks: usize) -> Scen
     }
 }
 
-/// The scenario matrix: `smoke` selects the CI subset (three scenarios),
+fn scenario_p4(mesh: &'static str, strategy: &'static str, ranks: usize) -> Scenario {
+    Scenario {
+        order: P4_ORDER,
+        steps: P4_STEPS,
+        ..scenario(mesh, strategy, ranks)
+    }
+}
+
+fn scenario_p4_ov(mesh: &'static str, strategy: &'static str, ranks: usize) -> Scenario {
+    Scenario {
+        overlap: true,
+        ..scenario_p4(mesh, strategy, ranks)
+    }
+}
+
+/// The scenario matrix: `smoke` selects the CI subset (four scenarios),
 /// the full matrix is 2 meshes × 4 strategies × {2, 4, 8} ranks, plus an
 /// overlap twin of every r8 scenario so the wait-time reduction from
 /// comm/compute overlap is tracked by the bench gate, not claimed.
+///
+/// On top of that, every one of the four benchmark meshes gets an order-4
+/// (`__p4`) block — r2, r8 and an r8 overlap twin under the default
+/// partitioner — so the SIMD stiffness batch runs at the paper's real
+/// polynomial order inside the gated matrix, not only in microbenches.
 pub fn matrix(smoke: bool) -> Vec<Scenario> {
     if smoke {
         return vec![
             scenario("trench", "scotch", 2),
             scenario("trench", "scotch-p", 2),
             scenario_ov("trench", "scotch", 8),
+            scenario_p4("trench", "scotch", 2),
         ];
     }
     let mut out = Vec::new();
@@ -118,6 +155,11 @@ pub fn matrix(smoke: bool) -> Vec<Scenario> {
             }
             out.push(scenario_ov(mesh, strategy, 8));
         }
+    }
+    for mesh in ["trench", "trench-big", "embedding", "crust"] {
+        out.push(scenario_p4(mesh, "scotch", 2));
+        out.push(scenario_p4(mesh, "scotch", 8));
+        out.push(scenario_p4_ov(mesh, "scotch", 8));
     }
     out
 }
@@ -266,6 +308,15 @@ fn host_json() -> Json {
                     .unwrap_or(0),
             ),
         ),
+        // SIMD provenance: which vector extensions the host advertises and
+        // which stiffness-kernel variant was actually dispatched for this
+        // document. Timings produced by different kernels are not
+        // comparable even on identical hardware (e.g. `LTS_SIMD=scalar`).
+        ("features".to_string(), Json::str(simd::cpu_features())),
+        (
+            "kernel_variant".to_string(),
+            Json::str(simd::active().name()),
+        ),
     ])
 }
 
@@ -358,6 +409,29 @@ pub fn host_mismatch(baseline: &Json, current: &Json) -> Option<String> {
             .unwrap_or_else(|| "?".to_string())
     };
     for key in ["os", "arch", "cpus"] {
+        let b = field(baseline, key);
+        let c = field(current, key);
+        if b != c {
+            return Some(format!("host.{key} differs: baseline {b}, current {c}"));
+        }
+    }
+    None
+}
+
+/// Describe a SIMD kernel-variant mismatch between two BENCH documents, if
+/// any. Like [`host_mismatch`] this only invalidates wall-clock gates —
+/// counters are variant-independent by the bitwise-identity contract — but
+/// a baseline recorded with `avx512f` must not gate timings of a `scalar`
+/// run (or vice versa), and a baseline predating the `kernel_variant`
+/// field should be flagged as stale rather than silently trusted.
+pub fn kernel_variant_mismatch(baseline: &Json, current: &Json) -> Option<String> {
+    let field = |doc: &Json, key: &str| -> String {
+        doc.get("host")
+            .and_then(|h| h.get(key))
+            .map(|v| v.render())
+            .unwrap_or_else(|| "?".to_string())
+    };
+    for key in ["kernel_variant", "features"] {
         let b = field(baseline, key);
         let c = field(current, key);
         if b != c {
@@ -482,9 +556,27 @@ mod tests {
         let full = matrix(false);
         let smoke = matrix(true);
         // 2 meshes × 4 strategies × {2,4,8} ranks, plus one r8 overlap
-        // twin per mesh × strategy
-        assert_eq!(full.len(), 2 * 4 * 3 + 2 * 4);
+        // twin per mesh × strategy, plus the order-4 block (r2/r8/r8-ov)
+        // on each of the four benchmark meshes
+        assert_eq!(full.len(), 2 * 4 * 3 + 2 * 4 + 4 * 3);
         assert!(full.iter().any(|s| s.overlap && s.ranks == 8));
+        // every benchmark mesh has order-4 coverage, including an overlap
+        // twin, and the order is encoded in the id before the __ov suffix
+        for mesh in ["trench", "trench-big", "embedding", "crust"] {
+            assert!(full
+                .iter()
+                .any(|s| s.mesh == mesh && s.order == 4 && !s.overlap));
+            let ov = full
+                .iter()
+                .find(|s| s.mesh == mesh && s.order == 4 && s.overlap)
+                .expect("p4 overlap twin");
+            assert_eq!(ov.id(), format!("{mesh}__scotch__r8__p4__ov"));
+            assert_eq!(ov.steps, P4_STEPS, "p4 scenarios cap steps");
+        }
+        assert!(
+            smoke.iter().any(|s| s.order == 4),
+            "smoke must exercise the order-4 SIMD path"
+        );
         assert!(!smoke.is_empty());
         for sc in &smoke {
             let twin = full
@@ -553,6 +645,38 @@ mod tests {
         let with_timings = compare_bench(&doc, &tampered, 0.5, true);
         assert_eq!(with_timings.len(), 2, "{with_timings:?}");
         assert!(with_timings[1].contains("regressed"), "{with_timings:?}");
+    }
+
+    #[test]
+    fn host_block_records_simd_and_variant_mismatch_is_detected() {
+        let doc = tiny_doc();
+        let host = doc.get("host").unwrap();
+        assert!(host.get("features").and_then(|v| v.as_str()).is_some());
+        assert_eq!(
+            host.get("kernel_variant").and_then(|v| v.as_str()),
+            Some(simd::active().name())
+        );
+        assert!(kernel_variant_mismatch(&doc, &doc).is_none());
+        // a baseline recorded under a different (e.g. forced-scalar) kernel
+        // must be flagged against the current run
+        let mut tampered = Json::parse(&doc.render()).unwrap();
+        if let Json::Obj(fields) = &mut tampered {
+            let host = fields.iter_mut().find(|(k, _)| k == "host").unwrap();
+            if let Json::Obj(hs) = &mut host.1 {
+                let kv = hs.iter_mut().find(|(k, _)| k == "kernel_variant").unwrap();
+                kv.1 = Json::str("some-other-kernel");
+            }
+        }
+        let m = kernel_variant_mismatch(&tampered, &doc).expect("mismatch");
+        assert!(m.contains("kernel_variant"), "{m}");
+        // a legacy baseline predating the field reads as stale, not equal
+        if let Json::Obj(fields) = &mut tampered {
+            let host = fields.iter_mut().find(|(k, _)| k == "host").unwrap();
+            if let Json::Obj(hs) = &mut host.1 {
+                hs.retain(|(k, _)| k != "kernel_variant" && k != "features");
+            }
+        }
+        assert!(kernel_variant_mismatch(&tampered, &doc).is_some());
     }
 
     #[test]

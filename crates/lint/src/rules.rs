@@ -510,6 +510,51 @@ unsafe fn f(p: *mut u8) { let _ = p; }
         assert_eq!(diags_for(bad, RULE_UNSAFE).len(), 1);
     }
 
+    /// The SIMD intrinsics idiom (`crates/sem/src/simd.rs`): a
+    /// `#[target_feature]` kernel is an `unsafe fn` whose Safety section
+    /// states the CPU-support precondition, and each dispatch call site
+    /// carries a `// SAFETY:` comment citing the runtime detection. The
+    /// attribute between docs and `unsafe fn` must not break doc-block
+    /// attachment, and macro-generated bodies are scanned like any other.
+    #[test]
+    fn unsafe_target_feature_kernel_idiom() {
+        let good = "\
+/// Batched stiffness kernel.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports this instruction set (runtime
+/// dispatch via `is_x86_feature_detected!`).
+#[target_feature(enable = \"avx2\")]
+#[inline]
+pub unsafe fn kernel(x: *const f64) { let _ = x; }
+
+fn dispatch(x: *const f64, supported: bool) {
+    if supported {
+        // SAFETY: `supported` is the cached is_x86_feature_detected!
+        // result for avx2, the only precondition `kernel` documents.
+        unsafe { kernel(x) }
+    }
+}
+";
+        assert!(diags_for(good, RULE_UNSAFE).is_empty());
+        // the attribute alone is not a justification: no Safety docs → diag
+        let bad_fn = "\
+#[target_feature(enable = \"avx2\")]
+pub unsafe fn kernel(x: *const f64) { let _ = x; }
+";
+        assert_eq!(diags_for(bad_fn, RULE_UNSAFE).len(), 1);
+        // a bare dispatch call without the SAFETY citation → diag
+        let bad_call = "\
+fn dispatch(x: *const f64, supported: bool) {
+    if supported {
+        unsafe { ext(x) }
+    }
+}
+";
+        assert_eq!(diags_for(bad_call, RULE_UNSAFE).len(), 1);
+    }
+
     #[test]
     fn float_eq_literal_comparisons() {
         assert_eq!(

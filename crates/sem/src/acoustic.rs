@@ -7,7 +7,7 @@
 //! and [`lts_core::DofTopology`] so both Newmark and LTS-Newmark drive it
 //! directly.
 
-use crate::compiled::{CompiledGather, GatherCache, ScalarScratch, ScalarWs, FULL_LEVEL};
+use crate::compiled::{AcousticEngine, GatherCache, ScalarScratch, ScalarWs, FULL_LEVEL};
 use crate::dofmap::DofMap;
 use crate::gll::GllBasis;
 use lts_core::{DofTopology, Operator, Workspace};
@@ -197,46 +197,16 @@ impl AcousticOperator {
         )
     }
 
-    /// Process position `pos` of a compiled entry: branch-free gather,
-    /// stiffness kernel, multiply-by-`M⁻¹` scatter.
-    // lint: hot-path
-    #[inline]
-    fn compiled_elem(
-        &self,
-        entry: &CompiledGather,
-        pos: usize,
-        u: &[f64],
-        sc: &mut ScalarScratch,
-        out: &mut [f64],
-    ) {
-        let npe = self.dofmap.nodes_per_elem();
-        let e = entry.order[pos];
-        let base = pos * npe;
-        let ids = &entry.idx[base..base + npe];
-        if entry.mask.is_empty() {
-            for li in 0..npe {
-                sc.loc[li] = u[ids[li] as usize];
-            }
-        } else {
-            let mk = &entry.mask[base..base + npe];
-            for li in 0..npe {
-                sc.loc[li] = u[ids[li] as usize] * mk[li];
-            }
-        }
-        let (ei, ej, ek) = self.dofmap.elem_ijk(e);
-        crate::kernel::scalar_stiffness(
-            &self.basis,
-            self.hx[ei],
-            self.hy[ej],
-            self.hz[ek],
-            self.mu[e as usize],
-            &sc.loc,
-            &mut sc.tmp,
-            &mut sc.der,
-        );
-        for li in 0..npe {
-            let g = ids[li] as usize;
-            out[g] += sc.tmp[li] * self.inv_mass[g];
+    /// The shared execution engine over this operator's geometry.
+    fn engine(&self) -> AcousticEngine<'_, impl Fn(u32) -> (f64, f64, f64, f64) + Sync + '_> {
+        AcousticEngine {
+            basis: &self.basis,
+            inv_mass: &self.inv_mass,
+            npe: self.dofmap.nodes_per_elem(),
+            geom: move |e: u32| {
+                let (ei, ej, ek) = self.dofmap.elem_ijk(e);
+                (self.hx[ei], self.hy[ej], self.hz[ek], self.mu[e as usize])
+            },
         }
     }
 }
@@ -276,11 +246,11 @@ impl Operator for AcousticOperator {
                 self.compiled_entry(&mut st.0.cache, FULL_LEVEL, &all, None)
             }
         };
+        let variant = crate::simd::active();
+        st.0.cache.ensure_plan(i, npe, 1, variant);
+        st.0.serial.ensure_lanes(npe, variant.lanes());
         let ScalarWs { cache, serial, .. } = &mut st.0;
-        let entry = cache.entry(i);
-        for pos in 0..entry.order.len() {
-            self.compiled_elem(entry, pos, u, serial, out);
-        }
+        self.engine().run_serial(cache.entry(i), u, serial, out);
     }
 
     fn apply_masked_ws(
@@ -300,11 +270,11 @@ impl Operator for AcousticOperator {
             elems,
             Some((dof_level, level)),
         );
+        let variant = crate::simd::active();
+        st.0.cache.ensure_plan(i, npe, 1, variant);
+        st.0.serial.ensure_lanes(npe, variant.lanes());
         let ScalarWs { cache, serial, .. } = &mut st.0;
-        let entry = cache.entry(i);
-        for pos in 0..entry.order.len() {
-            self.compiled_elem(entry, pos, u, serial, out);
-        }
+        self.engine().run_serial(cache.entry(i), u, serial, out);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -329,25 +299,32 @@ impl Operator for AcousticOperator {
             elems,
             Some((dof_level, level)),
         );
+        let variant = crate::simd::active();
+        st.0.cache.ensure_plan(i, npe, 1, variant);
         let ScalarWs { cache, par, .. } = &mut st.0;
         if par.len() < threads {
             par.resize_with(threads, || ScalarScratch::new(npe));
         }
-        let entry = cache.entry(i);
-        crate::parallel::par_colored(out, &entry.color_off, &mut par[..threads], |pos, sc, o| {
-            self.compiled_elem(entry, pos, u, sc, o);
-        });
+        for sc in par.iter_mut() {
+            sc.ensure_lanes(npe, variant.lanes());
+        }
+        self.engine()
+            .run_threads(cache.entry(i), u, &mut par[..threads], out);
     }
 
     fn precompile_masked(&self, elems: &[u32], dof_level: &[u8], level: u8, ws: &mut Workspace) {
         let npe = self.dofmap.nodes_per_elem();
         let st = ws.get_or_insert_with(|| AcousticWs(ScalarWs::new(npe)));
-        let _ = self.compiled_entry(
+        let i = self.compiled_entry(
             &mut st.0.cache,
             level as u16,
             elems,
             Some((dof_level, level)),
         );
+        // warm the SIMD plan too, so no transpose happens mid-run
+        let variant = crate::simd::active();
+        st.0.cache.ensure_plan(i, npe, 1, variant);
+        st.0.serial.ensure_lanes(npe, variant.lanes());
     }
 
     fn mass(&self) -> &[f64] {

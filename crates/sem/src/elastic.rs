@@ -5,7 +5,7 @@
 //! (`dof = 3·node + comp`), so the LTS level machinery applies per-DOF with
 //! no special cases.
 
-use crate::compiled::{CompiledGather, ElasticScratchWs, GatherCache, FULL_LEVEL};
+use crate::compiled::{ElasticEngine, ElasticScratchWs, GatherCache, FULL_LEVEL};
 use crate::dofmap::DofMap;
 use crate::gll::GllBasis;
 use lts_core::{DofTopology, Operator, Workspace};
@@ -198,6 +198,12 @@ pub(crate) struct Scratch {
     grad: [Vec<f64>; 9], // grad[3*comp + axis]
     flux: Vec<f64>,
     pub(crate) out: [Vec<f64>; 3],
+    /// SoA batch buffers of the SIMD path (`npe · lanes` doubles per field,
+    /// lane-minor; `vu`/`vout` component-major, `vgrad` `(3·comp+axis)`-major).
+    pub(crate) vu: Vec<f64>,
+    pub(crate) vgrad: Vec<f64>,
+    pub(crate) vflux: Vec<f64>,
+    pub(crate) vout: Vec<f64>,
 }
 
 impl Scratch {
@@ -208,6 +214,21 @@ impl Scratch {
             grad: [z(), z(), z(), z(), z(), z(), z(), z(), z()],
             flux: z(),
             out: [z(), z(), z()],
+            vu: Vec::new(),
+            vgrad: Vec::new(),
+            vflux: Vec::new(),
+            vout: Vec::new(),
+        }
+    }
+
+    /// Size the batch buffers for `lanes`-wide units (outside the hot loop).
+    pub(crate) fn ensure_lanes(&mut self, npe: usize, lanes: usize) {
+        let n = npe * lanes;
+        if lanes > 1 && self.vflux.len() < n {
+            self.vu.resize(3 * n, 0.0);
+            self.vgrad.resize(9 * n, 0.0);
+            self.vflux.resize(n, 0.0);
+            self.vout.resize(3 * n, 0.0);
         }
     }
 }
@@ -354,53 +375,22 @@ impl ElasticOperator {
         )
     }
 
-    /// Process position `pos` of a compiled entry.
-    // lint: hot-path
-    #[inline]
-    fn compiled_elem(
-        &self,
-        entry: &CompiledGather,
-        pos: usize,
-        u: &[f64],
-        s: &mut Scratch,
-        out: &mut [f64],
-    ) {
-        let npe = self.dofmap.nodes_per_elem();
-        let e = entry.order[pos];
-        let base = pos * npe;
-        let ids = &entry.idx[base..base + npe];
-        if entry.mask.is_empty() {
-            for li in 0..npe {
-                let gn = ids[li] as usize;
-                for comp in 0..3 {
-                    s.u[comp][li] = u[3 * gn + comp];
-                }
-            }
-        } else {
-            let mk = &entry.mask[3 * base..3 * (base + npe)];
-            for li in 0..npe {
-                let gn = ids[li] as usize;
-                for comp in 0..3 {
-                    s.u[comp][li] = u[3 * gn + comp] * mk[3 * li + comp];
-                }
-            }
-        }
-        let (ei, ej, ek) = self.dofmap.elem_ijk(e);
-        elastic_stiffness(
-            &self.basis,
-            self.hx[ei],
-            self.hy[ej],
-            self.hz[ek],
-            self.lambda[e as usize],
-            self.mu[e as usize],
-            s,
-        );
-        for li in 0..npe {
-            let gn = ids[li] as usize;
-            for comp in 0..3 {
-                let dof = 3 * gn + comp;
-                out[dof] += s.out[comp][li] * self.inv_mass[dof];
-            }
+    /// The shared execution engine over this operator's geometry.
+    fn engine(&self) -> ElasticEngine<'_, impl Fn(u32) -> (f64, f64, f64, f64, f64) + Sync + '_> {
+        ElasticEngine {
+            basis: &self.basis,
+            inv_mass: &self.inv_mass,
+            npe: self.dofmap.nodes_per_elem(),
+            geom: move |e: u32| {
+                let (ei, ej, ek) = self.dofmap.elem_ijk(e);
+                (
+                    self.hx[ei],
+                    self.hy[ej],
+                    self.hz[ek],
+                    self.lambda[e as usize],
+                    self.mu[e as usize],
+                )
+            },
         }
     }
 }
@@ -447,11 +437,11 @@ impl Operator for ElasticOperator {
                 self.compiled_entry(&mut st.0.cache, FULL_LEVEL, &all, None)
             }
         };
+        let variant = crate::simd::active();
+        st.0.cache.ensure_plan(i, npe, 3, variant);
+        st.0.serial.ensure_lanes(npe, variant.lanes());
         let ElasticScratchWs { cache, serial, .. } = &mut st.0;
-        let entry = cache.entry(i);
-        for pos in 0..entry.order.len() {
-            self.compiled_elem(entry, pos, u, serial, out);
-        }
+        self.engine().run_serial(cache.entry(i), u, serial, out);
     }
 
     fn apply_masked_ws(
@@ -471,11 +461,11 @@ impl Operator for ElasticOperator {
             elems,
             Some((dof_level, level)),
         );
+        let variant = crate::simd::active();
+        st.0.cache.ensure_plan(i, npe, 3, variant);
+        st.0.serial.ensure_lanes(npe, variant.lanes());
         let ElasticScratchWs { cache, serial, .. } = &mut st.0;
-        let entry = cache.entry(i);
-        for pos in 0..entry.order.len() {
-            self.compiled_elem(entry, pos, u, serial, out);
-        }
+        self.engine().run_serial(cache.entry(i), u, serial, out);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -500,25 +490,32 @@ impl Operator for ElasticOperator {
             elems,
             Some((dof_level, level)),
         );
+        let variant = crate::simd::active();
+        st.0.cache.ensure_plan(i, npe, 3, variant);
         let ElasticScratchWs { cache, par, .. } = &mut st.0;
         if par.len() < threads {
             par.resize_with(threads, || Scratch::new(npe));
         }
-        let entry = cache.entry(i);
-        crate::parallel::par_colored(out, &entry.color_off, &mut par[..threads], |pos, s, o| {
-            self.compiled_elem(entry, pos, u, s, o);
-        });
+        for s in par.iter_mut() {
+            s.ensure_lanes(npe, variant.lanes());
+        }
+        self.engine()
+            .run_threads(cache.entry(i), u, &mut par[..threads], out);
     }
 
     fn precompile_masked(&self, elems: &[u32], dof_level: &[u8], level: u8, ws: &mut Workspace) {
         let npe = self.dofmap.nodes_per_elem();
         let st = ws.get_or_insert_with(|| ElasticWs(ElasticScratchWs::new(npe)));
-        let _ = self.compiled_entry(
+        let i = self.compiled_entry(
             &mut st.0.cache,
             level as u16,
             elems,
             Some((dof_level, level)),
         );
+        // warm the SIMD plan too, so no transpose happens mid-run
+        let variant = crate::simd::active();
+        st.0.cache.ensure_plan(i, npe, 3, variant);
+        st.0.serial.ensure_lanes(npe, variant.lanes());
     }
 
     fn mass(&self) -> &[f64] {

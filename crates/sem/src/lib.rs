@@ -28,6 +28,7 @@ pub mod gll;
 pub mod kernel;
 pub mod parallel;
 pub mod record;
+pub mod simd;
 pub mod unstructured;
 pub mod verify;
 

@@ -16,12 +16,12 @@
 //! bitwise-identical.
 
 use crate::compiled::{
-    CompiledGather, ElasticScratchWs, GatherCache, ScalarScratch, ScalarWs, FULL_LEVEL,
+    AcousticEngine, ElasticEngine, ElasticScratchWs, GatherCache, ScalarScratch, ScalarWs,
+    FULL_LEVEL,
 };
 use crate::dofmap::DofMap;
-use crate::elastic::{elastic_stiffness, Scratch};
+use crate::elastic::Scratch;
 use crate::gll::GllBasis;
-use crate::kernel::scalar_stiffness;
 use lts_core::{DofTopology, Operator, Workspace};
 use lts_mesh::HexMesh;
 
@@ -175,45 +175,13 @@ impl UnstructuredAcoustic {
         )
     }
 
-    /// Process position `pos` of a compiled entry: branch-free gather,
-    /// stiffness kernel, multiply-by-`M⁻¹` scatter.
-    // lint: hot-path
-    #[inline]
-    fn compiled_elem(
-        &self,
-        entry: &CompiledGather,
-        pos: usize,
-        u: &[f64],
-        sc: &mut ScalarScratch,
-        out: &mut [f64],
-    ) {
-        let e = entry.order[pos];
-        let base = pos * self.npe;
-        let ids = &entry.idx[base..base + self.npe];
-        if entry.mask.is_empty() {
-            for li in 0..self.npe {
-                sc.loc[li] = u[ids[li] as usize];
-            }
-        } else {
-            let mk = &entry.mask[base..base + self.npe];
-            for li in 0..self.npe {
-                sc.loc[li] = u[ids[li] as usize] * mk[li];
-            }
-        }
-        let (hx, hy, hz, mu) = self.elem_geom[e as usize];
-        scalar_stiffness(
-            &self.basis,
-            hx,
-            hy,
-            hz,
-            mu,
-            &sc.loc,
-            &mut sc.tmp,
-            &mut sc.der,
-        );
-        for li in 0..self.npe {
-            let dof = ids[li] as usize;
-            out[dof] += sc.tmp[li] * self.inv_mass[dof];
+    /// The shared execution engine over this operator's geometry.
+    fn engine(&self) -> AcousticEngine<'_, impl Fn(u32) -> (f64, f64, f64, f64) + Sync + '_> {
+        AcousticEngine {
+            basis: &self.basis,
+            inv_mass: &self.inv_mass,
+            npe: self.npe,
+            geom: move |e: u32| self.elem_geom[e as usize],
         }
     }
 }
@@ -249,11 +217,11 @@ impl Operator for UnstructuredAcoustic {
                 self.compiled_entry(&mut st.0.cache, FULL_LEVEL, &all, None)
             }
         };
+        let variant = crate::simd::active();
+        st.0.cache.ensure_plan(i, self.npe, 1, variant);
+        st.0.serial.ensure_lanes(self.npe, variant.lanes());
         let ScalarWs { cache, serial, .. } = &mut st.0;
-        let entry = cache.entry(i);
-        for pos in 0..entry.order.len() {
-            self.compiled_elem(entry, pos, u, serial, out);
-        }
+        self.engine().run_serial(cache.entry(i), u, serial, out);
     }
 
     fn apply_masked_ws(
@@ -272,11 +240,11 @@ impl Operator for UnstructuredAcoustic {
             elems,
             Some((dof_level, level)),
         );
+        let variant = crate::simd::active();
+        st.0.cache.ensure_plan(i, self.npe, 1, variant);
+        st.0.serial.ensure_lanes(self.npe, variant.lanes());
         let ScalarWs { cache, serial, .. } = &mut st.0;
-        let entry = cache.entry(i);
-        for pos in 0..entry.order.len() {
-            self.compiled_elem(entry, pos, u, serial, out);
-        }
+        self.engine().run_serial(cache.entry(i), u, serial, out);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -300,24 +268,31 @@ impl Operator for UnstructuredAcoustic {
             elems,
             Some((dof_level, level)),
         );
+        let variant = crate::simd::active();
+        st.0.cache.ensure_plan(i, self.npe, 1, variant);
         let ScalarWs { cache, par, .. } = &mut st.0;
         if par.len() < threads {
             par.resize_with(threads, || ScalarScratch::new(self.npe));
         }
-        let entry = cache.entry(i);
-        crate::parallel::par_colored(out, &entry.color_off, &mut par[..threads], |pos, sc, o| {
-            self.compiled_elem(entry, pos, u, sc, o);
-        });
+        for sc in par.iter_mut() {
+            sc.ensure_lanes(self.npe, variant.lanes());
+        }
+        self.engine()
+            .run_threads(cache.entry(i), u, &mut par[..threads], out);
     }
 
     fn precompile_masked(&self, elems: &[u32], dof_level: &[u8], level: u8, ws: &mut Workspace) {
         let st = ws.get_or_insert_with(|| UAcousticWs(ScalarWs::new(self.npe)));
-        let _ = self.compiled_entry(
+        let i = self.compiled_entry(
             &mut st.0.cache,
             level as u16,
             elems,
             Some((dof_level, level)),
         );
+        // warm the SIMD plan too, so no transpose happens mid-run
+        let variant = crate::simd::active();
+        st.0.cache.ensure_plan(i, self.npe, 1, variant);
+        st.0.serial.ensure_lanes(self.npe, variant.lanes());
     }
 
     fn mass(&self) -> &[f64] {
@@ -482,44 +457,13 @@ impl UnstructuredElastic {
         )
     }
 
-    /// Process position `pos` of a compiled entry.
-    // lint: hot-path
-    #[inline]
-    fn compiled_elem(
-        &self,
-        entry: &CompiledGather,
-        pos: usize,
-        u: &[f64],
-        s: &mut Scratch,
-        out: &mut [f64],
-    ) {
-        let e = entry.order[pos];
-        let base = pos * self.npe;
-        let ids = &entry.idx[base..base + self.npe];
-        if entry.mask.is_empty() {
-            for li in 0..self.npe {
-                let node = ids[li] as usize;
-                for comp in 0..3 {
-                    s.u[comp][li] = u[3 * node + comp];
-                }
-            }
-        } else {
-            let mk = &entry.mask[3 * base..3 * (base + self.npe)];
-            for li in 0..self.npe {
-                let node = ids[li] as usize;
-                for comp in 0..3 {
-                    s.u[comp][li] = u[3 * node + comp] * mk[3 * li + comp];
-                }
-            }
-        }
-        let (hx, hy, hz, lam, mu) = self.elem_geom[e as usize];
-        elastic_stiffness(&self.basis, hx, hy, hz, lam, mu, s);
-        for li in 0..self.npe {
-            let node = ids[li] as usize;
-            for comp in 0..3 {
-                let dof = 3 * node + comp;
-                out[dof] += s.out[comp][li] * self.inv_mass[dof];
-            }
+    /// The shared execution engine over this operator's geometry.
+    fn engine(&self) -> ElasticEngine<'_, impl Fn(u32) -> (f64, f64, f64, f64, f64) + Sync + '_> {
+        ElasticEngine {
+            basis: &self.basis,
+            inv_mass: &self.inv_mass,
+            npe: self.npe,
+            geom: move |e: u32| self.elem_geom[e as usize],
         }
     }
 }
@@ -559,11 +503,11 @@ impl Operator for UnstructuredElastic {
                 self.compiled_entry(&mut st.0.cache, FULL_LEVEL, &all, None)
             }
         };
+        let variant = crate::simd::active();
+        st.0.cache.ensure_plan(i, self.npe, 3, variant);
+        st.0.serial.ensure_lanes(self.npe, variant.lanes());
         let ElasticScratchWs { cache, serial, .. } = &mut st.0;
-        let entry = cache.entry(i);
-        for pos in 0..entry.order.len() {
-            self.compiled_elem(entry, pos, u, serial, out);
-        }
+        self.engine().run_serial(cache.entry(i), u, serial, out);
     }
 
     fn apply_masked_ws(
@@ -582,11 +526,11 @@ impl Operator for UnstructuredElastic {
             elems,
             Some((dof_level, level)),
         );
+        let variant = crate::simd::active();
+        st.0.cache.ensure_plan(i, self.npe, 3, variant);
+        st.0.serial.ensure_lanes(self.npe, variant.lanes());
         let ElasticScratchWs { cache, serial, .. } = &mut st.0;
-        let entry = cache.entry(i);
-        for pos in 0..entry.order.len() {
-            self.compiled_elem(entry, pos, u, serial, out);
-        }
+        self.engine().run_serial(cache.entry(i), u, serial, out);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -610,24 +554,31 @@ impl Operator for UnstructuredElastic {
             elems,
             Some((dof_level, level)),
         );
+        let variant = crate::simd::active();
+        st.0.cache.ensure_plan(i, self.npe, 3, variant);
         let ElasticScratchWs { cache, par, .. } = &mut st.0;
         if par.len() < threads {
             par.resize_with(threads, || Scratch::new(self.npe));
         }
-        let entry = cache.entry(i);
-        crate::parallel::par_colored(out, &entry.color_off, &mut par[..threads], |pos, s, o| {
-            self.compiled_elem(entry, pos, u, s, o);
-        });
+        for s in par.iter_mut() {
+            s.ensure_lanes(self.npe, variant.lanes());
+        }
+        self.engine()
+            .run_threads(cache.entry(i), u, &mut par[..threads], out);
     }
 
     fn precompile_masked(&self, elems: &[u32], dof_level: &[u8], level: u8, ws: &mut Workspace) {
         let st = ws.get_or_insert_with(|| UElasticWs(ElasticScratchWs::new(self.npe)));
-        let _ = self.compiled_entry(
+        let i = self.compiled_entry(
             &mut st.0.cache,
             level as u16,
             elems,
             Some((dof_level, level)),
         );
+        // warm the SIMD plan too, so no transpose happens mid-run
+        let variant = crate::simd::active();
+        st.0.cache.ensure_plan(i, self.npe, 3, variant);
+        st.0.serial.ensure_lanes(self.npe, variant.lanes());
     }
 
     fn mass(&self) -> &[f64] {

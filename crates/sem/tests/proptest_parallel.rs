@@ -8,6 +8,7 @@
 
 use lts_core::{LtsSetup, Operator, Workspace};
 use lts_mesh::{HexMesh, Levels};
+use lts_sem::simd::{supported_variants, ForceVariant, KernelVariant};
 use lts_sem::{AcousticOperator, ElasticOperator, UnstructuredAcoustic, UnstructuredElastic};
 use proptest::prelude::*;
 
@@ -79,6 +80,90 @@ fn check_bitwise<O: Operator>(
     Ok(())
 }
 
+/// Serial *scalar* reference vs every supported SIMD variant, serial and
+/// threaded (1/2/4 workers), every LTS level. The SIMD path replays the
+/// scalar kernel's operation sequence lane-by-lane, so the comparison is
+/// exact `to_bits` equality, not a tolerance.
+fn check_simd_bitwise<O: Operator>(
+    op: &O,
+    setup: &LtsSetup,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let n = op.ndof();
+    let u: Vec<f64> = (0..n)
+        .map(|i| ((i * 41 % 29) as f64) / 29.0 - 0.5)
+        .collect();
+    let mut refs: Vec<Vec<f64>> = Vec::new();
+    {
+        let _g = ForceVariant::new(KernelVariant::Scalar);
+        let mut ws = Workspace::new();
+        for k in 0..setup.n_levels {
+            let mut r = vec![0.0; n];
+            op.apply_masked_ws(
+                &u,
+                &mut r,
+                &setup.elems[k],
+                &setup.dof_level,
+                k as u8,
+                &mut ws,
+            );
+            refs.push(r);
+        }
+    }
+    for v in supported_variants() {
+        if v.lanes() == 1 {
+            continue;
+        }
+        let _g = ForceVariant::new(v);
+        let mut ws_serial = Workspace::new();
+        let mut ws_threads = Workspace::new();
+        for (k, level_ref) in refs.iter().enumerate().take(setup.n_levels) {
+            let mut serial = vec![0.0; n];
+            op.apply_masked_ws(
+                &u,
+                &mut serial,
+                &setup.elems[k],
+                &setup.dof_level,
+                k as u8,
+                &mut ws_serial,
+            );
+            for i in 0..n {
+                prop_assert_eq!(
+                    serial[i].to_bits(),
+                    level_ref[i].to_bits(),
+                    "{:?} serial vs scalar: dof {} level {}",
+                    v,
+                    i,
+                    k
+                );
+            }
+            for threads in [1usize, 2, 4] {
+                let mut parallel = vec![0.0; n];
+                op.apply_masked_threads(
+                    &u,
+                    &mut parallel,
+                    &setup.elems[k],
+                    &setup.dof_level,
+                    k as u8,
+                    &mut ws_threads,
+                    threads,
+                );
+                for i in 0..n {
+                    prop_assert_eq!(
+                        parallel[i].to_bits(),
+                        level_ref[i].to_bits(),
+                        "{:?} {} threads vs scalar: dof {} level {}",
+                        v,
+                        threads,
+                        i,
+                        k
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -114,4 +199,88 @@ proptest! {
         let setup = LtsSetup::new(&el, &lv.elem_level);
         check_bitwise(&el, &setup)?;
     }
+
+    /// Structured acoustic, SIMD: scalar vs SIMD vs threaded-SIMD across
+    /// orders 1–4, all levels, 1/2/4 threads.
+    #[test]
+    fn acoustic_simd_is_bitwise_scalar(m in mesh_strategy(), order in 1usize..5) {
+        let lv = Levels::assign(&m, 0.5, 3);
+        let op = AcousticOperator::new(&m, order);
+        let setup = LtsSetup::new(&op, &lv.elem_level);
+        check_simd_bitwise(&op, &setup)?;
+    }
+
+    /// Structured elastic, SIMD, orders 1–4.
+    #[test]
+    fn elastic_simd_is_bitwise_scalar(m in mesh_strategy(), order in 1usize..5) {
+        let lv = Levels::assign(&m, 0.5, 3);
+        let op = ElasticOperator::poisson(&m, order);
+        let setup = LtsSetup::new(&op, &lv.elem_level);
+        check_simd_bitwise(&op, &setup)?;
+    }
+
+    /// Both unstructured operators, SIMD, orders 1–4.
+    #[test]
+    fn unstructured_simd_is_bitwise_scalar(m in mesh_strategy(), order in 1usize..5) {
+        let lv = Levels::assign(&m, 0.5, 3);
+        let all: Vec<u32> = (0..m.n_elems() as u32).collect();
+        let (ac, _) = UnstructuredAcoustic::from_subset(&m, order, &all, None);
+        let setup = LtsSetup::new(&ac, &lv.elem_level);
+        check_simd_bitwise(&ac, &setup)?;
+        let (el, _) = UnstructuredElastic::from_subset(&m, order, &all, None);
+        let setup = LtsSetup::new(&el, &lv.elem_level);
+        check_simd_bitwise(&el, &setup)?;
+    }
+}
+
+/// Negative control for the `to_bits` methodology: a *deliberately
+/// reordered* reduction — the same sum-factorised contraction with the inner
+/// sum accumulated in reverse — must be caught by bitwise comparison against
+/// the scalar kernel. If this test ever fails, `to_bits` equality has lost
+/// its power to detect reassociated floating-point reductions and the whole
+/// determinism contract needs re-auditing.
+#[test]
+fn reordered_reduction_is_caught_by_to_bits() {
+    use lts_sem::GllBasis;
+    let order = 4usize;
+    let basis = GllBasis::new(order);
+    let np = basis.n_points();
+    let npe = np * np * np;
+    // seeded LCG fill, the same generator the SIMD unit tests use
+    let mut x = 0xDEAD_BEEF_u64;
+    let mut loc = vec![0.0; npe];
+    for v in loc.iter_mut() {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *v = ((x >> 11) as f64) / ((1u64 << 53) as f64) - 0.5;
+    }
+    let idx = |a: usize, b: usize, c: usize| a + np * (b + np * c);
+    let d = &basis.d;
+    let mut mismatch = 0usize;
+    for c in 0..np {
+        for b in 0..np {
+            for a in 0..np {
+                // forward: the scalar kernel's order
+                let mut fwd = 0.0f64;
+                for m in 0..np {
+                    fwd += d[a * np + m] * loc[idx(m, b, c)];
+                }
+                // reversed reduction: same value analytically, different
+                // rounding path
+                let mut rev = 0.0f64;
+                for m in (0..np).rev() {
+                    rev += d[a * np + m] * loc[idx(m, b, c)];
+                }
+                if fwd.to_bits() != rev.to_bits() {
+                    mismatch += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        mismatch > 0,
+        "a reversed 5-term reduction over {npe} random nodes produced no \
+         bitwise difference — to_bits comparison would not catch reordering"
+    );
 }

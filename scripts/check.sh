@@ -24,16 +24,31 @@ cargo test -q --test transport_conformance
 echo "== multi-process smoke (wave-lts worker over unix sockets)"
 cargo test -q --test multiprocess_integration
 
+echo "== SIMD feature matrix (lts-sem with and without the simd feature)"
+# Feature on is the workspace default (covered by every other step); the
+# off leg must still build and pass bitwise-determinism tests through the
+# pure scalar path.
+cargo test -q -p lts-sem --no-default-features
+
 echo "== cargo bench --no-run (microbenches must stay compilable)"
 cargo bench --no-run -q
 
 echo "== bench smoke (lts-profile --smoke → validate → bench-compare)"
+# The smoke matrix includes an order-4 scenario, so the SIMD stiffness
+# batch at the paper's production order is inside the counter gate.
 cargo build --release -q -p lts-bench --bin lts-profile
 smoke_out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
-trap 'rm -f "$smoke_out"' EXIT
+scalar_out="$(mktemp /tmp/bench_smoke_scalar.XXXXXX.json)"
+trap 'rm -f "$smoke_out" "$scalar_out"' EXIT
 ./target/release/lts-profile --mode run --smoke true --out "$smoke_out" >/dev/null
 ./target/release/lts-profile --mode validate --file "$smoke_out"
 ./target/release/lts-profile --mode compare \
   --baseline BENCH_lts.json --current "$smoke_out" --timings false
+
+echo "== bench smoke, forced-scalar kernel (counters must be SIMD-invariant)"
+LTS_SIMD=scalar ./target/release/lts-profile --mode run --smoke true \
+  --out "$scalar_out" >/dev/null
+./target/release/lts-profile --mode compare \
+  --baseline "$smoke_out" --current "$scalar_out" --timings false
 
 echo "ok"

@@ -31,6 +31,15 @@ impl std::fmt::Display for BenchmarkId {
     }
 }
 
+/// Per-iteration work declared for a group, so the report can show a rate
+/// (upstream `criterion::Throughput`). Only the variants the workspace
+/// benches use are provided.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
 /// Passed to the measured closure; `iter` runs and times the payload.
 pub struct Bencher {
     samples: Vec<Duration>,
@@ -62,7 +71,7 @@ impl Bencher {
         }
     }
 
-    fn report(&self, label: &str) {
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
         if self.samples.is_empty() {
             println!("{label:<40} (no samples)");
             return;
@@ -72,8 +81,17 @@ impl Bencher {
         let med = s[s.len() / 2];
         let lo = s[0];
         let hi = s[s.len() - 1];
+        let rate = throughput
+            .map(|t| {
+                let (n, unit) = match t {
+                    Throughput::Elements(n) => (n, "elem/s"),
+                    Throughput::Bytes(n) => (n, "B/s"),
+                };
+                format!("   thrpt {:>12.0} {unit}", n as f64 / med.as_secs_f64())
+            })
+            .unwrap_or_default();
         println!(
-            "{label:<40} median {:>12?}   range [{:?} .. {:?}]",
+            "{label:<40} median {:>12?}   range [{:?} .. {:?}]{rate}",
             med, lo, hi
         );
     }
@@ -82,6 +100,7 @@ impl Bencher {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
     _criterion: &'a mut Criterion,
 }
 
@@ -91,13 +110,19 @@ impl<'a> BenchmarkGroup<'a> {
         self
     }
 
+    /// Declare per-iteration work; subsequent benches also report a rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, mut f: F) {
         let mut b = Bencher {
             samples: Vec::new(),
             sample_size: self.sample_size,
         };
         f(&mut b);
-        b.report(&format!("{}/{}", self.name, id));
+        b.report(&format!("{}/{}", self.name, id), self.throughput);
     }
 
     pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
@@ -111,7 +136,7 @@ impl<'a> BenchmarkGroup<'a> {
             sample_size: self.sample_size,
         };
         f(&mut b, input);
-        b.report(&format!("{}/{}", self.name, id));
+        b.report(&format!("{}/{}", self.name, id), self.throughput);
     }
 
     pub fn finish(self) {}
@@ -125,6 +150,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             sample_size: 10,
+            throughput: None,
             _criterion: self,
         }
     }
@@ -135,7 +161,7 @@ impl Criterion {
             sample_size: 10,
         };
         f(&mut b);
-        b.report(&format!("{id}"));
+        b.report(&format!("{id}"), None);
     }
 }
 
@@ -165,6 +191,7 @@ mod tests {
     fn tiny_bench(c: &mut Criterion) {
         let mut g = c.benchmark_group("g");
         g.sample_size(2);
+        g.throughput(Throughput::Elements(100));
         g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
         g.bench_with_input(BenchmarkId::new("n", 5), &5u64, |b, &n| {
             b.iter(|| (0..n).product::<u64>())

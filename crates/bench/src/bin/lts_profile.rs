@@ -51,6 +51,8 @@ fn main() {
                 "dofs_sent",
                 "wall_s",
                 "elem_ops/s",
+                "λ_wm",
+                "windows",
             ]);
             if let Some(scenarios) = doc.get("scenarios").and_then(|s| s.as_arr()) {
                 for sc in scenarios {
@@ -60,6 +62,17 @@ fn main() {
                             .and_then(|v| v.as_u64())
                             .unwrap_or(0)
                     };
+                    // worst per-level λ watermark the stall monitor saw
+                    let lambda_wm = sc
+                        .get("stall")
+                        .and_then(|s| s.get("lambda_wm"))
+                        .and_then(|v| v.as_arr())
+                        .map(|arr| {
+                            arr.iter()
+                                .filter_map(|e| e.get("lambda_wm").and_then(|v| v.as_f64()))
+                                .fold(0.0f64, f64::max)
+                        })
+                        .unwrap_or(0.0);
                     table.row(vec![
                         sc.get("id")
                             .and_then(|v| v.as_str())
@@ -82,6 +95,8 @@ fn main() {
                                 .and_then(|v| v.as_f64())
                                 .unwrap_or(0.0)
                         ),
+                        format!("{lambda_wm:.2}"),
+                        get_u("stall", "windows").to_string(),
                     ]);
                 }
             }

@@ -260,6 +260,40 @@ pub fn run_scenario(sc: &Scenario) -> Json {
         ),
         ("lambda".to_string(), lambda),
         (
+            // Run-long stall-monitor summary: the per-level λ watermark (the
+            // worst imbalance any window saw, not just the final snapshot)
+            // and how many observation windows the monitor closed. Window
+            // counts are exchange-derived and deterministic; the watermark is
+            // timing-derived — the whole block sits outside "counters" so the
+            // exact-match gate never sees it.
+            "stall".to_string(),
+            Json::Obj(vec![
+                (
+                    "lambda_wm".to_string(),
+                    Json::Arr(
+                        (0..n_levels as u8)
+                            .map(|l| {
+                                let wm = stats
+                                    .iter()
+                                    .filter_map(|s| {
+                                        s.registry.gauge(names::STALL_LAMBDA_WM, Some(l))
+                                    })
+                                    .fold(0.0f64, f64::max);
+                                Json::Obj(vec![
+                                    ("level".to_string(), Json::UInt(l as u64)),
+                                    ("lambda_wm".to_string(), Json::Num(wm)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "windows".to_string(),
+                    Json::UInt(sum_counter(names::STALL_WINDOWS)),
+                ),
+            ]),
+        ),
+        (
             "timings".to_string(),
             Json::Obj(vec![
                 ("wall_s".to_string(), Json::Num(wall_s)),
@@ -589,6 +623,29 @@ mod tests {
         ids.sort();
         ids.dedup();
         assert_eq!(ids.len(), full.len(), "scenario ids must be unique");
+    }
+
+    #[test]
+    fn scenario_reports_stall_watermark_and_windows() {
+        let a = run_scenario(&tiny());
+        let stall = a.get("stall").expect("stall block");
+        let wm = stall.get("lambda_wm").and_then(|v| v.as_arr()).unwrap();
+        assert!(!wm.is_empty());
+        for e in wm {
+            assert!(e.get("level").and_then(|v| v.as_u64()).is_some());
+            let v = e.get("lambda_wm").and_then(|v| v.as_f64()).unwrap();
+            assert!(v.is_finite() && v >= 0.0);
+        }
+        // window count is exchange-derived: identical across reruns
+        let b = run_scenario(&tiny());
+        assert_eq!(
+            stall.get("windows").and_then(|v| v.as_u64()),
+            b.get("stall")
+                .unwrap()
+                .get("windows")
+                .and_then(|v| v.as_u64())
+        );
+        assert!(stall.get("windows").and_then(|v| v.as_u64()).unwrap() > 0);
     }
 
     #[test]

@@ -136,6 +136,40 @@ impl ChromeTrace {
         }
     }
 
+    /// Emit every histogram in a registry as a p50/p95/p99 counter track on
+    /// `(pid, tid)` — plain counters and gauges already get tracks through
+    /// the callers' counter samples; this gives distribution metrics (busy,
+    /// wait) the same visibility. One `"C"` event per histogram at `ts_us`,
+    /// named `"<name> q"` (level-suffixed for level-scoped keys) with three
+    /// series lines.
+    pub fn add_registry_histograms(
+        &mut self,
+        reg: &MetricsRegistry,
+        pid: u64,
+        tid: u64,
+        ts_us: f64,
+    ) {
+        for (key, metric) in reg.iter() {
+            let crate::registry::Metric::Histogram(h) = metric else {
+                continue;
+            };
+            if h.count == 0 {
+                continue;
+            }
+            let name = match key.level {
+                Some(l) => format!("{} q (level {l})", key.name),
+                None => format!("{} q", key.name),
+            };
+            self.counter(
+                pid,
+                tid,
+                &name,
+                ts_us,
+                &[("p50", h.p50()), ("p95", h.p95()), ("p99", h.p99())],
+            );
+        }
+    }
+
     /// The `trace_event` document.
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
@@ -270,6 +304,45 @@ mod tests {
         let no_dur = r#"{"traceEvents":[{"name":"x","ph":"X","ts":0,"pid":1,"tid":0}]}"#;
         assert!(validate_trace(no_dur).unwrap_err().contains("without dur"));
         assert!(validate_trace("[]").is_err());
+    }
+
+    /// Histogram quantiles become counter tracks, and the whole document —
+    /// slices + quantile counters — still round-trips `validate_trace`.
+    #[test]
+    fn histogram_quantiles_become_counter_tracks_and_round_trip() {
+        let mut reg = MetricsRegistry::new();
+        for v in [0.001, 0.002, 0.004, 0.100] {
+            reg.observe("busy", Some(1), v);
+        }
+        reg.observe("wait", None, 0.5);
+        reg.inc("not_a_histogram", 3); // counters must not produce q tracks
+        let mut t = ChromeTrace::new();
+        t.complete(2, 5, "busy", "level1", 0.0, 10.0, vec![]);
+        t.add_registry_histograms(&reg, 2, 5, 10.0);
+        let rendered = t.render();
+        let n = validate_trace(&rendered).expect("valid trace_event JSON");
+        assert_eq!(n, 3, "1 slice + 2 histogram counter events");
+        let doc = Json::parse(&rendered).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let busy_q = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("busy q (level 1)"))
+            .expect("level-scoped quantile track");
+        assert_eq!(busy_q.get("ph").unwrap().as_str(), Some("C"));
+        let args = busy_q.get("args").unwrap();
+        for q in ["p50", "p95", "p99"] {
+            let v = args.get(q).and_then(|v| v.as_f64()).expect(q);
+            assert!(v > 0.0, "{q} = {v}");
+        }
+        // p99 ≥ p50, and both clamped into the observed range
+        let p50 = args.get("p50").unwrap().as_f64().unwrap();
+        let p99 = args.get("p99").unwrap().as_f64().unwrap();
+        assert!(p99 >= p50);
+        assert!((0.001..=0.100).contains(&p50));
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(|n| n.as_str()) == Some("wait q")));
+        assert!(!rendered.contains("not_a_histogram q"));
     }
 
     #[test]

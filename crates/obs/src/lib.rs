@@ -20,6 +20,11 @@
 //!   runtime's per-rank timelines render into a file loadable in
 //!   `chrome://tracing`/Perfetto (pid = run, tid = rank, one category per
 //!   LTS level).
+//! * [`flight`] — the distributed flight recorder: fixed-capacity
+//!   allocation-free per-rank event rings with monotone send/recv sequence
+//!   numbers, a causal cross-rank merge (happens-before via matched seqs)
+//!   and a critical-path analyzer — the substrate of post-mortem crash
+//!   reports.
 //!
 //! The registry is deliberately *single-owner* (`&mut self` everywhere): the
 //! runtime gives each rank its own registry on its own thread and merges
@@ -30,10 +35,16 @@
 
 pub mod chrome;
 pub mod export;
+pub mod flight;
 pub mod registry;
 pub mod span;
 
 pub use chrome::{level_category, validate_trace, ChromeTrace};
 pub use export::{registry_to_csv, registry_to_json, Json};
+pub use flight::{
+    critical_path, flight_chrome_trace, merge_recordings, CriticalPath, EventKind, FlightEvent,
+    FlightRecorder, MergeError, MergedEvent, PathEdge, PathSegment, RankRecording, SegKind,
+    NO_LEVEL, NO_PEER,
+};
 pub use registry::{Histogram, Key, Metric, MetricsRegistry, HIST_BUCKETS};
 pub use span::{Span, TraceEvent};

@@ -24,9 +24,10 @@ pub type RunResult = Result<(Vec<f64>, Vec<f64>, Vec<RankStats>), RuntimeError>;
 use crate::exchange::{build_plans, RankPlan};
 use crate::monitor::{MonitorConfig, RankMonitor, StallMonitor};
 use crate::stats::{names, RankStats, TimelineEvent};
+use crate::transport::faulty::{self, FaultPlan};
 use crate::transport::{self, Recv, Transport, TransportError, TransportKind};
 use lts_core::{DofTopology, LtsSetup, Operator, Source, Workspace};
-use lts_obs::MetricsRegistry;
+use lts_obs::{EventKind, FlightRecorder, MetricsRegistry, RankRecording, NO_LEVEL, NO_PEER};
 use std::collections::VecDeque;
 use std::time::Instant;
 
@@ -54,6 +55,26 @@ pub struct DistributedConfig {
     pub threads_per_rank: usize,
     /// Which halo-exchange backend the in-process entry points build.
     pub transport: TransportKind,
+    /// Flight-recorder ring capacity per rank, in events. `0` disables
+    /// recording (seeded from the `LTS_FLIGHT` env var, default
+    /// [`FlightRecorder::DEFAULT_CAPACITY`]). The recorder is proven
+    /// bitwise-neutral: fields and deterministic counters are identical
+    /// with it on or off.
+    pub flight_capacity: usize,
+    /// Inject a transport fault on one rank: the in-process entry points
+    /// wrap that rank's endpoint in a
+    /// [`crate::transport::faulty::FaultyTransport`] with the given plan.
+    pub fault: Option<(usize, FaultPlan)>,
+}
+
+/// `LTS_FLIGHT` env override for the flight-recorder ring capacity: `0`
+/// disables it, any other integer sets the per-rank capacity in events.
+/// Unset or unparsable → the default.
+pub fn flight_capacity_from_env() -> usize {
+    match std::env::var("LTS_FLIGHT") {
+        Ok(v) => v.trim().parse().unwrap_or(FlightRecorder::DEFAULT_CAPACITY),
+        Err(_) => FlightRecorder::DEFAULT_CAPACITY,
+    }
 }
 
 impl DistributedConfig {
@@ -67,6 +88,8 @@ impl DistributedConfig {
             stall_monitor: None,
             threads_per_rank: 1,
             transport: TransportKind::Channel,
+            flight_capacity: flight_capacity_from_env(),
+            fault: None,
         }
     }
 }
@@ -97,8 +120,14 @@ struct RankCtx<'a, O: Operator> {
     /// Peers whose goodbye has been observed.
     gone: Vec<bool>,
     /// Messages that arrived while awaiting a different peer: `(level tag,
-    /// payload)`, per sender, consumed FIFO.
-    inbox: Vec<VecDeque<(u8, Vec<f64>)>>,
+    /// send seq, payload)`, per sender, consumed FIFO.
+    inbox: Vec<VecDeque<(u8, u64, Vec<f64>)>>,
+    /// Next per-directed-edge send sequence number, per peer. Monotone for
+    /// the life of the rank — the happens-before substrate of the flight
+    /// recorder's causal merge.
+    send_seq: Vec<u64>,
+    /// The always-on (unless capacity 0) event ring; allocation-free.
+    flight: FlightRecorder,
     /// Reused payload staging for sends (the hot path never allocates).
     send_buf: Vec<f64>,
     /// Reused per-exchange receive slots, assembly cursors, buffer pool.
@@ -148,6 +177,22 @@ fn recv_error(rank: usize, level: usize, e: TransportError) -> RuntimeError {
             level,
             detail: e.to_string(),
         },
+    }
+}
+
+/// `(level, peer)` context of a failure, stamped into the flight recorder's
+/// terminal `fault` event.
+#[cold]
+fn fault_context(e: &RuntimeError) -> (u8, u32) {
+    match e {
+        RuntimeError::PeerDisconnected { peer, level, .. }
+        | RuntimeError::NotAPeer { peer, level, .. }
+        | RuntimeError::BadPayload { peer, level, .. } => (*level as u8, *peer as u32),
+        RuntimeError::ChannelClosed { level, .. }
+        | RuntimeError::ExchangeTimeout { level, .. }
+        | RuntimeError::FaultInjected { level, .. }
+        | RuntimeError::TransportIo { level, .. } => (*level as u8, NO_PEER),
+        RuntimeError::RankPanicked { .. } | RuntimeError::MissingRank { .. } => (NO_LEVEL, NO_PEER),
     }
 }
 
@@ -205,6 +250,8 @@ impl<'a, O: Operator> RankCtx<'a, O> {
     /// interior elements compute) or after them. The per-DOF summation
     /// order — and therefore every field bit — is identical either way.
     fn force_level(&mut self, l: usize, state_is_u: bool) -> Result<(), RuntimeError> {
+        self.flight
+            .record(EventKind::LevelBegin, l as u8, self.step_idx, NO_PEER, 0);
         // zero my entries
         for &i in &self.plan.my_zero[l] {
             self.fs[l][i as usize] = 0.0;
@@ -247,6 +294,8 @@ impl<'a, O: Operator> RankCtx<'a, O> {
             }
             self.recv_and_assemble(l)?;
         }
+        self.flight
+            .record(EventKind::LevelEnd, l as u8, self.step_idx, NO_PEER, 0);
         Ok(())
     }
 
@@ -265,9 +314,13 @@ impl<'a, O: Operator> RankCtx<'a, O> {
                 self.send_buf.push(self.fs[l][d as usize]);
             }
             dofs_sent += self.send_buf.len() as u64;
-            if let Err(e) = self.transport.send(peer, l as u8, &self.send_buf) {
+            let seq = self.send_seq[peer];
+            if let Err(e) = self.transport.send(peer, l as u8, seq, &self.send_buf) {
                 return Err(send_error(self.rank, peer, l, e));
             }
+            self.send_seq[peer] = seq + 1;
+            self.flight
+                .record(EventKind::Send, l as u8, self.step_idx, peer as u32, seq);
         }
         if let Err(e) = self.transport.flush() {
             return Err(recv_error(self.rank, l, e));
@@ -288,6 +341,8 @@ impl<'a, O: Operator> RankCtx<'a, O> {
     fn recv_and_assemble(&mut self, l: usize) -> Result<(), RuntimeError> {
         let busy_s = self.busy_since.elapsed().as_secs_f64();
         self.reg.observe(names::BUSY, Some(l as u8), busy_s);
+        self.flight
+            .record(EventKind::ExchangeBegin, l as u8, self.step_idx, NO_PEER, 0);
         let wait_start = Instant::now();
         let np = self.plan.peers[l].len();
         // opportunistic drain: claim everything the transport has already
@@ -298,11 +353,13 @@ impl<'a, O: Operator> RankCtx<'a, O> {
         loop {
             let mut buf = self.pool.pop().unwrap_or_default();
             match self.transport.try_recv_into(&mut buf) {
-                Ok(Some(Recv::Msg { from, level })) => {
+                Ok(Some(Recv::Msg { from, level, seq })) => {
                     if from >= self.inbox.len() {
                         return Err(not_a_peer(self.rank, from, l));
                     }
-                    self.inbox[from].push_back((level, buf));
+                    self.flight
+                        .record(EventKind::Recv, level, self.step_idx, from as u32, seq);
+                    self.inbox[from].push_back((level, seq, buf));
                 }
                 Ok(Some(Recv::Goodbye { from })) => {
                     self.pool.push(buf);
@@ -322,7 +379,7 @@ impl<'a, O: Operator> RankCtx<'a, O> {
         let mut ready = 0u64;
         for pi in 0..np {
             let peer = self.plan.peers[l][pi];
-            if let Some((tag, m)) = self.inbox[peer].pop_front() {
+            if let Some((tag, _seq, m)) = self.inbox[peer].pop_front() {
                 if tag as usize != l {
                     return Err(bad_payload(self.rank, peer, l));
                 }
@@ -338,7 +395,9 @@ impl<'a, O: Operator> RankCtx<'a, O> {
         while missing > 0 {
             let mut buf = self.pool.pop().unwrap_or_default();
             match self.transport.recv_into(&mut buf) {
-                Ok(Recv::Msg { from, level }) => {
+                Ok(Recv::Msg { from, level, seq }) => {
+                    self.flight
+                        .record(EventKind::Recv, level, self.step_idx, from as u32, seq);
                     let slot = self.plan.peers[l].iter().position(|&p| p == from);
                     match slot {
                         Some(pi) if self.pending[pi].is_none() => {
@@ -352,7 +411,7 @@ impl<'a, O: Operator> RankCtx<'a, O> {
                             if from >= self.inbox.len() {
                                 return Err(not_a_peer(self.rank, from, l));
                             }
-                            self.inbox[from].push_back((level, buf));
+                            self.inbox[from].push_back((level, seq, buf));
                         }
                     }
                 }
@@ -386,13 +445,18 @@ impl<'a, O: Operator> RankCtx<'a, O> {
             }
         }
         let wait_s = wait_start.elapsed().as_secs_f64();
+        self.flight
+            .record(EventKind::ExchangeEnd, l as u8, self.step_idx, NO_PEER, 0);
         self.reg.observe(names::WAIT, Some(l as u8), wait_s);
         self.reg.inc_level(names::EXCHANGES, l as u8, 1);
         if ready > 0 {
             self.reg.inc_level(names::EXCHANGE_READY, l as u8, ready);
         }
         if let Some(m) = self.monitor.as_mut() {
-            m.on_exchange(&mut self.reg, l as u8, busy_s, wait_s);
+            if m.on_exchange(&mut self.reg, l as u8, busy_s, wait_s) {
+                self.flight
+                    .record(EventKind::StallWarning, l as u8, self.step_idx, NO_PEER, 0);
+            }
         }
         if self.cfg.record_timeline {
             self.timeline.push(TimelineEvent {
@@ -528,6 +592,8 @@ impl<'a, O: Operator> RankCtx<'a, O> {
     }
 
     fn step(&mut self, t: f64) -> Result<(), RuntimeError> {
+        self.flight
+            .record(EventKind::StepBegin, NO_LEVEL, self.step_idx, NO_PEER, 0);
         let levels = self.n_levels;
         let dt = self.dt;
         self.force_level(0, true)?;
@@ -564,6 +630,8 @@ impl<'a, O: Operator> RankCtx<'a, O> {
                 self.u[i] += dt * self.v[i];
             }
         }
+        self.flight
+            .record(EventKind::StepEnd, NO_LEVEL, self.step_idx, NO_PEER, 0);
         self.step_idx += 1;
         Ok(())
     }
@@ -573,12 +641,19 @@ impl<'a, O: Operator> RankCtx<'a, O> {
 /// (labelled by backend) and close the endpoint so peers observe a clean
 /// goodbye. On error the context drops, which closes the endpoint too —
 /// that drop is what propagates the failure cascade.
-fn run_rank_loop<O: Operator>(mut ctx: RankCtx<'_, O>, n_steps: usize) -> RankRun {
+fn run_rank_loop<O: Operator>(mut ctx: RankCtx<'_, O>, n_steps: usize) -> (RankRun, RankRecording) {
     ctx.precompile();
     ctx.busy_since = Instant::now();
     let dt = ctx.dt;
     for step in 0..n_steps {
-        ctx.step(step as f64 * dt)?;
+        if let Err(e) = ctx.step(step as f64 * dt) {
+            // terminal fault event, then freeze the ring for the post-mortem
+            let (level, peer) = fault_context(&e);
+            ctx.flight
+                .record(EventKind::Fault, level, ctx.step_idx, peer, 0);
+            let rec = ctx.flight.snapshot(ctx.rank as u32);
+            return (Err(e), rec);
+        }
     }
     // busy tail after the last exchange, recorded level-less
     ctx.reg
@@ -596,11 +671,31 @@ fn run_rank_loop<O: Operator>(mut ctx: RankCtx<'_, O>, n_steps: usize) -> RankRu
         .set_gauge_labeled(names::TRANSPORT_BYTES, backend, tm.bytes_sent as f64);
     ctx.transport.close();
     let rank = ctx.rank;
-    Ok((
-        ctx.u,
-        ctx.v,
-        RankStats::from_registry(rank, ctx.reg, ctx.timeline),
-    ))
+    let rec = ctx.flight.snapshot(rank as u32);
+    (
+        Ok((
+            ctx.u,
+            ctx.v,
+            RankStats::from_registry(rank, ctx.reg, ctx.timeline),
+        )),
+        rec,
+    )
+}
+
+/// Apply `cfg.fault` to a freshly built (or caller-provided) set of
+/// endpoints: the configured rank's endpoint gets the faulty wrapper.
+fn apply_fault_plan(
+    endpoints: Vec<Box<dyn Transport>>,
+    fault: Option<(usize, FaultPlan)>,
+) -> Vec<Box<dyn Transport>> {
+    endpoints
+        .into_iter()
+        .enumerate()
+        .map(|(r, ep)| match fault {
+            Some((fr, plan)) if fr == r => faulty::wrap(ep, plan),
+            _ => ep,
+        })
+        .collect()
 }
 
 /// Stamp the monitor's final per-level Eq. 21 λ (and its run-long watermark)
@@ -655,7 +750,7 @@ pub fn run_distributed_with_sources<O: Operator + DofTopology + Sync>(
 ) -> RunResult {
     let n_ranks = cfg.n_ranks;
     let endpoints = transport::make_cluster(cfg.transport, n_ranks);
-    let (outcomes, plans) = run_endpoints_with_plans(
+    let (outcomes, plans, _recordings) = run_endpoints_with_plans(
         op, setup, partition, dt, u0, v0, n_steps, cfg, sources, endpoints,
     );
     // lowest failed rank wins, matching the pre-transport behaviour
@@ -712,6 +807,29 @@ pub fn run_distributed_endpoints<O: Operator + DofTopology + Sync>(
     .0
 }
 
+/// [`run_distributed_endpoints`] plus each rank's flight recording — the
+/// post-mortem path: recordings come back on success *and* failure, so an
+/// injected fault still yields the material for a causally merged crash
+/// report.
+#[allow(clippy::too_many_arguments)]
+pub fn run_distributed_endpoints_recorded<O: Operator + DofTopology + Sync>(
+    op: &O,
+    setup: &LtsSetup,
+    partition: &[u32],
+    dt: f64,
+    u0: &[f64],
+    v0: &[f64],
+    n_steps: usize,
+    cfg: &DistributedConfig,
+    sources: &[Source],
+    endpoints: Vec<Box<dyn Transport>>,
+) -> (Vec<RankRun>, Vec<RankRecording>) {
+    let (outcomes, _plans, recordings) = run_endpoints_with_plans(
+        op, setup, partition, dt, u0, v0, n_steps, cfg, sources, endpoints,
+    );
+    (outcomes, recordings)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_endpoints_with_plans<O: Operator + DofTopology + Sync>(
     op: &O,
@@ -724,7 +842,8 @@ fn run_endpoints_with_plans<O: Operator + DofTopology + Sync>(
     cfg: &DistributedConfig,
     sources: &[Source],
     endpoints: Vec<Box<dyn Transport>>,
-) -> (Vec<RankRun>, Vec<RankPlan>) {
+) -> (Vec<RankRun>, Vec<RankPlan>, Vec<RankRecording>) {
+    let endpoints = apply_fault_plan(endpoints, cfg.fault);
     let n_ranks = endpoints.len();
     let plans = build_plans(op, setup, partition, n_ranks);
     let ndof = Operator::ndof(op);
@@ -732,73 +851,90 @@ fn run_endpoints_with_plans<O: Operator + DofTopology + Sync>(
     let monitor = cfg
         .stall_monitor
         .map(|mc| StallMonitor::new(mc, n_ranks, setup.n_levels));
+    // one epoch across the rank group, so the recordings share a time axis
+    let epoch = Instant::now();
 
-    let mut outcomes: Vec<RankRun> = std::thread::scope(|scope| {
-        let mut handles: Vec<std::thread::ScopedJoinHandle<RankRun>> = Vec::new();
-        for (rank, transport) in endpoints.into_iter().enumerate() {
-            let plan = &plans[rank];
-            let cfg = *cfg;
-            let mon = monitor.clone();
-            handles.push(scope.spawn(move || {
-                let levels = setup.n_levels;
-                let mut my_sources: Vec<Vec<(usize, u32)>> = vec![Vec::new(); levels];
-                for (si, src) in sources.iter().enumerate() {
-                    let d = src.dof;
-                    if plan.my_dofs.binary_search(&d).is_ok() {
-                        my_sources[setup.leaf_level[d as usize] as usize].push((si, d));
+    type Joined = (RankRun, RankRecording);
+    let (mut outcomes, recordings): (Vec<RankRun>, Vec<RankRecording>) =
+        std::thread::scope(|scope| {
+            let mut handles: Vec<std::thread::ScopedJoinHandle<Joined>> = Vec::new();
+            for (rank, transport) in endpoints.into_iter().enumerate() {
+                let plan = &plans[rank];
+                let cfg = *cfg;
+                let mon = monitor.clone();
+                handles.push(scope.spawn(move || {
+                    let levels = setup.n_levels;
+                    let mut my_sources: Vec<Vec<(usize, u32)>> = vec![Vec::new(); levels];
+                    for (si, src) in sources.iter().enumerate() {
+                        let d = src.dof;
+                        if plan.my_dofs.binary_search(&d).is_ok() {
+                            my_sources[setup.leaf_level[d as usize] as usize].push((si, d));
+                        }
+                    }
+                    let ctx = RankCtx {
+                        rank,
+                        op,
+                        n_levels: levels,
+                        dof_level: &setup.dof_level,
+                        plan,
+                        sources,
+                        my_sources,
+                        dt,
+                        u: u0.to_vec(),
+                        v: v0.to_vec(),
+                        uts: vec![vec![0.0; ndof]; levels],
+                        vts: vec![vec![0.0; ndof]; levels],
+                        fs: vec![vec![0.0; ndof]; levels],
+                        transport,
+                        gone: vec![false; n_ranks],
+                        inbox: vec![VecDeque::new(); n_ranks],
+                        send_seq: vec![0; n_ranks],
+                        flight: FlightRecorder::with_epoch(cfg.flight_capacity, epoch),
+                        send_buf: Vec::new(),
+                        pending: Vec::new(),
+                        cursors: Vec::new(),
+                        pool: Vec::new(),
+                        reg: MetricsRegistry::new(),
+                        timeline: Vec::new(),
+                        monitor: mon.map(|s| RankMonitor::new(s, rank)),
+                        cfg,
+                        ws: Workspace::new(),
+                        step_idx: 0,
+                        busy_since: Instant::now(),
+                    };
+                    run_rank_loop(ctx, n_steps)
+                }));
+            }
+            // join everyone before propagating: a failed rank's endpoint
+            // closes, which unblocks any peer still waiting in recv
+            // (goodbye cascade)
+            let mut runs = Vec::with_capacity(n_ranks);
+            let mut recs = Vec::with_capacity(n_ranks);
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok((run, rec)) => {
+                        runs.push(run);
+                        recs.push(rec);
+                    }
+                    Err(_) => {
+                        runs.push(Err(RuntimeError::RankPanicked { rank }));
+                        recs.push(RankRecording {
+                            rank: rank as u32,
+                            dropped: 0,
+                            events: Vec::new(),
+                        });
                     }
                 }
-                let ctx = RankCtx {
-                    rank,
-                    op,
-                    n_levels: levels,
-                    dof_level: &setup.dof_level,
-                    plan,
-                    sources,
-                    my_sources,
-                    dt,
-                    u: u0.to_vec(),
-                    v: v0.to_vec(),
-                    uts: vec![vec![0.0; ndof]; levels],
-                    vts: vec![vec![0.0; ndof]; levels],
-                    fs: vec![vec![0.0; ndof]; levels],
-                    transport,
-                    gone: vec![false; n_ranks],
-                    inbox: vec![VecDeque::new(); n_ranks],
-                    send_buf: Vec::new(),
-                    pending: Vec::new(),
-                    cursors: Vec::new(),
-                    pool: Vec::new(),
-                    reg: MetricsRegistry::new(),
-                    timeline: Vec::new(),
-                    monitor: mon.map(|s| RankMonitor::new(s, rank)),
-                    cfg,
-                    ws: Workspace::new(),
-                    step_idx: 0,
-                    busy_since: Instant::now(),
-                };
-                run_rank_loop(ctx, n_steps)
-            }));
-        }
-        // join everyone before propagating: a failed rank's endpoint closes,
-        // which unblocks any peer still waiting in recv (goodbye cascade)
-        handles
-            .into_iter()
-            .enumerate()
-            .map(|(rank, h)| {
-                h.join()
-                    .map_err(|_| RuntimeError::RankPanicked { rank })
-                    .and_then(|r| r)
-            })
-            .collect()
-    });
+            }
+            (runs, recs)
+        });
     stamp_lambda_gauges(
         monitor.as_deref(),
         outcomes
             .iter_mut()
             .filter_map(|o| o.as_mut().ok().map(|(_, _, st)| &mut st.registry)),
     );
-    (outcomes, plans)
+    (outcomes, plans, recordings)
 }
 
 /// Run ONE rank of a globally-replicated distributed run on an
@@ -824,6 +960,32 @@ pub fn run_rank_endpoint<O: Operator>(
     sources: &[Source],
     transport: Box<dyn Transport>,
 ) -> RankRun {
+    run_rank_endpoint_recorded(
+        op, setup, plan, rank, dt, u0, v0, n_steps, cfg, sources, transport,
+    )
+    .0
+}
+
+/// [`run_rank_endpoint`] plus this rank's flight recording, returned on
+/// success *and* failure — what `wave-lts worker` ships back to the
+/// coordinator as a [`crate::transport::codec::Frame::Flight`] so
+/// multi-process post-mortems causally align with in-process ones. The
+/// recorder gets its own epoch here (one per OS process); the causal merge
+/// never compares raw timestamps across ranks.
+#[allow(clippy::too_many_arguments)]
+pub fn run_rank_endpoint_recorded<O: Operator>(
+    op: &O,
+    setup: &LtsSetup,
+    plan: &RankPlan,
+    rank: usize,
+    dt: f64,
+    u0: &[f64],
+    v0: &[f64],
+    n_steps: usize,
+    cfg: &DistributedConfig,
+    sources: &[Source],
+    transport: Box<dyn Transport>,
+) -> (RankRun, RankRecording) {
     let n_ranks = transport.n_ranks();
     let ndof = u0.len();
     let levels = setup.n_levels;
@@ -850,6 +1012,8 @@ pub fn run_rank_endpoint<O: Operator>(
         transport,
         gone: vec![false; n_ranks],
         inbox: vec![VecDeque::new(); n_ranks],
+        send_seq: vec![0; n_ranks],
+        flight: FlightRecorder::new(cfg.flight_capacity),
         send_buf: Vec::new(),
         pending: Vec::new(),
         cursors: Vec::new(),
@@ -892,14 +1056,44 @@ pub fn run_rank_contexts<O: Operator + Send>(
     cfg: &DistributedConfig,
     sources: &[Source],
 ) -> Result<(Vec<RankResult>, Vec<RankStats>), RuntimeError> {
+    let (outcomes, _recordings) = run_rank_contexts_recorded(ranks, dt, n_steps, cfg, sources);
+    let mut flat_results: Vec<RankResult> = Vec::with_capacity(outcomes.len());
+    let mut flat_stats: Vec<RankStats> = Vec::with_capacity(outcomes.len());
+    // lowest failed rank wins, matching the pre-recorder behaviour
+    for o in outcomes {
+        let (res, st) = o?;
+        flat_results.push(res);
+        flat_stats.push(st);
+    }
+    Ok((flat_results, flat_stats))
+}
+
+/// One rank's outcome from [`run_rank_contexts_recorded`].
+pub type RankContextRun = Result<(RankResult, RankStats), RuntimeError>;
+
+/// [`run_rank_contexts`] returning **each rank's own outcome** plus its
+/// flight recording — on failure the recordings are exactly the material a
+/// crash report needs, and the λ gauges are already stamped into every
+/// surviving rank's registry.
+pub fn run_rank_contexts_recorded<O: Operator + Send>(
+    ranks: Vec<LocalRank<O>>,
+    dt: f64,
+    n_steps: usize,
+    cfg: &DistributedConfig,
+    sources: &[Source],
+) -> (Vec<RankContextRun>, Vec<RankRecording>) {
     let n_ranks = ranks.len();
     let monitor = cfg.stall_monitor.map(|mc| {
         let n_levels = ranks.first().map_or(1, |r| r.n_levels);
         StallMonitor::new(mc, n_ranks, n_levels)
     });
-    let endpoints = transport::make_cluster(cfg.transport, n_ranks);
-    type Joined = Result<(Vec<f64>, Vec<f64>, Vec<u32>, RankStats), RuntimeError>;
-    let outcome: Result<Vec<_>, RuntimeError> = std::thread::scope(|scope| {
+    let endpoints = apply_fault_plan(transport::make_cluster(cfg.transport, n_ranks), cfg.fault);
+    let epoch = Instant::now();
+    type Joined = (
+        Result<(Vec<f64>, Vec<f64>, Vec<u32>, RankStats), RuntimeError>,
+        RankRecording,
+    );
+    let (mut outcomes, recordings): (Vec<_>, Vec<RankRecording>) = std::thread::scope(|scope| {
         let mut handles: Vec<std::thread::ScopedJoinHandle<Joined>> = Vec::new();
         for ((rank, world), transport) in ranks.into_iter().enumerate().zip(endpoints) {
             let cfg = *cfg;
@@ -934,6 +1128,8 @@ pub fn run_rank_contexts<O: Operator + Send>(
                     transport,
                     gone: vec![false; n_ranks],
                     inbox: vec![VecDeque::new(); n_ranks],
+                    send_seq: vec![0; n_ranks],
+                    flight: FlightRecorder::with_epoch(cfg.flight_capacity, epoch),
                     send_buf: Vec::new(),
                     pending: Vec::new(),
                     cursors: Vec::new(),
@@ -946,31 +1142,41 @@ pub fn run_rank_contexts<O: Operator + Send>(
                     step_idx: 0,
                     busy_since: Instant::now(),
                 };
-                run_rank_loop(ctx, n_steps).map(|(u, v, st)| (u, v, global_of_local, st))
+                let (run, rec) = run_rank_loop(ctx, n_steps);
+                (run.map(|(u, v, st)| (u, v, global_of_local, st)), rec)
             }));
         }
-        handles
-            .into_iter()
-            .enumerate()
-            .map(|(rank, h)| {
-                h.join()
-                    .map_err(|_| RuntimeError::RankPanicked { rank })
-                    .and_then(|r| r)
-            })
-            .collect()
+        let mut runs = Vec::with_capacity(n_ranks);
+        let mut recs = Vec::with_capacity(n_ranks);
+        for (rank, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok((run, rec)) => {
+                    runs.push(run);
+                    recs.push(rec);
+                }
+                Err(_) => {
+                    runs.push(Err(RuntimeError::RankPanicked { rank }));
+                    recs.push(RankRecording {
+                        rank: rank as u32,
+                        dropped: 0,
+                        events: Vec::new(),
+                    });
+                }
+            }
+        }
+        (runs, recs)
     });
-    let outcome = outcome?;
-    let mut flat_results: Vec<RankResult> = Vec::with_capacity(n_ranks);
-    let mut flat_stats: Vec<RankStats> = Vec::with_capacity(n_ranks);
-    for (u, v, map, st) in outcome {
-        flat_results.push((u, v, map));
-        flat_stats.push(st);
-    }
     stamp_lambda_gauges(
         monitor.as_deref(),
-        flat_stats.iter_mut().map(|s| &mut s.registry),
+        outcomes
+            .iter_mut()
+            .filter_map(|o| o.as_mut().ok().map(|(_, _, _, st)| &mut st.registry)),
     );
-    Ok((flat_results, flat_stats))
+    let outcomes = outcomes
+        .into_iter()
+        .map(|o| o.map(|(u, v, map, st)| ((u, v, map), st)))
+        .collect();
+    (outcomes, recordings)
 }
 
 #[cfg(test)]
@@ -1261,6 +1467,99 @@ mod tests {
             .gauge(names::STALL_WAIT_FRAC_WM, Some(0))
             .expect("wait-fraction watermark recorded");
         assert!(wf >= 0.5, "windowed wait fraction {wf} below threshold");
+    }
+
+    /// The tentpole's neutrality contract: recorder on vs. off must produce
+    /// bitwise-identical fields and exactly identical deterministic
+    /// counters — recording is observation, never perturbation.
+    #[test]
+    fn recorder_on_off_is_bitwise_neutral() {
+        let mut vel = vec![1.0; 24];
+        for (i, vx) in vel.iter_mut().enumerate() {
+            if i >= 20 {
+                *vx = 4.0;
+            } else if i >= 17 {
+                *vx = 2.0;
+            }
+        }
+        let c = Chain1d::with_velocities(vel, 1.0);
+        let (lv, dt) = c.assign_levels(0.5, 3);
+        let setup = LtsSetup::new(&c, &lv);
+        let u0 = gaussian(25);
+        let part: Vec<u32> = (0..24).map(|e| (e / 6) as u32).collect();
+        let on = DistributedConfig {
+            flight_capacity: 512,
+            ..DistributedConfig::new(4)
+        };
+        let off = DistributedConfig {
+            flight_capacity: 0,
+            ..on
+        };
+        let (u1, v1, s1) =
+            run_distributed(&c, &setup, &part, dt, &u0, &[0.0; 25], 20, &on).unwrap();
+        let (u0r, v0r, s0) =
+            run_distributed(&c, &setup, &part, dt, &u0, &[0.0; 25], 20, &off).unwrap();
+        for i in 0..25 {
+            assert_eq!(u1[i].to_bits(), u0r[i].to_bits(), "u[{i}]");
+            assert_eq!(v1[i].to_bits(), v0r[i].to_bits(), "v[{i}]");
+        }
+        for (a, b) in s1.iter().zip(&s0) {
+            assert_eq!(a.elem_ops, b.elem_ops);
+            assert_eq!(a.n_exchanges, b.n_exchanges);
+            assert_eq!(a.msgs_sent, b.msgs_sent);
+            assert_eq!(a.dofs_sent, b.dofs_sent);
+        }
+    }
+
+    /// A configured fault yields errors *and* recordings on every rank, and
+    /// the recordings merge into a causally valid order with the victim's
+    /// terminal fault event present.
+    #[test]
+    fn config_fault_produces_mergeable_recordings() {
+        use crate::transport::faulty::FaultPlan;
+        use lts_obs::merge_recordings;
+        let mut vel = vec![1.0; 12];
+        for v in vel.iter_mut().skip(8) {
+            *v = 2.0;
+        }
+        let c = Chain1d::with_velocities(vel, 1.0);
+        let (lv, dt) = c.assign_levels(0.5, 2);
+        let setup = LtsSetup::new(&c, &lv);
+        let u0 = gaussian(13);
+        let part: Vec<u32> = (0..12).map(|e| (e % 3) as u32).collect();
+        let cfg = DistributedConfig {
+            flight_capacity: 1024,
+            fault: Some((
+                1,
+                FaultPlan {
+                    die_on_send_at_level: Some(1),
+                    ..FaultPlan::default()
+                },
+            )),
+            ..DistributedConfig::new(3)
+        };
+        let endpoints = transport::make_cluster(cfg.transport, 3);
+        let (outcomes, recs) = run_distributed_endpoints_recorded(
+            &c,
+            &setup,
+            &part,
+            dt,
+            &u0,
+            &[0.0; 13],
+            15,
+            &cfg,
+            &[],
+            endpoints,
+        );
+        for (rank, o) in outcomes.iter().enumerate() {
+            assert!(o.is_err(), "rank {rank} should fail after the cascade");
+        }
+        assert_eq!(recs.len(), 3);
+        assert!(recs
+            .iter()
+            .any(|r| r.events.iter().any(|e| e.kind == EventKind::Fault)));
+        let merged = merge_recordings(&recs).expect("faulted recordings still merge");
+        assert!(!merged.is_empty());
     }
 
     /// Transport accounting rides along as backend-labelled gauges.

@@ -20,23 +20,28 @@ pub mod error;
 pub mod exchange;
 pub mod local;
 pub mod monitor;
+pub mod postmortem;
 #[cfg(unix)]
 pub mod process;
 pub mod stats;
 pub mod transport;
 
 pub use distributed::{
-    run_distributed, run_distributed_endpoints, run_distributed_with_sources, run_rank_endpoint,
-    DistributedConfig, RankRun,
+    flight_capacity_from_env, run_distributed, run_distributed_endpoints,
+    run_distributed_endpoints_recorded, run_distributed_with_sources, run_rank_endpoint,
+    run_rank_endpoint_recorded, DistributedConfig, RankRun,
 };
 pub use error::RuntimeError;
 pub use local::{
-    run_distributed_local_acoustic, run_distributed_local_acoustic_observed,
-    run_distributed_local_elastic, run_distributed_local_elastic_observed,
+    run_distributed_local_acoustic, run_distributed_local_acoustic_flight,
+    run_distributed_local_acoustic_observed, run_distributed_local_elastic,
+    run_distributed_local_elastic_flight, run_distributed_local_elastic_observed,
 };
 pub use monitor::{eq21_lambda, MonitorConfig, StallMonitor, StallWarning};
+pub use postmortem::CrashReport;
 pub use stats::{
     ascii_timeline, chrome_trace, lambda_from_stats, profile_json, LevelStats, RankStats,
     TimelineEvent,
 };
+pub use transport::faulty::FaultPlan;
 pub use transport::{Transport, TransportError, TransportKind};

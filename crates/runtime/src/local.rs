@@ -9,12 +9,16 @@
 //! serial stepper.
 
 use crate::distributed::RunResult;
-use crate::distributed::{run_rank_contexts, DistributedConfig, LocalRank};
+use crate::distributed::{
+    run_rank_contexts_recorded, DistributedConfig, LocalRank, RankContextRun, RankResult,
+};
 use crate::exchange::build_plans;
 use crate::exchange::RankPlan;
+use crate::stats::RankStats;
+use crate::RuntimeError;
 use lts_core::{LtsSetup, Operator, Source};
 use lts_mesh::{HexMesh, Levels};
-use lts_obs::MetricsRegistry;
+use lts_obs::{MetricsRegistry, RankRecording};
 use lts_sem::{AcousticOperator, ElasticOperator, UnstructuredAcoustic, UnstructuredElastic};
 
 /// Run partitioned LTS with per-rank local memory on the acoustic SEM.
@@ -59,6 +63,31 @@ pub fn run_distributed_local_acoustic_observed(
     sources: &[Source],
     host: &mut MetricsRegistry,
 ) -> RunResult {
+    run_distributed_local_acoustic_flight(
+        mesh, levels, order, partition, dt, u0, v0, n_steps, cfg, sources, host,
+    )
+    .0
+}
+
+/// [`run_distributed_local_acoustic_observed`] that additionally returns
+/// every rank's drained flight-recorder ring. Recordings come back on the
+/// `Err` side too — that is the whole point: they are the crash-report
+/// material when a rank dies mid-run (the error is the lowest failed
+/// rank's, matching the non-flight variants).
+#[allow(clippy::too_many_arguments)]
+pub fn run_distributed_local_acoustic_flight(
+    mesh: &HexMesh,
+    levels: &Levels,
+    order: usize,
+    partition: &[u32],
+    dt: f64,
+    u0: &[f64],
+    v0: &[f64],
+    n_steps: usize,
+    cfg: &DistributedConfig,
+    sources: &[Source],
+    host: &mut MetricsRegistry,
+) -> (RunResult, Vec<RankRecording>) {
     let n_ranks = cfg.n_ranks;
     // global discretization (mass + level sets), as the decomposer computes
     let discretize = host.start_span("decompose.discretize", None);
@@ -181,8 +210,12 @@ pub fn run_distributed_local_acoustic_observed(
     drop(worlds_span);
 
     let run_span = host.start_span("run.steps", None);
-    let (results, stats) = run_rank_contexts(ranks, dt, n_steps, cfg, sources)?;
+    let (outcomes, recordings) = run_rank_contexts_recorded(ranks, dt, n_steps, cfg, sources);
     drop(run_span);
+    let (results, stats) = match split_outcomes(outcomes) {
+        Ok(pair) => pair,
+        Err(e) => return (Err(e), recordings),
+    };
     for s in &stats {
         host.merge_from(&s.registry);
     }
@@ -204,7 +237,22 @@ pub fn run_distributed_local_acoustic_observed(
             }
         }
     }
-    Ok((u, v, stats))
+    (Ok((u, v, stats)), recordings)
+}
+
+/// Flatten per-rank outcomes: all `Ok` → `(results, stats)`, otherwise the
+/// lowest failed rank's error (ID order — deterministic across runs).
+fn split_outcomes(
+    outcomes: Vec<RankContextRun>,
+) -> Result<(Vec<RankResult>, Vec<RankStats>), RuntimeError> {
+    let mut results = Vec::with_capacity(outcomes.len());
+    let mut stats = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        let (res, st) = o?;
+        results.push(res);
+        stats.push(st);
+    }
+    Ok((results, stats))
 }
 
 /// [`run_distributed_local_acoustic`] for the elastic operator: local node
@@ -244,6 +292,28 @@ pub fn run_distributed_local_elastic_observed(
     sources: &[Source],
     host: &mut MetricsRegistry,
 ) -> RunResult {
+    run_distributed_local_elastic_flight(
+        mesh, levels, order, partition, dt, u0, v0, n_steps, cfg, sources, host,
+    )
+    .0
+}
+
+/// [`run_distributed_local_elastic_observed`] returning the flight-recorder
+/// rings alongside the result (see the acoustic flight variant).
+#[allow(clippy::too_many_arguments)]
+pub fn run_distributed_local_elastic_flight(
+    mesh: &HexMesh,
+    levels: &Levels,
+    order: usize,
+    partition: &[u32],
+    dt: f64,
+    u0: &[f64],
+    v0: &[f64],
+    n_steps: usize,
+    cfg: &DistributedConfig,
+    sources: &[Source],
+    host: &mut MetricsRegistry,
+) -> (RunResult, Vec<RankRecording>) {
     let n_ranks = cfg.n_ranks;
     let discretize = host.start_span("decompose.discretize", None);
     let global_op = ElasticOperator::poisson(mesh, order);
@@ -376,8 +446,12 @@ pub fn run_distributed_local_elastic_observed(
     drop(worlds_span);
 
     let run_span = host.start_span("run.steps", None);
-    let (results, stats) = run_rank_contexts(ranks, dt, n_steps, cfg, sources)?;
+    let (outcomes, recordings) = run_rank_contexts_recorded(ranks, dt, n_steps, cfg, sources);
     drop(run_span);
+    let (results, stats) = match split_outcomes(outcomes) {
+        Ok(pair) => pair,
+        Err(e) => return (Err(e), recordings),
+    };
     for s in &stats {
         host.merge_from(&s.registry);
     }
@@ -398,7 +472,7 @@ pub fn run_distributed_local_elastic_observed(
             }
         }
     }
-    Ok((u, v, stats))
+    (Ok((u, v, stats)), recordings)
 }
 
 #[cfg(test)]

@@ -204,8 +204,16 @@ impl RankMonitor {
         }
     }
 
-    /// Called by the rank at every exchange point.
-    pub fn on_exchange(&mut self, reg: &mut MetricsRegistry, level: u8, busy_s: f64, wait_s: f64) {
+    /// Called by the rank at every exchange point. Returns `true` when the
+    /// call closed a window that raised a new stall warning (the flight
+    /// recorder logs a `stall_warning` event off this).
+    pub fn on_exchange(
+        &mut self,
+        reg: &mut MetricsRegistry,
+        level: u8,
+        busy_s: f64,
+        wait_s: f64,
+    ) -> bool {
         self.shared.record(self.rank, level, busy_s, wait_s);
         self.win_busy[level as usize] += busy_s;
         self.win_wait[level as usize] += wait_s;
@@ -214,13 +222,18 @@ impl RankMonitor {
             .exchanges
             .is_multiple_of(self.shared.config().window_exchanges.max(1) as u64)
         {
-            self.flush_window(reg);
+            self.flush_window(reg)
+        } else {
+            false
         }
     }
 
-    /// Close the current window: record watermarks, raise threshold warnings.
-    /// Also called once at end of run for the final partial window.
-    pub fn flush_window(&mut self, reg: &mut MetricsRegistry) {
+    /// Close the current window: count it, record watermarks, raise
+    /// threshold warnings. Also called once at end of run for the final
+    /// partial window. Returns whether a new warning fired.
+    pub fn flush_window(&mut self, reg: &mut MetricsRegistry) -> bool {
+        reg.inc(names::STALL_WINDOWS, 1);
+        let mut warned_now = false;
         let lambda = self.shared.update_lambda_watermarks();
         let threshold = self.shared.config().wait_warn_fraction;
         for (l, &lam) in lambda.iter().enumerate().take(self.win_busy.len()) {
@@ -237,6 +250,7 @@ impl RankMonitor {
             }
             if wf >= threshold && !self.warned[l] {
                 self.warned[l] = true;
+                warned_now = true;
                 reg.inc_level(names::STALL_WARNINGS, l as u8, 1);
                 self.shared.push_warning(StallWarning {
                     rank: self.rank,
@@ -249,6 +263,7 @@ impl RankMonitor {
             self.win_busy[l] = 0.0;
             self.win_wait[l] = 0.0;
         }
+        warned_now
     }
 }
 
@@ -313,6 +328,7 @@ mod tests {
         assert_eq!(warnings[0].level, 0);
         assert!((warnings[0].wait_fraction - 0.8).abs() < 1e-9);
         assert_eq!(reg.counter(names::STALL_WARNINGS, Some(0)), 1);
+        assert_eq!(reg.counter(names::STALL_WINDOWS, None), 2);
         let wm = reg.gauge(names::STALL_WAIT_FRAC_WM, Some(0)).unwrap();
         assert!((wm - 0.8).abs() < 1e-9);
     }

@@ -30,6 +30,7 @@ use crate::error::RuntimeError;
 use crate::stats::RankStats;
 use crate::transport::codec::{self, Frame, StreamError, WireStats};
 use crate::transport::socket::{self, SocketTransport};
+use lts_obs::RankRecording;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
@@ -93,6 +94,21 @@ pub fn worker_report(
     v: &[f64],
     global_of_local: &[u32],
 ) -> std::io::Result<()> {
+    worker_report_flight(path, rank, stats, u, v, global_of_local, None)
+}
+
+/// [`worker_report`] also shipping the rank's drained flight-recorder ring
+/// as a `Flight` frame (between `Stats` and `Done`), so the coordinator's
+/// merged post-mortem view covers real OS processes too.
+pub fn worker_report_flight(
+    path: &Path,
+    rank: usize,
+    stats: &RankStats,
+    u: &[f64],
+    v: &[f64],
+    global_of_local: &[u32],
+    recording: Option<&RankRecording>,
+) -> std::io::Result<()> {
     let mut stream = UnixStream::connect(path)?;
     codec::write_frame(
         &mut stream,
@@ -101,6 +117,14 @@ pub fn worker_report(
             stats: WireStats::from_rank_stats(stats),
         },
     )?;
+    if let Some(rec) = recording {
+        codec::write_frame(
+            &mut stream,
+            &Frame::Flight {
+                recording: rec.clone(),
+            },
+        )?;
+    }
     codec::write_frame(
         &mut stream,
         &Frame::Done {
@@ -113,9 +137,51 @@ pub fn worker_report(
     stream.shutdown(std::net::Shutdown::Write)
 }
 
+/// A dying worker's last words: open a fresh report connection and ship
+/// only the flight recording, so the coordinator's crash report includes
+/// the casualty's own tail of events. Best-effort by design — the caller
+/// exits nonzero right after, whatever this returns.
+pub fn worker_report_crash(path: &Path, recording: &RankRecording) -> std::io::Result<()> {
+    let mut stream = UnixStream::connect(path)?;
+    codec::write_frame(
+        &mut stream,
+        &Frame::Flight {
+            recording: recording.clone(),
+        },
+    )?;
+    stream.shutdown(std::net::Shutdown::Write)
+}
+
 /// Spawn `n_ranks` worker processes, route their halo traffic, collect
 /// their results, and assemble the global `(u, v)` plus per-rank stats.
 pub fn run_coordinator(spec: &ProcSpec) -> RunResult {
+    run_coordinator_flight(spec).0
+}
+
+/// [`run_coordinator`] also returning whatever flight recordings the fleet
+/// shipped over the wire — index-aligned with ranks, empty for a rank whose
+/// recording never arrived. Recordings come back on the `Err` side too:
+/// after a casualty the coordinator holds the accept loop open briefly so
+/// surviving (and dying) workers can land their crash `Flight` frames.
+pub fn run_coordinator_flight(spec: &ProcSpec) -> (RunResult, Vec<RankRecording>) {
+    let n = spec.n_ranks;
+    let mut flight: Vec<Option<RankRecording>> = vec![None; n];
+    let result = coordinate(spec, &mut flight);
+    let recordings = flight
+        .into_iter()
+        .enumerate()
+        .map(|(rank, r)| {
+            r.unwrap_or(RankRecording {
+                rank: rank as u32,
+                dropped: 0,
+                events: Vec::new(),
+            })
+        })
+        .collect();
+    (result, recordings)
+}
+
+fn coordinate(spec: &ProcSpec, flight: &mut [Option<RankRecording>]) -> RunResult {
     let n = spec.n_ranks;
     let path = unique_socket_path();
     let listener =
@@ -147,7 +213,7 @@ pub fn run_coordinator(spec: &ProcSpec) -> RunResult {
             }
         }
     }
-    let collected = collect(&listener, &mut children, n, spec.timeout);
+    let collected = collect(&listener, &mut children, n, spec.timeout, flight);
     match &collected {
         Ok(_) => {
             // workers exit right after reporting; reap and demand success
@@ -161,11 +227,50 @@ pub fn run_coordinator(spec: &ProcSpec) -> RunResult {
                 }
             }
         }
-        Err(_) => reap(&mut children),
+        Err(_) => {
+            drain_crash_reports(&listener, &mut children, flight);
+            reap(&mut children);
+        }
     }
     let _ = std::fs::remove_file(&path);
     let (stats, done) = collected?;
     assemble(stats, done)
+}
+
+/// After a casualty, hold the door open briefly: the goodbye cascade kills
+/// the surviving workers within milliseconds, and each ships its ring as a
+/// crash `Flight` frame on the way down. Best effort with a hard deadline —
+/// a worker that never connects just leaves its slot empty.
+fn drain_crash_reports(
+    listener: &UnixListener,
+    children: &mut [Child],
+    flight: &mut [Option<RankRecording>],
+) {
+    let grace = Instant::now() + Duration::from_millis(800);
+    let mut stats: Vec<Option<WireStats>> = vec![None; flight.len()];
+    let mut done: Vec<Option<DoneFrame>> = vec![None; flight.len()];
+    let mut halo: Vec<Option<UnixStream>> = (0..flight.len()).map(|_| None).collect();
+    loop {
+        let all_exited = children
+            .iter_mut()
+            .all(|c| matches!(c.try_wait(), Ok(Some(_))));
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = handle_conn(stream, grace, &mut halo, &mut stats, &mut done, flight);
+            }
+            Err(_) => {
+                if all_exited || Instant::now() > grace {
+                    // one last sweep for a report that raced the exit check
+                    while let Ok((stream, _)) = listener.accept() {
+                        let _ =
+                            handle_conn(stream, grace, &mut halo, &mut stats, &mut done, flight);
+                    }
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
 }
 
 /// Kill and wait every child; used on all failure paths so no zombie
@@ -186,6 +291,7 @@ fn collect(
     children: &mut [Child],
     n: usize,
     timeout: Duration,
+    flight: &mut [Option<RankRecording>],
 ) -> Result<Collected, RuntimeError> {
     let deadline = Instant::now() + timeout;
     let mut halo: Vec<Option<UnixStream>> = (0..n).map(|_| None).collect();
@@ -215,7 +321,7 @@ fn collect(
         }
         match listener.accept() {
             Ok((stream, _)) => {
-                handle_conn(stream, deadline, &mut halo, &mut stats, &mut done)?;
+                handle_conn(stream, deadline, &mut halo, &mut stats, &mut done, flight)?;
                 if !routers_started && halo.iter().all(|h| h.is_some()) {
                     start_routers(&mut halo)?;
                     routers_started = true;
@@ -238,6 +344,7 @@ fn handle_conn(
     halo: &mut [Option<UnixStream>],
     stats: &mut [Option<WireStats>],
     done: &mut [Option<DoneFrame>],
+    flight: &mut [Option<RankRecording>],
 ) -> Result<(), RuntimeError> {
     if let Err(e) = stream.set_nonblocking(false) {
         return Err(coord_io(format!("blocking conn: {e}")));
@@ -259,10 +366,10 @@ fn handle_conn(
             Ok(())
         }
         Ok(first) => {
-            stash(first, stats, done)?;
+            stash(first, stats, done, flight)?;
             loop {
                 match codec::read_frame(&mut r, &mut scratch) {
-                    Ok(frame) => stash(frame, stats, done)?,
+                    Ok(frame) => stash(frame, stats, done, flight)?,
                     Err(StreamError::Eof) => return Ok(()),
                     Err(e) => return Err(coord_io(format!("report stream: {e}"))),
                 }
@@ -276,8 +383,18 @@ fn stash(
     frame: Frame,
     stats: &mut [Option<WireStats>],
     done: &mut [Option<DoneFrame>],
+    flight: &mut [Option<RankRecording>],
 ) -> Result<(), RuntimeError> {
     match frame {
+        Frame::Flight { recording } => {
+            let rank = recording.rank as usize;
+            if rank >= flight.len() {
+                return Err(coord_io(format!(
+                    "flight recording from unknown rank {rank}"
+                )));
+            }
+            flight[rank] = Some(recording);
+        }
         Frame::Stats { rank, stats: ws } => {
             let rank = rank as usize;
             if rank >= stats.len() {

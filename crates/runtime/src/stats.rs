@@ -39,6 +39,9 @@ pub mod names {
     /// Counter, per level: stall warnings raised by this rank (the monitor
     /// warns at most once per rank × level).
     pub const STALL_WARNINGS: &str = "stall.warnings";
+    /// Observation windows the stall monitor closed on this rank (counter,
+    /// level-less) — with `stall.lambda_wm`, the run-long monitor summary.
+    pub const STALL_WINDOWS: &str = "stall.windows";
     /// Gauge, per level: final Eq. 21 λ over the ranks' measured busy time,
     /// stamped after the join (identical on every rank; fraction 0..1).
     pub const STALL_LAMBDA: &str = "stall.lambda";

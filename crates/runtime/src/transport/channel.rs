@@ -17,6 +17,7 @@ enum Wire {
     Halo {
         from: usize,
         level: u8,
+        seq: u64,
         payload: Vec<f64>,
         /// Maturation instant for link-latency shaping: the receiver may
         /// not observe this message before `ready_at` (`None` = immediate).
@@ -98,7 +99,13 @@ impl Transport for ChannelTransport {
         "channel"
     }
 
-    fn send(&mut self, peer: usize, level: u8, payload: &[f64]) -> Result<(), TransportError> {
+    fn send(
+        &mut self,
+        peer: usize,
+        level: u8,
+        seq: u64,
+        payload: &[f64],
+    ) -> Result<(), TransportError> {
         if self.closed {
             return Err(TransportError::Closed);
         }
@@ -116,6 +123,7 @@ impl Transport for ChannelTransport {
             .send(Wire::Halo {
                 from: self.rank,
                 level,
+                seq,
                 payload: payload.to_vec(),
                 ready_at,
             })
@@ -152,6 +160,7 @@ impl Transport for ChannelTransport {
             Wire::Halo {
                 from,
                 level,
+                seq,
                 payload,
                 ready_at,
             } => {
@@ -165,7 +174,7 @@ impl Transport for ChannelTransport {
                     }
                 }
                 buf.extend_from_slice(&payload);
-                Ok(Recv::Msg { from, level })
+                Ok(Recv::Msg { from, level, seq })
             }
             Wire::Goodbye { from } => Ok(Recv::Goodbye { from }),
         }
@@ -198,11 +207,12 @@ impl Transport for ChannelTransport {
             Wire::Halo {
                 from,
                 level,
+                seq,
                 payload,
                 ..
             } => {
                 buf.extend_from_slice(&payload);
-                Ok(Some(Recv::Msg { from, level }))
+                Ok(Some(Recv::Msg { from, level, seq }))
             }
             Wire::Goodbye { from } => Ok(Some(Recv::Goodbye { from })),
         }
@@ -241,18 +251,26 @@ mod tests {
         let mut eps = channel_cluster(2);
         let mut b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
-        a.send(1, 3, &[1.0, 2.0]).unwrap();
-        a.send(1, 4, &[-0.5]).unwrap();
+        a.send(1, 3, 10, &[1.0, 2.0]).unwrap();
+        a.send(1, 4, 11, &[-0.5]).unwrap();
         a.close();
         let mut buf = Vec::new();
         assert_eq!(
             b.recv_into(&mut buf).unwrap(),
-            Recv::Msg { from: 0, level: 3 }
+            Recv::Msg {
+                from: 0,
+                level: 3,
+                seq: 10
+            }
         );
         assert_eq!(buf, vec![1.0, 2.0]);
         assert_eq!(
             b.recv_into(&mut buf).unwrap(),
-            Recv::Msg { from: 0, level: 4 }
+            Recv::Msg {
+                from: 0,
+                level: 4,
+                seq: 11
+            }
         );
         assert_eq!(buf, vec![-0.5]);
         assert_eq!(b.recv_into(&mut buf).unwrap(), Recv::Goodbye { from: 0 });
@@ -265,8 +283,8 @@ mod tests {
         let mut b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
         let posted = Instant::now();
-        a.send(1, 0, &[1.0]).unwrap();
-        a.send(1, 1, &[2.0]).unwrap();
+        a.send(1, 0, 0, &[1.0]).unwrap();
+        a.send(1, 1, 1, &[2.0]).unwrap();
         assert!(
             posted.elapsed() < lat,
             "sends must not block on the emulated wire"
@@ -274,13 +292,21 @@ mod tests {
         let mut buf = Vec::new();
         assert_eq!(
             b.recv_into(&mut buf).unwrap(),
-            Recv::Msg { from: 0, level: 0 }
+            Recv::Msg {
+                from: 0,
+                level: 0,
+                seq: 0
+            }
         );
         assert!(posted.elapsed() >= lat, "message visible before maturation");
         // FIFO survives shaping, and an already-matured message is free
         assert_eq!(
             b.recv_into(&mut buf).unwrap(),
-            Recv::Msg { from: 0, level: 1 }
+            Recv::Msg {
+                from: 0,
+                level: 1,
+                seq: 1
+            }
         );
         assert_eq!(buf, vec![2.0]);
     }

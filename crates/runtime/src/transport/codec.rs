@@ -8,11 +8,18 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic      0x5754_4C53 ("SLTW" on the wire, LE)
-//!      4     2  version    1
+//!      4     2  version    2
 //!      6     1  kind       0 Hello · 1 Halo · 2 Goodbye · 3 Stats · 4 Done
+//!                          · 5 Flight
 //!      7     1  reserved   0
 //!      8     4  body_len
 //! ```
+//!
+//! Version 2 extends the Halo body with the sender's per-directed-edge
+//! sequence number (after the level byte — `src`/`dst` keep their offsets
+//! so the star router's destination peek is layout-stable) and adds the
+//! `Flight` frame carrying a rank's drained flight-recorder ring, so
+//! recordings from real OS processes causally align with in-process runs.
 //!
 //! Payload `f64`s travel as raw IEEE-754 bit patterns (`to_bits`, LE), so a
 //! multi-process run reproduces in-process fields *bitwise* — including NaN
@@ -20,10 +27,12 @@
 //! is bounds-checked and malformed input surfaces a [`CodecError`].
 
 use crate::stats::{names, RankStats, TimelineEvent};
-use lts_obs::{Histogram, Key, MetricsRegistry, HIST_BUCKETS};
+use lts_obs::{
+    EventKind, FlightEvent, Histogram, Key, MetricsRegistry, RankRecording, HIST_BUCKETS,
+};
 
 pub const MAGIC: u32 = 0x5754_4C53;
-pub const VERSION: u16 = 1;
+pub const VERSION: u16 = 2;
 /// Upper bound on `body_len`: rejects absurd allocations from corrupt
 /// headers before any buffer is sized.
 pub const MAX_BODY: u32 = 1 << 28;
@@ -77,13 +86,15 @@ pub struct WireStats {
 
 /// The fixed metric-id tables. `Key.name` is `&'static str`, so wire-decoded
 /// stats can only rebuild metrics whose names are baked in here.
-const COUNTER_NAMES: [&str; 6] = [
+const COUNTER_NAMES: [&str; 7] = [
     names::ELEM_OPS,
     names::EXCHANGES,
     names::MSGS_SENT,
     names::DOFS_SENT,
     names::STALL_WARNINGS,
     names::EXCHANGE_READY,
+    // appended in wire version 2; appending keeps earlier ids stable
+    names::STALL_WINDOWS,
 ];
 const HIST_NAMES: [&str; 2] = [names::BUSY, names::WAIT];
 const GAUGE_NAMES: [&str; 4] = [
@@ -190,11 +201,13 @@ impl WireStats {
 pub enum Frame {
     /// Worker → router handshake: which rank this connection carries.
     Hello { rank: u32 },
-    /// A halo payload from `src` to `dst`, tagged with its LTS level.
+    /// A halo payload from `src` to `dst`, tagged with its LTS level and
+    /// the sender's per-directed-edge sequence number.
     Halo {
         src: u32,
         dst: u32,
         level: u8,
+        seq: u64,
         payload: Vec<f64>,
     },
     /// `rank`'s endpoint is gone; no further frames from it.
@@ -209,6 +222,8 @@ pub enum Frame {
         v: Vec<f64>,
         global_of_local: Vec<u32>,
     },
+    /// A rank's drained flight-recorder ring (post-mortem collection).
+    Flight { recording: RankRecording },
 }
 
 impl Frame {
@@ -219,6 +234,7 @@ impl Frame {
             Frame::Goodbye { .. } => 2,
             Frame::Stats { .. } => 3,
             Frame::Done { .. } => 4,
+            Frame::Flight { .. } => 5,
         }
     }
 }
@@ -269,11 +285,13 @@ pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
             src,
             dst,
             level,
+            seq,
             payload,
         } => {
             put_u32(out, *src);
             put_u32(out, *dst);
             out.push(*level);
+            put_u64(out, *seq);
             put_f64s(out, payload);
         }
         Frame::Stats { rank, stats } => {
@@ -320,6 +338,19 @@ pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
                 put_u32(out, g);
             }
         }
+        Frame::Flight { recording } => {
+            put_u32(out, recording.rank);
+            put_u64(out, recording.dropped);
+            put_u32(out, recording.events.len() as u32);
+            for ev in &recording.events {
+                put_u64(out, ev.t_ns);
+                out.push(ev.kind as u8);
+                out.push(ev.level);
+                put_u32(out, ev.step);
+                put_u32(out, ev.peer);
+                put_u64(out, ev.seq);
+            }
+        }
     }
     let body_len = (out.len() - body_at) as u32;
     out[header_at + 8..header_at + 12].copy_from_slice(&body_len.to_le_bytes());
@@ -334,7 +365,14 @@ pub fn encode_vec(frame: &Frame) -> Vec<u8> {
 
 /// Encode a `Halo` frame straight from a payload slice — the socket hot
 /// path, which must not copy the payload into a `Frame` first.
-pub fn encode_halo_into(src: u32, dst: u32, level: u8, payload: &[f64], out: &mut Vec<u8>) {
+pub fn encode_halo_into(
+    src: u32,
+    dst: u32,
+    level: u8,
+    seq: u64,
+    payload: &[f64],
+    out: &mut Vec<u8>,
+) {
     let header_at = out.len();
     put_u32(out, MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
@@ -345,6 +383,7 @@ pub fn encode_halo_into(src: u32, dst: u32, level: u8, payload: &[f64], out: &mu
     put_u32(out, src);
     put_u32(out, dst);
     out.push(level);
+    put_u64(out, seq);
     put_f64s(out, payload);
     let body_len = (out.len() - body_at) as u32;
     out[header_at + 8..header_at + 12].copy_from_slice(&body_len.to_le_bytes());
@@ -450,7 +489,7 @@ pub fn decode_header(h: &[u8]) -> Result<(u8, u32), CodecError> {
         return Err(CodecError::BadVersion(version));
     }
     let kind = h[6];
-    if kind > 4 {
+    if kind > 5 {
         return Err(CodecError::UnknownKind(kind));
     }
     let body_len = u32::from_le_bytes([h[8], h[9], h[10], h[11]]);
@@ -469,6 +508,7 @@ pub fn decode_body(kind: u8, body: &[u8]) -> Result<Frame, CodecError> {
             src: r.u32()?,
             dst: r.u32()?,
             level: r.u8()?,
+            seq: r.u64()?,
             payload: r.f64s()?,
         },
         2 => Frame::Goodbye { rank: r.u32()? },
@@ -510,6 +550,32 @@ pub fn decode_body(kind: u8, body: &[u8]) -> Result<Frame, CodecError> {
                 u,
                 v,
                 global_of_local,
+            }
+        }
+        5 => {
+            let rank = r.u32()?;
+            let dropped = r.u64()?;
+            let n = r.count(26)?;
+            let mut events = Vec::with_capacity(n);
+            for _ in 0..n {
+                let t_ns = r.u64()?;
+                let kind = EventKind::from_u8(r.u8()?)
+                    .ok_or(CodecError::Malformed("unknown flight event kind"))?;
+                events.push(FlightEvent {
+                    t_ns,
+                    kind,
+                    level: r.u8()?,
+                    step: r.u32()?,
+                    peer: r.u32()?,
+                    seq: r.u64()?,
+                });
+            }
+            Frame::Flight {
+                recording: RankRecording {
+                    rank,
+                    dropped,
+                    events,
+                },
             }
         }
         other => return Err(CodecError::UnknownKind(other)),
@@ -622,12 +688,14 @@ mod tests {
                 src: 1,
                 dst: 2,
                 level: 3,
+                seq: 0x0102_0304_0506_0708,
                 payload: vec![0.0, -0.0, f64::NAN, f64::INFINITY, 1e-310, -2.5],
             },
             Frame::Halo {
                 src: 0,
                 dst: 1,
                 level: 0,
+                seq: 0,
                 payload: vec![],
             },
             Frame::Stats {
@@ -651,6 +719,30 @@ mod tests {
                 u: vec![1.5, -2.5],
                 v: vec![0.0],
                 global_of_local: vec![10, 11, 12],
+            },
+            Frame::Flight {
+                recording: RankRecording {
+                    rank: 1,
+                    dropped: 3,
+                    events: vec![
+                        FlightEvent {
+                            t_ns: 123,
+                            kind: EventKind::Send,
+                            level: 2,
+                            step: 7,
+                            peer: 0,
+                            seq: 41,
+                        },
+                        FlightEvent {
+                            t_ns: 456,
+                            kind: EventKind::Fault,
+                            level: u8::MAX,
+                            step: 7,
+                            peer: u32::MAX,
+                            seq: 0,
+                        },
+                    ],
+                },
             },
         ]
     }
@@ -703,10 +795,11 @@ mod tests {
             src: 0,
             dst: 1,
             level: 0,
+            seq: 9,
             payload: vec![1.0, 2.0],
         });
-        // ndof lives right after src+dst+level in the body
-        let ndof_at = HEADER_LEN + 9;
+        // ndof lives right after src+dst+level+seq in the body
+        let ndof_at = HEADER_LEN + 17;
         bytes[ndof_at..ndof_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(decode(&bytes), Err(CodecError::Malformed(_))));
     }

@@ -11,7 +11,9 @@
 //! runs the suite over all three backends (plus a delay-injecting faulty
 //! wrapper, which must change nothing).
 
-use super::{Recv, Transport};
+use super::faulty::{self, FaultPlan};
+use super::{Recv, Transport, TransportError};
+use lts_obs::{merge_recordings, EventKind, FlightRecorder};
 use std::time::Duration;
 
 /// Per-check patience: generous, because CI machines stall, but bounded,
@@ -45,10 +47,10 @@ fn must<T, E: std::fmt::Debug>(what: &str, r: Result<T, E>) -> T {
 }
 
 /// Receive the next *message* (skipping goodbyes) within [`PATIENCE`].
-fn next_msg(ep: &mut dyn Transport, buf: &mut Vec<f64>, what: &str) -> (usize, u8) {
+fn next_msg(ep: &mut dyn Transport, buf: &mut Vec<f64>, what: &str) -> (usize, u8, u64) {
     loop {
         match must(what, ep.recv_into_timeout(buf, Some(PATIENCE))) {
-            Recv::Msg { from, level } => return (from, level),
+            Recv::Msg { from, level, seq } => return (from, level, seq),
             Recv::Goodbye { .. } => {}
         }
     }
@@ -83,7 +85,7 @@ fn fifo_and_addressing<F: Fn(usize) -> Vec<Box<dyn Transport>>>(make: &F) {
     let bystander = must("cluster of 3", eps.pop().ok_or("missing ep1"));
     let mut sender0 = must("cluster of 3", eps.pop().ok_or("missing ep0"));
 
-    must("side send 0→1", sender0.send(1, 9, &[42.0]));
+    must("side send 0→1", sender0.send(1, 9, 7, &[42.0]));
     let senders: Vec<_> = [sender0, bystander]
         .into_iter()
         .enumerate()
@@ -91,7 +93,8 @@ fn fifo_and_addressing<F: Fn(usize) -> Vec<Box<dyn Transport>>>(make: &F) {
             std::thread::spawn(move || {
                 for i in 0..K {
                     let payload = [who as f64 * 1000.0 + f64::from(i)];
-                    must("numbered send", ep.send(2, (i % 3) as u8, &payload));
+                    let seq = u64::from(i) * 2 + who as u64;
+                    must("numbered send", ep.send(2, (i % 3) as u8, seq, &payload));
                 }
                 ep
             })
@@ -101,7 +104,7 @@ fn fifo_and_addressing<F: Fn(usize) -> Vec<Box<dyn Transport>>>(make: &F) {
     let mut buf = Vec::new();
     let mut next_expected = [0u32; 2];
     for _ in 0..2 * K {
-        let (from, level) = next_msg(receiver.as_mut(), &mut buf, "numbered recv");
+        let (from, level, seq) = next_msg(receiver.as_mut(), &mut buf, "numbered recv");
         assert!(from < 2, "receiver 2 got a message from itself?");
         let i = next_expected[from];
         assert_eq!(
@@ -110,6 +113,11 @@ fn fifo_and_addressing<F: Fn(usize) -> Vec<Box<dyn Transport>>>(make: &F) {
             "sender {from}: message {i} out of order"
         );
         assert_eq!(level, (i % 3) as u8, "sender {from}: level tag wrong");
+        assert_eq!(
+            seq,
+            u64::from(i) * 2 + from as u64,
+            "sender {from}: seq mangled"
+        );
         next_expected[from] = i + 1;
     }
     assert_eq!(next_expected, [K; 2]);
@@ -120,8 +128,8 @@ fn fifo_and_addressing<F: Fn(usize) -> Vec<Box<dyn Transport>>>(make: &F) {
         .map(|h| must("join sender", h.join().map_err(|_| "sender panicked")))
         .collect();
     let mut ep1 = must("rank 1 endpoint", eps_back.pop().ok_or("missing ep1"));
-    let (from, level) = next_msg(ep1.as_mut(), &mut buf, "side recv");
-    assert_eq!((from, level), (0, 9));
+    let (from, level, seq) = next_msg(ep1.as_mut(), &mut buf, "side recv");
+    assert_eq!((from, level, seq), (0, 9, 7));
     assert_eq!(buf, &[42.0]);
 }
 
@@ -139,7 +147,10 @@ fn polling_loses_nothing<F: Fn(usize) -> Vec<Box<dyn Transport>>>(make: &F) {
     let sender = std::thread::spawn(move || {
         let mut sender = sender;
         for i in 0..K {
-            must("poll send", sender.send(1, (i % 5) as u8, &[f64::from(i)]));
+            must(
+                "poll send",
+                sender.send(1, (i % 5) as u8, u64::from(i), &[f64::from(i)]),
+            );
         }
         sender
     });
@@ -165,10 +176,11 @@ fn polling_loses_nothing<F: Fn(usize) -> Vec<Box<dyn Transport>>>(make: &F) {
         } else {
             must("recv", receiver.recv_into_timeout(&mut buf, Some(PATIENCE)))
         };
-        if let Recv::Msg { from, level } = recv {
+        if let Recv::Msg { from, level, seq } = recv {
             assert_eq!(from, 0);
             assert_eq!(buf, &[f64::from(got)], "message {got} lost or reordered");
             assert_eq!(level, (got % 5) as u8, "message {got}: level tag wrong");
+            assert_eq!(seq, u64::from(got), "message {got}: seq mangled");
             got += 1;
         }
     }
@@ -201,14 +213,14 @@ fn payload_bit_integrity<F: Fn(usize) -> Vec<Box<dyn Transport>>>(make: &F) {
     let expected = specials.clone();
     let sender = std::thread::spawn(move || {
         let mut a = a;
-        for p in &specials {
-            must("special send", a.send(1, 0, p));
+        for (i, p) in specials.iter().enumerate() {
+            must("special send", a.send(1, 0, i as u64, p));
         }
         a
     });
     let mut buf = Vec::new();
     for want in &expected {
-        let (from, _) = next_msg(b.as_mut(), &mut buf, "special recv");
+        let (from, _, _) = next_msg(b.as_mut(), &mut buf, "special recv");
         assert_eq!(from, 0);
         assert_eq!(buf.len(), want.len());
         for (got, want) in buf.iter().zip(want) {
@@ -232,14 +244,17 @@ fn level_tags_preserved<F: Fn(usize) -> Vec<Box<dyn Transport>>>(make: &F) {
     let sender = std::thread::spawn(move || {
         let mut a = a;
         for &l in &levels {
-            must("tagged send", a.send(1, l, &[f64::from(l)]));
+            // stress the full seq width alongside the level byte
+            let seq = u64::from(l).wrapping_mul(0x0101_0101_0101_0101);
+            must("tagged send", a.send(1, l, seq, &[f64::from(l)]));
         }
         a
     });
     let mut buf = Vec::new();
     for &l in &levels {
-        let (_, level) = next_msg(b.as_mut(), &mut buf, "tagged recv");
+        let (_, level, seq) = next_msg(b.as_mut(), &mut buf, "tagged recv");
         assert_eq!(level, l);
+        assert_eq!(seq, u64::from(l).wrapping_mul(0x0101_0101_0101_0101));
         assert_eq!(buf, &[f64::from(l)]);
     }
     drop(must("join sender", sender.join().map_err(|_| "panicked")));
@@ -254,7 +269,10 @@ fn goodbye_after_drain<F: Fn(usize) -> Vec<Box<dyn Transport>>>(make: &F) {
     let sender = std::thread::spawn(move || {
         let mut a = a;
         for i in 0..3u32 {
-            must("pre-goodbye send", a.send(1, 0, &[f64::from(i)]));
+            must(
+                "pre-goodbye send",
+                a.send(1, 0, u64::from(i), &[f64::from(i)]),
+            );
         }
     });
     let mut buf = Vec::new();
@@ -292,14 +310,14 @@ fn delivery_under_backpressure<F: Fn(usize) -> Vec<Box<dyn Transport>>>(make: &F
         let mut payload = [0.0f64; WIDTH];
         for i in 0..K {
             payload[0] = f64::from(i);
-            must("bulk send", a.send(1, 0, &payload));
+            must("bulk send", a.send(1, 0, u64::from(i), &payload));
         }
         a.metrics()
     });
     std::thread::sleep(Duration::from_millis(25)); // let the fabric fill
     let mut buf = Vec::new();
     for i in 0..K {
-        let (from, _) = next_msg(b.as_mut(), &mut buf, "bulk recv");
+        let (from, _, _) = next_msg(b.as_mut(), &mut buf, "bulk recv");
         assert_eq!(from, 0);
         assert_eq!(buf.len(), WIDTH);
         assert_eq!(
@@ -340,9 +358,113 @@ fn survivors_keep_talking<F: Fn(usize) -> Vec<Box<dyn Transport>>>(make: &F) {
     drop(victim);
     let mut b = must("cluster of 3", eps.pop().ok_or("missing ep2"));
     let mut a = must("cluster of 3", eps.pop().ok_or("missing ep1"));
-    must("survivor send", a.send(2, 1, &[3.5]));
+    must("survivor send", a.send(2, 1, 0, &[3.5]));
     let mut buf = Vec::new();
-    let (from, level) = next_msg(b.as_mut(), &mut buf, "survivor recv");
+    let (from, level, _) = next_msg(b.as_mut(), &mut buf, "survivor recv");
     assert_eq!((from, level), (1, 1));
     assert_eq!(buf, &[3.5]);
+}
+
+/// Flight-recorder seq matching survives injected faults: silently dropped
+/// sends leave *gaps* in the delivered seq stream and forced receive
+/// timeouts interleave with real deliveries, yet the recorder events taken
+/// at the transport boundary still merge into a causally valid order — no
+/// recv ever pairs with the wrong send, and a drop never shifts later
+/// payloads onto earlier seqs.
+pub fn seq_integrity_under_faults<F: Fn(usize) -> Vec<Box<dyn Transport>>>(make: F) {
+    const K: u64 = 30;
+    let mut eps = make(2);
+    let receiver = must("cluster of 2", eps.pop().ok_or("missing ep1"));
+    let sender = must("cluster of 2", eps.pop().ok_or("missing ep0"));
+    let mut sender = faulty::wrap(
+        sender,
+        FaultPlan {
+            drop_every: Some(3),
+            ..FaultPlan::default()
+        },
+    );
+    // force short receive timeouts so the Timeout path interleaves with
+    // real deliveries on the receiver side
+    let mut receiver = faulty::wrap(
+        receiver,
+        FaultPlan {
+            recv_timeout_ms: Some(5),
+            ..FaultPlan::default()
+        },
+    );
+
+    let epoch = std::time::Instant::now();
+    let send_thread = std::thread::spawn(move || {
+        let mut flight = FlightRecorder::with_epoch(256, epoch);
+        for seq in 0..K {
+            if seq % 7 == 0 {
+                // pace a few sends so receiver timeouts actually fire
+                std::thread::sleep(Duration::from_millis(12));
+            }
+            must(
+                "faulty send",
+                sender.send(1, (seq % 3) as u8, seq, &[seq as f64]),
+            );
+            flight.record(EventKind::Send, (seq % 3) as u8, 0, 1, seq);
+        }
+        drop(sender); // goodbye unblocks the receive loop
+        flight.snapshot(0)
+    });
+
+    let mut flight = FlightRecorder::with_epoch(256, epoch);
+    let mut buf = Vec::new();
+    let mut delivered = Vec::new();
+    let mut timeouts = 0u64;
+    let deadline = std::time::Instant::now() + PATIENCE;
+    loop {
+        match receiver.recv_into_timeout(&mut buf, Some(PATIENCE)) {
+            Ok(Recv::Msg { from, level, seq }) => {
+                assert_eq!(from, 0);
+                assert_eq!(level, (seq % 3) as u8, "level/seq desync after drops");
+                assert_eq!(buf, &[seq as f64], "payload/seq desync after drops");
+                flight.record(EventKind::Recv, level, 0, from as u32, seq);
+                delivered.push(seq);
+            }
+            Ok(Recv::Goodbye { .. }) => break,
+            Err(TransportError::Timeout) => timeouts += 1,
+            // lint: allow(no-panic) — conformance assertion
+            Err(e) => panic!("conformance: faulty recv: {e:?}"),
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "faulty receive loop starved after {} of {K} messages",
+            delivered.len()
+        );
+    }
+    let send_rec = must("join sender", send_thread.join().map_err(|_| "panicked"));
+    let _ = timeouts; // timeouts are legal in any count, including zero
+
+    // drop-every-3 swallows seqs 2, 5, 8, …; everything else arrives in
+    // order with gaps, on its original seq
+    let expected: Vec<u64> = (0..K).filter(|s| (s + 1) % 3 != 0).collect();
+    assert_eq!(delivered, expected, "drops desynced the seq stream");
+
+    // the two recordings — with send-side gaps unmatched — still merge into
+    // a causal order in which every recv is lamport-after its matching send
+    let recv_rec = flight.snapshot(1);
+    let merged = must("causal merge", merge_recordings(&[send_rec, recv_rec]));
+    let mut send_lamport = std::collections::BTreeMap::new();
+    for m in &merged {
+        if m.rank == 0 && m.ev.kind == EventKind::Send {
+            send_lamport.insert(m.ev.seq, m.lamport);
+        }
+    }
+    for m in &merged {
+        if m.rank == 1 && m.ev.kind == EventKind::Recv {
+            let sent = must(
+                "recv without a send",
+                send_lamport.get(&m.ev.seq).ok_or(m.ev.seq),
+            );
+            assert!(
+                m.lamport > *sent,
+                "recv of seq {} ordered before its send",
+                m.ev.seq
+            );
+        }
+    }
 }

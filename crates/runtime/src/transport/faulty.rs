@@ -75,7 +75,13 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         "faulty"
     }
 
-    fn send(&mut self, peer: usize, level: u8, payload: &[f64]) -> Result<(), TransportError> {
+    fn send(
+        &mut self,
+        peer: usize,
+        level: u8,
+        seq: u64,
+        payload: &[f64],
+    ) -> Result<(), TransportError> {
         let Some(inner) = self.inner.as_mut() else {
             return Err(TransportError::Injected);
         };
@@ -93,7 +99,7 @@ impl<T: Transport> Transport for FaultyTransport<T> {
                 return Ok(());
             }
         }
-        let r = inner.send(peer, level, payload);
+        let r = inner.send(peer, level, seq, payload);
         if let Some(limit) = self.plan.die_after_sends {
             if self.sends >= limit {
                 self.die();
@@ -161,14 +167,18 @@ mod tests {
                 ..FaultPlan::default()
             },
         );
-        a.send(1, 0, &[1.0]).unwrap();
-        assert_eq!(a.send(1, 2, &[2.0]), Err(TransportError::Injected));
+        a.send(1, 0, 0, &[1.0]).unwrap();
+        assert_eq!(a.send(1, 2, 1, &[2.0]), Err(TransportError::Injected));
         assert!(a.is_dead());
-        assert_eq!(a.send(1, 0, &[3.0]), Err(TransportError::Injected));
+        assert_eq!(a.send(1, 0, 2, &[3.0]), Err(TransportError::Injected));
         let mut buf = Vec::new();
         assert_eq!(
             b.recv_into(&mut buf).unwrap(),
-            Recv::Msg { from: 0, level: 0 }
+            Recv::Msg {
+                from: 0,
+                level: 0,
+                seq: 0
+            }
         );
         assert_eq!(b.recv_into(&mut buf).unwrap(), Recv::Goodbye { from: 0 });
     }
@@ -186,7 +196,7 @@ mod tests {
             },
         );
         for i in 0..4u32 {
-            a.send(1, 0, &[f64::from(i)]).unwrap();
+            a.send(1, 0, u64::from(i), &[f64::from(i)]).unwrap();
         }
         drop(a);
         let mut buf = Vec::new();

@@ -106,9 +106,10 @@ impl std::error::Error for TransportError {}
 /// What a successful receive yielded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Recv {
-    /// A halo payload from `from`, tagged with its LTS level; the payload
-    /// doubles were appended to the caller's buffer.
-    Msg { from: usize, level: u8 },
+    /// A halo payload from `from`, tagged with its LTS level and the
+    /// sender-assigned per-edge sequence number; the payload doubles were
+    /// appended to the caller's buffer.
+    Msg { from: usize, level: u8, seq: u64 },
     /// `from`'s endpoint closed; no further message from it will ever
     /// arrive. Delivered after all of `from`'s earlier messages (FIFO).
     Goodbye { from: usize },
@@ -144,10 +145,19 @@ pub trait Transport: Send {
     /// Stable backend label (metric gauge label, bench comparisons).
     fn backend(&self) -> &'static str;
 
-    /// Post `payload` to `peer`, tagged with `level`. May block on
-    /// backpressure (bounded backends); must not block indefinitely once the
-    /// peer is gone.
-    fn send(&mut self, peer: usize, level: u8, payload: &[f64]) -> Result<(), TransportError>;
+    /// Post `payload` to `peer`, tagged with `level` and the caller's
+    /// per-directed-edge sequence number `seq` (carried opaquely — the
+    /// flight recorder matches a recv event to its send event by it, so a
+    /// transport must deliver it bit-exactly, never synthesize it). May
+    /// block on backpressure (bounded backends); must not block
+    /// indefinitely once the peer is gone.
+    fn send(
+        &mut self,
+        peer: usize,
+        level: u8,
+        seq: u64,
+        payload: &[f64],
+    ) -> Result<(), TransportError>;
 
     /// Push any buffered frames onto the wire (socket backends batch the
     /// per-peer sends of one exchange into one syscall burst).
@@ -205,8 +215,14 @@ impl Transport for Box<dyn Transport> {
         (**self).backend()
     }
 
-    fn send(&mut self, peer: usize, level: u8, payload: &[f64]) -> Result<(), TransportError> {
-        (**self).send(peer, level, payload)
+    fn send(
+        &mut self,
+        peer: usize,
+        level: u8,
+        seq: u64,
+        payload: &[f64],
+    ) -> Result<(), TransportError> {
+        (**self).send(peer, level, seq, payload)
     }
 
     fn flush(&mut self) -> Result<(), TransportError> {

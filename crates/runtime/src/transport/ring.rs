@@ -30,7 +30,7 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 struct RingBuf {
-    queue: VecDeque<(u8, Vec<f64>)>,
+    queue: VecDeque<(u8, u64, Vec<f64>)>,
     free: Vec<Vec<f64>>,
     closed: bool,
 }
@@ -131,7 +131,7 @@ impl RingTransport {
             Bell::Msg(from) => {
                 let ring = self.state.ring(from, self.rank);
                 let mut rb = lock(&ring.buf);
-                let Some((level, slot)) = rb.queue.pop_front() else {
+                let Some((level, seq, slot)) = rb.queue.pop_front() else {
                     return Err(desync());
                 };
                 buf.extend_from_slice(&slot);
@@ -140,7 +140,7 @@ impl RingTransport {
                 }
                 drop(rb);
                 ring.not_full.notify_one();
-                Ok(Recv::Msg { from, level })
+                Ok(Recv::Msg { from, level, seq })
             }
         }
     }
@@ -160,7 +160,13 @@ impl Transport for RingTransport {
     }
 
     // lint: hot-path
-    fn send(&mut self, peer: usize, level: u8, payload: &[f64]) -> Result<(), TransportError> {
+    fn send(
+        &mut self,
+        peer: usize,
+        level: u8,
+        seq: u64,
+        payload: &[f64],
+    ) -> Result<(), TransportError> {
         if self.closed {
             return Err(TransportError::Closed);
         }
@@ -183,7 +189,7 @@ impl Transport for RingTransport {
         let mut slot = buf.free.pop().unwrap_or_default();
         slot.clear();
         slot.extend_from_slice(payload);
-        buf.queue.push_back((level, slot));
+        buf.queue.push_back((level, seq, slot));
         drop(buf);
         self.metrics.msgs_sent += 1;
         self.metrics.doubles_sent += payload.len() as u64;
@@ -281,7 +287,7 @@ mod tests {
         let mut a = eps.pop().unwrap();
         let sender = std::thread::spawn(move || {
             for i in 0..50u32 {
-                a.send(1, 0, &[f64::from(i)]).unwrap();
+                a.send(1, 0, u64::from(i), &[f64::from(i)]).unwrap();
             }
             a.metrics()
         });
@@ -290,7 +296,11 @@ mod tests {
         for i in 0..50u32 {
             assert_eq!(
                 b.recv_into(&mut buf).unwrap(),
-                Recv::Msg { from: 0, level: 0 }
+                Recv::Msg {
+                    from: 0,
+                    level: 0,
+                    seq: u64::from(i)
+                }
             );
             assert_eq!(buf, vec![f64::from(i)]);
         }
@@ -304,8 +314,8 @@ mod tests {
         let mut eps = ring_cluster(2, 1);
         let mut b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
-        a.send(1, 0, &[1.0]).unwrap();
-        let sender = std::thread::spawn(move || a.send(1, 0, &[2.0]));
+        a.send(1, 0, 0, &[1.0]).unwrap();
+        let sender = std::thread::spawn(move || a.send(1, 0, 1, &[2.0]));
         std::thread::sleep(Duration::from_millis(20));
         b.close();
         assert_eq!(

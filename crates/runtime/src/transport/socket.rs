@@ -142,7 +142,13 @@ impl Transport for SocketTransport {
         "unix-socket"
     }
 
-    fn send(&mut self, peer: usize, level: u8, payload: &[f64]) -> Result<(), TransportError> {
+    fn send(
+        &mut self,
+        peer: usize,
+        level: u8,
+        seq: u64,
+        payload: &[f64],
+    ) -> Result<(), TransportError> {
         if self.closed || self.dead {
             return Err(TransportError::Closed);
         }
@@ -153,7 +159,7 @@ impl Transport for SocketTransport {
         self.metrics.doubles_sent += payload.len() as u64;
         // frame assembly reuses wbuf; only first-use growth allocates
         self.wbuf.clear();
-        encode_halo(self.rank, peer, level, payload, &mut self.wbuf);
+        encode_halo(self.rank, peer, level, seq, payload, &mut self.wbuf);
         self.metrics.bytes_sent += self.wbuf.len() as u64;
         let wbuf = std::mem::take(&mut self.wbuf);
         let r = (&self.stream)
@@ -174,6 +180,7 @@ impl Transport for SocketTransport {
                 Frame::Halo {
                     src,
                     level,
+                    seq,
                     payload,
                     ..
                 } => {
@@ -181,6 +188,7 @@ impl Transport for SocketTransport {
                     return Ok(Recv::Msg {
                         from: src as usize,
                         level,
+                        seq,
                     });
                 }
                 Frame::Goodbye { rank } => {
@@ -217,8 +225,8 @@ impl Drop for SocketTransport {
 }
 
 /// Encode a Halo frame without constructing a `Frame` (no payload copy).
-fn encode_halo(src: usize, dst: usize, level: u8, payload: &[f64], out: &mut Vec<u8>) {
-    codec::encode_halo_into(src as u32, dst as u32, level, payload, out);
+fn encode_halo(src: usize, dst: usize, level: u8, seq: u64, payload: &[f64], out: &mut Vec<u8>) {
+    codec::encode_halo_into(src as u32, dst as u32, level, seq, payload, out);
 }
 
 // ---- in-process star router ----------------------------------------------
@@ -320,22 +328,23 @@ mod tests {
         let mut c = eps.pop().unwrap();
         let mut b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
-        a.send(2, 1, &[1.0, f64::NAN]).unwrap();
-        b.send(2, 0, &[2.0]).unwrap();
+        a.send(2, 1, 5, &[1.0, f64::NAN]).unwrap();
+        b.send(2, 0, 6, &[2.0]).unwrap();
         let mut buf = Vec::new();
         let mut seen = Vec::new();
         for _ in 0..2 {
             match c.recv_into(&mut buf).unwrap() {
-                Recv::Msg { from, level } => seen.push((from, level, buf.clone())),
+                Recv::Msg { from, level, seq } => seen.push((from, level, seq, buf.clone())),
                 g => panic!("unexpected {g:?}"),
             }
         }
         seen.sort_by_key(|e| e.0);
         assert_eq!(seen[0].0, 0);
         assert_eq!(seen[0].1, 1);
-        assert_eq!(seen[0].2[0], 1.0);
-        assert!(seen[0].2[1].is_nan());
-        assert_eq!(seen[1], (1, 0, vec![2.0]));
+        assert_eq!(seen[0].2, 5);
+        assert_eq!(seen[0].3[0], 1.0);
+        assert!(seen[0].3[1].is_nan());
+        assert_eq!(seen[1], (1, 0, 6, vec![2.0]));
         drop(a);
         drop(b);
         assert!(matches!(c.recv_into(&mut buf), Ok(Recv::Goodbye { .. })));
@@ -352,10 +361,14 @@ mod tests {
             b.recv_into_timeout(&mut buf, Some(Duration::from_millis(20))),
             Err(TransportError::Timeout)
         );
-        a.send(1, 9, &[7.0]).unwrap();
+        a.send(1, 9, 3, &[7.0]).unwrap();
         assert_eq!(
             b.recv_into(&mut buf).unwrap(),
-            Recv::Msg { from: 0, level: 9 }
+            Recv::Msg {
+                from: 0,
+                level: 9,
+                seq: 3
+            }
         );
         assert_eq!(buf, vec![7.0]);
     }

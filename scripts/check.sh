@@ -24,6 +24,30 @@ cargo test -q --test transport_conformance
 echo "== multi-process smoke (wave-lts worker over unix sockets)"
 cargo test -q --test multiprocess_integration
 
+echo "== crash-report gate (die-at-level on every transport → postmortem parses & merges)"
+# A killed rank must exit the simulation with code 4 and leave a crash
+# report whose recordings `postmortem` can re-parse and causally merge
+# (postmortem exits 0 only on both).
+cargo build --release -q --bin wave-lts
+crash_dir="$(mktemp -d /tmp/wlts_crash.XXXXXX)"
+trap 'rm -rf "$crash_dir"' EXIT
+for transport in channel shm-ring unix-socket process; do
+  report="$crash_dir/$transport.json"
+  status=0
+  ./target/release/wave-lts simulate --mesh trench --elements 600 --steps 4 \
+    --ranks 3 --transport "$transport" --fault-rank 1 --fault-die-at-level 1 \
+    --crash-report "$report" >/dev/null 2>&1 || status=$?
+  if [ "$status" -ne 4 ]; then
+    echo "crash-report gate: $transport: expected exit 4, got $status" >&2
+    exit 1
+  fi
+  if [ ! -s "$report" ] || [ ! -s "$report.txt" ] || [ ! -s "$report.trace.json" ]; then
+    echo "crash-report gate: $transport: missing report artifacts" >&2
+    exit 1
+  fi
+  ./target/release/wave-lts postmortem --file "$report" >/dev/null
+done
+
 echo "== SIMD feature matrix (lts-sem with and without the simd feature)"
 # Feature on is the workspace default (covered by every other step); the
 # off leg must still build and pass bitwise-determinism tests through the
@@ -39,7 +63,8 @@ echo "== bench smoke (lts-profile --smoke → validate → bench-compare)"
 cargo build --release -q -p lts-bench --bin lts-profile
 smoke_out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
 scalar_out="$(mktemp /tmp/bench_smoke_scalar.XXXXXX.json)"
-trap 'rm -f "$smoke_out" "$scalar_out"' EXIT
+flight_off="$(mktemp /tmp/bench_smoke_noflight.XXXXXX.json)"
+trap 'rm -f "$smoke_out" "$scalar_out" "$flight_off"; rm -rf "$crash_dir"' EXIT
 ./target/release/lts-profile --mode run --smoke true --out "$smoke_out" >/dev/null
 ./target/release/lts-profile --mode validate --file "$smoke_out"
 ./target/release/lts-profile --mode compare \
@@ -50,5 +75,14 @@ LTS_SIMD=scalar ./target/release/lts-profile --mode run --smoke true \
   --out "$scalar_out" >/dev/null
 ./target/release/lts-profile --mode compare \
   --baseline "$smoke_out" --current "$scalar_out" --timings false
+
+echo "== recorder-overhead smoke (flight recorder off: counters must be identical)"
+# LTS_FLIGHT=0 disables the flight recorder entirely; every deterministic
+# counter must match the recorder-on smoke run exactly — the recorder is
+# observability, never physics.
+LTS_FLIGHT=0 ./target/release/lts-profile --mode run --smoke true \
+  --out "$flight_off" >/dev/null
+./target/release/lts-profile --mode compare \
+  --baseline "$smoke_out" --current "$flight_off" --timings false
 
 echo "ok"

@@ -14,6 +14,19 @@
 //! subcommand those processes run (not meant to be invoked by hand). All
 //! transports produce bitwise-identical fields and identical deterministic
 //! counters.
+//!
+//! Fault injection & post-mortem:
+//!
+//! ```text
+//! wave-lts simulate --ranks 4 --fault-rank 1 --fault-die-at-level 1 \
+//!                   [--fault-die-after-k K] [--fault-recv-timeout-ms MS]
+//!                   [--fault-drop-every N] [--crash-report out.json] [--flight 4096]
+//! wave-lts postmortem --file out.json [--trace-out merged.trace.json]
+//! ```
+//!
+//! A failed distributed run exits 4 after writing the crash report (JSON +
+//! `.txt` + `.trace.json`); `postmortem` re-parses a report, validates the
+//! causal merge and prints the critical-path attribution.
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -82,6 +95,57 @@ fn transport_kind(name: &str) -> wave_lts::runtime::TransportKind {
             std::process::exit(2);
         }
     }
+}
+
+/// Parse the `--fault-*` flags into `(rank, plan)`; `None` when no fault
+/// flag is present.
+fn fault_from_args(m: &HashMap<String, String>) -> Option<(usize, wave_lts::runtime::FaultPlan)> {
+    let plan = wave_lts::runtime::FaultPlan {
+        send_delay_us: get(m, "fault-send-delay-us", 0),
+        drop_every: m.get("fault-drop-every").and_then(|v| v.parse().ok()),
+        die_on_send_at_level: m.get("fault-die-at-level").and_then(|v| v.parse().ok()),
+        die_after_sends: m.get("fault-die-after-k").and_then(|v| v.parse().ok()),
+        recv_timeout_ms: m.get("fault-recv-timeout-ms").and_then(|v| v.parse().ok()),
+    };
+    let armed = plan.send_delay_us > 0
+        || plan.drop_every.is_some()
+        || plan.die_on_send_at_level.is_some()
+        || plan.die_after_sends.is_some()
+        || plan.recv_timeout_ms.is_some();
+    armed.then(|| (get(m, "fault-rank", 0usize), plan))
+}
+
+/// `--flight N` overrides the recorder ring capacity; otherwise the
+/// `LTS_FLIGHT` environment default applies.
+fn flight_from_args(m: &HashMap<String, String>) -> usize {
+    m.get("flight")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(wave_lts::runtime::flight_capacity_from_env)
+}
+
+/// The tail of every failed `simulate --ranks` run: write the crash-report
+/// artifacts (JSON + `.txt` + `.trace.json`) and exit 4.
+fn die_with_crash_report(
+    m: &HashMap<String, String>,
+    e: &wave_lts::runtime::RuntimeError,
+    recordings: Vec<wave_lts::obs::RankRecording>,
+) -> ! {
+    use wave_lts::runtime::postmortem::{reason_for, CrashReport};
+    let path: String = get(m, "crash-report", "crash_report.json".into());
+    eprintln!("distributed run failed: {e}");
+    let rep = CrashReport::new(reason_for(e), e.to_string(), recordings);
+    match rep.write(std::path::Path::new(&path)) {
+        Ok(paths) => {
+            eprintln!(
+                "crash report : {} (+ {}, {})",
+                paths[0].display(),
+                paths[1].display(),
+                paths[2].display()
+            );
+        }
+        Err(we) => eprintln!("crash report could not be written: {we}"),
+    }
+    std::process::exit(4);
 }
 
 fn build(m: &HashMap<String, String>) -> BenchmarkMesh {
@@ -193,7 +257,7 @@ fn run_sim_distributed(
     use wave_lts::obs::MetricsRegistry;
     use wave_lts::runtime::stats::{ascii_timeline, chrome_trace, lambda_from_stats};
     use wave_lts::runtime::{
-        run_distributed_local_acoustic_observed, run_distributed_local_elastic_observed,
+        run_distributed_local_acoustic_flight, run_distributed_local_elastic_flight,
         DistributedConfig, MonitorConfig,
     };
 
@@ -207,6 +271,8 @@ fn run_sim_distributed(
         threads_per_rank: threads.max(1),
         overlap: get(m, "overlap", false),
         transport,
+        flight_capacity: flight_from_args(m),
+        fault: fault_from_args(m),
         ..DistributedConfig::new(ranks)
     };
     let ndof = if elastic {
@@ -218,8 +284,8 @@ fn run_sim_distributed(
     let v0 = vec![0.0; ndof];
     let mut host = MetricsRegistry::new();
     let t0 = std::time::Instant::now();
-    let (u, _, stats) = if elastic {
-        run_distributed_local_elastic_observed(
+    let (result, recordings) = if elastic {
+        run_distributed_local_elastic_flight(
             &b.mesh,
             &b.levels,
             order,
@@ -232,9 +298,8 @@ fn run_sim_distributed(
             &[],
             &mut host,
         )
-        .expect("distributed run failed")
     } else {
-        run_distributed_local_acoustic_observed(
+        run_distributed_local_acoustic_flight(
             &b.mesh,
             &b.levels,
             order,
@@ -247,7 +312,10 @@ fn run_sim_distributed(
             &[],
             &mut host,
         )
-        .expect("distributed run failed")
+    };
+    let (u, _, stats) = match result {
+        Ok(t) => t,
+        Err(e) => die_with_crash_report(m, &e, recordings),
     };
     let wall = t0.elapsed();
     let norm: f64 = u.iter().map(|x| x * x).sum::<f64>().sqrt();
@@ -287,11 +355,11 @@ fn run_sim_multiprocess(
     ranks: usize,
     threads: usize,
 ) {
-    use wave_lts::runtime::process::{run_coordinator, ProcSpec};
+    use wave_lts::runtime::process::{run_coordinator_flight, ProcSpec};
     use wave_lts::runtime::stats::{ascii_timeline, lambda_from_stats};
 
     let bin = std::env::current_exe().expect("current exe");
-    let args: Vec<String> = [
+    let mut args: Vec<String> = [
         "worker",
         "--mesh",
         &get::<String>(m, "mesh", "trench".into()),
@@ -319,6 +387,22 @@ fn run_sim_multiprocess(
     .iter()
     .map(|s| s.to_string())
     .collect();
+    // forward the fault and recorder flags verbatim — the worker whose rank
+    // matches `--fault-rank` wraps its own endpoint
+    for key in [
+        "fault-rank",
+        "fault-die-at-level",
+        "fault-die-after-k",
+        "fault-recv-timeout-ms",
+        "fault-drop-every",
+        "fault-send-delay-us",
+        "flight",
+    ] {
+        if let Some(v) = m.get(key) {
+            args.push(format!("--{key}"));
+            args.push(v.clone());
+        }
+    }
     let spec = ProcSpec {
         bin,
         args,
@@ -326,13 +410,26 @@ fn run_sim_multiprocess(
         timeout: std::time::Duration::from_secs(600),
     };
     let t0 = std::time::Instant::now();
-    let (u, _, stats) = run_coordinator(&spec).expect("multi-process run failed");
+    let (result, recordings) = run_coordinator_flight(&spec);
+    let (u, _, stats) = match result {
+        Ok(t) => t,
+        Err(e) => die_with_crash_report(m, &e, recordings),
+    };
     let wall = t0.elapsed();
     let norm: f64 = u.iter().map(|x| x * x).sum::<f64>().sqrt();
     println!("distributed : {ranks} worker processes (unix-socket), {wall:.2?}, ‖u‖ = {norm:.6e}");
     print!("{}", ascii_timeline(&stats, 48));
     for (l, lam) in lambda_from_stats(&stats) {
         println!("  level {l}: Eq. 21 λ = {lam:.2}");
+    }
+    // the workers shipped their flight rings over the wire; merge them into
+    // one Chrome trace instead of dropping remote ranks on the floor
+    if let Some(trace_out) = m.get("trace-out") {
+        let trace = wave_lts::obs::flight_chrome_trace(&recordings);
+        match std::fs::write(trace_out, trace.render()) {
+            Ok(()) => println!("Chrome trace (merged from {ranks} workers): {trace_out}"),
+            Err(e) => eprintln!("could not write {trace_out}: {e}"),
+        }
     }
     let _ = b;
 }
@@ -371,8 +468,9 @@ fn worker_run<O: Operator + wave_lts::lts::DofTopology>(
     order: usize,
 ) {
     use wave_lts::runtime::exchange::build_plans;
-    use wave_lts::runtime::process::{worker_connect, worker_report};
-    use wave_lts::runtime::{run_rank_endpoint, DistributedConfig, TransportKind};
+    use wave_lts::runtime::process::{worker_connect, worker_report_crash, worker_report_flight};
+    use wave_lts::runtime::transport::faulty;
+    use wave_lts::runtime::{run_rank_endpoint_recorded, DistributedConfig, TransportKind};
 
     let steps: usize = get(m, "steps", 20);
     let threads: usize = get(m, "threads", 1);
@@ -392,6 +490,7 @@ fn worker_run<O: Operator + wave_lts::lts::DofTopology>(
         overlap: get(m, "overlap", false),
         threads_per_rank: threads.max(1),
         transport: TransportKind::UnixSocket,
+        flight_capacity: flight_from_args(m),
         ..DistributedConfig::new(ranks)
     };
     let socket = socket_arg(m);
@@ -403,7 +502,13 @@ fn worker_run<O: Operator + wave_lts::lts::DofTopology>(
             std::process::exit(3);
         }
     };
-    match run_rank_endpoint(
+    let mut endpoint: Box<dyn wave_lts::runtime::Transport> = Box::new(transport);
+    if let Some((fault_rank, fault_plan)) = fault_from_args(m) {
+        if fault_rank == rank {
+            endpoint = faulty::wrap(endpoint, fault_plan);
+        }
+    }
+    let (outcome, recording) = run_rank_endpoint_recorded(
         op,
         &setup,
         plan,
@@ -414,18 +519,32 @@ fn worker_run<O: Operator + wave_lts::lts::DofTopology>(
         steps,
         &cfg,
         &[],
-        Box::new(transport),
-    ) {
+        endpoint,
+    );
+    match outcome {
         Ok((u, v, stats)) => {
             let ul: Vec<f64> = plan.my_dofs.iter().map(|&d| u[d as usize]).collect();
             let vl: Vec<f64> = plan.my_dofs.iter().map(|&d| v[d as usize]).collect();
-            if let Err(e) = worker_report(path, rank, &stats, &ul, &vl, &plan.my_dofs) {
+            if let Err(e) = worker_report_flight(
+                path,
+                rank,
+                &stats,
+                &ul,
+                &vl,
+                &plan.my_dofs,
+                Some(&recording),
+            ) {
                 eprintln!("worker rank {rank}: report: {e}");
                 std::process::exit(3);
             }
         }
         Err(e) => {
             eprintln!("worker rank {rank}: {e}");
+            // last words: ship the ring so the coordinator's post-mortem
+            // includes this rank's final events
+            if let Err(re) = worker_report_crash(path, &recording) {
+                eprintln!("worker rank {rank}: crash report: {re}");
+            }
             std::process::exit(3);
         }
     }
@@ -480,6 +599,40 @@ fn run_sim<O: Operator + wave_lts::lts::DofTopology>(
     }
 }
 
+/// `postmortem --file report.json [--trace-out out.json]`: re-parse a
+/// crash report, validate its causal merge, and print the critical-path
+/// attribution. Exits 0 only when the report parses *and* its recordings
+/// merge causally — the CI gate relies on exactly that.
+fn cmd_postmortem(m: &HashMap<String, String>) {
+    use wave_lts::runtime::postmortem::read_report;
+    let Some(file) = m.get("file") else {
+        eprintln!("postmortem: --file is required");
+        std::process::exit(2);
+    };
+    let rep = match read_report(std::path::Path::new(file)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("postmortem: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", rep.render_text());
+    if let Some(out) = m.get("trace-out") {
+        let trace = wave_lts::obs::flight_chrome_trace(&rep.recordings);
+        match std::fs::write(out, trace.render()) {
+            Ok(()) => println!("Chrome trace: {out}"),
+            Err(e) => {
+                eprintln!("could not write {out}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Err(e) = wave_lts::obs::merge_recordings(&rep.recordings) {
+        eprintln!("postmortem: causal merge failed: {e}");
+        std::process::exit(1);
+    }
+}
+
 fn cmd_export(m: &HashMap<String, String>) {
     let b = build(m);
     let out: String = get(m, "out", "mesh.wlts".into());
@@ -498,7 +651,7 @@ fn cmd_export(m: &HashMap<String, String>) {
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
-        eprintln!("usage: wave-lts <info|partition|simulate|export> [--key value ...]");
+        eprintln!("usage: wave-lts <info|partition|simulate|export|postmortem> [--key value ...]");
         std::process::exit(2);
     };
     let args = parse_args(&argv[1..]);
@@ -508,8 +661,11 @@ fn main() {
         "simulate" => cmd_simulate(&args),
         "export" => cmd_export(&args),
         "worker" => cmd_worker(&args),
+        "postmortem" => cmd_postmortem(&args),
         other => {
-            eprintln!("unknown command {other:?}; expected info|partition|simulate|export|worker");
+            eprintln!(
+                "unknown command {other:?}; expected info|partition|simulate|export|postmortem|worker"
+            );
             std::process::exit(2);
         }
     }

@@ -305,6 +305,196 @@ fn dropped_messages_with_recv_timeout_error_instead_of_hanging() {
     }
 }
 
+// ---- crash reports --------------------------------------------------------
+//
+// The flight recorder's acceptance contract: every injected failure mode
+// (die-at-level, die-after-k, forced timeout) on every transport backend
+// must yield a crash report whose per-rank recordings merge into one
+// causally-ordered event stream and survive a JSON round trip.
+
+mod crash_reports {
+    use super::chain_world;
+    use std::time::Duration;
+    use wave_lts::obs::{merge_recordings, EventKind, Json, RankRecording};
+    use wave_lts::runtime::postmortem::{reason_for, CrashReport};
+    use wave_lts::runtime::transport::{self, faulty, TransportKind};
+    use wave_lts::runtime::{run_distributed_endpoints_recorded, DistributedConfig, RankRun};
+
+    /// `run_with_faults`, but through the recorded entry point so the
+    /// drained flight rings come back alongside the outcomes.
+    fn run_recorded(
+        kind: TransportKind,
+        victim_plan: faulty::FaultPlan,
+        all_plan: Option<faulty::FaultPlan>,
+    ) -> (Vec<RankRun>, Vec<RankRecording>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let (c, setup, part, dt) = chain_world();
+            let ndof = 25;
+            let u0: Vec<f64> = (0..ndof).map(|i| ((i as f64) * 0.37).sin()).collect();
+            let mut endpoints = transport::make_cluster(kind, 3);
+            if let Some(plan) = all_plan {
+                endpoints = endpoints
+                    .into_iter()
+                    .map(|ep| faulty::wrap(ep, plan))
+                    .collect();
+            }
+            let ep = endpoints.remove(1);
+            endpoints.insert(1, faulty::wrap(ep, victim_plan));
+            let cfg = DistributedConfig {
+                flight_capacity: 512,
+                ..DistributedConfig::new(3)
+            };
+            let out = run_distributed_endpoints_recorded(
+                &c,
+                &setup,
+                &part,
+                dt,
+                &u0,
+                &vec![0.0; ndof],
+                10,
+                &cfg,
+                &[],
+                endpoints,
+            );
+            let _ = tx.send(out);
+        });
+        rx.recv_timeout(Duration::from_secs(60))
+            .unwrap_or_else(|_| panic!("{kind:?}: runtime deadlocked"))
+    }
+
+    fn assert_crash_report(
+        kind: TransportKind,
+        name: &str,
+        victim: faulty::FaultPlan,
+        all: Option<faulty::FaultPlan>,
+    ) {
+        let (outcomes, recordings) = run_recorded(kind, victim, all);
+        assert_eq!(
+            recordings.len(),
+            3,
+            "{kind:?} {name}: expected a recording per rank"
+        );
+        let err = outcomes
+            .iter()
+            .find_map(|o| o.as_ref().err())
+            .unwrap_or_else(|| panic!("{kind:?} {name}: no rank failed"));
+        let report = CrashReport::new(reason_for(err), err.to_string(), recordings);
+
+        // merged and causally ordered: the merge is a linear extension of
+        // happens-before — program order per rank is preserved, and every
+        // matched recv comes after (and lamport-above) its send
+        let merged = merge_recordings(&report.recordings)
+            .unwrap_or_else(|e| panic!("{kind:?} {name}: causal merge failed: {e}"));
+        assert!(!merged.is_empty(), "{kind:?} {name}: empty merge");
+        let mut last_t = std::collections::BTreeMap::new();
+        for m in &merged {
+            if let Some(&prev) = last_t.get(&m.rank) {
+                assert!(
+                    m.ev.t_ns >= prev,
+                    "{kind:?} {name}: rank {} program order violated in merge",
+                    m.rank
+                );
+            }
+            last_t.insert(m.rank, m.ev.t_ns);
+        }
+        for (ri, r) in merged
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.ev.kind == EventKind::Recv)
+        {
+            let send = merged.iter().enumerate().find(|(_, m)| {
+                m.ev.kind == EventKind::Send
+                    && m.rank == r.ev.peer
+                    && m.ev.peer == r.rank
+                    && m.ev.seq == r.ev.seq
+            });
+            if let Some((si, s)) = send {
+                assert!(
+                    si < ri && s.lamport < r.lamport,
+                    "{kind:?} {name}: recv seq {} from rank {} not after its send",
+                    r.ev.seq,
+                    r.ev.peer
+                );
+            }
+        }
+
+        // at least one rank's ring ends on the fault marker — the recorder
+        // stamps it as the final event before the error propagates out
+        let faulted = report
+            .recordings
+            .iter()
+            .filter(|r| r.events.last().map(|e| e.kind) == Some(EventKind::Fault))
+            .count();
+        assert!(
+            faulted >= 1,
+            "{kind:?} {name}: no rank recorded a terminal fault event"
+        );
+
+        // the document round-trips losslessly and renders a merge verdict
+        let parsed = Json::parse(&report.to_json().render_pretty())
+            .unwrap_or_else(|e| panic!("{kind:?} {name}: report JSON unparseable: {e}"));
+        let back = CrashReport::from_json(&parsed)
+            .unwrap_or_else(|e| panic!("{kind:?} {name}: report rejected: {e}"));
+        assert_eq!(back, report, "{kind:?} {name}: round trip changed report");
+        let text = report.render_text();
+        assert!(
+            text.contains("causal merge : OK"),
+            "{kind:?} {name}: {text}"
+        );
+        assert!(text.contains(&report.reason), "{kind:?} {name}: {text}");
+    }
+
+    fn all_scenarios(kind: TransportKind) {
+        assert_crash_report(
+            kind,
+            "die-at-level",
+            faulty::FaultPlan {
+                die_on_send_at_level: Some(1),
+                ..Default::default()
+            },
+            None,
+        );
+        assert_crash_report(
+            kind,
+            "die-after-k",
+            faulty::FaultPlan {
+                die_after_sends: Some(7),
+                ..Default::default()
+            },
+            None,
+        );
+        assert_crash_report(
+            kind,
+            "forced-timeout",
+            faulty::FaultPlan {
+                drop_every: Some(4),
+                ..Default::default()
+            },
+            Some(faulty::FaultPlan {
+                recv_timeout_ms: Some(1_000),
+                ..Default::default()
+            }),
+        );
+    }
+
+    #[test]
+    fn channel_faults_produce_causal_crash_reports() {
+        all_scenarios(TransportKind::Channel);
+    }
+
+    #[test]
+    fn shm_ring_faults_produce_causal_crash_reports() {
+        all_scenarios(TransportKind::SharedRing);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_faults_produce_causal_crash_reports() {
+        all_scenarios(TransportKind::UnixSocket);
+    }
+}
+
 #[test]
 fn work_accounting_matches_partition() {
     let b = BenchmarkMesh::build(MeshKind::Trench, 600);

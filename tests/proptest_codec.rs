@@ -16,14 +16,20 @@ fn payload_strategy() -> impl Strategy<Value = Vec<f64>> {
 }
 
 fn halo_strategy() -> impl Strategy<Value = Frame> {
-    (0u32..64, 0u32..64, 0u8..8, payload_strategy()).prop_map(|(src, dst, level, payload)| {
-        Frame::Halo {
+    (
+        0u32..64,
+        0u32..64,
+        0u8..8,
+        0u64..u64::MAX,
+        payload_strategy(),
+    )
+        .prop_map(|(src, dst, level, seq, payload)| Frame::Halo {
             src,
             dst,
             level,
+            seq,
             payload,
-        }
-    })
+        })
 }
 
 proptest! {
@@ -86,8 +92,8 @@ proptest! {
     #[test]
     fn inflated_counts_are_malformed(frame in halo_strategy(), claimed in 1024u32..u32::MAX) {
         let mut bytes = encode_vec(&frame);
-        // the payload count sits after src + dst + level in the body
-        let at = HEADER_LEN + 9;
+        // the payload count sits after src + dst + level + seq in the body
+        let at = HEADER_LEN + 17;
         bytes[at..at + 4].copy_from_slice(&claimed.to_le_bytes());
         match decode(&bytes) {
             Err(CodecError::Malformed(_)) | Err(CodecError::Truncated) => {}

@@ -71,3 +71,28 @@ fn delay_injecting_wrapper_changes_nothing() {
         Checks::default(),
     );
 }
+
+/// Flight-recorder seq matching must survive injected drops and forced
+/// recv timeouts: gaps in the delivered seq stream are fine, desyncs (a
+/// recv matching the wrong send) are not — asserted per backend via the
+/// causal merge's lamport ordering.
+mod seq_integrity {
+    use wave_lts::runtime::transport::conformance::seq_integrity_under_faults;
+    use wave_lts::runtime::transport::{make_cluster, ring, TransportKind};
+
+    #[test]
+    fn channel_seqs_survive_faults() {
+        seq_integrity_under_faults(|n| make_cluster(TransportKind::Channel, n));
+    }
+
+    #[test]
+    fn shm_ring_seqs_survive_faults() {
+        seq_integrity_under_faults(|n| ring::ring_cluster(n, 4));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_seqs_survive_faults() {
+        seq_integrity_under_faults(|n| make_cluster(TransportKind::UnixSocket, n));
+    }
+}

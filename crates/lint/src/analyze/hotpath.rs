@@ -1,0 +1,64 @@
+//! Transitive hot-path purity: any allocation or panic-capable construct
+//! inside a function reachable from a hot root is a violation, no matter
+//! how many calls deep. Replaces the tag-scoped `hot-path-alloc` body scan
+//! and the blanket textual `no-panic` rule for reachable code.
+
+use crate::graph::{BlameHop, FnId, Workspace};
+use crate::parse::{HitKind, ParsedFile};
+use crate::rules::{Diagnostic, Severity, RULE_HOT_INDEX, RULE_HOT_PANIC, RULE_HOT_PATH};
+use std::collections::BTreeMap;
+
+pub fn check(
+    ws: &Workspace,
+    files: &BTreeMap<String, ParsedFile>,
+    parents: &BTreeMap<FnId, Option<(FnId, usize)>>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for &id in parents.keys() {
+        let n = &ws.fns[id];
+        let Some(pf) = files.get(&n.file) else {
+            continue;
+        };
+        for h in &n.f.hits {
+            let (rule, severity, verb) = match h.kind {
+                HitKind::Alloc => (RULE_HOT_PATH, Severity::Error, "allocates"),
+                HitKind::Panic => (RULE_HOT_PANIC, Severity::Error, "can panic"),
+                HitKind::Index => (
+                    RULE_HOT_INDEX,
+                    Severity::Warning,
+                    "may panic (indexing without `get`)",
+                ),
+                HitKind::Det => continue,
+            };
+            // a legacy `allow(no-panic)` escape covers the same construct
+            // the semantic panic rule re-finds — honor it rather than
+            // forcing every justified escape to be rewritten
+            if super::allowed(pf, h.line, rule)
+                || (rule == RULE_HOT_PANIC
+                    && super::allowed(pf, h.line, crate::rules::RULE_NO_PANIC))
+            {
+                continue;
+            }
+            let mut chain = ws.blame_chain(parents, id);
+            let root = chain.first().map_or_else(String::new, |r| r.what.clone());
+            chain.push(BlameHop {
+                file: n.file.clone(),
+                line: h.line,
+                what: format!("`{}`", h.token),
+            });
+            let mut d = Diagnostic::new(
+                &n.file,
+                h.line,
+                rule,
+                format!(
+                    "`{}` {verb} in `{}`, reachable from hot root `{root}`",
+                    h.token,
+                    ws.qualified(id)
+                ),
+            );
+            d.severity = severity;
+            d.chain = chain;
+            diags.push(d);
+        }
+    }
+}

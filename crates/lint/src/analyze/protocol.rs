@@ -1,0 +1,639 @@
+//! Protocol exhaustiveness: every `Frame` variant must have a `kind()`
+//! mapping, an `encode` arm and a `decode_body` arm; every `EventKind`
+//! discriminant must round-trip through `from_u8`; the metric-id tables
+//! must be duplicate-free; and any change to the wire *shape* (variants,
+//! fields, kind numbers, tables, event discriminants) must bump
+//! `codec::VERSION` — enforced against the committed fingerprint in
+//! `lint/wire.fingerprint`.
+//!
+//! The scans are structural over the scrubbed source of `codec.rs` and
+//! `flight.rs`; they need no type information because the wire contract is
+//! by design written out literally in those two files.
+
+use crate::graph::BlameHop;
+use crate::parse::{fn_body_span, ParsedFile};
+use crate::rules::{Diagnostic, RULE_CONFIG, RULE_PROTOCOL};
+use crate::source::{line_of, Scrubbed};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+pub const CODEC_REL: &str = "crates/runtime/src/transport/codec.rs";
+pub const FLIGHT_REL: &str = "crates/obs/src/flight.rs";
+pub const FINGERPRINT_REL: &str = "lint/wire.fingerprint";
+
+/// One enum variant: name, declaration line, `= N` discriminant if written,
+/// and the whitespace-normalized field text (its wire shape).
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    line: usize,
+    disc: Option<u32>,
+    fields: String,
+}
+
+/// Everything the checks need from the two protocol files.
+#[derive(Debug, Default)]
+struct Shape {
+    frame_line: usize,
+    frame: Vec<Variant>,
+    /// `Frame::X => N` pairs from `fn kind`, plus the fn's line.
+    kind_arms: Vec<(String, u32, usize)>,
+    kind_line: usize,
+    encode_refs: BTreeSet<String>,
+    encode_line: usize,
+    decode_ints: Vec<(u32, usize)>,
+    decode_line: usize,
+    /// `(bound, line)` of the `kind > N` header guard.
+    header_bound: Option<(u32, usize)>,
+    /// `(value, line)` of `const VERSION`.
+    version: Option<(u32, usize)>,
+    /// `(table name, line, entries)`.
+    tables: Vec<(String, usize, Vec<String>)>,
+    events: Vec<Variant>,
+    from_u8_ints: Vec<(u32, usize)>,
+    from_u8_line: usize,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Parse the variants of `enum <name>` out of scrubbed code. Returns the
+/// declaration line and the variants.
+fn enum_variants(code: &str, name: &str) -> Option<(usize, Vec<Variant>)> {
+    let cs: Vec<char> = code.chars().collect();
+    for start in crate::parse::word_positions(code, "enum") {
+        let mut j = start + 4;
+        while j < cs.len() && cs[j].is_whitespace() {
+            j += 1;
+        }
+        let n0 = j;
+        while j < cs.len() && is_ident(cs[j]) {
+            j += 1;
+        }
+        if cs[n0..j].iter().collect::<String>() != name {
+            continue;
+        }
+        while j < cs.len() && cs[j] != '{' {
+            j += 1;
+        }
+        if j >= cs.len() {
+            return None;
+        }
+        let decl_line = line_of(code, start);
+        let mut variants = Vec::new();
+        let mut k = j + 1;
+        loop {
+            while k < cs.len() && (cs[k].is_whitespace() || cs[k] == ',') {
+                k += 1;
+            }
+            if k >= cs.len() || cs[k] == '}' {
+                break;
+            }
+            if cs[k] == '#' {
+                // variant attribute: skip the line
+                while k < cs.len() && cs[k] != '\n' {
+                    k += 1;
+                }
+                continue;
+            }
+            if !is_ident(cs[k]) {
+                k += 1;
+                continue;
+            }
+            let v0 = k;
+            while k < cs.len() && is_ident(cs[k]) {
+                k += 1;
+            }
+            let vname: String = cs[v0..k].iter().collect();
+            let vline = line_of(code, v0);
+            // capture the variant tail up to the `,` (or enum `}`) at depth 0
+            let t0 = k;
+            let mut depth = 0i32;
+            while k < cs.len() {
+                match cs[k] {
+                    '{' | '(' | '[' => depth += 1,
+                    '}' | ')' | ']' => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            let tail: String = cs[t0..k].iter().filter(|c| !c.is_whitespace()).collect();
+            let disc = tail.strip_prefix('=').and_then(|t| {
+                t.chars()
+                    .take_while(char::is_ascii_digit)
+                    .collect::<String>()
+                    .parse()
+                    .ok()
+            });
+            variants.push(Variant {
+                name: vname,
+                line: vline,
+                disc,
+                fields: tail,
+            });
+        }
+        return Some((decl_line, variants));
+    }
+    None
+}
+
+/// `EnumName::Variant` references inside `body`, with the char offset of
+/// each.
+fn qual_refs(code: &str, body: &std::ops::Range<usize>, enum_name: &str) -> Vec<(String, usize)> {
+    let cs: Vec<char> = code.chars().collect();
+    let mut out = Vec::new();
+    for p in crate::parse::word_positions(code, enum_name) {
+        if p < body.start || p >= body.end {
+            continue;
+        }
+        let mut j = p + enum_name.chars().count();
+        if j + 1 < cs.len() && cs[j] == ':' && cs[j + 1] == ':' {
+            j += 2;
+            let v0 = j;
+            while j < cs.len() && is_ident(cs[j]) {
+                j += 1;
+            }
+            if j > v0 {
+                out.push((cs[v0..j].iter().collect(), p));
+            }
+        }
+    }
+    out
+}
+
+/// Integer literals standing directly before a `=>` inside `body` — match
+/// arm discriminants.
+fn arm_ints(code: &str, body: &std::ops::Range<usize>) -> Vec<(u32, usize)> {
+    let cs: Vec<char> = code.chars().collect();
+    let mut out = Vec::new();
+    let mut i = body.start;
+    while i + 1 < body.end {
+        if cs[i] == '=' && cs[i + 1] == '>' {
+            let mut k = i;
+            while k > body.start && cs[k - 1].is_whitespace() {
+                k -= 1;
+            }
+            let d1 = k;
+            while k > body.start && cs[k - 1].is_ascii_digit() {
+                k -= 1;
+            }
+            let ok_prefix = k == body.start || !(is_ident(cs[k - 1]) || cs[k - 1] == '.');
+            if k < d1 && ok_prefix {
+                let digits: String = cs[k..d1].iter().collect();
+                if let Ok(v) = digits.parse() {
+                    out.push((v, line_of(code, k)));
+                }
+            }
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// `const <name> … = [ entries ];` — returns the const's line and the
+/// top-level comma-separated entries.
+fn const_table(code: &str, name: &str) -> Option<(usize, Vec<String>)> {
+    let cs: Vec<char> = code.chars().collect();
+    let p = crate::parse::word_positions(code, name)
+        .into_iter()
+        .find(|&p| {
+            // must be a declaration: preceded by `const `
+            let pre: String = cs[p.saturating_sub(6)..p].iter().collect();
+            pre.ends_with("const ")
+        })?;
+    let mut j = p;
+    while j < cs.len() && cs[j] != '=' {
+        j += 1;
+    }
+    while j < cs.len() && cs[j] != '[' {
+        j += 1;
+    }
+    if j >= cs.len() {
+        return None;
+    }
+    let open = j;
+    let mut depth = 0i32;
+    let mut entries = Vec::new();
+    let mut cur = String::new();
+    while j < cs.len() {
+        match cs[j] {
+            '[' => {
+                depth += 1;
+                if depth > 1 {
+                    cur.push('[');
+                }
+            }
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                cur.push(']');
+            }
+            ',' if depth == 1 => {
+                entries.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+        j += 1;
+    }
+    entries.push(cur);
+    let entries: Vec<String> = entries
+        .into_iter()
+        .map(|e| e.split_whitespace().collect::<String>())
+        .filter(|e| !e.is_empty())
+        .collect();
+    Some((line_of(code, open), entries))
+}
+
+/// `const VERSION … = N` value and line.
+fn const_int(code: &str, name: &str) -> Option<(u32, usize)> {
+    let cs: Vec<char> = code.chars().collect();
+    let p = crate::parse::word_positions(code, name)
+        .into_iter()
+        .find(|&p| {
+            let pre: String = cs[p.saturating_sub(6)..p].iter().collect();
+            pre.ends_with("const ")
+        })?;
+    let mut j = p;
+    while j < cs.len() && cs[j] != '=' {
+        j += 1;
+    }
+    j += 1;
+    while j < cs.len() && cs[j].is_whitespace() {
+        j += 1;
+    }
+    let d0 = j;
+    while j < cs.len() && (cs[j].is_ascii_digit() || cs[j] == '_') {
+        j += 1;
+    }
+    let digits: String = cs[d0..j].iter().filter(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok().map(|v| (v, line_of(code, p)))
+}
+
+/// The `kind > N` bound inside `decode_header`.
+fn header_bound(code: &str, body: &std::ops::Range<usize>) -> Option<(u32, usize)> {
+    let cs: Vec<char> = code.chars().collect();
+    for p in crate::parse::word_positions(code, "kind") {
+        if p < body.start || p >= body.end {
+            continue;
+        }
+        let mut j = p + 4;
+        while j < cs.len() && cs[j].is_whitespace() {
+            j += 1;
+        }
+        if j >= cs.len() || cs[j] != '>' || (j + 1 < cs.len() && cs[j + 1] == '=') {
+            continue;
+        }
+        j += 1;
+        while j < cs.len() && cs[j].is_whitespace() {
+            j += 1;
+        }
+        let d0 = j;
+        while j < cs.len() && cs[j].is_ascii_digit() {
+            j += 1;
+        }
+        if j > d0 {
+            let digits: String = cs[d0..j].iter().collect();
+            if let Ok(v) = digits.parse() {
+                return Some((v, line_of(code, p)));
+            }
+        }
+    }
+    None
+}
+
+fn parse_shape(root: &Path) -> Option<Shape> {
+    let codec_src = std::fs::read_to_string(root.join(CODEC_REL)).ok()?;
+    let codec = Scrubbed::new(&codec_src);
+    let code = &codec.code;
+    let mut sh = Shape::default();
+    if let Some((line, vs)) = enum_variants(code, "Frame") {
+        sh.frame_line = line;
+        sh.frame = vs;
+    }
+    if let Some(body) = fn_body_span(&codec, "kind") {
+        sh.kind_line = line_of(code, body.start);
+        for (vname, at) in qual_refs(code, &body, "Frame") {
+            // the arm's value is the next integer before a `=>`… simplest:
+            // scan forward from the reference for `=> N`
+            let cs: Vec<char> = code.chars().collect();
+            let mut j = at;
+            while j + 1 < body.end && !(cs[j] == '=' && cs[j + 1] == '>') {
+                j += 1;
+            }
+            j += 2;
+            while j < body.end && cs[j].is_whitespace() {
+                j += 1;
+            }
+            let d0 = j;
+            while j < body.end && cs[j].is_ascii_digit() {
+                j += 1;
+            }
+            if j > d0 {
+                let digits: String = cs[d0..j].iter().collect();
+                if let Ok(v) = digits.parse() {
+                    sh.kind_arms.push((vname, v, line_of(code, at)));
+                }
+            }
+        }
+    }
+    if let Some(body) = fn_body_span(&codec, "encode") {
+        sh.encode_line = line_of(code, body.start);
+        sh.encode_refs = qual_refs(code, &body, "Frame")
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+    }
+    if let Some(body) = fn_body_span(&codec, "decode_body") {
+        sh.decode_line = line_of(code, body.start);
+        sh.decode_ints = arm_ints(code, &body);
+    }
+    if let Some(body) = fn_body_span(&codec, "decode_header") {
+        sh.header_bound = header_bound(code, &body);
+    }
+    sh.version = const_int(code, "VERSION");
+    for t in ["COUNTER_NAMES", "HIST_NAMES", "GAUGE_NAMES"] {
+        if let Some((line, entries)) = const_table(code, t) {
+            sh.tables.push((t.to_string(), line, entries));
+        }
+    }
+    if let Ok(flight_src) = std::fs::read_to_string(root.join(FLIGHT_REL)) {
+        let flight = Scrubbed::new(&flight_src);
+        if let Some((_, vs)) = enum_variants(&flight.code, "EventKind") {
+            sh.events = vs;
+        }
+        if let Some(body) = fn_body_span(&flight, "from_u8") {
+            sh.from_u8_line = line_of(&flight.code, body.start);
+            sh.from_u8_ints = arm_ints(&flight.code, &body);
+        }
+    }
+    Some(sh)
+}
+
+/// Canonical wire-shape string: what the committed fingerprint hashes.
+fn canonical(sh: &Shape) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "wire-version {}\n",
+        sh.version.map_or(0, |(v, _)| v)
+    ));
+    for v in &sh.frame {
+        out.push_str(&format!("frame {} {}\n", v.name, v.fields));
+    }
+    for (name, val, _) in &sh.kind_arms {
+        out.push_str(&format!("kind {name}={val}\n"));
+    }
+    for (t, _, entries) in &sh.tables {
+        out.push_str(&format!("table {t} [{}]\n", entries.join(",")));
+    }
+    for v in &sh.events {
+        out.push_str(&format!(
+            "event {}={}\n",
+            v.name,
+            v.disc.map_or(u32::MAX, |d| d)
+        ));
+    }
+    out
+}
+
+/// The generated content of `lint/wire.fingerprint` for the workspace at
+/// `root`, or `None` when it has no codec (fixture workspaces).
+pub fn fingerprint_file_text(root: &Path) -> Option<String> {
+    let sh = parse_shape(root)?;
+    let canon = canonical(&sh);
+    Some(format!(
+        "# wire-shape fingerprint — regenerate with: cargo xtask lint --mode wire-fingerprint\n\
+         # hashes the canonical shape of Frame/EventKind/metric tables in codec.rs + flight.rs\n\
+         version = {}\n\
+         fingerprint = {:016x}\n",
+        sh.version.map_or(0, |(v, _)| v),
+        crate::fnv64(canon.as_bytes())
+    ))
+}
+
+fn read_committed(root: &Path) -> Option<(u32, String)> {
+    let text = std::fs::read_to_string(root.join(FINGERPRINT_REL)).ok()?;
+    let mut version = None;
+    let mut fp = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(v) = line.strip_prefix("version") {
+            version = v.trim_start_matches([' ', '=']).trim().parse().ok();
+        } else if let Some(f) = line.strip_prefix("fingerprint") {
+            fp = Some(f.trim_start_matches([' ', '=']).trim().to_string());
+        }
+    }
+    Some((version?, fp?))
+}
+
+pub fn check(root: &Path, files: &BTreeMap<String, ParsedFile>, diags: &mut Vec<Diagnostic>) {
+    let Some(sh) = parse_shape(root) else {
+        return; // no codec in this workspace: nothing to prove
+    };
+    let pf = files.get(CODEC_REL);
+    let mut push = |mut d: Diagnostic| {
+        if pf.is_some_and(|pf| super::allowed(pf, d.line, d.rule)) {
+            return;
+        }
+        if d.chain.is_empty() {
+            d.chain = vec![BlameHop {
+                file: d.file.to_string_lossy().into_owned(),
+                line: d.line,
+                what: "wire contract".into(),
+            }];
+        }
+        diags.push(d);
+    };
+
+    let kind_of: BTreeMap<&str, u32> = sh
+        .kind_arms
+        .iter()
+        .map(|(n, v, _)| (n.as_str(), *v))
+        .collect();
+    let decode_set: BTreeSet<u32> = sh.decode_ints.iter().map(|(v, _)| *v).collect();
+    for v in &sh.frame {
+        match kind_of.get(v.name.as_str()) {
+            None => push(Diagnostic::new(
+                CODEC_REL,
+                v.line,
+                RULE_PROTOCOL,
+                format!("`Frame::{}` has no `kind()` mapping", v.name),
+            )),
+            Some(&k) => {
+                if !decode_set.contains(&k) {
+                    let mut d = Diagnostic::new(
+                        CODEC_REL,
+                        v.line,
+                        RULE_PROTOCOL,
+                        format!("`Frame::{}` (kind {k}) has no `decode_body` arm", v.name),
+                    );
+                    d.chain = vec![
+                        BlameHop {
+                            file: CODEC_REL.into(),
+                            line: v.line,
+                            what: format!("Frame::{} declared", v.name),
+                        },
+                        BlameHop {
+                            file: CODEC_REL.into(),
+                            line: sh.decode_line,
+                            what: format!("decode_body match has no `{k} =>` arm"),
+                        },
+                    ];
+                    push(d);
+                }
+            }
+        }
+        if !sh.encode_refs.contains(&v.name) {
+            let mut d = Diagnostic::new(
+                CODEC_REL,
+                v.line,
+                RULE_PROTOCOL,
+                format!("`Frame::{}` has no `encode` arm", v.name),
+            );
+            d.chain = vec![
+                BlameHop {
+                    file: CODEC_REL.into(),
+                    line: v.line,
+                    what: format!("Frame::{} declared", v.name),
+                },
+                BlameHop {
+                    file: CODEC_REL.into(),
+                    line: sh.encode_line,
+                    what: "encode match never mentions it".into(),
+                },
+            ];
+            push(d);
+        }
+    }
+    // decode arms for kinds that no longer exist
+    let kind_vals: BTreeSet<u32> = kind_of.values().copied().collect();
+    for (v, line) in &sh.decode_ints {
+        if !kind_vals.contains(v) {
+            push(Diagnostic::new(
+                CODEC_REL,
+                *line,
+                RULE_PROTOCOL,
+                format!("`decode_body` arm `{v} =>` decodes no declared frame kind"),
+            ));
+        }
+    }
+    // header guard must admit exactly the declared kinds
+    if let (Some((bound, line)), Some(&max)) = (sh.header_bound, kind_vals.iter().max()) {
+        if bound != max {
+            push(Diagnostic::new(
+                CODEC_REL,
+                line,
+                RULE_PROTOCOL,
+                format!(
+                    "`decode_header` rejects kind > {bound} but the highest declared kind is {max}"
+                ),
+            ));
+        }
+    }
+    // metric tables: duplicate ids are silent decode corruption
+    for (t, line, entries) in &sh.tables {
+        let mut seen = BTreeSet::new();
+        for e in entries {
+            if !seen.insert(e.clone()) {
+                push(Diagnostic::new(
+                    CODEC_REL,
+                    *line,
+                    RULE_PROTOCOL,
+                    format!("duplicate entry `{e}` in metric table `{t}`"),
+                ));
+            }
+        }
+    }
+    // EventKind: every discriminant must round-trip through from_u8
+    let from_set: BTreeSet<u32> = sh.from_u8_ints.iter().map(|(v, _)| *v).collect();
+    let disc_set: BTreeSet<u32> = sh.events.iter().filter_map(|v| v.disc).collect();
+    for v in &sh.events {
+        if let Some(d) = v.disc {
+            if !from_set.contains(&d) {
+                let mut diag = Diagnostic::new(
+                    FLIGHT_REL,
+                    v.line,
+                    RULE_PROTOCOL,
+                    format!("`EventKind::{}` (= {d}) has no `from_u8` arm", v.name),
+                );
+                diag.chain = vec![
+                    BlameHop {
+                        file: FLIGHT_REL.into(),
+                        line: v.line,
+                        what: format!("EventKind::{} declared", v.name),
+                    },
+                    BlameHop {
+                        file: FLIGHT_REL.into(),
+                        line: sh.from_u8_line,
+                        what: format!("from_u8 has no `{d} =>` arm"),
+                    },
+                ];
+                // flight.rs allows live in its own parsed file
+                if files
+                    .get(FLIGHT_REL)
+                    .is_some_and(|pf| super::allowed(pf, v.line, RULE_PROTOCOL))
+                {
+                    continue;
+                }
+                push(diag);
+            }
+        }
+    }
+    for (v, line) in &sh.from_u8_ints {
+        if !disc_set.contains(v) {
+            push(Diagnostic::new(
+                FLIGHT_REL,
+                *line,
+                RULE_PROTOCOL,
+                format!("`from_u8` arm `{v} =>` maps to no declared EventKind discriminant"),
+            ));
+        }
+    }
+
+    // wire-shape fingerprint discipline
+    let canon = canonical(&sh);
+    let fp = format!("{:016x}", crate::fnv64(canon.as_bytes()));
+    let version = sh.version.map_or(0, |(v, _)| v);
+    let vline = sh.version.map_or(1, |(_, l)| l);
+    match read_committed(root) {
+        None => push(Diagnostic::new(
+            CODEC_REL,
+            vline,
+            RULE_CONFIG,
+            format!(
+                "no committed wire fingerprint — generate `{FINGERPRINT_REL}` with `cargo xtask lint --mode wire-fingerprint`"
+            ),
+        )),
+        Some((cv, cfp)) => {
+            if cv == version && cfp != fp {
+                push(Diagnostic::new(
+                    CODEC_REL,
+                    vline,
+                    RULE_PROTOCOL,
+                    format!(
+                        "wire shape changed (fingerprint {fp} != committed {cfp}) without bumping `codec::VERSION` — bump it, then refresh `{FINGERPRINT_REL}`"
+                    ),
+                ));
+            } else if cv != version {
+                push(Diagnostic::new(
+                    CODEC_REL,
+                    vline,
+                    RULE_PROTOCOL,
+                    format!(
+                        "`codec::VERSION` is {version} but `{FINGERPRINT_REL}` records {cv} — refresh it with `cargo xtask lint --mode wire-fingerprint`"
+                    ),
+                ));
+            }
+        }
+    }
+}

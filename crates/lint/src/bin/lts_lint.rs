@@ -1,0 +1,12 @@
+//! The standalone lint driver (`cargo run -p lts-lint --bin lts-lint`).
+//! Identical to `cargo xtask lint`, minus the task-name prefix.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match u8::try_from(lts_lint::cli::main(&args)) {
+        Ok(code) => ExitCode::from(code),
+        Err(_) => ExitCode::FAILURE,
+    }
+}

@@ -1,64 +1,26 @@
 //! Workspace task runner. Currently one task:
 //!
 //! ```text
-//! cargo xtask lint [--root <dir>]
+//! cargo xtask lint [FLAGS]
 //! ```
 //!
-//! Runs the four in-house lint rules (see `lts_lint`) over the workspace
-//! and exits nonzero on any diagnostic. The `xtask` alias lives in
-//! `.cargo/config.toml`.
+//! which is the `lts-lint` driver (see `lts_lint::cli::HELP` for the flag
+//! set). The `xtask` alias lives in `.cargo/config.toml`.
 
-use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut it = args.iter();
-    let Some(task) = it.next() else {
-        eprintln!("usage: cargo xtask lint [--root <dir>]");
+    let Some(task) = args.first() else {
+        eprintln!("usage: cargo xtask lint [flags] (--help for details)");
         return ExitCode::FAILURE;
     };
     if task != "lint" {
         eprintln!("unknown task `{task}` (available: lint)");
         return ExitCode::FAILURE;
     }
-    let mut root: Option<PathBuf> = None;
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--root" => root = it.next().map(PathBuf::from),
-            other => {
-                eprintln!("unknown argument `{other}`");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-    // default: the workspace containing this binary's source tree; under
-    // `cargo xtask` the cwd is already the invocation directory, and cargo
-    // sets CARGO_MANIFEST_DIR to crates/lint, two levels below the root.
-    let root = root.unwrap_or_else(|| {
-        let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-        manifest
-            .parent()
-            .and_then(|p| p.parent())
-            .map(PathBuf::from)
-            .unwrap_or_else(|| PathBuf::from("."))
-    });
-    match lts_lint::lint_workspace(&root) {
-        Ok((n_files, diags)) => {
-            if diags.is_empty() {
-                println!("lint: {n_files} files checked, no violations");
-                ExitCode::SUCCESS
-            } else {
-                for d in &diags {
-                    eprintln!("{d}");
-                }
-                eprintln!("lint: {} violation(s) in {n_files} files", diags.len());
-                ExitCode::FAILURE
-            }
-        }
-        Err(e) => {
-            eprintln!("lint: I/O error: {e}");
-            ExitCode::FAILURE
-        }
+    match u8::try_from(lts_lint::cli::main(&args[1..])) {
+        Ok(code) => ExitCode::from(code),
+        Err(_) => ExitCode::FAILURE,
     }
 }

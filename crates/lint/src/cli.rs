@@ -1,0 +1,201 @@
+//! Shared command-line driver for the `lts-lint` binary and the
+//! `cargo xtask lint` alias. Parses flags, runs the requested mode, prints
+//! the human report, and returns the process exit code.
+
+use crate::{analyze, build_model, run, Options, Tier};
+use std::path::PathBuf;
+
+pub const HELP: &str = "\
+lts-lint — call-graph semantic lint for the wave-LTS workspace
+
+USAGE:
+    lts-lint [FLAGS]
+    cargo xtask lint [FLAGS]
+
+FLAGS:
+    --root <dir>        workspace root (default: this source tree's root)
+    --mode <mode>       check            run the lint (default)
+                        graph-dump       print the call graph and verify it
+                                         round-trips through its own parser
+                        wire-fingerprint print the lint/wire.fingerprint
+                                         content for the current wire shape
+    --tier <tier>       all (default) | semantic | lexer
+    --sarif <path>      also write diagnostics as SARIF 2.1.0 (self-validated)
+    --verbose           print resolved root sets and reachability sizes
+    --no-cache          ignore and do not write target/lint-parse.cache
+    --help              this text
+
+EXIT STATUS:
+    0 on success / no errors; 1 on any error-severity diagnostic or failure.
+    Warnings (e.g. hot-path-index) are reported but do not fail the gate.
+
+ESCAPES:
+    // lint: allow(<rule>) — <one-line justification>
+    on the offending line or the line above. The justification is mandatory;
+    every allow is counted in the summary. Roots and traversal stops live in
+    lint/hotpaths.toml ([[hotpath]], [[kernel]], [[exclude]] + reason).
+";
+
+/// Default root: two levels above this crate's manifest.
+fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Parse `args` (without the program/task name) and run. Returns the exit
+/// code.
+pub fn main(args: &[String]) -> i32 {
+    let mut opts = Options::new(default_root());
+    let mut mode = "check".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let (flag, inline) = match a.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (a.as_str(), None),
+        };
+        let value = |it: &mut std::slice::Iter<String>| -> Option<String> {
+            inline.clone().or_else(|| it.next().cloned())
+        };
+        match flag {
+            "--help" | "-h" => {
+                print!("{HELP}");
+                return 0;
+            }
+            "--root" => match value(&mut it) {
+                Some(v) => opts.root = PathBuf::from(v),
+                None => return usage_error("--root needs a value"),
+            },
+            "--mode" => match value(&mut it) {
+                Some(v) => mode = v,
+                None => return usage_error("--mode needs a value"),
+            },
+            "--tier" => match value(&mut it).as_deref() {
+                Some("all") => opts.tier = Tier::All,
+                Some("semantic") => opts.tier = Tier::Semantic,
+                Some("lexer") => opts.tier = Tier::Lexer,
+                _ => return usage_error("--tier must be all|semantic|lexer"),
+            },
+            "--sarif" => match value(&mut it) {
+                Some(v) => opts.sarif = Some(PathBuf::from(v)),
+                None => return usage_error("--sarif needs a path"),
+            },
+            "--verbose" | "-v" => opts.verbose = true,
+            "--no-cache" => opts.no_cache = true,
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    match mode.as_str() {
+        "check" => run_check(&opts),
+        "graph-dump" => run_graph_dump(&opts),
+        "wire-fingerprint" => run_wire_fingerprint(&opts),
+        other => usage_error(&format!(
+            "unknown mode `{other}` (check|graph-dump|wire-fingerprint)"
+        )),
+    }
+}
+
+fn usage_error(msg: &str) -> i32 {
+    eprintln!("lts-lint: {msg}\n\n{HELP}");
+    1
+}
+
+fn run_check(opts: &Options) -> i32 {
+    match run(opts) {
+        Ok(report) => {
+            for line in &report.verbose_lines {
+                eprintln!("lint: {line}");
+            }
+            for d in &report.diags {
+                let tag = match d.severity {
+                    crate::rules::Severity::Error => "",
+                    crate::rules::Severity::Warning => "warning: ",
+                };
+                eprintln!("{tag}{d}");
+                let chain = d.render_chain();
+                if !chain.is_empty() {
+                    eprintln!("{chain}");
+                }
+            }
+            let n_allows: usize = report.allows.values().sum();
+            let allow_detail = if n_allows == 0 {
+                String::new()
+            } else {
+                let per: Vec<String> = report
+                    .allows
+                    .iter()
+                    .map(|(r, n)| format!("{r}×{n}"))
+                    .collect();
+                format!(" ({})", per.join(", "))
+            };
+            eprintln!(
+                "lint: {} files ({} cached), {} fns, {} call edges; {} error(s), {} warning(s), {} allow(s){}",
+                report.n_files,
+                report.n_cached,
+                report.n_fns,
+                report.n_edges,
+                report.errors(),
+                report.warnings(),
+                n_allows,
+                allow_detail
+            );
+            i32::from(report.errors() > 0)
+        }
+        Err(e) => {
+            eprintln!("lint: {e}");
+            1
+        }
+    }
+}
+
+/// `print!` panics on EPIPE (e.g. `lts-lint --mode graph-dump | head`);
+/// a closed downstream reader is a normal way to consume a dump.
+fn print_ignoring_pipe(text: &str) {
+    use std::io::Write;
+    let _ = std::io::stdout().write_all(text.as_bytes());
+}
+
+fn run_graph_dump(opts: &Options) -> i32 {
+    match build_model(&opts.root, !opts.no_cache) {
+        Ok(model) => {
+            print_ignoring_pipe(&model.ws.dump());
+            match model.ws.dump_round_trips() {
+                Ok(()) => {
+                    eprintln!(
+                        "graph-dump: {} nodes, {} edges, round-trip ok",
+                        model.ws.fns.len(),
+                        model.ws.edges.len()
+                    );
+                    0
+                }
+                Err(e) => {
+                    eprintln!("graph-dump: round-trip FAILED: {e}");
+                    1
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("graph-dump: {e}");
+            1
+        }
+    }
+}
+
+fn run_wire_fingerprint(opts: &Options) -> i32 {
+    match analyze::protocol::fingerprint_file_text(&opts.root) {
+        Some(text) => {
+            print_ignoring_pipe(&text);
+            0
+        }
+        None => {
+            eprintln!(
+                "wire-fingerprint: no {} under --root",
+                analyze::protocol::CODEC_REL
+            );
+            1
+        }
+    }
+}

@@ -1,52 +1,147 @@
 //! Hand-rolled workspace lint for the wave-LTS codebase.
 //!
-//! Four rules, all motivated by production incidents waiting to happen in a
-//! numerical hot loop (see `DESIGN.md` § Static analysis & soundness):
+//! Two tiers, both motivated by production incidents waiting to happen in a
+//! numerical hot loop (see `DESIGN.md` §11 Semantic analysis):
 //!
-//! 1. **hot-path-alloc** — functions tagged `// lint: hot-path` (or listed
-//!    in `lint/hotpaths.toml`) must not heap-allocate: no `Vec::new`,
-//!    `to_vec`, `clone`, `collect`, `format!`, … The SEM element kernels
-//!    run millions of times per step; one stray `clone()` is a 2× slowdown
-//!    that no unit test catches.
-//! 2. **no-panic** — `crates/runtime` and `crates/sem` non-test code must
-//!    not `unwrap`/`expect`/`panic!`: a rank that panics mid-exchange
-//!    deadlocks its peers instead of failing cleanly.
-//! 3. **unsafe-safety** — every `unsafe` block carries a `// SAFETY:`
-//!    comment; `unsafe` items carry a `# Safety` doc section.
-//! 4. **float-eq** — no `==`/`!=` against floating-point literals outside
-//!    `to_bits()` comparisons.
+//! **Semantic tier** (the default gate): a parsed workspace model — symbol
+//! table + conservative call graph over every crate — with root sets from
+//! `lint/hotpaths.toml`, runs four analyses with blame chains
+//! (root → … → offending call):
 //!
-//! Per-line escape: `// lint: allow(<rule>) — <justification>`.
+//! 1. **hot-path-alloc / hot-path-panic** — transitive purity: no
+//!    allocation or panic-capable construct *reachable* from a hot root;
+//! 2. **determinism** — no hash-order iteration, wall-clock reads, thread
+//!    identity, or FMA/horizontal-reduction intrinsics reachable from the
+//!    counter-gated kernels (the bitwise reproducibility contract);
+//! 3. **lock-order / lock-block** — the transport's Mutex/condvar pairs
+//!    must be cycle-free and must not block unboundedly on the exchange
+//!    path;
+//! 4. **protocol** — every `Frame`/`EventKind`/metric-id variant has
+//!    encode+decode arms, and wire-shape changes bump `codec::VERSION`
+//!    (checked against the committed fingerprint).
+//!
+//! **Lexer tier** (fallback): the original textual rules — `no-panic` in
+//! runtime/sem (catches code the call graph can't prove reachable),
+//! `unsafe-safety`, `float-eq`.
+//!
+//! Per-line escape: `// lint: allow(<rule>) — <justification>`; the
+//! justification is mandatory (an unjustified allow is itself an error)
+//! and every allow is counted in the summary.
 //!
 //! Run as `cargo xtask lint` (alias in `.cargo/config.toml`); CI runs it
-//! from `scripts/check.sh` and fails on any diagnostic.
+//! from `scripts/check.sh` with `--sarif target/lint.sarif`.
 
 #![forbid(unsafe_code)]
 
+pub mod analyze;
+pub mod cache;
+pub mod cli;
 pub mod config;
+pub mod graph;
+pub mod parse;
 pub mod rules;
+pub mod sarif;
 pub mod source;
 
-use config::HotPathConfig;
-use rules::Diagnostic;
+use cache::{Cache, FileSummary};
+use config::{HotPathConfig, LintConfig};
+use rules::{Diagnostic, Severity};
 use source::Scrubbed;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 /// Crates whose non-test code falls under the `no-panic` rule.
 const NO_PANIC_SCOPES: &[&str] = &["crates/runtime/src", "crates/sem/src"];
 
-/// Lint one file's contents. `rel` is the workspace-relative path with
-/// forward slashes (used for rule scoping and `hotpaths.toml` matching).
+/// FNV-1a 64-bit — content hashing for the parse cache and the wire
+/// fingerprint.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Which analyses run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Semantic + lexer fallback (the gate default).
+    All,
+    /// Call-graph analyses only.
+    Semantic,
+    /// The original textual rules only.
+    Lexer,
+}
+
+/// Driver options (what the CLI flags map to).
+#[derive(Debug, Clone)]
+pub struct Options {
+    pub root: PathBuf,
+    pub tier: Tier,
+    pub verbose: bool,
+    pub sarif: Option<PathBuf>,
+    pub no_cache: bool,
+}
+
+impl Options {
+    pub fn new(root: impl Into<PathBuf>) -> Options {
+        Options {
+            root: root.into(),
+            tier: Tier::All,
+            verbose: false,
+            sarif: None,
+            no_cache: false,
+        }
+    }
+}
+
+/// Everything one lint run produced.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub n_files: usize,
+    pub n_cached: usize,
+    pub n_fns: usize,
+    pub n_edges: usize,
+    /// `(rule, count)` of `// lint: allow(rule)` escapes in force.
+    pub allows: BTreeMap<String, usize>,
+    /// Sorted by (file, line, rule); errors and warnings together.
+    pub diags: Vec<Diagnostic>,
+    /// `--verbose` lines: resolved root sets, reach sizes.
+    pub verbose_lines: Vec<String>,
+}
+
+impl Report {
+    pub fn errors(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    pub fn warnings(&self) -> usize {
+        self.diags.len() - self.errors()
+    }
+}
+
+/// Lint one file's contents with the lexer tier. `rel` is the
+/// workspace-relative path with forward slashes (used for rule scoping and
+/// `hotpaths.toml` matching).
 pub fn lint_source(rel: &str, src: &str, cfg: &HotPathConfig) -> Vec<Diagnostic> {
     let s = Scrubbed::new(src);
+    lint_scrubbed(rel, &s, cfg)
+}
+
+fn lint_scrubbed(rel: &str, s: &Scrubbed, cfg: &HotPathConfig) -> Vec<Diagnostic> {
     let path = Path::new(rel);
     let mut diags = Vec::new();
-    rules::check_hot_path(path, rel, &s, cfg, &mut diags);
+    rules::check_hot_path(path, rel, s, cfg, &mut diags);
     if NO_PANIC_SCOPES.iter().any(|p| rel.starts_with(p)) {
-        rules::check_no_panic(path, &s, &mut diags);
+        rules::check_no_panic(path, s, &mut diags);
     }
-    rules::check_unsafe(path, &s, &mut diags);
-    rules::check_float_eq(path, &s, &mut diags);
+    rules::check_unsafe(path, s, &mut diags);
+    rules::check_float_eq(path, s, &mut diags);
     diags
 }
 
@@ -88,34 +183,277 @@ pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
-/// Lint the whole workspace rooted at `root`. Returns the number of files
-/// checked and all diagnostics, sorted by path and line.
-pub fn lint_workspace(root: &Path) -> std::io::Result<(usize, Vec<Diagnostic>)> {
-    let cfg_path = root.join("lint/hotpaths.toml");
-    let cfg = if cfg_path.is_file() {
-        HotPathConfig::parse(&std::fs::read_to_string(&cfg_path)?).unwrap_or_else(|e| {
-            // a broken policy file must not silently disable the policy
-            panic!("{e}");
-        })
-    } else {
-        HotPathConfig::default()
+/// Transitive workspace dependency map, crate key → crate keys it may call
+/// into, from a line-oriented read of each `crates/*/Cargo.toml`. Only
+/// `[dependencies]` count — test modules are already blanked, so
+/// dev-dependency edges would only add noise.
+pub fn crate_deps(root: &Path) -> BTreeMap<String, BTreeSet<String>> {
+    // package name -> crate key, and crate key -> direct dep package names
+    let mut key_of: BTreeMap<String, String> = BTreeMap::new();
+    let mut direct: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let crates = root.join("crates");
+    let Ok(rd) = std::fs::read_dir(&crates) else {
+        return BTreeMap::new();
     };
-    let files = workspace_files(root)?;
-    let mut diags = Vec::new();
-    for file in &files {
+    for entry in rd.filter_map(|e| e.ok()) {
+        let manifest = entry.path().join("Cargo.toml");
+        let Ok(text) = std::fs::read_to_string(&manifest) else {
+            continue;
+        };
+        let key = format!("crates/{}", entry.file_name().to_string_lossy());
+        let mut section = String::new();
+        let mut pkg_name = String::new();
+        let mut deps = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some(s) = line.strip_prefix('[') {
+                section = s.trim_end_matches(']').to_string();
+                continue;
+            }
+            let Some((k, v)) = line.split_once('=') else {
+                continue;
+            };
+            let k = k.trim();
+            if section == "package" && k == "name" {
+                pkg_name = v.trim().trim_matches('"').to_string();
+            } else if section == "dependencies" {
+                // `lts-core.workspace = true` or `lts-core = { path = … }`
+                deps.push(k.split('.').next().unwrap_or(k).to_string());
+            }
+        }
+        if !pkg_name.is_empty() {
+            key_of.insert(pkg_name, key.clone());
+        }
+        direct.insert(key, deps);
+    }
+    // resolve package names to keys, then take the transitive closure
+    let mut out: BTreeMap<String, BTreeSet<String>> = direct
+        .iter()
+        .map(|(key, deps)| {
+            let set: BTreeSet<String> =
+                deps.iter().filter_map(|d| key_of.get(d).cloned()).collect();
+            (key.clone(), set)
+        })
+        .collect();
+    loop {
+        let mut grew = false;
+        for key in out.keys().cloned().collect::<Vec<_>>() {
+            let reach: BTreeSet<String> = out[&key]
+                .iter()
+                .flat_map(|d| out.get(d).cloned().unwrap_or_default())
+                .collect();
+            let set = out.get_mut(&key).unwrap();
+            for r in reach {
+                grew |= set.insert(r);
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    out
+}
+
+fn load_config(root: &Path) -> std::io::Result<LintConfig> {
+    let cfg_path = root.join("lint/hotpaths.toml");
+    if cfg_path.is_file() {
+        LintConfig::parse(&std::fs::read_to_string(&cfg_path)?).map_err(std::io::Error::other)
+    } else {
+        Ok(LintConfig::default())
+    }
+}
+
+/// The parsed workspace: per-file facts plus the assembled call graph.
+pub struct Model {
+    pub cfg: LintConfig,
+    pub files: BTreeMap<String, FileSummary>,
+    pub ws: graph::Workspace,
+    pub n_files: usize,
+    pub n_cached: usize,
+}
+
+/// Read, scrub and parse every workspace file (through the cache unless
+/// disabled) and build the call graph.
+pub fn build_model(root: &Path, use_cache: bool) -> std::io::Result<Model> {
+    let cfg = load_config(root)?;
+    let cfg_text = std::fs::read_to_string(root.join("lint/hotpaths.toml")).unwrap_or_default();
+    let cache_path = root.join("target/lint-parse.cache");
+    let mut cache = if use_cache {
+        Cache::load(&cache_path, fnv64(cfg_text.as_bytes()))
+    } else {
+        Cache::empty(fnv64(cfg_text.as_bytes()))
+    };
+    let paths = workspace_files(root)?;
+    let mut files: BTreeMap<String, FileSummary> = BTreeMap::new();
+    for file in &paths {
         let rel = file
             .strip_prefix(root)
             .unwrap_or(file)
             .to_string_lossy()
             .replace('\\', "/");
         let src = std::fs::read_to_string(file)?;
-        for mut d in lint_source(&rel, &src, &cfg) {
-            d.file = PathBuf::from(&rel);
-            diags.push(d);
+        let hash = fnv64(src.as_bytes());
+        let (mtime, size) = cache::file_stamp(file)?;
+        let summary = match cache.get(&rel, mtime, size, hash) {
+            Some(s) => s,
+            None => {
+                let s = Scrubbed::new(&src);
+                let legacy: Vec<Diagnostic> = lint_scrubbed(&rel, &s, &cfg)
+                    .into_iter()
+                    .map(|mut d| {
+                        d.file = PathBuf::from(&rel);
+                        d
+                    })
+                    .collect();
+                let summary = FileSummary {
+                    parsed: parse::parse_file(&s),
+                    legacy,
+                };
+                cache.put(&rel, mtime, size, hash, summary.clone());
+                summary
+            }
+        };
+        files.insert(rel, summary);
+    }
+    let n_cached = cache.hits;
+    if use_cache {
+        // best-effort: a read-only target/ must not fail the lint
+        let _ = cache.save(&cache_path);
+    }
+    let parsed: Vec<(String, parse::ParsedFile)> = files
+        .iter()
+        .map(|(rel, s)| (rel.clone(), s.parsed.clone()))
+        .collect();
+    let ws = graph::Workspace::build_with_deps(&parsed, crate_deps(root));
+    Ok(Model {
+        cfg,
+        files,
+        ws,
+        n_files: paths.len(),
+        n_cached,
+    })
+}
+
+/// Run a full lint pass.
+pub fn run(opts: &Options) -> std::io::Result<Report> {
+    let model = build_model(&opts.root, !opts.no_cache)?;
+    let mut report = Report {
+        n_files: model.n_files,
+        n_cached: model.n_cached,
+        n_fns: model.ws.fns.len(),
+        n_edges: model.ws.edges.len(),
+        ..Report::default()
+    };
+    let parsed_only: BTreeMap<String, parse::ParsedFile> = model
+        .files
+        .iter()
+        .map(|(rel, s)| (rel.clone(), s.parsed.clone()))
+        .collect();
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    if opts.tier != Tier::Lexer {
+        let sem = analyze::run_semantic(&opts.root, &model.ws, &model.cfg, &parsed_only);
+        if opts.verbose {
+            let names = |ids: &[graph::FnId]| -> Vec<String> {
+                ids.iter()
+                    .map(|&id| {
+                        format!(
+                            "{} ({}:{})",
+                            model.ws.qualified(id),
+                            model.ws.fns[id].file,
+                            model.ws.fns[id].f.line
+                        )
+                    })
+                    .collect()
+            };
+            report
+                .verbose_lines
+                .push(format!("hot roots: {}", names(&sem.roots.hot).join(", ")));
+            report.verbose_lines.push(format!(
+                "kernel roots: {}",
+                names(&sem.roots.kernels).join(", ")
+            ));
+            report.verbose_lines.push(format!(
+                "reach: {} fns from hot roots, {} from kernel roots; {} stops",
+                sem.hot_reached,
+                sem.kernel_reached,
+                sem.roots.stops.len()
+            ));
+        }
+        diags.extend(sem.diags);
+    }
+    if opts.tier != Tier::Semantic {
+        let semantic_panics: std::collections::BTreeSet<(PathBuf, usize)> = diags
+            .iter()
+            .filter(|d| d.rule == rules::RULE_HOT_PANIC)
+            .map(|d| (d.file.clone(), d.line))
+            .collect();
+        for summary in model.files.values() {
+            for d in &summary.legacy {
+                if opts.tier == Tier::All {
+                    // the semantic tier subsumes the tag-scoped alloc scan and
+                    // any textual panic finding it already reported with a chain
+                    if d.rule == rules::RULE_HOT_PATH {
+                        continue;
+                    }
+                    if d.rule == rules::RULE_NO_PANIC
+                        && semantic_panics.contains(&(d.file.clone(), d.line))
+                    {
+                        continue;
+                    }
+                }
+                diags.push(d.clone());
+            }
         }
     }
-    diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok((files.len(), diags))
+
+    // allow audit: count escapes, reject unjustified or unknown-rule ones
+    for (rel, summary) in &model.files {
+        for a in &summary.parsed.allows {
+            *report.allows.entry(a.rule.clone()).or_default() += 1;
+            if !rules::ALL_RULES.contains(&a.rule.as_str()) {
+                diags.push(Diagnostic::new(
+                    rel,
+                    a.line,
+                    rules::RULE_ALLOW_AUDIT,
+                    format!("allow names unknown rule `{}`", a.rule),
+                ));
+            } else if !a.justified {
+                diags.push(Diagnostic::new(
+                    rel,
+                    a.line,
+                    rules::RULE_ALLOW_AUDIT,
+                    format!(
+                        "unjustified escape: `allow({})` needs a one-line reason after the closing paren",
+                        a.rule
+                    ),
+                ));
+            }
+        }
+    }
+
+    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    diags.dedup();
+    report.diags = diags;
+
+    if let Some(sarif_path) = &opts.sarif {
+        let text = sarif::to_sarif(&report.diags);
+        sarif::validate_json(&text).map_err(|e| {
+            std::io::Error::other(format!("generated SARIF failed self-validation: {e}"))
+        })?;
+        if let Some(dir) = sarif_path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(sarif_path, text)?;
+    }
+    Ok(report)
+}
+
+/// Back-compat wrapper: lint the whole workspace with the default tier.
+/// Returns the number of files checked and all diagnostics.
+pub fn lint_workspace(root: &Path) -> std::io::Result<(usize, Vec<Diagnostic>)> {
+    let report = run(&Options::new(root))?;
+    Ok((report.n_files, report.diags))
 }
 
 #[cfg(test)]
@@ -141,5 +479,12 @@ mod tests {
             &cfg,
         );
         assert_eq!(format!("{}", d[0]), "crates/sem/src/a.rs:1: [no-panic] `.unwrap()` in non-test code (return a Result instead)");
+    }
+
+    #[test]
+    fn fnv64_is_stable() {
+        // pinned: the wire fingerprint and cache key depend on these values
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
     }
 }

@@ -16,14 +16,93 @@ pub const RULE_HOT_PATH: &str = "hot-path-alloc";
 pub const RULE_NO_PANIC: &str = "no-panic";
 pub const RULE_UNSAFE: &str = "unsafe-safety";
 pub const RULE_FLOAT_EQ: &str = "float-eq";
+// semantic (call-graph) tier rules, reported through the same Diagnostic
+pub const RULE_HOT_PANIC: &str = "hot-path-panic";
+pub const RULE_HOT_INDEX: &str = "hot-path-index";
+pub const RULE_DETERMINISM: &str = "determinism";
+pub const RULE_LOCK_ORDER: &str = "lock-order";
+pub const RULE_LOCK_BLOCK: &str = "lock-block";
+pub const RULE_PROTOCOL: &str = "protocol";
+pub const RULE_CONFIG: &str = "config";
+pub const RULE_ALLOW_AUDIT: &str = "allow-audit";
 
-/// One violation, printable as `path:line: [rule] message`.
+/// Every rule an `// lint: allow(<rule>)` escape may name.
+pub const ALL_RULES: &[&str] = &[
+    RULE_HOT_PATH,
+    RULE_NO_PANIC,
+    RULE_UNSAFE,
+    RULE_FLOAT_EQ,
+    RULE_HOT_PANIC,
+    RULE_HOT_INDEX,
+    RULE_DETERMINISM,
+    RULE_LOCK_ORDER,
+    RULE_LOCK_BLOCK,
+    RULE_PROTOCOL,
+    RULE_CONFIG,
+    RULE_ALLOW_AUDIT,
+];
+
+/// Diagnostic severity: only `Error` fails the gate; `Warning` is reported
+/// in the summary (and SARIF) without failing CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Error,
+    Warning,
+}
+
+/// One violation, printable as `path:line: [rule] message`. Semantic-tier
+/// diagnostics additionally carry a blame chain (root -> ... -> offender).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     pub file: PathBuf,
     pub line: usize,
     pub rule: &'static str,
     pub msg: String,
+    pub severity: Severity,
+    pub chain: Vec<crate::graph::BlameHop>,
+}
+
+impl Diagnostic {
+    pub fn new(
+        file: impl Into<PathBuf>,
+        line: usize,
+        rule: &'static str,
+        msg: String,
+    ) -> Diagnostic {
+        Diagnostic {
+            file: file.into(),
+            line,
+            rule,
+            msg,
+            severity: Severity::Error,
+            chain: Vec::new(),
+        }
+    }
+
+    pub fn warning(
+        file: impl Into<PathBuf>,
+        line: usize,
+        rule: &'static str,
+        msg: String,
+    ) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::new(file, line, rule, msg)
+        }
+    }
+
+    /// Render the blame chain as indented continuation lines.
+    pub fn render_chain(&self) -> String {
+        if self.chain.is_empty() {
+            return String::new();
+        }
+        let hops: Vec<String> = self
+            .chain
+            .iter()
+            .map(|h| format!("{} ({}:{})", h.what, h.file, h.line))
+            .collect();
+        format!("    blame: {}", hops.join(" -> "))
+    }
 }
 
 impl fmt::Display for Diagnostic {
@@ -236,12 +315,12 @@ pub fn check_hot_path(
                 let pos = from + p;
                 let line0 = line_of(&s.code, f.body.start) - 1 + line_of(&body, pos) - 1;
                 if !allowed(&comment_lines, line0, RULE_HOT_PATH) {
-                    diags.push(Diagnostic {
-                        file: file.to_path_buf(),
-                        line: line0 + 1,
-                        rule: RULE_HOT_PATH,
-                        msg: format!("`{}` allocates in hot-path fn `{}`", tok, f.name),
-                    });
+                    diags.push(Diagnostic::new(
+                        file,
+                        line0 + 1,
+                        RULE_HOT_PATH,
+                        format!("`{}` allocates in hot-path fn `{}`", tok, f.name),
+                    ));
                 }
                 from = pos + tok.len();
             }
@@ -256,12 +335,12 @@ pub fn check_no_panic(file: &Path, s: &Scrubbed, diags: &mut Vec<Diagnostic>) {
     for (line0, line) in s.code.lines().enumerate() {
         for tok in PANIC_TOKENS {
             if line.contains(tok) && !allowed(&comment_lines, line0, RULE_NO_PANIC) {
-                diags.push(Diagnostic {
-                    file: file.to_path_buf(),
-                    line: line0 + 1,
-                    rule: RULE_NO_PANIC,
-                    msg: format!("`{tok}` in non-test code (return a Result instead)"),
-                });
+                diags.push(Diagnostic::new(
+                    file,
+                    line0 + 1,
+                    RULE_NO_PANIC,
+                    format!("`{tok}` in non-test code (return a Result instead)"),
+                ));
             }
         }
     }
@@ -307,16 +386,16 @@ pub fn check_unsafe(file: &Path, s: &Scrubbed, diags: &mut Vec<Diagnostic>) {
             (lo..=line0).any(|l| comment_lines.get(l).is_some_and(|c| c.contains("SAFETY")))
         };
         if !justified {
-            diags.push(Diagnostic {
-                file: file.to_path_buf(),
-                line: line0 + 1,
-                rule: RULE_UNSAFE,
-                msg: if is_item {
+            diags.push(Diagnostic::new(
+                file,
+                line0 + 1,
+                RULE_UNSAFE,
+                if is_item {
                     "`unsafe` item without a Safety section in its docs".into()
                 } else {
                     "`unsafe` block without a preceding `// SAFETY:` comment".into()
                 },
-            });
+            ));
         }
     }
 }
@@ -385,15 +464,15 @@ pub fn check_float_eq(file: &Path, s: &Scrubbed, diags: &mut Vec<Diagnostic>) {
                 if (float_token(&right) || float_token(&left))
                     && !allowed(&comment_lines, line0, RULE_FLOAT_EQ)
                 {
-                    diags.push(Diagnostic {
-                        file: file.to_path_buf(),
-                        line: line0 + 1,
-                        rule: RULE_FLOAT_EQ,
-                        msg: format!(
+                    diags.push(Diagnostic::new(
+                        file,
+                        line0 + 1,
+                        RULE_FLOAT_EQ,
+                        format!(
                             "float `{two}` comparison against `{}`",
                             if float_token(&right) { &right } else { &left }
                         ),
-                    });
+                    ));
                 }
                 i += 2;
                 continue;
@@ -457,7 +536,8 @@ fn hot() {
     #[test]
     fn hot_path_config_listing() {
         let cfg = HotPathConfig {
-            entries: vec![("a/b.rs".into(), "listed".into())],
+            hot: vec![("a/b.rs".into(), "listed".into())],
+            ..HotPathConfig::default()
         };
         let s = Scrubbed::new("fn listed() { x.clone(); }\nfn other() { y.clone(); }\n");
         let mut d = Vec::new();

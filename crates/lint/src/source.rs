@@ -148,8 +148,12 @@ fn scrub(src: &str) -> Scrubbed {
             i += 1;
             while i < n {
                 if cs[i] == '\\' && i + 1 < n {
-                    emit(&mut code, &mut comments, ' ', true);
-                    emit(&mut code, &mut comments, ' ', true);
+                    // an escaped newline (string continuation) must keep its
+                    // newline in both views or every later line number shifts
+                    for k in 0..2 {
+                        let c = if cs[i + k] == '\n' { '\n' } else { ' ' };
+                        emit(&mut code, &mut comments, c, true);
+                    }
                     i += 2;
                 } else if cs[i] == '"' {
                     emit(&mut code, &mut comments, '"', true);
@@ -170,8 +174,10 @@ fn scrub(src: &str) -> Scrubbed {
                 i += 1;
                 while i < n {
                     if cs[i] == '\\' && i + 1 < n {
-                        emit(&mut code, &mut comments, ' ', true);
-                        emit(&mut code, &mut comments, ' ', true);
+                        for k in 0..2 {
+                            let c = if cs[i + k] == '\n' { '\n' } else { ' ' };
+                            emit(&mut code, &mut comments, c, true);
+                        }
                         i += 2;
                     } else if cs[i] == '\'' {
                         emit(&mut code, &mut comments, '\'', true);
@@ -316,6 +322,28 @@ mod tests {
         let s = Scrubbed::new("let a = \"he said \\\"hi\\\" ok\"; let b = 2;\n");
         assert!(s.code.contains("let b = 2"));
         assert!(!s.code.contains("hi"));
+    }
+
+    #[test]
+    fn string_continuation_keeps_line_structure() {
+        // regression: `"a \<newline>b"` used to emit a space for the escaped
+        // newline, collapsing a line and shifting every later diagnostic —
+        // float-eq then fired on `==` text sitting in doc comments and raw
+        // strings because it read the wrong line.
+        let src = "let s = \"a \\\n   b\";\n/// doc: x == 1.0 here\nlet t = r\"y == 2.0\";\nlet bad = x == 1.0;\n";
+        let s = Scrubbed::new(src);
+        assert_eq!(s.code.lines().count(), src.lines().count());
+        // the real comparison is still on line 5 of the code view
+        let code_lines: Vec<&str> = s.code.lines().collect();
+        assert!(code_lines[4].contains("== 1.0"), "{code_lines:?}");
+        assert!(
+            !code_lines[2].contains("=="),
+            "doc comment leaked into code"
+        );
+        assert!(
+            !code_lines[3].contains("2.0"),
+            "raw string leaked into code"
+        );
     }
 
     #[test]

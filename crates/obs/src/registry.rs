@@ -199,6 +199,8 @@ impl MetricsRegistry {
     pub fn inc_key(&mut self, key: Key, by: u64) {
         match self.metrics.entry(key).or_insert(Metric::Counter(0)) {
             Metric::Counter(c) => *c += by,
+            // lint: allow(no-panic) — name/type collision is a programming
+            // error caught the first time the metric is touched
             other => panic!("metric type mismatch: counter vs {other:?}"),
         }
     }
@@ -301,6 +303,8 @@ impl MetricsRegistry {
             .or_insert_with(|| Metric::Histogram(Histogram::default()))
         {
             Metric::Histogram(h) => h.observe(value),
+            // lint: allow(no-panic) — name/type collision is a programming
+            // error caught the first time the metric is touched
             other => panic!("metric type mismatch: histogram vs {other:?}"),
         }
     }
@@ -381,6 +385,8 @@ impl MetricsRegistry {
                         .or_insert_with(|| Metric::Histogram(Histogram::default()))
                     {
                         Metric::Histogram(mine) => mine.merge(h),
+                        // lint: allow(no-panic) — name/type collision is a programming
+                        // error caught the first time the metric is touched
                         other => panic!("metric type mismatch: histogram vs {other:?}"),
                     }
                 }

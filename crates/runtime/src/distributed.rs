@@ -29,7 +29,13 @@ use crate::transport::{self, Recv, Transport, TransportError, TransportKind};
 use lts_core::{DofTopology, LtsSetup, Operator, Source, Workspace};
 use lts_obs::{EventKind, FlightRecorder, MetricsRegistry, RankRecording, NO_LEVEL, NO_PEER};
 use std::collections::VecDeque;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Upper bound on one blocking receive inside the exchange loop. A healthy
+/// peer answers in microseconds; a minute of silence means the peer (or its
+/// link) is gone, and the step must fail as [`RuntimeError::ExchangeTimeout`]
+/// instead of hanging the whole cluster on a lost rank.
+const EXCHANGE_WATCHDOG: Duration = Duration::from_secs(60);
 
 /// Runtime configuration.
 #[derive(Debug, Clone, Copy)]
@@ -394,7 +400,10 @@ impl<'a, O: Operator> RankCtx<'a, O> {
         }
         while missing > 0 {
             let mut buf = self.pool.pop().unwrap_or_default();
-            match self.transport.recv_into(&mut buf) {
+            match self
+                .transport
+                .recv_into_timeout(&mut buf, Some(EXCHANGE_WATCHDOG))
+            {
                 Ok(Recv::Msg { from, level, seq }) => {
                     self.flight
                         .record(EventKind::Recv, level, self.step_idx, from as u32, seq);

@@ -120,7 +120,7 @@ pub fn run_distributed_local_acoustic_flight(
             // is a plan-construction bug, not a runtime condition.
             global_of_local
                 .binary_search(&g)
-                .expect("dof not owned by rank") as u32 // lint: allow(no-panic)
+                .expect("dof not owned by rank") as u32 // lint: allow(no-panic) — plan-construction invariant, not a runtime condition
         };
         let local_elem: std::collections::HashMap<u32, u32> = my_elems_global
             .iter()

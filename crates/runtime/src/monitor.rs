@@ -117,13 +117,22 @@ impl StallMonitor {
     }
 
     /// Instantaneous Eq. 21 λ per level over the ranks' busy time so far.
+    /// Callable from inside the exchange loop, so the per-level fold streams
+    /// min/max instead of materializing a per-rank load vector.
     pub fn lambda_per_level(&self) -> Vec<f64> {
         (0..self.n_levels)
             .map(|l| {
-                let loads: Vec<f64> = (0..self.n_ranks)
-                    .map(|r| self.busy_ns[r * self.n_levels + l].load(Ordering::Relaxed) as f64)
-                    .collect();
-                eq21_lambda(&loads)
+                let (mut max, mut min) = (f64::NEG_INFINITY, f64::INFINITY);
+                for r in 0..self.n_ranks {
+                    let load = self.busy_ns[r * self.n_levels + l].load(Ordering::Relaxed) as f64;
+                    max = max.max(load);
+                    min = min.min(load);
+                }
+                if max > 0.0 {
+                    (max - min) / max
+                } else {
+                    0.0
+                }
             })
             .collect()
     }

@@ -445,6 +445,9 @@ impl<'a> Reader<'a> {
 
     fn f64s(&mut self) -> Result<Vec<f64>, CodecError> {
         let n = self.count(8)?;
+        // lint: allow(hot-path-alloc) — the codec's ownership boundary: a
+        // decoded frame owns its payload; halo payloads land in the
+        // caller's reused buffer one copy later
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             out.push(self.f64()?);
@@ -541,6 +544,7 @@ pub fn decode_body(kind: u8, body: &[u8]) -> Result<Frame, CodecError> {
             let u = r.f64s()?;
             let v = r.f64s()?;
             let n = r.count(4)?;
+            // lint: allow(hot-path-alloc) — Done frames arrive once per rank at teardown
             let mut global_of_local = Vec::with_capacity(n);
             for _ in 0..n {
                 global_of_local.push(r.u32()?);
@@ -556,6 +560,7 @@ pub fn decode_body(kind: u8, body: &[u8]) -> Result<Frame, CodecError> {
             let rank = r.u32()?;
             let dropped = r.u64()?;
             let n = r.count(26)?;
+            // lint: allow(hot-path-alloc) — Flight frames arrive once per rank at teardown
             let mut events = Vec::with_capacity(n);
             for _ in 0..n {
                 let t_ns = r.u64()?;

@@ -70,6 +70,14 @@ impl TransportKind {
     }
 }
 
+/// Classified error for an out-of-range peer index. `#[cold]` keeps the
+/// message formatting off the hot send path (and out of the semantic
+/// lint's hot-path traversal).
+#[cold]
+pub(crate) fn bad_peer(peer: usize) -> TransportError {
+    TransportError::Io(format!("invalid peer {peer}"))
+}
+
 /// Transport-level failures. The rank loop maps these onto
 /// [`crate::RuntimeError`] variants with rank/level context.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -168,6 +176,7 @@ pub trait Transport: Send {
     /// Blocking receive: append the next payload to `buf` (which is cleared
     /// first) and return its origin, or the next goodbye.
     fn recv_into(&mut self, buf: &mut Vec<f64>) -> Result<Recv, TransportError> {
+        // lint: allow(lock-block) — blocking forever is this method's contract; the exchange loop calls the watchdog variant
         self.recv_into_timeout(buf, None)
     }
 

@@ -11,7 +11,7 @@
 //! ring closed (waking any peer blocked in `send` with an error) and rings
 //! every peer's doorbell with a goodbye bell, FIFO-after its earlier bells.
 
-use super::{Recv, Transport, TransportError, TransportMetrics};
+use super::{bad_peer, Recv, Transport, TransportError, TransportMetrics};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -117,11 +117,6 @@ fn desync() -> TransportError {
     TransportError::Io(String::from("ring/doorbell desync"))
 }
 
-#[cold]
-fn bad_peer(peer: usize) -> TransportError {
-    TransportError::Io(format!("invalid peer {peer}"))
-}
-
 impl RingTransport {
     /// Turn a popped doorbell into the received message/goodbye, recycling
     /// the ring slot and waking a sender blocked on backpressure.
@@ -177,6 +172,8 @@ impl Transport for RingTransport {
         let mut buf = lock(&ring.buf);
         while buf.queue.len() >= ring.cap && !buf.closed {
             let t0 = Instant::now();
+            // lint: allow(lock-block) — backpressure by design: a full ring
+            // must stall the producer, and a dead peer closes the ring
             buf = match ring.not_full.wait(buf) {
                 Ok(g) => g,
                 Err(poisoned) => poisoned.into_inner(),
@@ -215,6 +212,8 @@ impl Transport for RingTransport {
                 break b;
             }
             bells = match deadline {
+                // lint: allow(lock-block) — the None deadline means block
+                // by contract; the exchange loop passes a watchdog
                 None => match db.ready.wait(bells) {
                     Ok(g) => g,
                     Err(poisoned) => poisoned.into_inner(),

@@ -12,7 +12,7 @@
 //! per-sender FIFO and goodbye-after-drain end to end.
 
 use super::codec::{self, decode_header, encode, Frame, StreamError, HEADER_LEN};
-use super::{Recv, Transport, TransportError, TransportMetrics};
+use super::{bad_peer, Recv, Transport, TransportError, TransportMetrics};
 use std::io::{Read, Write};
 use std::os::unix::net::UnixStream;
 use std::sync::{Arc, Mutex};
@@ -153,7 +153,7 @@ impl Transport for SocketTransport {
             return Err(TransportError::Closed);
         }
         if peer == self.rank || peer >= self.n {
-            return Err(TransportError::Io(format!("invalid peer {peer}")));
+            return Err(bad_peer(peer));
         }
         self.metrics.msgs_sent += 1;
         self.metrics.doubles_sent += payload.len() as u64;

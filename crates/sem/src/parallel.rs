@@ -166,6 +166,8 @@ pub(crate) fn par_colored<S: Send>(
                     for pos in start..end {
                         f(pos, sc, out);
                     }
+                    // lint: allow(lock-block) — colour barrier over in-process
+                    // scoped threads; no peer can be lost
                     barrier.wait();
                 }
             });

@@ -12,8 +12,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo fmt --check"
 cargo fmt --check
 
-echo "== cargo xtask lint (hot-path alloc / no-panic / unsafe-safety / float-eq)"
-cargo xtask lint
+echo "== cargo xtask lint (semantic call-graph tier + lexer fallback, SARIF to target/lint.sarif)"
+cargo xtask lint --sarif target/lint.sarif
 
 echo "== lts-check (structural invariants over the four benchmark meshes)"
 cargo run -q --release -p lts-check

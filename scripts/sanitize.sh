@@ -20,6 +20,16 @@ cd "$(dirname "$0")/.."
 
 status=0
 
+echo "== layer 0: call-graph self-check (lts-lint --mode graph-dump round-trip)"
+# Cheap smoke: the semantic lint's workspace model must build and its
+# deterministic dump must round-trip through its own parser.
+if cargo xtask lint --mode graph-dump >/dev/null; then
+  echo "graph-dump: ok"
+else
+  echo "graph-dump: FAILED"
+  status=1
+fi
+
 # Scope: the crate holding the entire unsafe surface (crates/sem) and the
 # threaded runtime driving it.
 SCOPE=(-p lts-sem)
